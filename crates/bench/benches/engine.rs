@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the micro-architecture timing engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
+use gemstone_uarch::core::Engine;
+use gemstone_workloads::gen::StreamGen;
+use gemstone_workloads::suites;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    let n = 50_000_u64;
+    for (label, cfg) in [
+        ("cortex_a15_hw", cortex_a15_hw()),
+        ("cortex_a7_hw", cortex_a7_hw()),
+        ("ex5_big_old", ex5_big(Ex5Variant::Old)),
+    ] {
+        let spec = suites::by_name("mi-fft").unwrap().scaled(n as f64 / 200_000.0);
+        let stream: Vec<_> = StreamGen::new(&spec).collect();
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::new("run", label), &stream, |b, stream| {
+            b.iter(|| {
+                let mut e = Engine::new(cfg.clone(), 1.0e9, 1);
+                e.run(stream.iter().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for name in ["mi-fft", "parsec-canneal-4", "mi-typeset"] {
+        let spec = suites::by_name(name).unwrap().scaled(0.25);
+        group.throughput(Throughput::Elements(spec.instructions));
+        group.bench_with_input(BenchmarkId::new("generate", name), &spec, |b, spec| {
+            b.iter(|| StreamGen::new(spec).count());
+        });
+    }
+    group.finish();
+}
+
+fn branch_predictors(c: &mut Criterion) {
+    use gemstone_uarch::branch::{
+        BimodalPredictor, DirectionPredictor, GsharePredictor, TournamentPredictor,
+    };
+    let mut group = c.benchmark_group("branch_predictors");
+    let outcomes: Vec<bool> = (0..10_000).map(|i| i % 3 != 0).collect();
+    let mk: Vec<(&str, Box<dyn Fn() -> Box<dyn DirectionPredictor>>)> = vec![
+        ("bimodal", Box::new(|| Box::new(BimodalPredictor::new(4096)))),
+        (
+            "gshare",
+            Box::new(|| Box::new(GsharePredictor::new(4096, 12, false))),
+        ),
+        (
+            "tournament",
+            Box::new(|| Box::new(TournamentPredictor::new(2048, 8192, 12))),
+        ),
+    ];
+    for (label, make) in mk {
+        group.throughput(Throughput::Elements(outcomes.len() as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut p = make();
+                let mut correct = 0u32;
+                for (i, &t) in outcomes.iter().enumerate() {
+                    let pr = p.predict((i % 64) as u32);
+                    correct += u32::from(pr == t);
+                    p.update((i % 64) as u32, t, pr != t);
+                }
+                correct
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_throughput, workload_generation, branch_predictors
+}
+criterion_main!(benches);

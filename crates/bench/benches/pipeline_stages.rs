@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the GemStone pipeline stages on a reduced
+//! workload set (experiment, collation and each analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemstone_core::analysis::{
+    error_regression, event_compare, gem5_corr, hca_workloads, pmc_corr, summary,
+};
+use gemstone_core::collate::Collated;
+use gemstone_core::experiment::{run_over, ExperimentConfig};
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_workloads::suites;
+
+fn fixture() -> (Collated, hca_workloads::WorkloadClusters) {
+    let cfg = ExperimentConfig {
+        workload_scale: 0.05,
+        clusters: vec![Cluster::BigA15],
+        models: vec![Gem5Model::Ex5BigOld],
+        ..ExperimentConfig::default()
+    };
+    let names = [
+        "mi-sha",
+        "mi-crc32",
+        "mi-bitcount",
+        "mi-stringsearch",
+        "mi-fft",
+        "parsec-canneal-1",
+        "mi-patricia",
+        "par-basicmath-rad2deg",
+        "lm-bw-mem-rd",
+        "mi-typeset",
+        "whet-whetstone",
+        "dhry-dhrystone",
+    ];
+    let wl = names
+        .iter()
+        .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+        .collect();
+    let collated = Collated::build(&run_over(&cfg, wl));
+    let wc = hca_workloads::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).unwrap();
+    (collated, wc)
+}
+
+fn experiment_stage(c: &mut Criterion) {
+    c.bench_function("experiment_12wl_1cluster", |b| {
+        let cfg = ExperimentConfig {
+            workload_scale: 0.02,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let wl: Vec<_> = ["mi-sha", "mi-crc32", "mi-fft"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+            .collect();
+        b.iter(|| run_over(&cfg, wl.clone()));
+    });
+}
+
+fn analysis_stages(c: &mut Criterion) {
+    let (collated, wc) = fixture();
+    c.bench_function("analysis_summary", |b| {
+        b.iter(|| summary::analyse(&collated).unwrap());
+    });
+    c.bench_function("analysis_hca_workloads", |b| {
+        b.iter(|| hca_workloads::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).unwrap());
+    });
+    c.bench_function("analysis_pmc_corr", |b| {
+        b.iter(|| pmc_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).unwrap());
+    });
+    c.bench_function("analysis_gem5_corr", |b| {
+        b.iter(|| gem5_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, 0.3).unwrap());
+    });
+    c.bench_function("analysis_event_compare", |b| {
+        b.iter(|| {
+            event_compare::analyse(&collated, &wc, Gem5Model::Ex5BigOld, 1.0e9, true).unwrap()
+        });
+    });
+    c.bench_function("analysis_error_regression_hw", |b| {
+        b.iter(|| {
+            error_regression::analyse(
+                &collated,
+                Gem5Model::Ex5BigOld,
+                1.0e9,
+                error_regression::Side::HwPmc,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = experiment_stage, analysis_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the Powmon power-modelling flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
+use gemstone_powmon::model::{EventExpr, PowerModel};
+use gemstone_powmon::{dataset, selection};
+use gemstone_uarch::pmu;
+use gemstone_workloads::suites;
+
+fn power_benches(c: &mut Criterion) {
+    let board = OdroidXu3::new();
+    let names = [
+        "mi-sha",
+        "mi-crc32",
+        "mi-fft",
+        "whet-whetstone",
+        "lm-bw-mem-rd",
+        "mi-dijkstra",
+        "rl-neonspeed",
+        "dhry-dhrystone",
+        "mi-bitcount",
+        "lm-lat-ops-int",
+        "rl-memspeed-int",
+        "parsec-blackscholes-1",
+    ];
+    let specs: Vec<_> = names
+        .iter()
+        .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+        .collect();
+    let ds = dataset::collect(&board, Cluster::BigA15, &specs, &[600.0e6, 1000.0e6]);
+
+    c.bench_function("powmon_collect_12wl_2freq", |b| {
+        b.iter(|| dataset::collect(&board, Cluster::BigA15, &specs[..4], &[1000.0e6]));
+    });
+
+    c.bench_function("powmon_select_events", |b| {
+        let opts = selection::SelectionOptions {
+            max_terms: 5,
+            ..selection::SelectionOptions::default()
+        };
+        b.iter(|| selection::select_events(&ds, &opts).unwrap());
+    });
+
+    let terms = vec![
+        EventExpr::single(pmu::CPU_CYCLES),
+        EventExpr::diff(pmu::INST_SPEC, pmu::DP_SPEC),
+        EventExpr::single(pmu::L1D_CACHE),
+        EventExpr::single(pmu::L2D_CACHE),
+    ];
+    c.bench_function("powmon_fit", |b| {
+        b.iter(|| PowerModel::fit(&ds, &terms).unwrap());
+    });
+
+    let model = PowerModel::fit(&ds, &terms).unwrap();
+    c.bench_function("powmon_quality", |b| {
+        b.iter(|| model.quality(&ds).unwrap());
+    });
+    let rates = ds.observations[0].rates.clone();
+    c.bench_function("powmon_predict", |b| {
+        b.iter(|| model.predict(1000.0e6, &rates).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = power_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the statistics toolkit at the problem sizes
+//! GemStone actually uses (45 workloads × ~70 events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_stats::cluster::{Hca, Linkage, Metric};
+use gemstone_stats::regress::Ols;
+use gemstone_stats::stepwise::{forward_select, Candidate, StepwiseOptions};
+
+fn pseudo(i: usize, j: usize) -> f64 {
+    let h = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn hca_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hca");
+    for &n in &[45usize, 90, 180] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..64).map(|j| pseudo(i, j)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("ward", n), &rows, |b, rows| {
+            b.iter(|| Hca::new(rows, Metric::Euclidean, Linkage::Ward).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn ols_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols");
+    for &k in &[4usize, 8, 16] {
+        let n = 260;
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..k).map(|j| pseudo(i, j)).collect())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| (0..k).map(|j| (j + 1) as f64 * pseudo(i, j)).sum::<f64>() + pseudo(i, 99))
+            .collect();
+        let names: Vec<String> = (0..k).map(|j| format!("x{j}")).collect();
+        group.bench_with_input(BenchmarkId::new("fit", k), &(x, y, names), |b, (x, y, n)| {
+            b.iter(|| Ols::fit(x, y, n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn stepwise_benchmark(c: &mut Criterion) {
+    let n = 45;
+    // 60 candidates, 3 informative.
+    let cands: Vec<Candidate> = (0..60)
+        .map(|j| Candidate::new(format!("c{j}"), (0..n).map(|i| pseudo(i, j)).collect()))
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| 3.0 * pseudo(i, 0) - 2.0 * pseudo(i, 1) + pseudo(i, 2) + 0.1 * pseudo(i, 77))
+        .collect();
+    c.bench_function("stepwise_60x45", |b| {
+        b.iter(|| forward_select(&cands, &y, &StepwiseOptions::default()).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = hca_benchmark, ols_benchmark, stepwise_benchmark
+}
+criterion_main!(benches);

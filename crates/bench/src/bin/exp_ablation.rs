@@ -1,0 +1,52 @@
+//! Ablation study: which of the ex5_big specification errors matters most?
+//!
+//! Quantifies the paper's §IV-F conclusion ("the most significant source of
+//! error was the branch predictor") by fixing each documented error
+//! individually (others kept) and by keeping each error individually
+//! (others fixed), measuring the execution-time error each way.
+
+use gemstone_bench::{banner, workload_scale};
+use gemstone_core::analysis::ablation;
+use gemstone_core::report::Table;
+use gemstone_platform::board::OdroidXu3;
+use gemstone_workloads::suites;
+
+fn main() {
+    banner("ablation over ex5_big specification errors", "§IV-F (design-space)");
+    let board = OdroidXu3::new();
+    let workloads: Vec<_> = suites::validation_suite()
+        .iter()
+        .map(|w| w.scaled(workload_scale()))
+        .collect();
+    let ab = ablation::analyse(&board, &workloads, 1.0e9).expect("ablation");
+
+    let mut t = Table::new(vec!["variant", "MAPE %", "MPE %"]);
+    t.row(vec![
+        ab.baseline.label.clone(),
+        format!("{:.1}", ab.baseline.mape),
+        format!("{:+.1}", ab.baseline.mpe),
+    ]);
+    for v in &ab.fix_one {
+        t.row(vec![v.label.clone(), format!("{:.1}", v.mape), format!("{:+.1}", v.mpe)]);
+    }
+    t.row(vec![
+        ab.truth_config.label.clone(),
+        format!("{:.1}", ab.truth_config.mape),
+        format!("{:+.1}", ab.truth_config.mpe),
+    ]);
+    println!("fix one error at a time (lower MAPE = bigger contribution):\n{}", t.render());
+
+    let mut t = Table::new(vec!["variant", "MAPE %", "MPE %"]);
+    for v in &ab.keep_one {
+        t.row(vec![v.label.clone(), format!("{:.1}", v.mape), format!("{:+.1}", v.mpe)]);
+    }
+    println!("keep one error at a time (higher MAPE = bigger contribution):\n{}", t.render());
+
+    if let Some(d) = ab.dominant_error() {
+        println!(
+            "dominant error: {} (MAPE {:.1}% after its fix, vs baseline {:.1}%)\n\
+             paper's diagnosis: the branch predictor.",
+            d.label, d.mape, ab.baseline.mape
+        );
+    }
+}

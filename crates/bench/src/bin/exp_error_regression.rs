@@ -1,0 +1,52 @@
+//! E6 — stepwise error regression (§IV-D of the paper).
+//!
+//! Paper: seven HW PMC events predict the gem5 execution-time error with
+//! R² = 0.97 (best single predictor: PC_WRITE_SPEC total); eight gem5
+//! statistics reach R² = 0.99.
+
+use gemstone_bench::{a15_old_config, banner, paper_vs};
+use gemstone_core::analysis::error_regression::{analyse, Side};
+use gemstone_core::collate::Collated;
+use gemstone_core::experiment::run_validation;
+use gemstone_platform::gem5sim::Gem5Model;
+
+fn main() {
+    banner("E6: stepwise error regression", "§IV-D");
+    let data = run_validation(&a15_old_config());
+    let collated = Collated::build(&data);
+
+    let hw = analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Side::HwPmc).expect("hw regression");
+    println!(
+        "{}",
+        paper_vs(
+            "HW-PMC regression R² (terms)",
+            "0.97 (7 events)",
+            &format!("{:.2} ({} events)", hw.r_squared, hw.selected.len())
+        )
+    );
+    println!("selected, in order of importance:");
+    for (i, s) in hw.selected.iter().enumerate() {
+        println!("  {}. {s}", i + 1);
+    }
+
+    let g5 = analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Side::Gem5Stats)
+        .expect("gem5 regression");
+    println!(
+        "\n{}",
+        paper_vs(
+            "gem5-statistic regression R² (terms)",
+            "0.99 (8 events)",
+            &format!("{:.2} ({} events)", g5.r_squared, g5.selected.len())
+        )
+    );
+    println!("selected, in order of importance:");
+    for (i, s) in g5.selected.iter().enumerate() {
+        println!("  {}. {s}", i + 1);
+    }
+    println!(
+        "\npaper's HW selection includes PC_WRITE_SPEC (best single), SNOOPS,\n\
+         L1D_CACHE_REFILL_WR, LDREX_SPEC, BR_RETURN_SPEC; the gem5 selection\n\
+         includes commitNonSpecStalls, indirectMisses, dtb.prefetch_faults,\n\
+         l2.ReadExReq hits."
+    );
+}

@@ -1,0 +1,106 @@
+//! E1/E12 — headline execution-time errors (§IV of the paper).
+//!
+//! Paper targets: 45-workload MAPE 40 % / MPE −21 % (both clusters, all
+//! DVFS, old big model + LITTLE model); A15(old)@1 GHz 59 % / −51 %;
+//! A7@1 GHz 20 % / +8.5 %; PARSEC-only 25.5 % / −7.5 %; MPE grows more
+//! positive with frequency.
+
+use gemstone_bench::{banner, full_config, paper_vs};
+use gemstone_core::analysis::summary;
+use gemstone_core::collate::Collated;
+use gemstone_core::persist;
+use gemstone_core::experiment::run_validation;
+use gemstone_core::report::Table;
+use gemstone_platform::gem5sim::Gem5Model;
+
+fn main() {
+    banner("E1/E12: headline execution-time errors", "§IV");
+    let data = run_validation(&full_config());
+    let collated = Collated::build(&data);
+    let s = summary::analyse(&collated).expect("summary");
+
+    let mut t = Table::new(vec!["model", "freq", "subset", "n", "MAPE %", "MPE %"]);
+    for r in &s.rows {
+        t.row(vec![
+            r.model.name().to_string(),
+            r.freq_hz
+                .map_or("all".into(), |f| format!("{:.0} MHz", f / 1e6)),
+            r.subset.to_string(),
+            r.n.to_string(),
+            format!("{:.1}", r.mape),
+            format!("{:+.1}", r.mpe),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Paper-vs-measured.
+    if let Some(r) = s.at(Gem5Model::Ex5BigOld, 1.0e9) {
+        println!(
+            "{}",
+            paper_vs(
+                "A15 ex5_big(old) @1 GHz MAPE/MPE",
+                "59% / -51%",
+                &format!("{:.0}% / {:+.0}%", r.mape, r.mpe)
+            )
+        );
+    }
+    if let Some(r) = s.at(Gem5Model::Ex5Little, 1.0e9) {
+        println!(
+            "{}",
+            paper_vs(
+                "A7 ex5_LITTLE @1 GHz MAPE/MPE",
+                "20% / +8.5%",
+                &format!("{:.0}% / {:+.0}%", r.mape, r.mpe)
+            )
+        );
+    }
+    // Pooled over both clusters (old big + LITTLE, the paper's §IV claim).
+    let both: Vec<&gemstone_core::collate::WorkloadRecord> = collated
+        .records
+        .iter()
+        .filter(|r| matches!(r.model, Gem5Model::Ex5BigOld | Gem5Model::Ex5Little))
+        .collect();
+    let hw: Vec<f64> = both.iter().map(|r| r.hw_time_s).collect();
+    let g5: Vec<f64> = both.iter().map(|r| r.gem5_time_s).collect();
+    let mape = gemstone_stats::metrics::mape(&hw, &g5).expect("mape");
+    let mpe = gemstone_stats::metrics::mpe(&hw, &g5).expect("mpe");
+    println!(
+        "{}",
+        paper_vs(
+            "both clusters, all DVFS MAPE/MPE",
+            "40% / -21%",
+            &format!("{mape:.0}% / {mpe:+.0}%")
+        )
+    );
+    let parsec = s
+        .rows
+        .iter()
+        .filter(|r| r.subset == "parsec" && matches!(r.model, Gem5Model::Ex5BigOld | Gem5Model::Ex5Little));
+    let (mut pm, mut pa, mut n) = (0.0, 0.0, 0);
+    for r in parsec {
+        pm += r.mpe * r.n as f64;
+        pa += r.mape * r.n as f64;
+        n += r.n;
+    }
+    if n > 0 {
+        println!(
+            "{}",
+            paper_vs(
+                "PARSEC subset MAPE/MPE",
+                "25.5% / -7.5%",
+                &format!("{:.1}% / {:+.1}%", pa / n as f64, pm / n as f64)
+            )
+        );
+    }
+    println!("\nPer-frequency MPE trend (ex5_big old):");
+    for (f, m) in s.mpe_trend(Gem5Model::Ex5BigOld) {
+        println!("  {:>6.0} MHz  {m:+.1} %", f / 1e6);
+    }
+
+    // Ship the dataset, like the paper's published experimental data.
+    if let Err(e) = persist::export_csv(&collated, "results/validation_records.csv") {
+        eprintln!("csv export failed: {e}");
+    } else {
+        println!("\nper-record dataset written to results/validation_records.csv");
+    }
+}

@@ -1,0 +1,77 @@
+//! E8 — empirical power models (§V of the paper).
+//!
+//! Paper targets: Cortex-A15 restricted model MAPE 3.28 %, SER 0.049 W,
+//! adj. R² 0.996, mean VIF 6; Cortex-A7 MAPE 6.64 %, SER 0.014 W, adj. R²
+//! 0.992; unrestricted baseline 4 %; published coefficients 5.6 % →
+//! retuned 2.8 %.
+
+use gemstone_bench::{banner, paper_vs, workload_scale};
+use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
+use gemstone_powmon::{dataset, model::PowerModel, published, selection};
+use gemstone_workloads::suites;
+
+fn main() {
+    banner("E8: empirical power models", "§V");
+    let board = OdroidXu3::new();
+    let specs: Vec<_> = suites::power_suite()
+        .iter()
+        .map(|w| w.scaled(workload_scale()))
+        .collect();
+
+    for cluster in [Cluster::BigA15, Cluster::LittleA7] {
+        println!("== {} ==", cluster.name());
+        let ds = dataset::collect(&board, cluster, &specs, cluster.frequencies());
+        println!(
+            "{} observations ({} workloads x {} DVFS points)",
+            ds.observations.len(),
+            specs.len(),
+            cluster.frequencies().len()
+        );
+
+        // Unrestricted baseline.
+        let free = selection::select_events(&ds, &selection::SelectionOptions::default())
+            .expect("unrestricted selection");
+        let m_free = PowerModel::fit(&ds, &free.terms).expect("fit");
+        let q_free = m_free.quality(&ds).expect("quality");
+
+        // gem5-restricted model.
+        let opts = selection::SelectionOptions {
+            restricted_pool: Some(selection::gem5_compatible_pool()),
+            ..selection::SelectionOptions::default()
+        };
+        let sel = selection::select_events(&ds, &opts).expect("restricted selection");
+        let model = PowerModel::fit(&ds, &sel.terms).expect("fit");
+        let q = model.quality(&ds).expect("quality");
+
+        let (paper_mape, paper_ser, paper_r2) = match cluster {
+            Cluster::BigA15 => ("3.28%", "0.049 W", "0.996"),
+            Cluster::LittleA7 => ("6.64%", "0.014 W", "0.992"),
+        };
+        println!(
+            "selected terms: {:?}",
+            sel.terms.iter().map(|t| t.mnemonic()).collect::<Vec<_>>()
+        );
+        println!("{}", paper_vs("restricted MAPE", paper_mape, &format!("{:.2}%", q.mape)));
+        println!("{}", paper_vs("restricted SER", paper_ser, &format!("{:.3} W", q.ser)));
+        println!("{}", paper_vs("restricted adj. R²", paper_r2, &format!("{:.3}", q.adj_r_squared)));
+        println!("{}", paper_vs("mean VIF", "6", &format!("{:.1}", q.mean_vif)));
+        println!("{}", paper_vs("max APE over observations", "14%", &format!("{:.1}%", q.max_ape)));
+        println!(
+            "{}",
+            paper_vs("unrestricted baseline MAPE", "4%", &format!("{:.2}%", q_free.mape))
+        );
+
+        // Published-coefficient experiment (§V).
+        let pub_m = published::published_variant(&model, 0.03, 8);
+        let q_pub = pub_m.quality(&ds).expect("quality");
+        println!(
+            "{}",
+            paper_vs(
+                "published coefficients → retuned",
+                "5.6% → 2.8%",
+                &format!("{:.2}% → {:.2}%", q_pub.mape, q.mape)
+            )
+        );
+        println!("\npower equations (gem5-insertable):\n{}", model.equations());
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 3 — per-workload execution-time MPE at 1 GHz on the Cortex-A15,
+//! ordered and labelled by HCA cluster.
+
+use gemstone_bench::{a15_old_config, banner};
+use gemstone_core::analysis::hca_workloads;
+use gemstone_core::collate::Collated;
+use gemstone_core::experiment::run_validation;
+use gemstone_core::report::bar_chart;
+use gemstone_platform::gem5sim::Gem5Model;
+
+fn main() {
+    banner("Fig. 3: per-workload MPE by HCA cluster", "§IV, Fig. 3");
+    let data = run_validation(&a15_old_config());
+    let collated = Collated::build(&data);
+    let wc = hca_workloads::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Some(16))
+        .expect("clustering");
+
+    println!(
+        "{} workloads in {} clusters (paper: 45 workloads, ~16 clusters)\n",
+        wc.rows.len(),
+        wc.k
+    );
+    let bars: Vec<(String, f64)> = wc
+        .rows
+        .iter()
+        .map(|r| (format!("[{:>2}] {}", r.cluster_id, r.workload), r.mpe))
+        .collect();
+    println!("{}", bar_chart(&bars, 70));
+
+    println!("cluster mean MPE:");
+    for (c, m) in &wc.cluster_mpe {
+        println!("  cluster {c:>2}: {m:+.1} %  (members: {:?})", wc.members(*c));
+    }
+    println!(
+        "\nwithin-cluster MPE spread {:.1} vs overall {:.1} (same-cluster workloads have similar errors)",
+        wc.within_cluster_spread(),
+        wc.overall_spread()
+    );
+    let worst = wc
+        .rows
+        .iter()
+        .min_by(|a, b| a.mpe.partial_cmp(&b.mpe).expect("finite"))
+        .expect("rows");
+    println!(
+        "most extreme workload: {} at {:+.0} % (paper: par-basicmath-rad2deg, -268 % at 1 GHz)",
+        worst.workload, worst.mpe
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 4 — memory latency measured with an `lat_mem_rd`-style pointer
+//! chase at stride 256, hardware vs gem5 model, both clusters.
+
+use gemstone_bench::{banner, paper_vs, workload_scale};
+use gemstone_core::analysis::microbench;
+use gemstone_core::report::{curve_chart, Table};
+
+fn main() {
+    banner("Fig. 4: memory latency (stride 256)", "§IV-A, Fig. 4");
+    let accesses = (120_000.0 * workload_scale()) as u64;
+    let m = microbench::analyse(1.0e9, accesses.max(5_000));
+
+    let mut t = Table::new(vec!["size", "A15 HW", "ex5_big", "A7 HW", "ex5_LITTLE"]);
+    let curves = &m.curves;
+    for (i, (size, _)) in curves[0].points.iter().enumerate() {
+        t.row(vec![
+            if *size >= 1 << 20 {
+                format!("{} MiB", size >> 20)
+            } else {
+                format!("{} KiB", size >> 10)
+            },
+            format!("{:.1} ns", curves[0].points[i].1),
+            format!("{:.1} ns", curves[1].points[i].1),
+            format!("{:.1} ns", curves[2].points[i].1),
+            format!("{:.1} ns", curves[3].points[i].1),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let chart: Vec<(&str, &[(u64, f64)])> = m
+        .curves
+        .iter()
+        .map(|c| (c.label.as_str(), c.points.as_slice()))
+        .collect();
+    println!("{}", curve_chart(&chart, 12));
+
+    println!(
+        "{}",
+        paper_vs(
+            "model DRAM latency vs HW (A15)",
+            "too low",
+            &format!(
+                "{:.0} ns vs {:.0} ns",
+                curves[1].dram_plateau_ns(),
+                curves[0].dram_plateau_ns()
+            )
+        )
+    );
+    println!(
+        "{}",
+        paper_vs(
+            "model L2 latency vs HW (A7)",
+            "too high",
+            &format!(
+                "{:.1} ns vs {:.1} ns",
+                curves[3].l2_plateau_ns(),
+                curves[2].l2_plateau_ns()
+            )
+        )
+    );
+}

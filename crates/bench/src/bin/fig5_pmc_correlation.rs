@@ -1,0 +1,43 @@
+//! Fig. 5 — correlation of each hardware PMC rate with the execution-time
+//! MPE, labelled with HCA event clusters.
+
+use gemstone_bench::{a15_old_config, banner};
+use gemstone_core::analysis::pmc_corr;
+use gemstone_core::collate::Collated;
+use gemstone_core::experiment::run_validation;
+use gemstone_core::report::bar_chart;
+use gemstone_platform::gem5sim::Gem5Model;
+
+fn main() {
+    banner("Fig. 5: PMC correlation with MPE", "§IV-B, Fig. 5");
+    let data = run_validation(&a15_old_config());
+    let collated = Collated::build(&data);
+    let pc =
+        pmc_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).expect("correlations");
+
+    let bars: Vec<(String, f64)> = pc
+        .entries
+        .iter()
+        .map(|e| (format!("[{:>2}] {}", e.cluster_id, e.name), e.correlation))
+        .collect();
+    println!("{}", bar_chart(&bars, 60));
+
+    println!("\nmost positive (gem5 underestimates time when these are high):");
+    for e in pc.top_positive(5) {
+        println!("  {:+.2}  {}  (cluster {})", e.correlation, e.name, e.cluster_id);
+    }
+    println!("\nmost negative (gem5 overestimates time when these are high):");
+    for e in pc.top_negative(5) {
+        println!("  {:+.2}  {}  (cluster {})", e.correlation, e.name, e.cluster_id);
+    }
+    println!(
+        "\npaper: largest positive = memory-barrier/exclusive events (0x6C/0x6D/0x7E);\n\
+         largest negative = branch/control-flow events (0x12/0x76/0x78), with\n\
+         mispredicts (0x10) negative but smaller in magnitude."
+    );
+    let branches = pc.correlation_of(gemstone_uarch::pmu::BR_PRED);
+    let mispredicts = pc.correlation_of(gemstone_uarch::pmu::BR_MIS_PRED);
+    if let (Some(b), Some(m)) = (branches, mispredicts) {
+        println!("measured: BR_PRED {b:+.2}, BR_MIS_PRED {m:+.2}");
+    }
+}

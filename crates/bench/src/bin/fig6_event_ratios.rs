@@ -1,0 +1,84 @@
+//! Fig. 6 — gem5 event counts normalised to their HW PMC equivalents,
+//! per HCA cluster and as the extreme-cluster-excluded mean.
+
+use gemstone_bench::{a15_old_config, banner, paper_vs};
+use gemstone_core::analysis::{event_compare, hca_workloads};
+use gemstone_core::collate::Collated;
+use gemstone_core::experiment::run_validation;
+use gemstone_core::report::Table;
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_uarch::pmu;
+
+fn main() {
+    banner("Fig. 6: matched gem5/HW event ratios", "§IV-E, Fig. 6");
+    let data = run_validation(&a15_old_config());
+    let collated = Collated::build(&data);
+    let wc = hca_workloads::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Some(16))
+        .expect("clustering");
+    let cmp = event_compare::analyse(&collated, &wc, Gem5Model::Ex5BigOld, 1.0e9, true)
+        .expect("event comparison");
+
+    let paper: &[(u16, &str)] = &[
+        (pmu::INST_RETIRED, "~1.0x"),
+        (pmu::L1I_TLB_REFILL, "0.06x"),
+        (pmu::L1D_TLB_REFILL, "1.7x"),
+        (pmu::BR_PRED, "1.1x"),
+        (pmu::BR_MIS_PRED, "21x"),
+        (pmu::L1I_CACHE, "2x"),
+        (pmu::L1D_CACHE_REFILL_ST, "9.9x"),
+        (pmu::L1D_CACHE_WB, "19x"),
+        (pmu::INST_SPEC, "1.1x"),
+    ];
+    let mut t = Table::new(vec!["event", "measured", "paper"]);
+    for r in &cmp.mean {
+        let p = paper
+            .iter()
+            .find(|(e, _)| *e == r.event)
+            .map_or("-", |(_, p)| p);
+        t.row(vec![r.name.to_string(), format!("{:.2}x", r.ratio), p.to_string()]);
+    }
+    println!(
+        "mean ratios, excluding extreme cluster {:?}:\n{}",
+        cmp.excluded_cluster,
+        t.render()
+    );
+
+    println!("per-cluster ITLB-refill ratios (paper: 0.7x for cluster 1, 0.01x for cluster 7):");
+    for (c, rs) in &cmp.per_cluster {
+        if let Some(r) = rs.iter().find(|r| r.event == pmu::L1I_TLB_REFILL) {
+            println!("  cluster {c:>2}: {:.2}x  {:?}", r.ratio, wc.members(*c));
+        }
+    }
+
+    println!(
+        "\n{}",
+        paper_vs(
+            "BP accuracy HW vs gem5",
+            "96% vs 65%",
+            &format!(
+                "{:.1}% vs {:.1}%",
+                cmp.hw_bp_accuracy * 100.0,
+                cmp.gem5_bp_accuracy * 100.0
+            )
+        )
+    );
+    // The pathological workload.
+    let rad = collated
+        .slice(Gem5Model::Ex5BigOld, 1.0e9)
+        .into_iter()
+        .find(|r| r.workload == "par-basicmath-rad2deg");
+    if let Some(r) = rad {
+        let acc = |pmc: &std::collections::BTreeMap<u16, f64>| {
+            1.0 - pmc.get(&pmu::BR_MIS_PRED).copied().unwrap_or(0.0)
+                / pmc.get(&pmu::BR_PRED).copied().unwrap_or(1.0)
+        };
+        println!(
+            "{}",
+            paper_vs(
+                "rad2deg BP accuracy HW vs gem5",
+                "99.9% vs 0.86%",
+                &format!("{:.1}% vs {:.1}%", acc(&r.hw_pmc) * 100.0, acc(&r.gem5_pmu) * 100.0)
+            )
+        );
+    }
+}

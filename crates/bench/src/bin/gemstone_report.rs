@@ -1,0 +1,25 @@
+//! Runs the complete GemStone pipeline end-to-end and prints the combined
+//! validation report (the tool's primary user-facing output).
+
+use gemstone_bench::{banner, workload_scale};
+use gemstone_core::experiment::ExperimentConfig;
+use gemstone_core::pipeline::{GemStone, PipelineOptions};
+
+fn main() {
+    banner("full GemStone pipeline", "Fig. 1 / all sections");
+    let opts = PipelineOptions {
+        experiment: ExperimentConfig {
+            workload_scale: workload_scale(),
+            ..ExperimentConfig::default()
+        },
+        with_power: std::env::var("GEMSTONE_NO_POWER").is_err(),
+        ..PipelineOptions::default()
+    };
+    match GemStone::new(opts).run() {
+        Ok(report) => println!("{}", report.render()),
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Error-source diagnosis: turns the §IV statistical evidence into a
+//! recommendation of *which model component to fix next*.
+//!
+//! This encodes the reasoning the paper walks through manually in §IV-B–F
+//! ("by carefully cross-comparing these results, a user can identify
+//! causality and the key sources of error"): matched-event ratios and the
+//! micro-benchmark plateaus point at specific components, and the most
+//! damaging one — weighted by how strongly its signature shows — is
+//! recommended first, because "it is … necessary to address the most
+//! significant sources of error first".
+
+use crate::analysis::event_compare::EventComparison;
+use crate::analysis::microbench::MemoryLatency;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_uarch::pmu;
+
+/// One piece of evidence with the component it implicates.
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    /// The implicated specification-error name (matching
+    /// [`gemstone_uarch::configs::ex5_big_spec_errors`]).
+    pub component: &'static str,
+    /// Human-readable statement of the evidence.
+    pub statement: String,
+    /// Severity score (larger = fix sooner).
+    pub severity: f64,
+}
+
+/// A ranked diagnosis.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Evidence sorted by severity, descending.
+    pub evidence: Vec<Evidence>,
+}
+
+impl Diagnosis {
+    /// The component to fix first, if any evidence was found.
+    pub fn primary_suspect(&self) -> Option<&'static str> {
+        self.evidence.first().map(|e| e.component)
+    }
+}
+
+/// Builds a diagnosis from the Fig. 6 event comparison and (optionally) the
+/// Fig. 4 memory-latency curves.
+pub fn diagnose(cmp: &EventComparison, latency: Option<&MemoryLatency>) -> Diagnosis {
+    let mut evidence = Vec::new();
+
+    // Branch predictor: mispredict ratio and the accuracy gap.
+    if let Some(r) = cmp.ratio_of(pmu::BR_MIS_PRED) {
+        if r > 2.0 {
+            let gap = (cmp.hw_bp_accuracy - cmp.gem5_bp_accuracy).max(0.0);
+            evidence.push(Evidence {
+                component: "branch-predictor",
+                statement: format!(
+                    "model reports {r:.1}x the hardware's branch mispredicts; \
+                     direction accuracy {:.1}% vs {:.1}%",
+                    cmp.gem5_bp_accuracy * 100.0,
+                    cmp.hw_bp_accuracy * 100.0
+                ),
+                severity: (r - 1.0) * 10.0 + gap * 200.0,
+            });
+        }
+    }
+
+    // TLB sizing: far fewer ITLB refills in the model.
+    if let Some(r) = cmp.ratio_of(pmu::L1I_TLB_REFILL) {
+        if r < 0.5 {
+            evidence.push(Evidence {
+                component: "l1-itlb-size",
+                statement: format!(
+                    "model reports only {r:.2}x the hardware's ITLB refills — \
+                     the modelled L1 ITLB is larger than the silicon's"
+                ),
+                severity: (1.0 / r.max(1e-3)).min(50.0),
+            });
+        }
+    }
+
+    // Wrong-path DTLB inflation.
+    if let Some(r) = cmp.ratio_of(pmu::L1D_TLB_REFILL) {
+        if r > 1.4 {
+            evidence.push(Evidence {
+                component: "split-l2-tlb",
+                statement: format!(
+                    "model reports {r:.1}x the hardware's DTLB refills — \
+                     speculative wrong-path translations hit the walker caches"
+                ),
+                severity: (r - 1.0) * 5.0,
+            });
+        }
+    }
+
+    // Event accounting distortions.
+    for (event, label) in [
+        (pmu::L1D_CACHE_WB, "L1D writebacks"),
+        (pmu::L1D_CACHE_REFILL_ST, "L1D write refills"),
+    ] {
+        if let Some(r) = cmp.ratio_of(event) {
+            if r > 4.0 {
+                evidence.push(Evidence {
+                    component: "event-accounting",
+                    statement: format!("model reports {r:.1}x the hardware's {label}"),
+                    severity: r.min(40.0),
+                });
+            }
+        }
+    }
+    if let Some(r) = cmp.ratio_of(pmu::L1I_CACHE) {
+        if r > 1.5 {
+            evidence.push(Evidence {
+                component: "event-accounting",
+                statement: format!(
+                    "model reports {r:.1}x the hardware's L1I accesses \
+                     (per-instruction instead of per-fetch-group counting)"
+                ),
+                severity: r * 2.0,
+            });
+        }
+    }
+
+    // Memory latencies from the micro-benchmarks.
+    if let Some(m) = latency {
+        if let Some((hw, model)) = m.pair(Cluster::BigA15) {
+            let ratio = model.dram_plateau_ns() / hw.dram_plateau_ns().max(1e-9);
+            if ratio < 0.8 {
+                evidence.push(Evidence {
+                    component: "dram-latency",
+                    statement: format!(
+                        "modelled DRAM plateau {:.0} ns vs {:.0} ns on hardware",
+                        model.dram_plateau_ns(),
+                        hw.dram_plateau_ns()
+                    ),
+                    severity: (1.0 / ratio - 1.0) * 12.0,
+                });
+            }
+        }
+    }
+
+    evidence.sort_by(|a, b| b.severity.partial_cmp(&a.severity).expect("finite"));
+    Diagnosis { evidence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::event_compare::EventRatio;
+
+    fn cmp_with(ratios: &[(u16, f64)], hw_acc: f64, g5_acc: f64) -> EventComparison {
+        EventComparison {
+            mean: ratios
+                .iter()
+                .map(|&(event, ratio)| EventRatio {
+                    event,
+                    name: pmu::event_name(event).unwrap_or("?"),
+                    ratio,
+                })
+                .collect(),
+            per_cluster: Vec::new(),
+            excluded_cluster: None,
+            hw_bp_accuracy: hw_acc,
+            gem5_bp_accuracy: g5_acc,
+        }
+    }
+
+    #[test]
+    fn bp_signature_dominates() {
+        // The paper's situation: huge mispredict skew + accounting noise.
+        let cmp = cmp_with(
+            &[
+                (pmu::BR_MIS_PRED, 21.0),
+                (pmu::L1I_TLB_REFILL, 0.06),
+                (pmu::L1D_CACHE_WB, 19.0),
+                (pmu::L1D_CACHE_REFILL_ST, 9.9),
+                (pmu::L1I_CACHE, 2.0),
+            ],
+            0.96,
+            0.65,
+        );
+        let d = diagnose(&cmp, None);
+        assert_eq!(d.primary_suspect(), Some("branch-predictor"));
+        // All implicated components appear.
+        let comps: Vec<&str> = d.evidence.iter().map(|e| e.component).collect();
+        assert!(comps.contains(&"l1-itlb-size"));
+        assert!(comps.contains(&"event-accounting"));
+    }
+
+    #[test]
+    fn clean_model_produces_no_evidence() {
+        let cmp = cmp_with(
+            &[
+                (pmu::BR_MIS_PRED, 1.05),
+                (pmu::L1I_TLB_REFILL, 0.95),
+                (pmu::L1D_CACHE_WB, 1.1),
+            ],
+            0.96,
+            0.95,
+        );
+        let d = diagnose(&cmp, None);
+        assert!(d.evidence.is_empty());
+        assert_eq!(d.primary_suspect(), None);
+    }
+
+    #[test]
+    fn accounting_only_model_points_at_accounting() {
+        let cmp = cmp_with(
+            &[
+                (pmu::BR_MIS_PRED, 1.0),
+                (pmu::L1D_CACHE_WB, 16.0),
+                (pmu::L1D_CACHE_REFILL_ST, 10.0),
+            ],
+            0.96,
+            0.96,
+        );
+        let d = diagnose(&cmp, None);
+        assert_eq!(d.primary_suspect(), Some("event-accounting"));
+    }
+
+    #[test]
+    fn evidence_is_sorted_by_severity() {
+        let cmp = cmp_with(
+            &[
+                (pmu::BR_MIS_PRED, 21.0),
+                (pmu::L1D_CACHE_WB, 5.0),
+                (pmu::L1D_TLB_REFILL, 2.0),
+            ],
+            0.96,
+            0.65,
+        );
+        let d = diagnose(&cmp, None);
+        for w in d.evidence.windows(2) {
+            assert!(w[0].severity >= w[1].severity);
+        }
+    }
+}

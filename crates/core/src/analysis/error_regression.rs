@@ -1,0 +1,203 @@
+//! Stepwise regression of the gem5 error — §IV-D of the paper.
+//!
+//! Predicts the execution-time difference `hw − gem5` from (a) hardware
+//! PMC events and (b) gem5 statistics, using forward selection with both
+//! totals and rates as candidates and the p < 0.05 stopping rule. The
+//! paper reaches R² = 0.97 with seven HW events and R² = 0.99 with eight
+//! gem5 events.
+
+use crate::collate::Collated;
+use crate::{GemStoneError, Result};
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_stats::stepwise::{forward_select, Candidate, StepwiseOptions};
+use gemstone_uarch::pmu;
+
+/// The result of one stepwise error-regression.
+#[derive(Debug, Clone)]
+pub struct ErrorRegression {
+    /// Selected predictor names, in order of importance.
+    pub selected: Vec<String>,
+    /// Final R².
+    pub r_squared: f64,
+    /// Final adjusted R².
+    pub adj_r_squared: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Which side's events feed the regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Hardware PMC events.
+    HwPmc,
+    /// gem5 statistics.
+    Gem5Stats,
+}
+
+/// Runs the §IV-D stepwise regression for one (model, frequency) slice.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::MissingData`] for slices with fewer than 8
+/// workloads, or propagates statistics errors.
+pub fn analyse(
+    collated: &Collated,
+    model: Gem5Model,
+    freq_hz: f64,
+    side: Side,
+) -> Result<ErrorRegression> {
+    let records = collated.slice(model, freq_hz);
+    if records.len() < 8 {
+        return Err(GemStoneError::MissingData(format!(
+            "need ≥8 records for the error regression, have {}",
+            records.len()
+        )));
+    }
+    // Dependent variable: time difference in milliseconds (a convenient
+    // scale for the coefficients).
+    let y: Vec<f64> = records
+        .iter()
+        .map(|r| (r.hw_time_s - r.gem5_time_s) * 1e3)
+        .collect();
+
+    // Candidates: totals and rates of every varying event/statistic.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut add = |name: String, col: Vec<f64>| {
+        let mean = col.iter().sum::<f64>() / col.len() as f64;
+        if col
+            .iter()
+            .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+        {
+            candidates.push(Candidate::new(name, col));
+        }
+    };
+    match side {
+        Side::HwPmc => {
+            for &e in pmu::events() {
+                let name = pmu::event_name(e).unwrap_or("?");
+                add(
+                    format!("{name} (total)"),
+                    records
+                        .iter()
+                        .map(|r| r.hw_pmc.get(&e).copied().unwrap_or(0.0))
+                        .collect(),
+                );
+                add(
+                    format!("{name} (rate)"),
+                    records.iter().map(|r| r.hw_rate(e)).collect(),
+                );
+            }
+        }
+        Side::Gem5Stats => {
+            let names: Vec<String> = records[0]
+                .gem5_stats
+                .keys()
+                .filter(|k| records.iter().all(|r| r.gem5_stats.contains_key(*k)))
+                .cloned()
+                .collect();
+            for name in names {
+                add(
+                    format!("{name} (total)"),
+                    records.iter().map(|r| r.gem5_stats[&name]).collect(),
+                );
+                add(
+                    format!("{name} (rate)"),
+                    records
+                        .iter()
+                        .map(|r| r.gem5_stats[&name] / r.gem5_time_s)
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    let sel = forward_select(
+        &candidates,
+        &y,
+        &StepwiseOptions {
+            p_threshold: 0.05,
+            max_terms: 10,
+            ..StepwiseOptions::default()
+        },
+    )?;
+    Ok(ErrorRegression {
+        selected: sel.selected_names().iter().map(|s| s.to_string()).collect(),
+        r_squared: sel.model.r_squared,
+        adj_r_squared: sel.model.adj_r_squared,
+        n: records.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_workloads::suites;
+
+    fn collated() -> Collated {
+        let cfg = ExperimentConfig {
+            workload_scale: 0.04,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-bitcount",
+            "mi-stringsearch",
+            "mi-fft",
+            "whet-whetstone",
+            "parsec-canneal-1",
+            "mi-patricia",
+            "par-basicmath-rad2deg",
+            "lm-bw-mem-rd",
+            "parsec-swaptions-4",
+            "mi-typeset",
+            "mi-dijkstra",
+            "dhry-dhrystone",
+        ];
+        let wl = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.04))
+            .collect();
+        crate::collate::Collated::build(&run_over(&cfg, wl))
+    }
+
+    #[test]
+    fn hw_pmcs_predict_the_error_well() {
+        // §IV-D: "a model just using the hardware PMCs can accurately
+        // predict the gem5 model execution time error" (R² = 0.97).
+        let c = collated();
+        let reg = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Side::HwPmc).unwrap();
+        assert!(reg.r_squared > 0.85, "r2 = {}", reg.r_squared);
+        assert!(!reg.selected.is_empty());
+        assert!(reg.selected.len() <= 10);
+    }
+
+    #[test]
+    fn gem5_stats_predict_even_better() {
+        // §IV-D: the gem5-side regression reaches R² = 0.99 — the model's
+        // own statistics contain its error.
+        let c = collated();
+        let hw = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Side::HwPmc).unwrap();
+        let g5 = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Side::Gem5Stats).unwrap();
+        assert!(g5.r_squared > 0.75, "r2 = {}", g5.r_squared);
+        assert!(
+            g5.r_squared >= hw.r_squared - 0.2,
+            "gem5 {} vs hw {}",
+            g5.r_squared,
+            hw.r_squared
+        );
+    }
+
+    #[test]
+    fn missing_data_error() {
+        let c = Collated::default();
+        assert!(matches!(
+            analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Side::HwPmc),
+            Err(GemStoneError::MissingData(_))
+        ));
+    }
+}

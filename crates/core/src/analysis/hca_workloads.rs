@@ -1,0 +1,280 @@
+//! Workload clustering and per-cluster error analysis — Fig. 3 of the
+//! paper.
+//!
+//! Hierarchical cluster analysis groups workloads by their *hardware* PMC
+//! behaviour (z-scored event rates); the execution-time MPE is then
+//! examined per cluster. The paper's observations this reproduces:
+//! workloads of the same cluster exhibit similar MPEs, and workloads with
+//! extreme MPEs sit in clusters of their own (`par-basicmath-rad2deg`,
+//! Cluster 16).
+
+use crate::collate::{Collated, WorkloadRecord};
+use crate::{GemStoneError, Result};
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_stats::cluster::{standardize, Hca, Linkage, Metric};
+use gemstone_uarch::pmu::{self, EventCode};
+
+/// One Fig. 3 bar: a workload with its cluster label and time error.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: String,
+    /// HCA cluster id (1-based, ordered by first appearance after sorting).
+    pub cluster_id: usize,
+    /// Execution-time MPE (%) at the analysis frequency.
+    pub mpe: f64,
+}
+
+/// The workload-clustering analysis result.
+#[derive(Debug, Clone)]
+pub struct WorkloadClusters {
+    /// Rows ordered by cluster, then workload name (the Fig. 3 x-axis).
+    pub rows: Vec<Fig3Row>,
+    /// Number of clusters.
+    pub k: usize,
+    /// Mean MPE per cluster id.
+    pub cluster_mpe: Vec<(usize, f64)>,
+    /// The events used as clustering features.
+    pub features: Vec<EventCode>,
+}
+
+/// Events used as clustering features: every PMU event with meaningful
+/// variance across the workload set, as rates.
+fn feature_events(records: &[&WorkloadRecord]) -> Vec<EventCode> {
+    pmu::events()
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
+            let mean = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+            mean > 0.0
+                && rates
+                    .iter()
+                    .any(|v| (v - mean).abs() > 1e-6 * mean.abs().max(1.0))
+        })
+        .collect()
+}
+
+/// Runs the Fig. 3 analysis for one (model, frequency) slice.
+///
+/// `k` selects the flat cluster count; pass `None` to let the dendrogram
+/// gap heuristic choose (the paper's A15 analysis lands at 16 clusters for
+/// 45 workloads).
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::MissingData`] when fewer than 3 records exist.
+pub fn analyse(
+    collated: &Collated,
+    model: Gem5Model,
+    freq_hz: f64,
+    k: Option<usize>,
+) -> Result<WorkloadClusters> {
+    let records = collated.slice(model, freq_hz);
+    if records.len() < 3 {
+        return Err(GemStoneError::MissingData(format!(
+            "need ≥3 records for clustering, have {}",
+            records.len()
+        )));
+    }
+    let features = feature_events(&records);
+    let mut matrix: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| features.iter().map(|&e| r.hw_rate(e)).collect())
+        .collect();
+    standardize(&mut matrix)?;
+    let hca = Hca::new(&matrix, Metric::Euclidean, Linkage::Ward)?;
+    let k = match k {
+        Some(k) => k.min(records.len()),
+        None => {
+            let max_k = (records.len() * 2 / 5).clamp(2, records.len());
+            hca.suggest_k(2, max_k)?
+        }
+    };
+    let labels = hca.cut_k(k)?;
+
+    let mut rows: Vec<Fig3Row> = records
+        .iter()
+        .zip(&labels)
+        .map(|(r, &l)| Fig3Row {
+            workload: r.workload.clone(),
+            cluster_id: l + 1,
+            mpe: r.time_pe,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.cluster_id
+            .cmp(&b.cluster_id)
+            .then_with(|| a.workload.cmp(&b.workload))
+    });
+
+    let mut cluster_mpe = Vec::new();
+    for c in 1..=k {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.cluster_id == c)
+            .map(|r| r.mpe)
+            .collect();
+        if !vals.is_empty() {
+            cluster_mpe.push((c, vals.iter().sum::<f64>() / vals.len() as f64));
+        }
+    }
+
+    Ok(WorkloadClusters {
+        rows,
+        k,
+        cluster_mpe,
+        features,
+    })
+}
+
+impl WorkloadClusters {
+    /// Cluster id of a workload, if present.
+    pub fn cluster_of(&self, workload: &str) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload)
+            .map(|r| r.cluster_id)
+    }
+
+    /// Workloads in a cluster.
+    pub fn members(&self, cluster_id: usize) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.cluster_id == cluster_id)
+            .map(|r| r.workload.as_str())
+            .collect()
+    }
+
+    /// Within-cluster MPE spread (mean absolute deviation from the cluster
+    /// mean), averaged over clusters with ≥2 members — the paper's
+    /// "workloads of the same cluster exhibit similar MPEs" quantified.
+    pub fn within_cluster_spread(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for &(c, mean) in &self.cluster_mpe {
+            let vals: Vec<f64> = self
+                .rows
+                .iter()
+                .filter(|r| r.cluster_id == c)
+                .map(|r| r.mpe)
+                .collect();
+            if vals.len() >= 2 {
+                acc += vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len() as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+
+    /// Overall MPE spread (mean absolute deviation from the global mean).
+    pub fn overall_spread(&self) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(|r| r.mpe).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+        vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_workloads::suites;
+
+    fn collated() -> Collated {
+        let cfg = ExperimentConfig {
+            workload_scale: 0.12,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-blowfish-enc",
+            "mi-fft",
+            "whet-whetstone",
+            "parsec-canneal-1",
+            "mi-patricia",
+            "par-basicmath-rad2deg",
+            "lm-bw-mem-rd",
+            "rl-memspeed-int",
+        ];
+        let wl = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.12))
+            .collect();
+        Collated::build(&run_over(&cfg, wl))
+    }
+
+    #[test]
+    fn clusters_group_similar_workloads() {
+        let c = collated();
+        let wc = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Some(5)).unwrap();
+        assert_eq!(wc.k, 5);
+        assert_eq!(wc.rows.len(), 10);
+        // Integer crypto kernels belong together …
+        let sha = wc.cluster_of("mi-sha").unwrap();
+        let blowfish = wc.cluster_of("mi-blowfish-enc").unwrap();
+        assert_eq!(sha, blowfish);
+        // … and streaming-memory workloads belong together.
+        let bw = wc.cluster_of("lm-bw-mem-rd").unwrap();
+        let ms = wc.cluster_of("rl-memspeed-int").unwrap();
+        assert_eq!(bw, ms);
+        assert_ne!(sha, bw);
+    }
+
+    #[test]
+    fn within_cluster_mpe_tighter_than_overall() {
+        // Fig. 3's core observation.
+        let c = collated();
+        let wc = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Some(5)).unwrap();
+        assert!(
+            wc.within_cluster_spread() < wc.overall_spread(),
+            "within {} vs overall {}",
+            wc.within_cluster_spread(),
+            wc.overall_spread()
+        );
+    }
+
+    #[test]
+    fn rows_sorted_by_cluster() {
+        let c = collated();
+        let wc = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, None).unwrap();
+        for w in wc.rows.windows(2) {
+            assert!(w[0].cluster_id <= w[1].cluster_id);
+        }
+        assert!(wc.k >= 2);
+        assert!(!wc.features.is_empty());
+    }
+
+    #[test]
+    fn pathological_workload_is_isolated_or_extreme() {
+        let c = collated();
+        let wc = analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Some(6)).unwrap();
+        let rad = wc.cluster_of("par-basicmath-rad2deg").unwrap();
+        let members = wc.members(rad);
+        // Either alone in its cluster or in a small extreme-error cluster.
+        assert!(members.len() <= 2, "members = {members:?}");
+        let row = wc
+            .rows
+            .iter()
+            .find(|r| r.workload == "par-basicmath-rad2deg")
+            .unwrap();
+        assert!(row.mpe < -50.0);
+    }
+
+    #[test]
+    fn too_few_records_is_missing_data() {
+        let c = Collated::default();
+        assert!(matches!(
+            analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, None),
+            Err(GemStoneError::MissingData(_))
+        ));
+    }
+}

@@ -1,0 +1,16 @@
+//! The GemStone statistical analyses (§IV–§VII of the paper).
+
+pub mod ablation;
+pub mod diagnose;
+pub mod error_regression;
+pub mod event_compare;
+pub mod gem5_corr;
+pub mod hca_workloads;
+pub mod improve;
+pub mod improvement;
+pub mod microbench;
+pub mod pmc_corr;
+pub mod power_energy;
+pub mod scaling;
+pub mod suitability;
+pub mod summary;

@@ -1,0 +1,207 @@
+//! Correlation of hardware PMC event rates with the execution-time error,
+//! with HCA-derived event clusters — Fig. 5 and §IV-B of the paper.
+//!
+//! "A positive correlation means that the execution time of a workload
+//! with a high rate of the event in question tends to be underestimated."
+
+use crate::collate::{Collated, WorkloadRecord};
+use crate::{GemStoneError, Result};
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_stats::cluster::{Hca, Linkage, Metric};
+use gemstone_stats::corr::pearson;
+use gemstone_uarch::pmu::{self, EventCode};
+
+/// One event's correlation entry.
+#[derive(Debug, Clone)]
+pub struct EventCorrelation {
+    /// PMU event code.
+    pub event: EventCode,
+    /// PMU mnemonic.
+    pub name: &'static str,
+    /// Pearson correlation of the event *rate* with the time MPE.
+    pub correlation: f64,
+    /// HCA cluster of the event (events clustered by the similarity of
+    /// their behaviour across workloads).
+    pub cluster_id: usize,
+}
+
+/// The Fig. 5 analysis result.
+#[derive(Debug, Clone)]
+pub struct PmcCorrelations {
+    /// Entries sorted by correlation, descending.
+    pub entries: Vec<EventCorrelation>,
+    /// Number of event clusters.
+    pub k: usize,
+}
+
+/// Runs the Fig. 5 analysis for one (model, frequency) slice.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::MissingData`] for slices with fewer than 4
+/// workloads.
+pub fn analyse(
+    collated: &Collated,
+    model: Gem5Model,
+    freq_hz: f64,
+    k: Option<usize>,
+) -> Result<PmcCorrelations> {
+    let records: Vec<&WorkloadRecord> = collated.slice(model, freq_hz);
+    if records.len() < 4 {
+        return Err(GemStoneError::MissingData(format!(
+            "need ≥4 records, have {}",
+            records.len()
+        )));
+    }
+    let mpe: Vec<f64> = records.iter().map(|r| r.time_pe).collect();
+
+    // Events with variance.
+    let events: Vec<EventCode> = pmu::events()
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            rates.iter().any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+        })
+        .collect();
+    if events.is_empty() {
+        return Err(GemStoneError::MissingData("no varying PMC events".into()));
+    }
+
+    // Correlation with the MPE.
+    let mut corrs = Vec::with_capacity(events.len());
+    for &e in &events {
+        let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
+        corrs.push(pearson(&rates, &mpe)?);
+    }
+
+    // Cluster events by behavioural similarity (|r| distance over their
+    // rate vectors across workloads).
+    let rows: Vec<Vec<f64>> = events
+        .iter()
+        .map(|&e| records.iter().map(|r| r.hw_rate(e)).collect())
+        .collect();
+    let hca = Hca::new(&rows, Metric::AbsCorrelation, Linkage::Average)?;
+    let k = match k {
+        Some(k) => k.min(events.len()),
+        None => (events.len() / 3).clamp(2, 30),
+    };
+    let labels = hca.cut_k(k)?;
+
+    let mut entries: Vec<EventCorrelation> = events
+        .iter()
+        .zip(&corrs)
+        .zip(&labels)
+        .map(|((&event, &correlation), &cluster)| EventCorrelation {
+            event,
+            name: pmu::event_name(event).unwrap_or("?"),
+            correlation,
+            cluster_id: cluster + 1,
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.correlation
+            .partial_cmp(&a.correlation)
+            .expect("finite correlations")
+    });
+    Ok(PmcCorrelations { entries, k })
+}
+
+impl PmcCorrelations {
+    /// The correlation of one event (None when it had no variance).
+    pub fn correlation_of(&self, event: EventCode) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.event == event)
+            .map(|e| e.correlation)
+    }
+
+    /// Events with the strongest positive correlations.
+    pub fn top_positive(&self, n: usize) -> Vec<&EventCorrelation> {
+        self.entries.iter().take(n).collect()
+    }
+
+    /// Events with the strongest negative correlations.
+    pub fn top_negative(&self, n: usize) -> Vec<&EventCorrelation> {
+        let mut v: Vec<&EventCorrelation> = self.entries.iter().collect();
+        v.reverse();
+        v.into_iter().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_workloads::suites;
+
+    fn correlations() -> PmcCorrelations {
+        let cfg = ExperimentConfig {
+            workload_scale: 0.04,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-bitcount",
+            "mi-stringsearch",
+            "mi-fft",
+            "whet-whetstone",
+            "parsec-canneal-1",
+            "mi-patricia",
+            "par-basicmath-rad2deg",
+            "lm-bw-mem-rd",
+            "parsec-swaptions-4",
+            "mi-typeset",
+        ];
+        let wl = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.04))
+            .collect();
+        let c = crate::collate::Collated::build(&run_over(&cfg, wl));
+        analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, None).unwrap()
+    }
+
+    #[test]
+    fn entries_sorted_and_bounded() {
+        let pc = correlations();
+        assert!(!pc.entries.is_empty());
+        for w in pc.entries.windows(2) {
+            assert!(w[0].correlation >= w[1].correlation);
+        }
+        for e in &pc.entries {
+            assert!((-1.0..=1.0).contains(&e.correlation));
+            assert!(e.cluster_id >= 1 && e.cluster_id <= pc.k);
+        }
+    }
+
+    #[test]
+    fn branch_events_correlate_negatively() {
+        // §IV-B: events related to branches/control flow have the largest
+        // negative correlation (high branch rates → overestimated time →
+        // negative MPE).
+        let pc = correlations();
+        let br = pc.correlation_of(pmu::BR_PRED).unwrap();
+        assert!(br < -0.2, "BR_PRED correlation = {br}");
+    }
+
+    #[test]
+    fn helpers_consistent() {
+        let pc = correlations();
+        let top = pc.top_positive(3);
+        assert_eq!(top.len(), 3);
+        let bottom = pc.top_negative(3);
+        assert!(bottom[0].correlation <= top[0].correlation);
+        assert!(pc.correlation_of(0xFFFF).is_none());
+    }
+
+    #[test]
+    fn missing_data_error() {
+        let c = crate::collate::Collated::default();
+        assert!(analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, None).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Power and energy error evaluation — §VI / Fig. 7 of the paper.
+//!
+//! Applies the *same* empirical power model to hardware PMC rates and to
+//! gem5's equivalent event rates, then compares. The paper's headline
+//! findings this reproduces:
+//!
+//! * the **power** error stays low (A15 MPE 3.3 %, MAPE 10 %) despite large
+//!   per-event errors, because component errors cancel;
+//! * the **energy** error is large (MPE −43.6 %, MAPE 50 %) because energy
+//!   inherits the execution-time error;
+//! * per-cluster behaviour varies wildly (power MAPE as low as 0.7 % next
+//!   to energy MAPE in the hundreds for the pathological cluster).
+
+use crate::analysis::hca_workloads::WorkloadClusters;
+use crate::collate::Collated;
+use crate::{GemStoneError, Result};
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_powmon::model::PowerModel;
+use gemstone_stats::metrics::{mape, mpe};
+use gemstone_uarch::pmu::EventCode;
+use std::collections::BTreeMap;
+
+/// Power/energy estimates for one workload from both data sources.
+#[derive(Debug, Clone)]
+pub struct WorkloadPower {
+    /// Workload name.
+    pub workload: String,
+    /// Cluster id from the workload HCA.
+    pub cluster_id: Option<usize>,
+    /// Power estimated from hardware PMCs (W).
+    pub hw_power_w: f64,
+    /// Power estimated from gem5 events (W).
+    pub gem5_power_w: f64,
+    /// Energy from hardware (J): hw power × hw time.
+    pub hw_energy_j: f64,
+    /// Energy from gem5 (J): gem5 power × gem5 time.
+    pub gem5_energy_j: f64,
+    /// Per-component power from hardware PMCs.
+    pub hw_components: Vec<(String, f64)>,
+    /// Per-component power from gem5 events.
+    pub gem5_components: Vec<(String, f64)>,
+}
+
+/// Aggregate power/energy errors.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerEnergyErrors {
+    /// Power MPE (%).
+    pub power_mpe: f64,
+    /// Power MAPE (%).
+    pub power_mape: f64,
+    /// Energy MPE (%).
+    pub energy_mpe: f64,
+    /// Energy MAPE (%).
+    pub energy_mape: f64,
+}
+
+/// The §VI analysis result.
+#[derive(Debug, Clone)]
+pub struct PowerEnergy {
+    /// Per-workload estimates.
+    pub workloads: Vec<WorkloadPower>,
+    /// Overall errors (gem5 vs hardware-PMC estimates).
+    pub overall: PowerEnergyErrors,
+    /// Per-cluster errors.
+    pub per_cluster: Vec<(usize, PowerEnergyErrors)>,
+}
+
+fn rates(counts: &BTreeMap<EventCode, f64>, time_s: f64) -> BTreeMap<EventCode, f64> {
+    counts.iter().map(|(&c, &v)| (c, v / time_s)).collect()
+}
+
+fn errors(rows: &[&WorkloadPower]) -> Result<PowerEnergyErrors> {
+    let hw_p: Vec<f64> = rows.iter().map(|r| r.hw_power_w).collect();
+    let g5_p: Vec<f64> = rows.iter().map(|r| r.gem5_power_w).collect();
+    let hw_e: Vec<f64> = rows.iter().map(|r| r.hw_energy_j).collect();
+    let g5_e: Vec<f64> = rows.iter().map(|r| r.gem5_energy_j).collect();
+    Ok(PowerEnergyErrors {
+        power_mpe: mpe(&hw_p, &g5_p)?,
+        power_mape: mape(&hw_p, &g5_p)?,
+        energy_mpe: mpe(&hw_e, &g5_e)?,
+        energy_mape: mape(&hw_e, &g5_e)?,
+    })
+}
+
+/// Runs the §VI analysis for one (model, frequency) slice with a fitted
+/// power model and the workload clustering.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::MissingData`] when the slice is empty, or
+/// propagates power-model errors (e.g. missing frequency coefficients).
+pub fn analyse(
+    collated: &Collated,
+    clusters: &WorkloadClusters,
+    model: &PowerModel,
+    gem5_model: Gem5Model,
+    freq_hz: f64,
+) -> Result<PowerEnergy> {
+    let records = collated.slice(gem5_model, freq_hz);
+    if records.is_empty() {
+        return Err(GemStoneError::MissingData("no records for Fig. 7".into()));
+    }
+    let mut workloads = Vec::with_capacity(records.len());
+    for r in records {
+        let hw_rates = rates(&r.hw_pmc, r.hw_time_s);
+        let g5_rates = rates(&r.gem5_pmu, r.gem5_time_s);
+        let hw_b = model.breakdown(freq_hz, &hw_rates)?;
+        let g5_b = model.breakdown(freq_hz, &g5_rates)?;
+        workloads.push(WorkloadPower {
+            workload: r.workload.clone(),
+            cluster_id: clusters.cluster_of(&r.workload),
+            hw_power_w: hw_b.total_w,
+            gem5_power_w: g5_b.total_w,
+            hw_energy_j: hw_b.total_w * r.hw_time_s,
+            gem5_energy_j: g5_b.total_w * r.gem5_time_s,
+            hw_components: hw_b.components,
+            gem5_components: g5_b.components,
+        });
+    }
+
+    let all: Vec<&WorkloadPower> = workloads.iter().collect();
+    let overall = errors(&all)?;
+
+    let mut per_cluster = Vec::new();
+    for &(c, _) in &clusters.cluster_mpe {
+        let members: Vec<&WorkloadPower> = workloads
+            .iter()
+            .filter(|w| w.cluster_id == Some(c))
+            .collect();
+        if !members.is_empty() {
+            per_cluster.push((c, errors(&members)?));
+        }
+    }
+
+    Ok(PowerEnergy {
+        workloads,
+        overall,
+        per_cluster,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::hca_workloads;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_powmon::{dataset, selection};
+    use gemstone_workloads::suites;
+
+    fn setup() -> (Collated, WorkloadClusters, PowerModel) {
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-bitcount",
+            "mi-stringsearch",
+            "mi-fft",
+            "parsec-canneal-1",
+            "mi-patricia",
+            "par-basicmath-rad2deg",
+            "lm-bw-mem-rd",
+            "mi-typeset",
+            "whet-whetstone",
+            "rl-neonspeed",
+        ];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.04))
+            .collect();
+        let cfg = ExperimentConfig {
+            workload_scale: 0.04,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let c = crate::collate::Collated::build(&run_over(&cfg, specs.clone()));
+        let wc = hca_workloads::analyse(&c, Gem5Model::Ex5BigOld, 1.0e9, Some(6)).unwrap();
+        // Power model on the same workloads at 1 GHz.
+        let board = OdroidXu3::new();
+        let ds = dataset::collect(&board, Cluster::BigA15, &specs, &[1.0e9]);
+        let opts = selection::SelectionOptions {
+            restricted_pool: Some(selection::gem5_compatible_pool()),
+            max_terms: 5,
+            ..selection::SelectionOptions::default()
+        };
+        let sel = selection::select_events(&ds, &opts).unwrap();
+        let pm = PowerModel::fit(&ds, &sel.terms).unwrap();
+        (c, wc, pm)
+    }
+
+    #[test]
+    fn power_error_small_energy_error_large() {
+        // §VI's central finding.
+        let (c, wc, pm) = setup();
+        let pe = analyse(&c, &wc, &pm, Gem5Model::Ex5BigOld, 1.0e9).unwrap();
+        assert!(
+            pe.overall.power_mape < 25.0,
+            "power mape = {}",
+            pe.overall.power_mape
+        );
+        assert!(
+            pe.overall.energy_mape > pe.overall.power_mape * 1.5,
+            "energy {} vs power {}",
+            pe.overall.energy_mape,
+            pe.overall.power_mape
+        );
+        // The old model overestimates time → overestimates energy →
+        // negative energy MPE.
+        assert!(pe.overall.energy_mpe < 0.0, "mpe = {}", pe.overall.energy_mpe);
+    }
+
+    #[test]
+    fn components_present_and_sum() {
+        let (c, wc, pm) = setup();
+        let pe = analyse(&c, &wc, &pm, Gem5Model::Ex5BigOld, 1.0e9).unwrap();
+        for w in &pe.workloads {
+            let hw_sum: f64 = w.hw_components.iter().map(|(_, v)| v).sum();
+            assert!((hw_sum - w.hw_power_w).abs() < 1e-9);
+            assert_eq!(w.hw_components[0].0, "(intercept)");
+            assert_eq!(w.hw_components.len(), w.gem5_components.len());
+        }
+    }
+
+    #[test]
+    fn per_cluster_errors_vary() {
+        // "The energy MAPE of each cluster varies significantly."
+        let (c, wc, pm) = setup();
+        let pe = analyse(&c, &wc, &pm, Gem5Model::Ex5BigOld, 1.0e9).unwrap();
+        assert!(pe.per_cluster.len() >= 3);
+        let energies: Vec<f64> = pe.per_cluster.iter().map(|(_, e)| e.energy_mape).collect();
+        let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = energies.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > min * 3.0, "energies = {energies:?}");
+    }
+
+    #[test]
+    fn empty_slice_errors() {
+        let (c, wc, pm) = setup();
+        assert!(analyse(&c, &wc, &pm, Gem5Model::Ex5BigFixed, 1.0e9).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! DVFS performance/power/energy scaling — Fig. 8 of the paper.
+//!
+//! Normalises performance, power and energy to the Cortex-A7 at 200 MHz
+//! and compares how the hardware and the models scale across DVFS points
+//! and between core types. Also reports the paper's A15 speedup statistics
+//! (1800 MHz vs 600 MHz: hardware 2.7× mean, 2.1–3.2× range; model 2.9×,
+//! 2.8–3.0×) and the corresponding energy ratios.
+
+use crate::collate::Collated;
+use crate::{GemStoneError, Result};
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_powmon::model::PowerModel;
+use gemstone_uarch::pmu::EventCode;
+use std::collections::BTreeMap;
+
+/// One normalised scaling point.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Model whose cluster this is.
+    pub model: Gem5Model,
+    /// Frequency (Hz).
+    pub freq_hz: f64,
+    /// Mean performance (1/time) normalised to the reference, hardware.
+    pub hw_perf: f64,
+    /// Mean performance normalised, model estimate.
+    pub gem5_perf: f64,
+    /// Mean power normalised, hardware-PMC estimate.
+    pub hw_power: f64,
+    /// Mean power normalised, model estimate.
+    pub gem5_power: f64,
+    /// Mean energy normalised, hardware.
+    pub hw_energy: f64,
+    /// Mean energy normalised, model estimate.
+    pub gem5_energy: f64,
+}
+
+/// Speedup/energy statistics between two frequencies on one cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupStats {
+    /// Mean speedup.
+    pub mean: f64,
+    /// Minimum per-workload speedup.
+    pub min: f64,
+    /// Maximum per-workload speedup.
+    pub max: f64,
+}
+
+/// The Fig. 8 analysis result.
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// Normalised points, per model, ascending frequency.
+    pub points: Vec<ScalingPoint>,
+    /// A15 speedup 1.8 GHz vs 600 MHz: (hardware, model).
+    pub a15_speedup: Option<(SpeedupStats, SpeedupStats)>,
+    /// A15 energy ratio 1.8 GHz vs 600 MHz: (hardware, model).
+    pub a15_energy_ratio: Option<(SpeedupStats, SpeedupStats)>,
+}
+
+fn rates(counts: &BTreeMap<EventCode, f64>, t: f64) -> BTreeMap<EventCode, f64> {
+    counts.iter().map(|(&c, &v)| (c, v / t)).collect()
+}
+
+struct SliceMeans {
+    hw_perf: f64,
+    g5_perf: f64,
+    hw_power: f64,
+    g5_power: f64,
+    hw_energy: f64,
+    g5_energy: f64,
+}
+
+fn slice_means(
+    collated: &Collated,
+    power: &BTreeMap<&'static str, PowerModel>,
+    model: Gem5Model,
+    freq_hz: f64,
+) -> Result<SliceMeans> {
+    let records = collated.slice(model, freq_hz);
+    if records.is_empty() {
+        return Err(GemStoneError::MissingData(format!(
+            "no records at {freq_hz} for {model:?}"
+        )));
+    }
+    let pm = power
+        .get(model.cluster().name())
+        .ok_or_else(|| GemStoneError::MissingData("power model for cluster".into()))?;
+    let mut m = SliceMeans {
+        hw_perf: 0.0,
+        g5_perf: 0.0,
+        hw_power: 0.0,
+        g5_power: 0.0,
+        hw_energy: 0.0,
+        g5_energy: 0.0,
+    };
+    let n = records.len() as f64;
+    for r in &records {
+        let hw_p = pm.predict(freq_hz, &rates(&r.hw_pmc, r.hw_time_s))?;
+        let g5_p = pm.predict(freq_hz, &rates(&r.gem5_pmu, r.gem5_time_s))?;
+        m.hw_perf += 1.0 / r.hw_time_s;
+        m.g5_perf += 1.0 / r.gem5_time_s;
+        m.hw_power += hw_p;
+        m.g5_power += g5_p;
+        m.hw_energy += hw_p * r.hw_time_s;
+        m.g5_energy += g5_p * r.gem5_time_s;
+    }
+    m.hw_perf /= n;
+    m.g5_perf /= n;
+    m.hw_power /= n;
+    m.g5_power /= n;
+    m.hw_energy /= n;
+    m.g5_energy /= n;
+    Ok(m)
+}
+
+fn per_workload_ratio(
+    collated: &Collated,
+    model: Gem5Model,
+    hi: f64,
+    lo: f64,
+    value: impl Fn(&crate::collate::WorkloadRecord) -> f64,
+) -> Option<(SpeedupStats, SpeedupStats)> {
+    let hi_recs = collated.slice(model, hi);
+    let lo_recs = collated.slice(model, lo);
+    if hi_recs.is_empty() || lo_recs.is_empty() {
+        return None;
+    }
+    let mut hw_ratios = Vec::new();
+    let mut g5_ratios = Vec::new();
+    for h in &hi_recs {
+        let Some(l) = lo_recs.iter().find(|r| r.workload == h.workload) else {
+            continue;
+        };
+        hw_ratios.push(l.hw_time_s / h.hw_time_s * value(h) / value(l));
+        g5_ratios.push(l.gem5_time_s / h.gem5_time_s * value(h) / value(l));
+    }
+    let stats = |v: &[f64]| SpeedupStats {
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        min: v.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    };
+    Some((stats(&hw_ratios), stats(&g5_ratios)))
+}
+
+fn per_workload_energy_ratio(
+    collated: &Collated,
+    power: &BTreeMap<&'static str, PowerModel>,
+    model: Gem5Model,
+    hi: f64,
+    lo: f64,
+) -> Result<Option<(SpeedupStats, SpeedupStats)>> {
+    let hi_recs = collated.slice(model, hi);
+    let lo_recs = collated.slice(model, lo);
+    if hi_recs.is_empty() || lo_recs.is_empty() {
+        return Ok(None);
+    }
+    let pm = power
+        .get(model.cluster().name())
+        .ok_or_else(|| GemStoneError::MissingData("power model for cluster".into()))?;
+    let mut hw_ratios = Vec::new();
+    let mut g5_ratios = Vec::new();
+    for h in &hi_recs {
+        let Some(l) = lo_recs.iter().find(|r| r.workload == h.workload) else {
+            continue;
+        };
+        let e = |rec: &crate::collate::WorkloadRecord, f: f64| -> Result<(f64, f64)> {
+            let hw_p = pm.predict(f, &rates(&rec.hw_pmc, rec.hw_time_s))?;
+            let g5_p = pm.predict(f, &rates(&rec.gem5_pmu, rec.gem5_time_s))?;
+            Ok((hw_p * rec.hw_time_s, g5_p * rec.gem5_time_s))
+        };
+        let (hw_hi, g5_hi) = e(h, hi)?;
+        let (hw_lo, g5_lo) = e(l, lo)?;
+        hw_ratios.push(hw_hi / hw_lo);
+        g5_ratios.push(g5_hi / g5_lo);
+    }
+    let stats = |v: &[f64]| SpeedupStats {
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        min: v.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    };
+    Ok(Some((stats(&hw_ratios), stats(&g5_ratios))))
+}
+
+/// Runs the Fig. 8 analysis. `power` maps cluster names
+/// (`"Cortex-A7"`/`"Cortex-A15"`) to fitted power models covering the
+/// respective frequencies. The reference point is the first model's lowest
+/// frequency (the paper normalises to the A7 at 200 MHz).
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::MissingData`] when the reference slice is
+/// missing.
+pub fn analyse(
+    collated: &Collated,
+    power: &BTreeMap<&'static str, PowerModel>,
+    models: &[Gem5Model],
+) -> Result<Scaling> {
+    // Reference: the first model's lowest frequency.
+    let reference_model = *models
+        .first()
+        .ok_or_else(|| GemStoneError::MissingData("no models".into()))?;
+    let ref_freq = reference_model
+        .cluster()
+        .frequencies()
+        .first()
+        .copied()
+        .ok_or_else(|| GemStoneError::MissingData("no frequencies".into()))?;
+    let reference = slice_means(collated, power, reference_model, ref_freq)?;
+
+    let mut points = Vec::new();
+    for &model in models {
+        for &f in model.cluster().frequencies() {
+            let Ok(m) = slice_means(collated, power, model, f) else {
+                continue;
+            };
+            points.push(ScalingPoint {
+                model,
+                freq_hz: f,
+                hw_perf: m.hw_perf / reference.hw_perf,
+                gem5_perf: m.g5_perf / reference.g5_perf,
+                hw_power: m.hw_power / reference.hw_power,
+                gem5_power: m.g5_power / reference.g5_power,
+                hw_energy: m.hw_energy / reference.hw_energy,
+                gem5_energy: m.g5_energy / reference.g5_energy,
+            });
+        }
+    }
+
+    // A15 speedup and energy ratio, 1.8 GHz vs 600 MHz.
+    let a15_model = models
+        .iter()
+        .copied()
+        .find(|m| m.cluster() == gemstone_platform::dvfs::Cluster::BigA15);
+    let (a15_speedup, a15_energy_ratio) = match a15_model {
+        Some(m) => (
+            per_workload_ratio(collated, m, 1.8e9, 600.0e6, |_| 1.0),
+            per_workload_energy_ratio(collated, power, m, 1.8e9, 600.0e6)?,
+        ),
+        None => (None, None),
+    };
+
+    Ok(Scaling {
+        points,
+        a15_speedup,
+        a15_energy_ratio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_powmon::{dataset, model::EventExpr};
+    use gemstone_uarch::pmu;
+    use gemstone_workloads::suites;
+
+    fn setup() -> (Collated, BTreeMap<&'static str, PowerModel>) {
+        let names = ["mi-sha", "mi-fft", "lm-bw-mem-rd", "mi-bitcount", "whet-whetstone"];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.04))
+            .collect();
+        let cfg = ExperimentConfig {
+            workload_scale: 0.04,
+            ..ExperimentConfig::default()
+        };
+        let c = crate::collate::Collated::build(&run_over(&cfg, specs.clone()));
+        let board = OdroidXu3::new();
+        let terms = vec![
+            EventExpr::single(pmu::CPU_CYCLES),
+            EventExpr::single(pmu::L1D_CACHE),
+            EventExpr::single(pmu::L2D_CACHE),
+        ];
+        let mut power = BTreeMap::new();
+        for cluster in [Cluster::LittleA7, Cluster::BigA15] {
+            let ds = dataset::collect(&board, cluster, &specs, cluster.frequencies());
+            power.insert(cluster.name(), PowerModel::fit(&ds, &terms).unwrap());
+        }
+        (c, power)
+    }
+
+    #[test]
+    fn scaling_shape_matches_paper() {
+        let (c, power) = setup();
+        let s = analyse(
+            &c,
+            &power,
+            &[Gem5Model::Ex5Little, Gem5Model::Ex5BigFixed],
+        )
+        .unwrap();
+        // Reference point normalises to 1.
+        let first = &s.points[0];
+        assert!((first.hw_perf - 1.0).abs() < 1e-9);
+        assert!((first.hw_power - 1.0).abs() < 1e-9);
+        // Performance rises with frequency on each cluster (hardware side).
+        let little: Vec<&ScalingPoint> = s
+            .points
+            .iter()
+            .filter(|p| p.model == Gem5Model::Ex5Little)
+            .collect();
+        for w in little.windows(2) {
+            assert!(w[1].hw_perf > w[0].hw_perf);
+            assert!(w[1].hw_power > w[0].hw_power);
+        }
+        // The A15 at its top frequency outperforms the A7 at its top.
+        let a15_top = s
+            .points
+            .iter()
+            .find(|p| p.model == Gem5Model::Ex5BigFixed && p.freq_hz == 1.8e9)
+            .unwrap();
+        let a7_top = little.last().unwrap();
+        assert!(a15_top.hw_perf > a7_top.hw_perf);
+        // … and costs more energy per work unit at the top.
+        assert!(a15_top.hw_power > a7_top.hw_power);
+    }
+
+    #[test]
+    fn a15_speedup_statistics() {
+        let (c, power) = setup();
+        let s = analyse(&c, &power, &[Gem5Model::Ex5BigFixed]).unwrap();
+        let (hw, g5) = s.a15_speedup.expect("speedup stats");
+        // 3× frequency ratio bounds the speedup; memory keeps it below.
+        assert!(hw.mean > 1.2 && hw.mean <= 3.05, "hw mean = {}", hw.mean);
+        assert!(hw.min <= hw.mean && hw.mean <= hw.max);
+        // The paper: the model's speedup range is narrower than hardware's.
+        let hw_range = hw.max - hw.min;
+        let g5_range = g5.max - g5.min;
+        assert!(
+            g5_range < hw_range * 1.2,
+            "model range {g5_range} vs hw {hw_range}"
+        );
+        // Energy rises with frequency on both.
+        let (ehw, eg5) = s.a15_energy_ratio.expect("energy stats");
+        assert!(ehw.mean > 1.0, "hw energy ratio = {}", ehw.mean);
+        assert!(eg5.mean > 1.0, "model energy ratio = {}", eg5.mean);
+    }
+
+    #[test]
+    fn missing_models_error() {
+        let (c, power) = setup();
+        assert!(analyse(&c, &power, &[]).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Experiment drivers — boxes (a)–(e) of the paper's Fig. 1.
+//!
+//! Runs the hardware characterisation (Experiment 1) and the gem5 model
+//! simulations (Experiment 2) over the validation workload set, in
+//! parallel across workloads.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_core::experiment::{run_validation, ExperimentConfig};
+//!
+//! let data = run_validation(&ExperimentConfig::default());
+//! assert!(!data.hw_runs.is_empty());
+//! ```
+
+use gemstone_platform::board::{HwRun, OdroidXu3};
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::gem5sim::{Gem5Model, Gem5Run, Gem5Sim};
+use gemstone_workloads::spec::WorkloadSpec;
+use gemstone_workloads::suites;
+use std::sync::Mutex;
+
+/// Configuration of a validation campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Board instance (measurement conditions).
+    pub board: OdroidXu3,
+    /// Scale factor on every workload's instruction budget (1.0 = the
+    /// suite defaults; lower is faster, coarser).
+    pub workload_scale: f64,
+    /// Clusters to characterise.
+    pub clusters: Vec<Cluster>,
+    /// gem5 models to simulate.
+    pub models: Vec<Gem5Model>,
+    /// Worker threads for the parallel sweep.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            board: OdroidXu3::new(),
+            workload_scale: 1.0,
+            clusters: vec![Cluster::LittleA7, Cluster::BigA15],
+            models: vec![
+                Gem5Model::Ex5Little,
+                Gem5Model::Ex5BigOld,
+                Gem5Model::Ex5BigFixed,
+            ],
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration scaled for fast tests.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            workload_scale: 0.05,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Raw data from the validation experiments.
+#[derive(Debug)]
+pub struct ValidationData {
+    /// Hardware runs: every workload × cluster × DVFS point.
+    pub hw_runs: Vec<HwRun>,
+    /// gem5 runs: every workload × model × DVFS point of the model's
+    /// cluster.
+    pub gem5_runs: Vec<Gem5Run>,
+    /// The workload set used.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl ValidationData {
+    /// Finds the hardware run for (workload, cluster, freq).
+    pub fn hw(&self, workload: &str, cluster: Cluster, freq_hz: f64) -> Option<&HwRun> {
+        self.hw_runs.iter().find(|r| {
+            r.workload == workload && r.cluster == cluster && (r.freq_hz - freq_hz).abs() < 1.0
+        })
+    }
+
+    /// Finds the gem5 run for (workload, model, freq).
+    pub fn gem5(&self, workload: &str, model: Gem5Model, freq_hz: f64) -> Option<&Gem5Run> {
+        self.gem5_runs.iter().find(|r| {
+            r.workload == workload && r.model == model && (r.freq_hz - freq_hz).abs() < 1.0
+        })
+    }
+}
+
+/// Runs Experiments 1 and 2 over the 45-workload validation set.
+pub fn run_validation(cfg: &ExperimentConfig) -> ValidationData {
+    let workloads: Vec<WorkloadSpec> = suites::validation_suite()
+        .iter()
+        .map(|w| w.scaled(cfg.workload_scale))
+        .collect();
+    run_over(cfg, workloads)
+}
+
+/// Runs the same experiments over an arbitrary workload list (used by the
+/// examples and by ablation benches).
+pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> ValidationData {
+    let hw_runs = Mutex::new(Vec::new());
+    let gem5_runs = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = workloads.get(i) else { break };
+                let mut hw_local = Vec::new();
+                let mut g5_local = Vec::new();
+                for &cluster in &cfg.clusters {
+                    for &f in cluster.frequencies() {
+                        hw_local.push(cfg.board.run(spec, cluster, f));
+                    }
+                }
+                for &model in &cfg.models {
+                    for &f in model.cluster().frequencies() {
+                        g5_local.push(Gem5Sim::run(spec, model, f));
+                    }
+                }
+                hw_runs.lock().expect("no poisoned lock").extend(hw_local);
+                gem5_runs.lock().expect("no poisoned lock").extend(g5_local);
+            });
+        }
+    });
+
+    ValidationData {
+        hw_runs: hw_runs.into_inner().expect("no poisoned lock"),
+        gem5_runs: gem5_runs.into_inner().expect("no poisoned lock"),
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            workload_scale: 0.02,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    fn tiny_workloads() -> Vec<WorkloadSpec> {
+        ["mi-sha", "mi-crc32", "mi-fft"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+            .collect()
+    }
+
+    #[test]
+    fn run_over_produces_full_grid() {
+        let cfg = tiny_config();
+        let data = run_over(&cfg, tiny_workloads());
+        // 3 workloads × 1 cluster × 4 freqs.
+        assert_eq!(data.hw_runs.len(), 12);
+        assert_eq!(data.gem5_runs.len(), 12);
+        assert!(data.hw("mi-sha", Cluster::BigA15, 1.0e9).is_some());
+        assert!(data
+            .gem5("mi-crc32", Gem5Model::Ex5BigOld, 1.4e9)
+            .is_some());
+        assert!(data.hw("nope", Cluster::BigA15, 1.0e9).is_none());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut cfg = tiny_config();
+        cfg.threads = 4;
+        let par = run_over(&cfg, tiny_workloads());
+        cfg.threads = 1;
+        let ser = run_over(&cfg, tiny_workloads());
+        // Same measurements regardless of scheduling.
+        for r in &ser.hw_runs {
+            let p = par.hw(&r.workload, r.cluster, r.freq_hz).unwrap();
+            assert_eq!(p.time_s, r.time_s);
+            assert_eq!(p.power_w, r.power_w);
+        }
+    }
+
+    #[test]
+    fn quick_config_is_scaled() {
+        let q = ExperimentConfig::quick();
+        assert!(q.workload_scale < 0.5);
+        assert_eq!(q.clusters.len(), 2);
+        assert_eq!(q.models.len(), 3);
+    }
+}

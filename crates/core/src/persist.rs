@@ -1,0 +1,213 @@
+//! Dataset persistence.
+//!
+//! The paper publishes its experimental data (DOI 10.5258/SOTON/D0420);
+//! GemStone-rs likewise lets a collated validation dataset be saved to
+//! JSON and reloaded, so the expensive characterisation runs can be
+//! decoupled from the (cheap, iterated) statistical analyses — and so
+//! results can be shipped alongside the code.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_core::{collate::Collated, persist};
+//!
+//! # let collated = Collated::default();
+//! persist::save_collated(&collated, "results/validation.json")?;
+//! let reloaded = persist::load_collated("results/validation.json")?;
+//! assert_eq!(reloaded.records.len(), collated.records.len());
+//! # Ok::<(), gemstone_core::GemStoneError>(())
+//! ```
+
+use crate::collate::Collated;
+use crate::{GemStoneError, Result};
+use std::fs;
+use std::path::Path;
+
+/// Saves a collated dataset as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem failures.
+pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
+    let json = serde_json::to_string_pretty(collated)
+        .map_err(|e| GemStoneError::Io(std::io::Error::other(e)))?;
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a collated dataset from JSON.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem or parse failures.
+pub fn load_collated(path: impl AsRef<Path>) -> Result<Collated> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| GemStoneError::Io(std::io::Error::other(e)))
+}
+
+/// Writes the per-record CSV the paper-style figures are drawn from
+/// (workload, model, frequency, times, error, power).
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem failures.
+pub fn export_csv(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
+    let mut out = String::from(
+        "workload,model,cluster,freq_mhz,threads,hw_time_s,gem5_time_s,time_pe,hw_power_w\n",
+    );
+    for r in &collated.records {
+        out.push_str(&format!(
+            "{},{},{},{:.0},{},{:.9},{:.9},{:.3},{:.4}\n",
+            r.workload,
+            r.model.name(),
+            r.cluster.name(),
+            r.freq_hz / 1e6,
+            r.threads,
+            r.hw_time_s,
+            r.gem5_time_s,
+            r.time_pe,
+            r.hw_power_w
+        ));
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Saves a workload-specification list as JSON — custom workloads can be
+/// defined once and shared, like the paper's published benchmark setups.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem failures.
+pub fn save_workloads(
+    specs: &[gemstone_workloads::spec::WorkloadSpec],
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    let json = serde_json::to_string_pretty(specs)
+        .map_err(|e| GemStoneError::Io(std::io::Error::other(e)))?;
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a workload-specification list from JSON.
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem or parse failures.
+pub fn load_workloads(
+    path: impl AsRef<Path>,
+) -> Result<Vec<gemstone_workloads::spec::WorkloadSpec>> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| GemStoneError::Io(std::io::Error::other(e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_over, ExperimentConfig};
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_platform::gem5sim::Gem5Model;
+    use gemstone_workloads::suites;
+
+    fn collated() -> Collated {
+        let cfg = ExperimentConfig {
+            workload_scale: 0.02,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let wl = ["mi-sha", "mi-crc32"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+            .collect();
+        Collated::build(&run_over(&cfg, wl))
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let c = collated();
+        let dir = std::env::temp_dir().join("gemstone-persist-test");
+        let path = dir.join("collated.json");
+        save_collated(&c, &path).unwrap();
+        let back = load_collated(&path).unwrap();
+        assert_eq!(back.records.len(), c.records.len());
+        for (a, b) in c.records.iter().zip(&back.records) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.hw_time_s, b.hw_time_s);
+            assert_eq!(a.time_pe, b.time_pe);
+            assert_eq!(a.hw_pmc, b.hw_pmc);
+            assert_eq!(a.gem5_stats.len(), b.gem5_stats.len());
+        }
+        // Analyses run identically on the reloaded data.
+        let s1 = crate::analysis::summary::analyse(&c).unwrap();
+        let s2 = crate::analysis::summary::analyse(&back).unwrap();
+        assert_eq!(
+            s1.pooled(Gem5Model::Ex5BigOld).unwrap().mape,
+            s2.pooled(Gem5Model::Ex5BigOld).unwrap().mape
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_export_has_all_rows() {
+        let c = collated();
+        let dir = std::env::temp_dir().join("gemstone-persist-test-csv");
+        let path = dir.join("records.csv");
+        export_csv(&c, &path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), c.records.len() + 1);
+        assert!(text.starts_with("workload,model,"));
+        assert!(text.contains("mi-sha"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_specs_roundtrip_and_generate_identically() {
+        use gemstone_workloads::gen::StreamGen;
+        let specs = suites::validation_suite();
+        let dir = std::env::temp_dir().join("gemstone-persist-test-wl");
+        let path = dir.join("workloads.json");
+        save_workloads(&specs, &path).unwrap();
+        let back = load_workloads(&path).unwrap();
+        assert_eq!(back.len(), specs.len());
+        // The reloaded specs generate bit-identical streams.
+        let probe = back
+            .iter()
+            .find(|w| w.name == "par-basicmath-rad2deg")
+            .unwrap()
+            .scaled(0.02);
+        let orig = specs
+            .iter()
+            .find(|w| w.name == "par-basicmath-rad2deg")
+            .unwrap()
+            .scaled(0.02);
+        let a: Vec<_> = StreamGen::new(&probe).collect();
+        let b: Vec<_> = StreamGen::new(&orig).collect();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            load_collated("/nonexistent/path.json"),
+            Err(GemStoneError::Io(_))
+        ));
+    }
+}

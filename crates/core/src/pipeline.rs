@@ -1,0 +1,428 @@
+//! The end-to-end GemStone pipeline.
+//!
+//! One call runs the full methodology of the paper: hardware
+//! characterisation, gem5 simulation, collation, workload clustering,
+//! error correlation/regression analyses, event comparison, power-model
+//! building, power/energy evaluation, DVFS scaling, and the old-vs-fixed
+//! model comparison — then renders a combined report.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_core::pipeline::{GemStone, PipelineOptions};
+//!
+//! let mut opts = PipelineOptions::default();
+//! opts.experiment.workload_scale = 0.1; // quicker run
+//! let report = GemStone::new(opts).run().unwrap();
+//! println!("{}", report.render());
+//! ```
+
+use crate::analysis::{
+    diagnose, error_regression, event_compare, gem5_corr, hca_workloads, improvement,
+    microbench, pmc_corr, power_energy, scaling, summary,
+};
+use crate::collate::Collated;
+use crate::experiment::{run_validation, ExperimentConfig};
+use crate::report::{bar_chart, Table};
+use crate::Result;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_powmon::model::{ModelQuality, PowerModel};
+use gemstone_powmon::{dataset, selection};
+use gemstone_workloads::suites;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Validation-experiment configuration.
+    pub experiment: ExperimentConfig,
+    /// Frequency used for the single-point analyses (Figs. 3/5/6/7).
+    pub analysis_freq_hz: f64,
+    /// Model demonstrated in the single-point analyses (the paper uses the
+    /// old `ex5_big`).
+    pub analysis_model: Gem5Model,
+    /// Flat cluster count for the workload HCA (`None` = automatic).
+    pub clusters_k: Option<usize>,
+    /// Whether to build power models and run the §V/§VI analyses
+    /// (the most expensive stage).
+    pub with_power: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            experiment: ExperimentConfig::default(),
+            analysis_freq_hz: 1.0e9,
+            analysis_model: Gem5Model::Ex5BigOld,
+            clusters_k: None,
+            with_power: true,
+        }
+    }
+}
+
+/// The assembled results of a pipeline run.
+#[derive(Debug)]
+pub struct GemStoneReport {
+    /// Headline error summary (§IV).
+    pub summary: summary::Summary,
+    /// Workload clusters + per-cluster MPE (Fig. 3).
+    pub clusters: hca_workloads::WorkloadClusters,
+    /// PMC↔error correlations (Fig. 5).
+    pub pmc_corr: pmc_corr::PmcCorrelations,
+    /// gem5-statistic↔error correlations (§IV-C), when any statistic
+    /// cleared the threshold.
+    pub gem5_corr: Option<gem5_corr::Gem5Correlations>,
+    /// Stepwise error regression from HW PMCs (§IV-D).
+    pub error_reg_hw: error_regression::ErrorRegression,
+    /// Stepwise error regression from gem5 statistics (§IV-D).
+    pub error_reg_gem5: error_regression::ErrorRegression,
+    /// Matched-event comparison (Fig. 6).
+    pub event_compare: event_compare::EventComparison,
+    /// Memory-latency micro-benchmarks (Fig. 4).
+    pub memory_latency: microbench::MemoryLatency,
+    /// Automated error-source diagnosis (from Fig. 6 + Fig. 4 evidence).
+    pub diagnosis: diagnose::Diagnosis,
+    /// Fitted power models per cluster name (§V), when `with_power`.
+    pub power_models: BTreeMap<&'static str, PowerModel>,
+    /// Power-model quality per cluster name (§V).
+    pub power_quality: BTreeMap<&'static str, ModelQuality>,
+    /// Power/energy error analysis (Fig. 7 / §VI), when `with_power`.
+    pub power_energy: Option<power_energy::PowerEnergy>,
+    /// DVFS scaling (Fig. 8), when `with_power`.
+    pub scaling: Option<scaling::Scaling>,
+    /// Old-vs-fixed model comparison (§VII).
+    pub improvement: improvement::Improvement,
+}
+
+/// The pipeline runner.
+#[derive(Debug, Clone)]
+pub struct GemStone {
+    opts: PipelineOptions,
+}
+
+impl GemStone {
+    /// Creates a pipeline with the given options.
+    pub fn new(opts: PipelineOptions) -> Self {
+        GemStone { opts }
+    }
+
+    /// Runs the full methodology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors; [`crate::GemStoneError::MissingData`]
+    /// when a requested slice produced no data.
+    pub fn run(&self) -> Result<GemStoneReport> {
+        let o = &self.opts;
+        // Boxes (a) and (b): characterise hardware, simulate gem5.
+        let data = run_validation(&o.experiment);
+        // Box (f): collate.
+        let collated = Collated::build(&data);
+
+        // §IV analyses.
+        let summary = summary::analyse(&collated)?;
+        let clusters =
+            hca_workloads::analyse(&collated, o.analysis_model, o.analysis_freq_hz, o.clusters_k)?;
+        let pmc = pmc_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, None)?;
+        let g5corr =
+            gem5_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok();
+        let reg_hw = error_regression::analyse(
+            &collated,
+            o.analysis_model,
+            o.analysis_freq_hz,
+            error_regression::Side::HwPmc,
+        )?;
+        let reg_g5 = error_regression::analyse(
+            &collated,
+            o.analysis_model,
+            o.analysis_freq_hz,
+            error_regression::Side::Gem5Stats,
+        )?;
+        let cmp = event_compare::analyse(
+            &collated,
+            &clusters,
+            o.analysis_model,
+            o.analysis_freq_hz,
+            true,
+        )?;
+        // Fig. 4 micro-benchmarks + automated diagnosis.
+        let accesses = ((40_000.0 * o.experiment.workload_scale) as u64).max(5_000);
+        let latency = microbench::analyse(o.analysis_freq_hz, accesses);
+        let diag = diagnose::diagnose(&cmp, Some(&latency));
+
+        // §V: power models on the 65-workload set.
+        let mut power_models = BTreeMap::new();
+        let mut power_quality = BTreeMap::new();
+        let mut pe = None;
+        let mut sc = None;
+        if o.with_power {
+            let specs: Vec<_> = suites::power_suite()
+                .iter()
+                .map(|w| w.scaled(o.experiment.workload_scale))
+                .collect();
+            for cluster in [Cluster::LittleA7, Cluster::BigA15] {
+                let ds =
+                    dataset::collect(&o.experiment.board, cluster, &specs, cluster.frequencies());
+                let sel_opts = selection::SelectionOptions {
+                    restricted_pool: Some(selection::gem5_compatible_pool()),
+                    ..selection::SelectionOptions::default()
+                };
+                let sel = selection::select_events(&ds, &sel_opts)?;
+                let pm = PowerModel::fit(&ds, &sel.terms)?;
+                power_quality.insert(cluster.name(), pm.quality(&ds)?);
+                power_models.insert(cluster.name(), pm);
+            }
+            // §VI / Fig. 7.
+            let a15_pm = &power_models[Cluster::BigA15.name()];
+            pe = Some(power_energy::analyse(
+                &collated,
+                &clusters,
+                a15_pm,
+                o.analysis_model,
+                o.analysis_freq_hz,
+            )?);
+            // Fig. 8.
+            let scale_models: Vec<Gem5Model> = o
+                .experiment
+                .models
+                .iter()
+                .copied()
+                .filter(|m| *m != Gem5Model::Ex5BigOld)
+                .collect();
+            if !scale_models.is_empty() {
+                sc = Some(scaling::analyse(&collated, &power_models, &scale_models)?);
+            }
+        }
+
+        // §VII.
+        let imp = improvement::analyse(
+            &collated,
+            o.analysis_freq_hz,
+            match (&power_models.get(Cluster::BigA15.name()), &clusters) {
+                (Some(pm), wc) if o.with_power => Some((*pm, wc)),
+                _ => None,
+            },
+        )?;
+
+        Ok(GemStoneReport {
+            summary,
+            clusters,
+            pmc_corr: pmc,
+            gem5_corr: g5corr,
+            error_reg_hw: reg_hw,
+            error_reg_gem5: reg_g5,
+            event_compare: cmp,
+            memory_latency: latency,
+            diagnosis: diag,
+            power_models,
+            power_quality,
+            power_energy: pe,
+            scaling: sc,
+            improvement: imp,
+        })
+    }
+}
+
+impl GemStoneReport {
+    /// Renders the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==================================================");
+        let _ = writeln!(out, " GemStone validation report");
+        let _ = writeln!(out, "==================================================\n");
+
+        // Summary.
+        let mut t = Table::new(vec!["model", "freq", "subset", "n", "MAPE %", "MPE %"]);
+        for r in &self.summary.rows {
+            t.row(vec![
+                r.model.name().to_string(),
+                r.freq_hz
+                    .map_or("all".to_string(), |f| format!("{:.0} MHz", f / 1e6)),
+                r.subset.to_string(),
+                r.n.to_string(),
+                format!("{:.1}", r.mape),
+                format!("{:+.1}", r.mpe),
+            ]);
+        }
+        let _ = writeln!(out, "§IV — execution-time errors\n{}", t.render());
+
+        // Fig. 3.
+        let bars: Vec<(String, f64)> = self
+            .clusters
+            .rows
+            .iter()
+            .map(|r| (format!("[{:>2}] {}", r.cluster_id, r.workload), r.mpe))
+            .collect();
+        let _ = writeln!(
+            out,
+            "Fig. 3 — per-workload MPE by HCA cluster ({} clusters)\n{}",
+            self.clusters.k,
+            bar_chart(&bars, 60)
+        );
+
+        // Fig. 5.
+        let mut t = Table::new(vec!["event", "cluster", "corr with MPE"]);
+        for e in self
+            .pmc_corr
+            .entries
+            .iter()
+            .filter(|e| e.correlation.abs() > 0.25)
+        {
+            t.row(vec![
+                e.name.to_string(),
+                e.cluster_id.to_string(),
+                format!("{:+.2}", e.correlation),
+            ]);
+        }
+        let _ = writeln!(out, "Fig. 5 — PMC correlation with MPE\n{}", t.render());
+
+        // §IV-C.
+        if let Some(gc) = &self.gem5_corr {
+            let _ = writeln!(
+                out,
+                "§IV-C — {} gem5 statistics with |r| ≥ {:.1}; cluster sizes: {:?}",
+                gc.entries.len(),
+                gc.threshold,
+                gc.clusters.iter().map(|c| c.members.len()).collect::<Vec<_>>()
+            );
+            if let Some(a) = gc.cluster_a() {
+                let _ = writeln!(
+                    out,
+                    "Cluster A (largest, mean r = {:+.2}): {:?}\n",
+                    a.mean_correlation,
+                    a.members.iter().take(6).collect::<Vec<_>>()
+                );
+            }
+        }
+
+        // §IV-D.
+        let _ = writeln!(
+            out,
+            "§IV-D — error regression: HW PMCs R² = {:.2} ({} terms: {:?}); gem5 stats R² = {:.2} ({} terms)",
+            self.error_reg_hw.r_squared,
+            self.error_reg_hw.selected.len(),
+            self.error_reg_hw.selected,
+            self.error_reg_gem5.r_squared,
+            self.error_reg_gem5.selected.len(),
+        );
+
+        // Fig. 6.
+        let mut t = Table::new(vec!["event", "gem5 / HW"]);
+        for r in &self.event_compare.mean {
+            t.row(vec![r.name.to_string(), format!("{:.2}x", r.ratio)]);
+        }
+        let _ = writeln!(
+            out,
+            "\nFig. 6 — matched events (mean excl. extreme cluster); BP accuracy HW {:.1}% vs gem5 {:.1}%\n{}",
+            self.event_compare.hw_bp_accuracy * 100.0,
+            self.event_compare.gem5_bp_accuracy * 100.0,
+            t.render()
+        );
+
+        // Diagnosis.
+        if self.diagnosis.evidence.is_empty() {
+            let _ = writeln!(out, "diagnosis: no significant error sources identified\n");
+        } else {
+            let _ = writeln!(out, "automated diagnosis (most severe first):");
+            for e in &self.diagnosis.evidence {
+                let _ = writeln!(out, "  [{:>5.1}] {} — {}", e.severity, e.component, e.statement);
+            }
+            out.push('\n');
+        }
+
+        // §V power models.
+        for (cluster, q) in &self.power_quality {
+            let _ = writeln!(
+                out,
+                "§V — {cluster} power model: MAPE {:.2}%  SER {:.3} W  adj.R² {:.3}  mean VIF {:.1}  (n = {})",
+                q.mape, q.ser, q.adj_r_squared, q.mean_vif, q.n
+            );
+        }
+
+        // §VI.
+        if let Some(pe) = &self.power_energy {
+            let _ = writeln!(
+                out,
+                "\n§VI — power MPE {:+.1}% MAPE {:.1}%; energy MPE {:+.1}% MAPE {:.1}%",
+                pe.overall.power_mpe,
+                pe.overall.power_mape,
+                pe.overall.energy_mpe,
+                pe.overall.energy_mape
+            );
+            let mut t = Table::new(vec!["cluster", "power MAPE %", "energy MAPE %"]);
+            for (c, e) in &pe.per_cluster {
+                t.row(vec![
+                    c.to_string(),
+                    format!("{:.1}", e.power_mape),
+                    format!("{:.1}", e.energy_mape),
+                ]);
+            }
+            let _ = writeln!(out, "{}", t.render());
+        }
+
+        // Fig. 8.
+        if let Some(sc) = &self.scaling {
+            let mut t = Table::new(vec![
+                "model", "freq", "perf HW", "perf g5", "power HW", "power g5", "energy HW",
+                "energy g5",
+            ]);
+            for p in &sc.points {
+                t.row(vec![
+                    p.model.name().to_string(),
+                    format!("{:.0} MHz", p.freq_hz / 1e6),
+                    format!("{:.2}", p.hw_perf),
+                    format!("{:.2}", p.gem5_perf),
+                    format!("{:.2}", p.hw_power),
+                    format!("{:.2}", p.gem5_power),
+                    format!("{:.2}", p.hw_energy),
+                    format!("{:.2}", p.gem5_energy),
+                ]);
+            }
+            let _ = writeln!(out, "Fig. 8 — scaling normalised to A7@200 MHz\n{}", t.render());
+            if let Some((hw, g5)) = sc.a15_speedup {
+                let _ = writeln!(
+                    out,
+                    "A15 speedup 1.8 GHz vs 600 MHz: HW {:.1}x ({:.1}–{:.1}); model {:.1}x ({:.1}–{:.1})",
+                    hw.mean, hw.min, hw.max, g5.mean, g5.min, g5.max
+                );
+            }
+        }
+
+        // §VII.
+        let imp = &self.improvement;
+        let _ = writeln!(
+            out,
+            "\n§VII — ex5_big revisions: old MAPE {:.1}% MPE {:+.1}%  →  fixed MAPE {:.1}% MPE {:+.1}%",
+            imp.old.time_mape, imp.old.time_mpe, imp.fixed.time_mape, imp.fixed.time_mpe
+        );
+        if let (Some(oe), Some(fe)) = (imp.old.energy_mape, imp.fixed.energy_mape) {
+            let _ = writeln!(out, "energy MAPE: old {oe:.1}% → fixed {fe:.1}%");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_runs_end_to_end() {
+        let mut opts = PipelineOptions {
+            experiment: ExperimentConfig::quick(),
+            with_power: false,
+            ..PipelineOptions::default()
+        };
+        opts.experiment.workload_scale = 0.02;
+        let report = GemStone::new(opts).run().unwrap();
+        assert!(!report.summary.rows.is_empty());
+        assert!(report.clusters.k >= 2);
+        let text = report.render();
+        assert!(text.contains("§IV"));
+        assert!(text.contains("Fig. 3"));
+        assert!(text.contains("Fig. 6"));
+        assert!(text.contains("§VII"));
+    }
+}

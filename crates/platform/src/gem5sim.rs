@@ -1,0 +1,191 @@
+//! The gem5 simulation driver: runs the `ex5_big` / `ex5_LITTLE` model
+//! configurations over the same workloads and DVFS points as the hardware
+//! experiments and returns a gem5-style statistics dump (the paper's
+//! Experiment 2).
+//!
+//! Unlike the board, the simulator is deterministic and noise-free — a real
+//! gem5 run always produces the same `stats.txt`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_platform::gem5sim::{Gem5Model, Gem5Sim};
+//! use gemstone_workloads::suites;
+//!
+//! let spec = suites::by_name("mi-crc32").unwrap().scaled(0.05);
+//! let run = Gem5Sim::run(&spec, Gem5Model::Ex5BigOld, 1.0e9);
+//! assert!(run.stats_map.contains_key("system.cpu.numCycles"));
+//! ```
+
+use crate::dvfs::Cluster;
+use gemstone_uarch::configs::{ex5_big, ex5_little, Ex5Variant};
+use gemstone_uarch::core::Engine;
+use gemstone_uarch::pmu::{event_counts, EventCode};
+use gemstone_uarch::stats::SimStats;
+use gemstone_workloads::gen::StreamGen;
+use gemstone_workloads::spec::WorkloadSpec;
+use std::collections::BTreeMap;
+
+/// Which gem5 CPU model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Gem5Model {
+    /// `ex5_big.py` before the branch-predictor fix (§IV).
+    Ex5BigOld,
+    /// `ex5_big.py` after the §VII bug fix.
+    Ex5BigFixed,
+    /// `ex5_LITTLE.py`.
+    Ex5Little,
+}
+
+impl Gem5Model {
+    /// The hardware cluster this model claims to represent.
+    pub fn cluster(self) -> Cluster {
+        match self {
+            Gem5Model::Ex5BigOld | Gem5Model::Ex5BigFixed => Cluster::BigA15,
+            Gem5Model::Ex5Little => Cluster::LittleA7,
+        }
+    }
+
+    /// Model name as reported in results.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gem5Model::Ex5BigOld => "ex5_big(old)",
+            Gem5Model::Ex5BigFixed => "ex5_big(fixed)",
+            Gem5Model::Ex5Little => "ex5_LITTLE",
+        }
+    }
+
+    fn config(self) -> gemstone_uarch::core::CoreConfig {
+        match self {
+            Gem5Model::Ex5BigOld => ex5_big(Ex5Variant::Old),
+            Gem5Model::Ex5BigFixed => ex5_big(Ex5Variant::Fixed),
+            Gem5Model::Ex5Little => ex5_little(),
+        }
+    }
+}
+
+/// One gem5 simulation result.
+#[derive(Debug, Clone)]
+pub struct Gem5Run {
+    /// Workload name.
+    pub workload: String,
+    /// Model used.
+    pub model: Gem5Model,
+    /// Simulated core frequency (Hz).
+    pub freq_hz: f64,
+    /// Simulated execution time (s) — exact, no measurement noise.
+    pub time_s: f64,
+    /// Full gem5-style statistics dump.
+    pub stats_map: BTreeMap<String, f64>,
+    /// The model's event counts mapped onto PMU event numbering (box *l* of
+    /// Fig. 1: "find equivalent gem5 events").
+    pub pmu_equiv: BTreeMap<EventCode, f64>,
+    /// Raw engine statistics.
+    pub stats: SimStats,
+}
+
+impl Gem5Run {
+    /// Event *rate* (events per simulated second).
+    pub fn pmu_rate(&self, code: EventCode) -> f64 {
+        self.pmu_equiv.get(&code).copied().unwrap_or(0.0) / self.time_s
+    }
+}
+
+/// The gem5 simulation harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Gem5Sim;
+
+impl Gem5Sim {
+    /// Runs a workload on a gem5 model at `freq_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run(spec: &WorkloadSpec, model: Gem5Model, freq_hz: f64) -> Gem5Run {
+        Self::run_config(spec, model, model.config(), freq_hz)
+    }
+
+    /// Runs a workload on a *custom* core configuration, reported under
+    /// `model`'s name. This is the hook for model-improvement iteration
+    /// ("adjustments can then be made to the problem component of the gem5
+    /// model … and the effects of this change evaluated by re-running the
+    /// gem5 simulation", §IV) and for ablation studies over individual
+    /// specification errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_config(
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        cfg: gemstone_uarch::core::CoreConfig,
+        freq_hz: f64,
+    ) -> Gem5Run {
+        let mut engine = Engine::with_seed(cfg, freq_hz, spec.threads, spec.derived_seed());
+        let result = engine.run(StreamGen::new(spec));
+        let stats_map = result.stats.gem5_stats_map();
+        let pmu_equiv = event_counts(&result.stats);
+        Gem5Run {
+            workload: spec.name.clone(),
+            model,
+            freq_hz,
+            time_s: result.seconds,
+            stats_map,
+            pmu_equiv,
+            stats: result.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_workloads::suites;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        suites::by_name(name).unwrap().scaled(0.1)
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = spec("mi-fft");
+        let a = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
+        let b = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.stats_map, b.stats_map);
+    }
+
+    #[test]
+    fn old_model_has_walker_cache_stats() {
+        let r = Gem5Sim::run(&spec("mi-fft"), Gem5Model::Ex5BigOld, 1.0e9);
+        assert!(r
+            .stats_map
+            .contains_key("system.cpu.itb_walker_cache.overall_accesses"));
+    }
+
+    #[test]
+    fn old_model_slower_than_fixed_on_patterned_branches() {
+        let s = spec("par-basicmath-rad2deg");
+        let old = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
+        let fixed = Gem5Sim::run(&s, Gem5Model::Ex5BigFixed, 1.0e9);
+        assert!(
+            old.time_s > fixed.time_s * 1.5,
+            "old {} vs fixed {}",
+            old.time_s,
+            fixed.time_s
+        );
+    }
+
+    #[test]
+    fn model_cluster_mapping() {
+        assert_eq!(Gem5Model::Ex5BigOld.cluster(), Cluster::BigA15);
+        assert_eq!(Gem5Model::Ex5Little.cluster(), Cluster::LittleA7);
+        assert_eq!(Gem5Model::Ex5BigFixed.name(), "ex5_big(fixed)");
+    }
+
+    #[test]
+    fn pmu_rate_helper() {
+        let r = Gem5Sim::run(&spec("mi-sha"), Gem5Model::Ex5Little, 600.0e6);
+        assert!(r.pmu_rate(gemstone_uarch::pmu::INST_RETIRED) > 1e5);
+    }
+}

@@ -1,0 +1,147 @@
+//! The ODROID-XU3 on-board power sensors.
+//!
+//! "The power sensors on the ODROID-XU3 provide readings at 3.8 Hz (the
+//! sensors internally sample at a higher frequency and provide an average)
+//! … The workloads were therefore repeated so that they exercised the CPU
+//! for at least 30 seconds to obtain accurate and repeatable power
+//! measurements." (§III)
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_platform::sensors::PowerSensor;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let sensor = PowerSensor::default();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let reading = sensor.measure(2.0, 30.0, &mut rng);
+//! assert!((reading - 2.0).abs() < 0.05);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// INA231-style averaged power sensor.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSensor {
+    /// Reading rate in Hz.
+    pub sample_hz: f64,
+    /// Per-sample relative noise (1 σ).
+    pub sample_noise: f64,
+    /// Quantisation step in watts.
+    pub quantum_w: f64,
+}
+
+impl Default for PowerSensor {
+    fn default() -> Self {
+        PowerSensor {
+            sample_hz: 3.8,
+            sample_noise: 0.02,
+            quantum_w: 0.001,
+        }
+    }
+}
+
+impl PowerSensor {
+    /// Measures a (modelled-constant) power draw over `duration_s` seconds:
+    /// averages `duration × rate` noisy, quantised samples.
+    ///
+    /// Short durations produce unreliable readings — exactly why the paper
+    /// repeats workloads to ≥30 s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_power_w` is negative or `duration_s` is not positive.
+    pub fn measure(&self, true_power_w: f64, duration_s: f64, rng: &mut SmallRng) -> f64 {
+        assert!(true_power_w >= 0.0, "power cannot be negative");
+        assert!(duration_s > 0.0, "duration must be positive");
+        let n = ((duration_s * self.sample_hz) as usize).max(1);
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let noise = 1.0 + self.sample_noise * gaussian(rng);
+            let raw = true_power_w * noise;
+            let quantised = (raw / self.quantum_w).round() * self.quantum_w;
+            acc += quantised.max(0.0);
+        }
+        acc / n as f64
+    }
+
+    /// Number of samples a measurement of `duration_s` produces.
+    pub fn samples_for(&self, duration_s: f64) -> usize {
+        ((duration_s * self.sample_hz) as usize).max(1)
+    }
+}
+
+/// Standard normal deviate via Box–Muller.
+pub(crate) fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn long_measurement_is_accurate() {
+        let s = PowerSensor::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = s.measure(1.5, 60.0, &mut rng);
+        assert!((r - 1.5).abs() < 0.02, "r = {r}");
+    }
+
+    #[test]
+    fn short_measurement_is_noisier() {
+        let s = PowerSensor::default();
+        // Standard deviation over many trials, short vs long.
+        let spread = |dur: f64, seed_base: u64| {
+            let vals: Vec<f64> = (0..40)
+                .map(|i| {
+                    let mut rng = SmallRng::seed_from_u64(seed_base + i);
+                    s.measure(1.0, dur, &mut rng)
+                })
+                .collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(spread(0.5, 100) > spread(30.0, 200) * 2.0);
+    }
+
+    #[test]
+    fn quantisation_applies() {
+        let s = PowerSensor {
+            sample_hz: 3.8,
+            sample_noise: 0.0,
+            quantum_w: 0.01,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = s.measure(0.123, 30.0, &mut rng);
+        assert!((r - 0.12).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn sample_count() {
+        let s = PowerSensor::default();
+        assert_eq!(s.samples_for(30.0), 114);
+        assert_eq!(s.samples_for(0.01), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_panics() {
+        let s = PowerSensor::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        s.measure(1.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn gaussian_is_centred() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| gaussian(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+    }
+}

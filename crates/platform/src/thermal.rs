@@ -1,0 +1,115 @@
+//! First-order thermal model with the 2 GHz throttling behaviour the paper
+//! works around ("When running at 2 GHz on the Cortex-A15 … throttling
+//! occurred due to high CPU temperatures. A frequency of 1.8 GHz was
+//! therefore the highest used and a 5 second delay was inserted between
+//! workloads to allow the CPU to cool down", §III).
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_platform::thermal::ThermalModel;
+//!
+//! let mut t = ThermalModel::new(25.0);
+//! t.advance(4.0, 60.0); // 4 W for 60 s
+//! assert!(t.temperature_c() > 45.0);
+//! ```
+
+/// Throttle trip temperature (°C).
+pub const THROTTLE_TRIP_C: f64 = 85.0;
+
+/// A first-order RC thermal model of one cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalModel {
+    ambient_c: f64,
+    temp_c: f64,
+    /// Thermal resistance junction→ambient (°C per W).
+    r_th: f64,
+    /// Time constant (s).
+    tau: f64,
+}
+
+impl ThermalModel {
+    /// Creates a model at thermal equilibrium with the ambient.
+    pub fn new(ambient_c: f64) -> Self {
+        ThermalModel {
+            ambient_c,
+            temp_c: ambient_c,
+            r_th: 14.0,
+            tau: 8.0,
+        }
+    }
+
+    /// Current junction temperature (°C).
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Steady-state temperature for a sustained power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.r_th * power_w
+    }
+
+    /// Advances the model by `seconds` with a constant power draw.
+    pub fn advance(&mut self, power_w: f64, seconds: f64) {
+        let target = self.steady_state_c(power_w);
+        let alpha = (-seconds / self.tau).exp();
+        self.temp_c = target + (self.temp_c - target) * alpha;
+    }
+
+    /// Cools the cluster with (near-)zero power for `seconds` — the paper's
+    /// 5-second inter-workload delay.
+    pub fn cool(&mut self, seconds: f64) {
+        self.advance(0.1, seconds);
+    }
+
+    /// Whether the cluster is currently throttling.
+    pub fn throttling(&self) -> bool {
+        self.temp_c >= THROTTLE_TRIP_C
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heats_towards_steady_state() {
+        let mut t = ThermalModel::new(25.0);
+        t.advance(3.0, 1000.0);
+        assert!((t.temperature_c() - t.steady_state_c(3.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn two_ghz_class_power_trips_throttle() {
+        // ~4.5 W sustained (a heavy workload at 2 GHz / 1.36 V) exceeds the
+        // 85 °C trip point from 25 °C ambient.
+        let mut t = ThermalModel::new(25.0);
+        t.advance(4.5, 120.0);
+        assert!(t.throttling(), "temp = {}", t.temperature_c());
+        // 1.8 GHz-class power (~3 W) stays below the trip.
+        let mut t = ThermalModel::new(25.0);
+        t.advance(3.0, 120.0);
+        assert!(!t.throttling(), "temp = {}", t.temperature_c());
+    }
+
+    #[test]
+    fn cooling_delay_reduces_temperature() {
+        let mut t = ThermalModel::new(25.0);
+        t.advance(4.0, 60.0);
+        let hot = t.temperature_c();
+        t.cool(5.0);
+        assert!(t.temperature_c() < hot);
+        assert!(t.temperature_c() > 25.0);
+    }
+
+    #[test]
+    fn exponential_approach_is_monotone() {
+        let mut t = ThermalModel::new(25.0);
+        let mut last = t.temperature_c();
+        for _ in 0..20 {
+            t.advance(2.0, 1.0);
+            assert!(t.temperature_c() >= last);
+            last = t.temperature_c();
+        }
+    }
+}

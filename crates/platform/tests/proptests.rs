@@ -1,0 +1,131 @@
+//! Property-based tests for the simulated board.
+
+use gemstone_platform::board::OdroidXu3;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::pmu_capture::MultiplexedPmu;
+use gemstone_platform::power_truth::{static_power, true_power};
+use gemstone_platform::sensors::PowerSensor;
+use gemstone_platform::thermal::ThermalModel;
+use gemstone_uarch::stats::SimStats;
+use gemstone_workloads::suites;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_stats() -> impl Strategy<Value = SimStats> {
+    (
+        1.0e6f64..1.0e10,
+        1u64..10_000_000_000,
+        0u64..1_000_000_000,
+        0u64..100_000_000,
+        0u64..10_000_000,
+    )
+        .prop_map(|(cycles, instr, l1d, l2, dram)| {
+            let mut s = SimStats::default();
+            s.seconds = 1.0;
+            s.cycles = cycles;
+            s.speculative_instructions = instr;
+            s.committed_instructions = instr;
+            s.l1d.accesses = l1d;
+            s.l2.accesses = l2;
+            s.dram_accesses = dram;
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn power_is_positive_and_voltage_monotone(
+        stats in arb_stats(),
+        v1 in 0.8f64..1.1,
+        dv in 0.01f64..0.3,
+        temp in 20.0f64..90.0,
+        seed in any::<u64>(),
+    ) {
+        for cluster in [Cluster::LittleA7, Cluster::BigA15] {
+            let p_lo = true_power(cluster, &stats, v1, temp, seed);
+            let p_hi = true_power(cluster, &stats, v1 + dv, temp, seed);
+            prop_assert!(p_lo > 0.0);
+            prop_assert!(p_hi > p_lo, "power must rise with voltage");
+            // Dynamic power is at least the static floor.
+            prop_assert!(p_lo >= static_power(cluster, v1, temp) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_activity(stats in arb_stats(), seed in any::<u64>()) {
+        let mut more = stats.clone();
+        more.l1d.accesses += 100_000_000;
+        more.dram_accesses += 10_000_000;
+        let p0 = true_power(Cluster::BigA15, &stats, 1.0, 45.0, seed);
+        let p1 = true_power(Cluster::BigA15, &more, 1.0, 45.0, seed);
+        prop_assert!(p1 > p0);
+    }
+
+    #[test]
+    fn sensor_mean_is_unbiased(power in 0.05f64..5.0, seed in any::<u64>()) {
+        let sensor = PowerSensor::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reading = sensor.measure(power, 60.0, &mut rng);
+        // 228 samples at 2 % noise → mean within ~1 %.
+        prop_assert!((reading - power).abs() / power < 0.02,
+            "reading {reading} vs truth {power}");
+    }
+
+    #[test]
+    fn thermal_never_exceeds_steady_state(
+        power in 0.1f64..6.0,
+        steps in 1usize..50,
+        dt in 0.1f64..10.0,
+    ) {
+        let mut t = ThermalModel::new(25.0);
+        let ss = t.steady_state_c(power);
+        for _ in 0..steps {
+            t.advance(power, dt);
+            prop_assert!(t.temperature_c() <= ss + 1e-9);
+            prop_assert!(t.temperature_c() >= 25.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pmu_capture_preserves_zero_and_order(seed in any::<u64>(), scale in 1.0f64..1e6) {
+        let truth: std::collections::BTreeMap<u16, f64> = gemstone_uarch::pmu::events()
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, if i % 7 == 0 { 0.0 } else { scale * (i as f64 + 1.0) }))
+            .collect();
+        let pmu = MultiplexedPmu::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let captured = pmu.capture(&truth, &mut rng);
+        for (k, &v) in &captured {
+            let t = truth[k];
+            if t == 0.0 {
+                prop_assert_eq!(v, 0.0, "zero counts stay zero");
+            } else {
+                prop_assert!((v - t).abs() / t < 0.05);
+            }
+        }
+    }
+}
+
+#[test]
+fn board_runs_are_reproducible_across_frequencies() {
+    // Deterministic board behaviour over the full DVFS grid (not a
+    // proptest: each run is moderately expensive).
+    let board = OdroidXu3::new();
+    let spec = suites::by_name("mi-gsm-enc").unwrap().scaled(0.05);
+    for cluster in [Cluster::LittleA7, Cluster::BigA15] {
+        let mut last_time = f64::INFINITY;
+        for &f in cluster.frequencies() {
+            let a = board.run(&spec, cluster, f);
+            let b = board.run(&spec, cluster, f);
+            assert_eq!(a.time_s, b.time_s);
+            assert_eq!(a.power_w, b.power_w);
+            // Time decreases with frequency.
+            assert!(a.time_s < last_time, "{} at {f}", cluster.name());
+            last_time = a.time_s;
+        }
+    }
+}

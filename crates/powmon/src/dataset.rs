@@ -1,0 +1,185 @@
+//! Power-characterisation datasets: one observation per
+//! (workload, frequency) with measured power and PMC event rates.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_powmon::dataset::PowerObservation;
+//! use std::collections::BTreeMap;
+//!
+//! let obs = PowerObservation {
+//!     workload: "mi-sha".into(),
+//!     freq_hz: 1.0e9,
+//!     voltage: 0.99,
+//!     power_w: 1.2,
+//!     time_s: 0.01,
+//!     rates: BTreeMap::new(),
+//! };
+//! assert_eq!(obs.rate(0x11), 0.0);
+//! ```
+
+use gemstone_platform::board::OdroidXu3;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_uarch::pmu::EventCode;
+use gemstone_workloads::spec::WorkloadSpec;
+use std::collections::BTreeMap;
+
+/// One (workload, DVFS point) power observation.
+#[derive(Debug, Clone)]
+pub struct PowerObservation {
+    /// Workload name.
+    pub workload: String,
+    /// Core frequency (Hz).
+    pub freq_hz: f64,
+    /// Supply voltage (V) at this operating point.
+    pub voltage: f64,
+    /// Measured average power (W).
+    pub power_w: f64,
+    /// Measured execution time of one workload run (s).
+    pub time_s: f64,
+    /// PMC event rates (events per second).
+    pub rates: BTreeMap<EventCode, f64>,
+}
+
+impl PowerObservation {
+    /// Rate of one event (0 when not captured).
+    pub fn rate(&self, code: EventCode) -> f64 {
+        self.rates.get(&code).copied().unwrap_or(0.0)
+    }
+}
+
+/// A power-characterisation dataset for one cluster.
+#[derive(Debug, Clone)]
+pub struct PowerDataset {
+    /// Cluster the data came from.
+    pub cluster: Cluster,
+    /// All observations.
+    pub observations: Vec<PowerObservation>,
+}
+
+impl PowerDataset {
+    /// Distinct frequencies present, ascending.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let mut fs: Vec<f64> = self.observations.iter().map(|o| o.freq_hz).collect();
+        fs.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        fs.dedup();
+        fs
+    }
+
+    /// Observations at one frequency.
+    pub fn at_frequency(&self, freq_hz: f64) -> Vec<&PowerObservation> {
+        self.observations
+            .iter()
+            .filter(|o| (o.freq_hz - freq_hz).abs() < 1.0)
+            .collect()
+    }
+
+    /// Event codes that appear in every observation.
+    pub fn common_events(&self) -> Vec<EventCode> {
+        let Some(first) = self.observations.first() else {
+            return Vec::new();
+        };
+        first
+            .rates
+            .keys()
+            .copied()
+            .filter(|c| self.observations.iter().all(|o| o.rates.contains_key(c)))
+            .collect()
+    }
+}
+
+/// Runs the power-characterisation experiment (boxes *c*/*d* of the paper's
+/// Fig. 1): every workload at every frequency on one cluster.
+pub fn collect(
+    board: &OdroidXu3,
+    cluster: Cluster,
+    workloads: &[WorkloadSpec],
+    freqs: &[f64],
+) -> PowerDataset {
+    let mut observations = Vec::with_capacity(workloads.len() * freqs.len());
+    for spec in workloads {
+        for &f in freqs {
+            let run = board.run(spec, cluster, f);
+            // Rates are per second of the measurement window, which is only
+            // partly busy.
+            let rates = run
+                .pmc
+                .iter()
+                .map(|(&code, &count)| (code, count / run.time_s * run.power_utilization))
+                .collect();
+            observations.push(PowerObservation {
+                workload: spec.name.clone(),
+                freq_hz: f,
+                voltage: cluster.voltage(f),
+                power_w: run.power_w,
+                time_s: run.time_s,
+                rates,
+            });
+        }
+    }
+    PowerDataset {
+        cluster,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_workloads::suites;
+
+    fn tiny_dataset() -> PowerDataset {
+        let board = OdroidXu3::new();
+        let specs: Vec<WorkloadSpec> = ["mi-sha", "mi-crc32", "whet-whetstone"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+            .collect();
+        collect(&board, Cluster::LittleA7, &specs, &[600.0e6, 1000.0e6])
+    }
+
+    #[test]
+    fn collect_produces_full_grid() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.observations.len(), 6);
+        assert_eq!(ds.frequencies(), vec![600.0e6, 1000.0e6]);
+        assert_eq!(ds.at_frequency(600.0e6).len(), 3);
+        assert_eq!(ds.at_frequency(123.0).len(), 0);
+    }
+
+    #[test]
+    fn observations_are_physical() {
+        let ds = tiny_dataset();
+        for o in &ds.observations {
+            assert!(o.power_w > 0.0, "{}: {}", o.workload, o.power_w);
+            assert!(o.time_s > 0.0);
+            assert!(o.voltage > 0.5 && o.voltage < 1.5);
+            assert!(o.rate(gemstone_uarch::pmu::CPU_CYCLES) > 0.0);
+        }
+    }
+
+    #[test]
+    fn common_events_nonempty() {
+        let ds = tiny_dataset();
+        let evs = ds.common_events();
+        assert!(evs.len() >= 60);
+        assert!(evs.contains(&gemstone_uarch::pmu::INST_RETIRED));
+    }
+
+    #[test]
+    fn higher_frequency_higher_power() {
+        let ds = tiny_dataset();
+        for w in ["mi-sha", "mi-crc32"] {
+            let lo = ds
+                .observations
+                .iter()
+                .find(|o| o.workload == w && o.freq_hz == 600.0e6)
+                .unwrap();
+            let hi = ds
+                .observations
+                .iter()
+                .find(|o| o.workload == w && o.freq_hz == 1000.0e6)
+                .unwrap();
+            assert!(hi.power_w > lo.power_w, "{w}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # gemstone-powmon
+//!
+//! Empirical, PMC-based CPU power modelling — a reimplementation of the
+//! *Powmon* methodology (Walker et al., IEEE TCAD 2017, reference \[8\] of
+//! the GemStone paper) used by §V of the reproduction target.
+//!
+//! The flow:
+//!
+//! 1. **Characterise** ([`dataset`]): run the 65-workload set on the
+//!    (simulated) board at every DVFS point, recording average power and
+//!    PMC event rates.
+//! 2. **Select events** ([`selection`]): greedy forward selection of PMC
+//!    events (optionally as *difference terms* like `0x1B−0x73` to reduce
+//!    multicollinearity) maximising fit quality, subject to a restriction
+//!    pool — GemStone feeds back "PMC selection restraints" excluding
+//!    events that are unavailable or badly modelled in gem5.
+//! 3. **Formulate** ([`model`]): per-DVFS-point linear models
+//!    `P = β₀ + Σ βᵢ·rateᵢ`, with full quality statistics (MAPE, MPE, SER,
+//!    adjusted R², VIF).
+//! 4. **Apply** ([`apply`]): the same model can be driven by hardware PMC
+//!    data *or* by gem5's equivalent event statistics — the paper's Fig. 2
+//!    software tool — including the per-component power breakdown used by
+//!    Fig. 7.
+//! 5. **Export** ([`model::PowerModel::equations`]): emit the power
+//!    equations in a form that can be inserted into gem5 for run-time
+//!    power estimation.
+//!
+//! [`published`] models the "published coefficients from another board"
+//! experiment (§V: 5.6 % MAPE with published coefficients → 2.8 % after
+//! re-tuning).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
+//! use gemstone_powmon::{dataset, model::PowerModel, selection};
+//! use gemstone_workloads::suites;
+//!
+//! let board = OdroidXu3::new();
+//! let specs: Vec<_> = suites::power_suite().iter().map(|w| w.scaled(0.2)).collect();
+//! let ds = dataset::collect(&board, Cluster::BigA15, &specs, Cluster::BigA15.frequencies());
+//! let sel = selection::select_events(&ds, &selection::SelectionOptions::default()).unwrap();
+//! let model = PowerModel::fit(&ds, &sel.terms).unwrap();
+//! let q = model.quality(&ds).unwrap();
+//! assert!(q.mape < 10.0);
+//! ```
+
+pub mod apply;
+pub mod dataset;
+pub mod model;
+pub mod published;
+pub mod runtime;
+pub mod selection;

@@ -1,0 +1,433 @@
+//! Power-model formulation: per-DVFS-point linear models over PMC event
+//! rates, with the quality statistics reported in §V of the paper
+//! (MAPE, MPE, SER, adjusted R², VIF, coefficient *p*-values).
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_powmon::model::EventExpr;
+//!
+//! // The paper's multicollinearity-reducing difference term.
+//! let term = EventExpr::diff(0x1B, 0x73);
+//! assert_eq!(term.name(), "0x1B-0x73");
+//! ```
+
+use crate::dataset::{PowerDataset, PowerObservation};
+use gemstone_stats::metrics;
+use gemstone_stats::regress::{vif, Ols};
+use gemstone_stats::{Result, StatsError};
+use gemstone_uarch::pmu::{event_name, EventCode};
+use std::collections::BTreeMap;
+
+/// A model input: one PMC event rate, optionally minus another event's rate
+/// ("Event 0x1B has 0x73 subtracted from it to reduce multicollinearity",
+/// §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventExpr {
+    /// Base event.
+    pub event: EventCode,
+    /// Optional subtracted event.
+    pub minus: Option<EventCode>,
+}
+
+impl EventExpr {
+    /// A plain single-event term.
+    pub fn single(event: EventCode) -> Self {
+        EventExpr { event, minus: None }
+    }
+
+    /// A difference term `event − minus`.
+    pub fn diff(event: EventCode, minus: EventCode) -> Self {
+        EventExpr {
+            event,
+            minus: Some(minus),
+        }
+    }
+
+    /// Display name, e.g. `"0x11"` or `"0x1B-0x73"`.
+    pub fn name(&self) -> String {
+        match self.minus {
+            Some(m) => format!("{:#04X}-{:#04X}", self.event, m),
+            None => format!("{:#04X}", self.event),
+        }
+    }
+
+    /// Human-readable name using PMU mnemonics where known.
+    pub fn mnemonic(&self) -> String {
+        let base = event_name(self.event).map_or_else(
+            || format!("{:#04x}", self.event),
+            |n| n.to_string(),
+        );
+        match self.minus {
+            Some(m) => {
+                let sub =
+                    event_name(m).map_or_else(|| format!("{m:#04x}"), |n| n.to_string());
+                format!("{base}-{sub}")
+            }
+            None => base,
+        }
+    }
+
+    /// Evaluates the term's rate for an observation.
+    pub fn rate(&self, obs: &PowerObservation) -> f64 {
+        let base = obs.rate(self.event);
+        match self.minus {
+            Some(m) => base - obs.rate(m),
+            None => base,
+        }
+    }
+}
+
+/// Pooled quality statistics of a fitted power model (§V reports exactly
+/// these).
+#[derive(Debug, Clone)]
+pub struct ModelQuality {
+    /// Mean absolute percentage error over all observations.
+    pub mape: f64,
+    /// Mean (signed) percentage error.
+    pub mpe: f64,
+    /// Worst absolute percentage error over all observations.
+    pub max_ape: f64,
+    /// Standard error of regression (W), pooled over frequencies.
+    pub ser: f64,
+    /// Adjusted R², pooled.
+    pub adj_r_squared: f64,
+    /// Mean variance inflation factor across model inputs.
+    pub mean_vif: f64,
+    /// Largest coefficient p-value over all per-frequency fits.
+    pub max_p_value: f64,
+    /// Per-term worst p-value across frequencies (intercept excluded),
+    /// aligned with the model's term order.
+    pub term_p_values: Vec<f64>,
+    /// Observations used.
+    pub n: usize,
+}
+
+/// A per-DVFS-point linear power model `P(f) = β₀(f) + Σ βᵢ(f)·rateᵢ`.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Cluster name the model was built for.
+    pub cluster: String,
+    /// Model input terms (shared across frequencies).
+    pub terms: Vec<EventExpr>,
+    /// Per-frequency coefficient vectors (intercept first), keyed by
+    /// frequency in kHz to make the key integral.
+    coefficients: BTreeMap<u64, Vec<f64>>,
+}
+
+fn freq_key(freq_hz: f64) -> u64 {
+    (freq_hz / 1000.0).round() as u64
+}
+
+impl PowerModel {
+    /// Fits the model to a characterisation dataset.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NotEnoughData`] — too few observations at any
+    ///   frequency for the number of terms.
+    /// * [`StatsError::Singular`] — collinear terms.
+    /// * [`StatsError::InvalidArgument`] — no terms supplied.
+    pub fn fit(ds: &PowerDataset, terms: &[EventExpr]) -> Result<PowerModel> {
+        if terms.is_empty() {
+            return Err(StatsError::InvalidArgument(
+                "power model needs at least one term",
+            ));
+        }
+        let mut coefficients = BTreeMap::new();
+        for f in ds.frequencies() {
+            let obs = ds.at_frequency(f);
+            let x: Vec<Vec<f64>> = obs
+                .iter()
+                .map(|o| terms.iter().map(|t| t.rate(o)).collect())
+                .collect();
+            let y: Vec<f64> = obs.iter().map(|o| o.power_w).collect();
+            let names: Vec<String> = terms.iter().map(|t| t.name()).collect();
+            let fit = Ols::fit(&x, &y, &names)?;
+            coefficients.insert(freq_key(f), fit.coefficients);
+        }
+        Ok(PowerModel {
+            cluster: ds.cluster.name().to_string(),
+            terms: terms.to_vec(),
+            coefficients,
+        })
+    }
+
+    /// Mutable access to the per-frequency coefficient vectors (intercept
+    /// first), for deriving perturbed variants.
+    pub(crate) fn coefficients_mut(&mut self) -> impl Iterator<Item = &mut Vec<f64>> {
+        self.coefficients.values_mut()
+    }
+
+    /// Frequencies the model has coefficients for (Hz).
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.coefficients.keys().map(|&k| k as f64 * 1000.0).collect()
+    }
+
+    /// Coefficient vector (intercept first) at a frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] when the model has no
+    /// coefficients for that frequency.
+    pub fn coefficients_at(&self, freq_hz: f64) -> Result<&[f64]> {
+        self.coefficients
+            .get(&freq_key(freq_hz))
+            .map(|v| v.as_slice())
+            .ok_or(StatsError::InvalidArgument(
+                "no coefficients for this frequency",
+            ))
+    }
+
+    /// Predicts power (W) from event rates at a frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PowerModel::coefficients_at`].
+    pub fn predict(&self, freq_hz: f64, rates: &BTreeMap<EventCode, f64>) -> Result<f64> {
+        Ok(self.breakdown(freq_hz, rates)?.total_w)
+    }
+
+    /// Predicts power with the per-component decomposition used by the
+    /// paper's Fig. 7 stacked bars.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PowerModel::coefficients_at`].
+    pub fn breakdown(
+        &self,
+        freq_hz: f64,
+        rates: &BTreeMap<EventCode, f64>,
+    ) -> Result<PowerBreakdown> {
+        let coeffs = self.coefficients_at(freq_hz)?;
+        let probe = PowerObservation {
+            workload: String::new(),
+            freq_hz,
+            voltage: 0.0,
+            power_w: 0.0,
+            time_s: 1.0,
+            rates: rates.clone(),
+        };
+        let mut components = vec![("(intercept)".to_string(), coeffs[0])];
+        let mut total = coeffs[0];
+        for (term, &c) in self.terms.iter().zip(&coeffs[1..]) {
+            let w = c * term.rate(&probe);
+            components.push((term.name(), w));
+            total += w;
+        }
+        Ok(PowerBreakdown {
+            total_w: total,
+            components,
+        })
+    }
+
+    /// Computes pooled quality statistics against a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric/regression errors (e.g. empty dataset).
+    pub fn quality(&self, ds: &PowerDataset) -> Result<ModelQuality> {
+        let mut measured = Vec::new();
+        let mut predicted = Vec::new();
+        let mut sq_res = 0.0;
+        let mut max_p: f64 = 0.0;
+        let mut term_p = vec![0.0_f64; self.terms.len()];
+        let mut adj_r2_acc = 0.0;
+        let mut nf = 0usize;
+        for f in ds.frequencies() {
+            let obs = ds.at_frequency(f);
+            let x: Vec<Vec<f64>> = obs
+                .iter()
+                .map(|o| self.terms.iter().map(|t| t.rate(o)).collect())
+                .collect();
+            let y: Vec<f64> = obs.iter().map(|o| o.power_w).collect();
+            let names: Vec<String> = self.terms.iter().map(|t| t.name()).collect();
+            let fit = Ols::fit(&x, &y, &names)?;
+            adj_r2_acc += fit.adj_r_squared;
+            nf += 1;
+            if let Some(p) = fit.max_predictor_p_value() {
+                max_p = max_p.max(p);
+            }
+            for (tp, term) in term_p.iter_mut().zip(&fit.terms[1..]) {
+                if !term.p_value.is_nan() {
+                    *tp = tp.max(term.p_value);
+                }
+            }
+            for o in &obs {
+                let p = self.predict(f, &o.rates)?;
+                measured.push(o.power_w);
+                predicted.push(p);
+                sq_res += (o.power_w - p) * (o.power_w - p);
+            }
+        }
+        if measured.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                needed: 1,
+                available: 0,
+            });
+        }
+        let n = measured.len();
+        let k_total = (self.terms.len() + 1) * nf;
+        let dof = (n as isize - k_total as isize).max(1) as f64;
+        // Pooled R² over every observation (the paper's quality metric
+        // spans the full DVFS power range).
+        let ybar = measured.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = measured.iter().map(|m| (m - ybar) * (m - ybar)).sum();
+        let pooled_adj_r2 = if ss_tot > 0.0 && n > k_total {
+            1.0 - (sq_res / dof) / (ss_tot / (n - 1) as f64)
+        } else {
+            adj_r2_acc / nf.max(1) as f64
+        };
+        // VIF over the pooled design.
+        let pooled: Vec<Vec<f64>> = ds
+            .observations
+            .iter()
+            .map(|o| self.terms.iter().map(|t| t.rate(o)).collect())
+            .collect();
+        let vifs = vif(&pooled)?;
+        let mean_vif = vifs
+            .iter()
+            .map(|v| v.min(1000.0))
+            .sum::<f64>()
+            / vifs.len() as f64;
+        let max_ape = measured
+            .iter()
+            .zip(&predicted)
+            .map(|(m, p)| metrics::percentage_error(*m, *p).abs())
+            .fold(0.0_f64, f64::max);
+        Ok(ModelQuality {
+            mape: metrics::mape(&measured, &predicted)?,
+            mpe: metrics::mpe(&measured, &predicted)?,
+            max_ape,
+            ser: (sq_res / dof).sqrt(),
+            adj_r_squared: pooled_adj_r2,
+            mean_vif,
+            max_p_value: max_p,
+            term_p_values: term_p,
+            n,
+        })
+    }
+
+    /// Emits the model as gem5-insertable power equations, one per
+    /// frequency.
+    pub fn equations(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} power model ({} terms)\n", self.cluster, self.terms.len()));
+        for (&k, coeffs) in &self.coefficients {
+            let mhz = k / 1000;
+            let mut eq = format!("power_{mhz}mhz = {:.6}", coeffs[0]);
+            for (term, c) in self.terms.iter().zip(&coeffs[1..]) {
+                eq.push_str(&format!(" + {c:.6e} * rate({})", term.mnemonic()));
+            }
+            out.push_str(&eq);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-component power decomposition.
+#[derive(Debug, Clone)]
+pub struct PowerBreakdown {
+    /// Total predicted power (W).
+    pub total_w: f64,
+    /// `(component name, watts)` pairs, intercept first.
+    pub components: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_uarch::pmu;
+    use gemstone_workloads::suites;
+
+    fn dataset(cluster: Cluster) -> PowerDataset {
+        let board = OdroidXu3::new();
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-fft",
+            "whet-whetstone",
+            "dhry-dhrystone",
+            "lm-bw-mem-rd",
+            "rl-neonspeed",
+            "mi-dijkstra",
+        ];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.08))
+            .collect();
+        crate::dataset::collect(&board, cluster, &specs, &[600.0e6, 1000.0e6])
+    }
+
+    fn default_terms() -> Vec<EventExpr> {
+        vec![
+            EventExpr::single(pmu::CPU_CYCLES),
+            EventExpr::diff(pmu::INST_SPEC, pmu::DP_SPEC),
+            EventExpr::single(pmu::L1D_CACHE),
+            EventExpr::single(pmu::L2D_CACHE),
+        ]
+    }
+
+    #[test]
+    fn event_expr_names() {
+        assert_eq!(EventExpr::single(0x11).name(), "0x11");
+        assert_eq!(EventExpr::diff(0x1B, 0x73).name(), "0x1B-0x73");
+        assert_eq!(EventExpr::single(0x11).mnemonic(), "CPU_CYCLES");
+        assert_eq!(
+            EventExpr::diff(0x1B, 0x73).mnemonic(),
+            "INST_SPEC-DP_SPEC"
+        );
+    }
+
+    #[test]
+    fn fit_and_predict_reasonably() {
+        let ds = dataset(Cluster::BigA15);
+        let model = PowerModel::fit(&ds, &default_terms()).unwrap();
+        let q = model.quality(&ds).unwrap();
+        assert!(q.mape < 15.0, "mape = {}", q.mape);
+        assert!(q.adj_r_squared > 0.8, "adj r2 = {}", q.adj_r_squared);
+        assert!(q.ser > 0.0);
+        assert_eq!(q.n, ds.observations.len());
+    }
+
+    #[test]
+    fn breakdown_sums_to_prediction() {
+        let ds = dataset(Cluster::LittleA7);
+        let model = PowerModel::fit(&ds, &default_terms()).unwrap();
+        let o = &ds.observations[0];
+        let b = model.breakdown(o.freq_hz, &o.rates).unwrap();
+        let sum: f64 = b.components.iter().map(|(_, w)| w).sum();
+        assert!((sum - b.total_w).abs() < 1e-9);
+        assert_eq!(b.components[0].0, "(intercept)");
+        assert_eq!(b.components.len(), default_terms().len() + 1);
+    }
+
+    #[test]
+    fn unknown_frequency_is_an_error() {
+        let ds = dataset(Cluster::LittleA7);
+        let model = PowerModel::fit(&ds, &default_terms()).unwrap();
+        assert!(model.predict(1.4e9, &BTreeMap::new()).is_err());
+        assert!(model.coefficients_at(600.0e6).is_ok());
+        assert_eq!(model.frequencies(), vec![600.0e6, 1000.0e6]);
+    }
+
+    #[test]
+    fn empty_terms_rejected() {
+        let ds = dataset(Cluster::LittleA7);
+        assert!(PowerModel::fit(&ds, &[]).is_err());
+    }
+
+    #[test]
+    fn equations_contain_all_frequencies() {
+        let ds = dataset(Cluster::BigA15);
+        let model = PowerModel::fit(&ds, &default_terms()).unwrap();
+        let eq = model.equations();
+        assert!(eq.contains("power_600mhz"));
+        assert!(eq.contains("power_1000mhz"));
+        assert!(eq.contains("CPU_CYCLES"));
+        assert!(eq.contains("INST_SPEC-DP_SPEC"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The "published coefficients" experiment (§V).
+//!
+//! The paper first validates the model coefficients *published* in \[8\]
+//! (built on a different physical board) against data from this board and
+//! finds a MAPE of 5.6 % — double the quoted 2.8 % — because "the board is
+//! not identical and components such as the SoC, power sensors and voltage
+//! regulators are subject to variation". Re-tuning the coefficients on
+//! local data with the same event selection restores the accuracy.
+//!
+//! This module models that board-to-board variation: it perturbs a fitted
+//! model's coefficients deterministically, producing the "published"
+//! coefficient set a different board would have yielded.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn model() -> gemstone_powmon::model::PowerModel { unimplemented!() }
+//! use gemstone_powmon::published;
+//!
+//! let local = model();
+//! let published = published::published_variant(&local, 0.06, 42);
+//! // `published` now behaves like coefficients from another board.
+//! ```
+
+use crate::model::PowerModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a "published" coefficient set from a locally fitted model by
+/// applying deterministic multiplicative perturbations of relative
+/// magnitude `variation` (1 σ, clamped to ±3 σ) — the systematic
+/// board-to-board differences in silicon, sensors and regulators.
+///
+/// The intercept (static power) receives twice the variation: leakage is
+/// the most process-sensitive component.
+pub fn published_variant(model: &PowerModel, variation: f64, seed: u64) -> PowerModel {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = model.clone();
+    out.map_coefficients(|idx, c| {
+        let sigma = if idx == 0 { variation * 2.0 } else { variation };
+        let g: f64 = {
+            // Box–Muller.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        c * (1.0 + sigma * g.clamp(-3.0, 3.0))
+    });
+    out
+}
+
+impl PowerModel {
+    /// Applies a function to every coefficient (index 0 is the intercept of
+    /// each per-frequency model). Used to derive perturbed variants.
+    pub fn map_coefficients(&mut self, mut f: impl FnMut(usize, f64) -> f64) {
+        for coeffs in self.coefficients_mut() {
+            for (i, c) in coeffs.iter_mut().enumerate() {
+                *c = f(i, *c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::model::EventExpr;
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_uarch::pmu;
+    use gemstone_workloads::suites;
+
+    fn local_model() -> (PowerModel, crate::dataset::PowerDataset) {
+        let board = OdroidXu3::new();
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-fft",
+            "whet-whetstone",
+            "lm-bw-mem-rd",
+            "mi-dijkstra",
+            "rl-neonspeed",
+            "dhry-dhrystone",
+        ];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.08))
+            .collect();
+        let ds = dataset::collect(&board, Cluster::BigA15, &specs, &[1000.0e6]);
+        let terms = vec![
+            EventExpr::single(pmu::CPU_CYCLES),
+            EventExpr::single(pmu::L1D_CACHE),
+            EventExpr::single(pmu::L2D_CACHE),
+        ];
+        (PowerModel::fit(&ds, &terms).unwrap(), ds)
+    }
+
+    #[test]
+    fn published_coefficients_are_worse_retuning_restores() {
+        let (local, ds) = local_model();
+        let q_local = local.quality(&ds).unwrap();
+        // Average over several "other boards" — individual draws can be
+        // lucky.
+        let mean_published_mape = (0..6)
+            .map(|seed| {
+                published_variant(&local, 0.06, seed)
+                    .quality(&ds)
+                    .unwrap()
+                    .mape
+            })
+            .sum::<f64>()
+            / 6.0;
+        // The foreign coefficients degrade accuracy …
+        assert!(
+            mean_published_mape > q_local.mape * 1.3,
+            "published {} vs local {}",
+            mean_published_mape,
+            q_local.mape
+        );
+        // … and re-fitting with the same event selection restores it
+        // (the §V claim that the *selection* transfers even when the
+        // coefficients do not).
+        let retuned = PowerModel::fit(&ds, &local.terms).unwrap();
+        let q_retuned = retuned.quality(&ds).unwrap();
+        assert!((q_retuned.mape - q_local.mape).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let (local, ds) = local_model();
+        let a = published_variant(&local, 0.06, 99).quality(&ds).unwrap();
+        let b = published_variant(&local, 0.06, 99).quality(&ds).unwrap();
+        assert_eq!(a.mape, b.mape);
+    }
+
+    #[test]
+    fn zero_variation_is_identity() {
+        let (local, ds) = local_model();
+        let same = published_variant(&local, 0.0, 1);
+        let q1 = local.quality(&ds).unwrap();
+        let q2 = same.quality(&ds).unwrap();
+        assert!((q1.mape - q2.mape).abs() < 1e-12);
+    }
+}

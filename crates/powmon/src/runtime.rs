@@ -1,0 +1,296 @@
+//! Run-time power estimation inside the simulator.
+//!
+//! The paper's Fig. 2 tool has two output paths: retrospective application
+//! of the power model to finished runs ([`crate::apply`]) and "power
+//! equations in a format that allows run-time power analysis in gem5
+//! itself". This module is the second path: it drives the timing engine
+//! instruction window by instruction window, evaluating the power model on
+//! each window's event rates — producing a power *trace* rather than a
+//! single average, exactly what a run-time governor study would consume.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn model() -> gemstone_powmon::model::PowerModel { unimplemented!() }
+//! use gemstone_powmon::runtime::RuntimePowerMonitor;
+//! use gemstone_uarch::configs::cortex_a15_hw;
+//! use gemstone_workloads::{gen::StreamGen, suites};
+//!
+//! let spec = suites::by_name("mi-fft").unwrap();
+//! let monitor = RuntimePowerMonitor::new(model(), 1.0e9, 10_000);
+//! let trace = monitor
+//!     .run(cortex_a15_hw(), spec.threads, StreamGen::new(&spec))
+//!     .unwrap();
+//! println!("mean {:.2} W, peak {:.2} W", trace.mean_power_w(), trace.peak_power_w());
+//! ```
+
+use crate::model::PowerModel;
+use gemstone_stats::{Result, StatsError};
+use gemstone_uarch::core::{CoreConfig, Engine};
+use gemstone_uarch::instr::Instr;
+use gemstone_uarch::pmu::{event_counts, EventCode};
+use std::collections::BTreeMap;
+
+/// One window of the power trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSample {
+    /// Window start (simulated seconds).
+    pub t_start_s: f64,
+    /// Window end (simulated seconds).
+    pub t_end_s: f64,
+    /// Estimated average power over the window (W).
+    pub power_w: f64,
+}
+
+impl PowerSample {
+    /// Window duration (s).
+    pub fn duration_s(&self) -> f64 {
+        self.t_end_s - self.t_start_s
+    }
+
+    /// Window energy (J).
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.duration_s()
+    }
+}
+
+/// A complete run-time power trace.
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    /// Per-window samples, in time order.
+    pub samples: Vec<PowerSample>,
+    /// Total simulated time (s).
+    pub total_time_s: f64,
+}
+
+impl PowerTrace {
+    /// Total energy (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.samples.iter().map(PowerSample::energy_j).sum()
+    }
+
+    /// Time-weighted mean power (W); 0 for an empty trace.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.total_time_s > 0.0 {
+            self.total_energy_j() / self.total_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Highest window power (W); 0 for an empty trace.
+    pub fn peak_power_w(&self) -> f64 {
+        self.samples.iter().map(|s| s.power_w).fold(0.0, f64::max)
+    }
+
+    /// A compact ASCII sparkline of the trace.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.peak_power_w().max(1e-12);
+        self.samples
+            .iter()
+            .map(|s| {
+                let idx = ((s.power_w / peak) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+/// Drives an engine with per-window power evaluation.
+#[derive(Debug)]
+pub struct RuntimePowerMonitor {
+    model: PowerModel,
+    freq_hz: f64,
+    window_instructions: u64,
+}
+
+impl RuntimePowerMonitor {
+    /// Creates a monitor evaluating `model` at `freq_hz` every
+    /// `window_instructions` retired instructions (minimum 100).
+    pub fn new(model: PowerModel, freq_hz: f64, window_instructions: u64) -> Self {
+        RuntimePowerMonitor {
+            model,
+            freq_hz,
+            window_instructions: window_instructions.max(100),
+        }
+    }
+
+    /// Runs the stream on a fresh engine, sampling power per window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] when the model has no
+    /// coefficients for `freq_hz`.
+    pub fn run(
+        &self,
+        cfg: CoreConfig,
+        threads: u32,
+        stream: impl Iterator<Item = Instr>,
+    ) -> Result<PowerTrace> {
+        // Fail early when the frequency is not covered.
+        self.model.coefficients_at(self.freq_hz)?;
+
+        let mut engine = Engine::new(cfg, self.freq_hz, threads);
+        let mut samples = Vec::new();
+        let mut last_counts: BTreeMap<EventCode, f64> = BTreeMap::new();
+        let mut last_t = 0.0_f64;
+        let mut in_window = 0_u64;
+        let mut total_time = 0.0;
+
+        let flush = |engine: &mut Engine,
+                         last_counts: &mut BTreeMap<EventCode, f64>,
+                         last_t: &mut f64,
+                         samples: &mut Vec<PowerSample>|
+         -> Result<()> {
+            let snap = engine.finish();
+            let now = snap.seconds;
+            let dt = now - *last_t;
+            if dt <= 0.0 {
+                return Ok(());
+            }
+            let counts = event_counts(&snap.stats);
+            let rates: BTreeMap<EventCode, f64> = counts
+                .iter()
+                .map(|(&c, &v)| {
+                    let prev = last_counts.get(&c).copied().unwrap_or(0.0);
+                    (c, (v - prev).max(0.0) / dt)
+                })
+                .collect();
+            let power = self.model.predict(self.freq_hz, &rates)?;
+            samples.push(PowerSample {
+                t_start_s: *last_t,
+                t_end_s: now,
+                power_w: power,
+            });
+            *last_counts = counts;
+            *last_t = now;
+            Ok(())
+        };
+
+        for instr in stream {
+            engine.step(&instr);
+            in_window += 1;
+            if in_window >= self.window_instructions {
+                in_window = 0;
+                flush(&mut engine, &mut last_counts, &mut last_t, &mut samples)?;
+            }
+        }
+        if in_window > 0 {
+            flush(&mut engine, &mut last_counts, &mut last_t, &mut samples)?;
+        }
+        if let Some(last) = samples.last() {
+            total_time = last.t_end_s;
+        }
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(PowerTrace {
+            samples,
+            total_time_s: total_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::model::EventExpr;
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_uarch::configs::cortex_a15_hw;
+    use gemstone_uarch::pmu;
+    use gemstone_workloads::gen::StreamGen;
+    use gemstone_workloads::spec::{InstrMix, PhaseSpec, Suite, WorkloadSpec};
+    use gemstone_workloads::suites;
+
+    fn model() -> PowerModel {
+        let board = OdroidXu3::new();
+        let specs: Vec<_> = [
+            "mi-sha",
+            "mi-fft",
+            "lm-bw-mem-rd",
+            "mi-bitcount",
+            "rl-neonspeed",
+            "dhry-dhrystone",
+            "mi-dijkstra",
+            "whet-whetstone",
+        ]
+        .iter()
+        .map(|n| suites::by_name(n).unwrap().scaled(0.08))
+        .collect();
+        let ds = dataset::collect(&board, Cluster::BigA15, &specs, &[1.0e9]);
+        let terms = vec![
+            EventExpr::single(pmu::CPU_CYCLES),
+            EventExpr::single(pmu::L1D_CACHE),
+            EventExpr::single(pmu::L2D_CACHE),
+            EventExpr::single(pmu::ASE_SPEC),
+        ];
+        PowerModel::fit(&ds, &terms).unwrap()
+    }
+
+    #[test]
+    fn trace_covers_the_run_and_energy_adds_up() {
+        let spec = suites::by_name("mi-fft").unwrap().scaled(0.2);
+        let monitor = RuntimePowerMonitor::new(model(), 1.0e9, 5_000);
+        let trace = monitor
+            .run(cortex_a15_hw(), spec.threads, StreamGen::new(&spec))
+            .unwrap();
+        assert!(trace.samples.len() >= 5, "samples = {}", trace.samples.len());
+        // Windows tile the run.
+        for w in trace.samples.windows(2) {
+            assert!((w[0].t_end_s - w[1].t_start_s).abs() < 1e-12);
+        }
+        // Energy = Σ window energies = mean power × total time.
+        let e = trace.total_energy_j();
+        assert!(e > 0.0);
+        assert!((trace.mean_power_w() * trace.total_time_s - e).abs() < 1e-9);
+        assert!(trace.peak_power_w() >= trace.mean_power_w());
+    }
+
+    #[test]
+    fn phase_changes_show_in_the_trace() {
+        // A two-phase workload: integer then SIMD-heavy. The trace should
+        // show distinctly different power in the two halves.
+        let mut p1 = PhaseSpec::default_phase();
+        p1.weight = 1.0;
+        let mut p2 = PhaseSpec::default_phase();
+        p2.weight = 1.0;
+        p2.mix = InstrMix {
+            simd: 0.5,
+            ..InstrMix::fp_baseline()
+        };
+        let spec = WorkloadSpec::builder("phased-power", Suite::Whetstone)
+            .instructions(60_000)
+            .phases(vec![p1, p2])
+            .build();
+        let monitor = RuntimePowerMonitor::new(model(), 1.0e9, 3_000);
+        let trace = monitor
+            .run(cortex_a15_hw(), 1, StreamGen::new(&spec))
+            .unwrap();
+        let n = trace.samples.len();
+        let first: f64 =
+            trace.samples[..n / 2].iter().map(|s| s.power_w).sum::<f64>() / (n / 2) as f64;
+        let second: f64 = trace.samples[n / 2..].iter().map(|s| s.power_w).sum::<f64>()
+            / (n - n / 2) as f64;
+        assert!(
+            (first - second).abs() / first > 0.02,
+            "phases should differ: {first} vs {second}"
+        );
+        // Sparkline renders one glyph per sample.
+        assert_eq!(trace.sparkline().chars().count(), n);
+    }
+
+    #[test]
+    fn wrong_frequency_fails_early() {
+        let spec = suites::by_name("mi-sha").unwrap().scaled(0.05);
+        let monitor = RuntimePowerMonitor::new(model(), 1.4e9, 5_000);
+        assert!(monitor
+            .run(cortex_a15_hw(), 1, StreamGen::new(&spec))
+            .is_err());
+    }
+}

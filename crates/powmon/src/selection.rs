@@ -1,0 +1,321 @@
+//! PMC event selection for power models.
+//!
+//! Greedy forward selection maximising the pooled adjusted R², with the
+//! Powmon stability safeguards: a candidate is rejected if it is too
+//! strongly correlated with an already-selected term (multicollinearity
+//! control), and the pool can be *restricted* — GemStone feeds "PMC
+//! selection restraints" back into the selection so that only events with
+//! accurate, available gem5 equivalents are chosen (§V: events like
+//! unaligned accesses (0x0F) are unavailable in gem5 and L1D writebacks
+//! (0x15) have >1000 % error, so they are excluded from the
+//! gem5-compatible pool).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_powmon::selection::{gem5_compatible_pool, SelectionOptions};
+//!
+//! let opts = SelectionOptions {
+//!     restricted_pool: Some(gem5_compatible_pool()),
+//!     ..SelectionOptions::default()
+//! };
+//! assert!(!gem5_compatible_pool().contains(&0x15)); // L1D_CACHE_WB excluded
+//! # let _ = opts;
+//! ```
+
+use crate::dataset::PowerDataset;
+use crate::model::{EventExpr, PowerModel};
+use gemstone_stats::corr::pearson;
+use gemstone_stats::{Result, StatsError};
+use gemstone_uarch::pmu::{self, EventCode};
+use std::collections::BTreeSet;
+
+/// Options controlling event selection.
+#[derive(Debug, Clone)]
+pub struct SelectionOptions {
+    /// When set, only these events may be selected.
+    pub restricted_pool: Option<BTreeSet<EventCode>>,
+    /// Events that may never be selected.
+    pub excluded: BTreeSet<EventCode>,
+    /// Maximum number of selected terms.
+    pub max_terms: usize,
+    /// Reject a candidate whose |correlation| with a selected term exceeds
+    /// this (unless it is offered as a difference term).
+    pub max_intercorrelation: f64,
+    /// Reject a trial whose mean variance inflation factor exceeds this
+    /// (the paper reports a mean VIF of 6, "a low level of
+    /// inter-correlation, as required").
+    pub max_mean_vif: f64,
+    /// Reject a trial whose worst per-frequency coefficient *p*-value
+    /// exceeds this.
+    pub max_p_value: f64,
+    /// Minimum adjusted-R² improvement to continue.
+    pub min_gain: f64,
+    /// Always include the cycle counter first (the dominant dynamic-power
+    /// proxy; the paper's models all carry the 0x11 rate).
+    pub seed_with_cycles: bool,
+}
+
+impl Default for SelectionOptions {
+    fn default() -> Self {
+        SelectionOptions {
+            restricted_pool: None,
+            excluded: BTreeSet::new(),
+            max_terms: 7,
+            max_intercorrelation: 0.85,
+            max_mean_vif: 10.0,
+            max_p_value: 0.3,
+            min_gain: 1e-4,
+            seed_with_cycles: true,
+        }
+    }
+}
+
+/// The gem5-compatible event pool (§V): excludes events with no gem5
+/// equivalent (unaligned-access family), the wildly mis-modelled L1D
+/// writeback event, and the misclassified scalar-FP event.
+pub fn gem5_compatible_pool() -> BTreeSet<EventCode> {
+    let excluded: BTreeSet<EventCode> = [
+        0x0F, // UNALIGNED_LDST_RETIRED — unavailable in gem5
+        0x68, 0x69, 0x6A, // UNALIGNED_*_SPEC — unavailable in gem5
+        0x15, // L1D_CACHE_WB — >1000 % error in the model
+        0x46, 0x47, // writeback victim/clean — same accounting distortion
+        0x75, // VFP_SPEC — misclassified as SIMD in gem5
+    ]
+    .into();
+    pmu::events()
+        .iter()
+        .copied()
+        .filter(|e| !excluded.contains(e))
+        .collect()
+}
+
+/// The outcome of event selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Selected terms in order of importance.
+    pub terms: Vec<EventExpr>,
+    /// Adjusted-R² trajectory after each accepted term.
+    pub adj_r2_path: Vec<f64>,
+}
+
+/// Runs greedy forward selection over the dataset.
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] — empty dataset.
+/// * Propagates fit errors when no candidate can be fitted at all.
+pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selection> {
+    if ds.observations.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            needed: 8,
+            available: 0,
+        });
+    }
+    // Candidate events: in pool, not excluded, with variance.
+    let candidates: Vec<EventCode> = ds
+        .common_events()
+        .into_iter()
+        .filter(|e| {
+            opts.restricted_pool
+                .as_ref()
+                .is_none_or(|p| p.contains(e))
+                && !opts.excluded.contains(e)
+        })
+        .filter(|&e| {
+            let col: Vec<f64> = ds.observations.iter().map(|o| o.rate(e)).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            col.iter().any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return Err(StatsError::InvalidArgument(
+            "no candidate events with variance in the pool",
+        ));
+    }
+
+    let col = |expr: &EventExpr| -> Vec<f64> {
+        ds.observations.iter().map(|o| expr.rate(o)).collect()
+    };
+
+    let mut selected: Vec<EventExpr> = Vec::new();
+    if opts.seed_with_cycles && candidates.contains(&pmu::CPU_CYCLES) {
+        selected.push(EventExpr::single(pmu::CPU_CYCLES));
+    }
+    let mut path = Vec::new();
+    let mut current = match PowerModel::fit(ds, &selected) {
+        Ok(m) => m.quality(ds)?.adj_r_squared,
+        Err(_) => 0.0,
+    };
+    if !selected.is_empty() {
+        path.push(current);
+    }
+
+    loop {
+        if selected.len() >= opts.max_terms {
+            break;
+        }
+        let mut best: Option<(EventExpr, f64)> = None;
+        'cand: for &e in &candidates {
+            if selected.iter().any(|t| t.event == e && t.minus.is_none()) {
+                continue;
+            }
+            // Candidate forms: plain, or difference with a selected event
+            // when the plain form is too collinear.
+            let mut forms = vec![EventExpr::single(e)];
+            for s in &selected {
+                if s.minus.is_none() && s.event != e {
+                    forms.push(EventExpr::diff(e, s.event));
+                }
+            }
+            for form in forms {
+                // Multicollinearity guard.
+                let c = col(&form);
+                let mut ok = true;
+                for s in &selected {
+                    let sc = col(s);
+                    if let Ok(r) = pearson(&c, &sc) {
+                        if r.abs() > opts.max_intercorrelation {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial.push(form);
+                let Ok(model) = PowerModel::fit(ds, &trial) else {
+                    continue;
+                };
+                let Ok(q) = model.quality(ds) else { continue };
+                let new_term_p = q.term_p_values.last().copied().unwrap_or(1.0);
+                if q.mean_vif > opts.max_mean_vif || new_term_p > opts.max_p_value {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(_, b)| q.adj_r_squared > *b) {
+                    best = Some((form, q.adj_r_squared));
+                }
+                // Plain form accepted into comparison; no need to try
+                // difference forms too if plain wasn't collinear.
+                continue 'cand;
+            }
+        }
+        let Some((term, r2)) = best else { break };
+        if r2 - current < opts.min_gain {
+            break;
+        }
+        current = r2;
+        selected.push(term);
+        path.push(r2);
+    }
+
+    if selected.is_empty() {
+        return Err(StatsError::InvalidArgument(
+            "selection accepted no events",
+        ));
+    }
+    Ok(Selection {
+        terms: selected,
+        adj_r2_path: path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_platform::board::OdroidXu3;
+    use gemstone_platform::dvfs::Cluster;
+    use gemstone_workloads::suites;
+
+    fn dataset() -> PowerDataset {
+        let board = OdroidXu3::new();
+        let names = [
+            "mi-sha",
+            "mi-crc32",
+            "mi-fft",
+            "whet-whetstone",
+            "dhry-dhrystone",
+            "lm-bw-mem-rd",
+            "lm-lat-ops-int",
+            "rl-neonspeed",
+            "mi-dijkstra",
+            "parsec-blackscholes-1",
+            "mi-bitcount",
+            "rl-memspeed-int",
+        ];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.08))
+            .collect();
+        crate::dataset::collect(&board, Cluster::BigA15, &specs, &[1000.0e6])
+    }
+
+    #[test]
+    fn selection_improves_fit_monotonically() {
+        let ds = dataset();
+        let sel = select_events(&ds, &SelectionOptions::default()).unwrap();
+        assert!(!sel.terms.is_empty());
+        for w in sel.adj_r2_path.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Cycle counter is the seed term.
+        assert_eq!(sel.terms[0], EventExpr::single(pmu::CPU_CYCLES));
+    }
+
+    #[test]
+    fn restricted_pool_is_respected() {
+        let ds = dataset();
+        let opts = SelectionOptions {
+            restricted_pool: Some(gem5_compatible_pool()),
+            ..SelectionOptions::default()
+        };
+        let sel = select_events(&ds, &opts).unwrap();
+        for t in &sel.terms {
+            assert!(gem5_compatible_pool().contains(&t.event), "{:?}", t);
+            assert_ne!(t.event, 0x15);
+            assert_ne!(t.event, 0x75);
+        }
+    }
+
+    #[test]
+    fn excluded_events_never_selected() {
+        let ds = dataset();
+        let mut opts = SelectionOptions::default();
+        opts.excluded.insert(pmu::CPU_CYCLES);
+        opts.seed_with_cycles = false;
+        let sel = select_events(&ds, &opts).unwrap();
+        assert!(sel.terms.iter().all(|t| t.event != pmu::CPU_CYCLES));
+    }
+
+    #[test]
+    fn max_terms_cap() {
+        let ds = dataset();
+        let opts = SelectionOptions {
+            max_terms: 3,
+            ..SelectionOptions::default()
+        };
+        let sel = select_events(&ds, &opts).unwrap();
+        assert!(sel.terms.len() <= 3);
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let ds = PowerDataset {
+            cluster: Cluster::BigA15,
+            observations: Vec::new(),
+        };
+        assert!(select_events(&ds, &SelectionOptions::default()).is_err());
+    }
+
+    #[test]
+    fn gem5_pool_excludes_problem_events() {
+        let pool = gem5_compatible_pool();
+        for bad in [0x0F_u16, 0x15, 0x75, 0x68, 0x69, 0x6A] {
+            assert!(!pool.contains(&bad), "{bad:#x} must be excluded");
+        }
+        assert!(pool.contains(&0x11));
+        assert!(pool.contains(&0x43)); // kept despite its error (§VI)
+    }
+}

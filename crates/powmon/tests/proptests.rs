@@ -1,0 +1,130 @@
+//! Property-based tests for the power-modelling toolkit.
+
+use gemstone_powmon::dataset::{PowerDataset, PowerObservation};
+use gemstone_powmon::model::{EventExpr, PowerModel};
+use gemstone_platform::dvfs::Cluster;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builds a synthetic dataset whose power is exactly linear in two event
+/// rates plus noise-free intercept, so model recovery can be asserted.
+fn synthetic_dataset(
+    c0: f64,
+    c1: f64,
+    c2: f64,
+    rates: &[(f64, f64)],
+    freq_hz: f64,
+) -> PowerDataset {
+    let observations = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &(r1, r2))| {
+            let mut m = BTreeMap::new();
+            m.insert(0x11u16, r1);
+            m.insert(0x04u16, r2);
+            PowerObservation {
+                workload: format!("wl{i}"),
+                freq_hz,
+                voltage: 1.0,
+                power_w: c0 + c1 * r1 + c2 * r2,
+                time_s: 0.01,
+                rates: m,
+            }
+        })
+        .collect();
+    PowerDataset {
+        cluster: Cluster::BigA15,
+        observations,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fit_recovers_exact_linear_truth(
+        c0 in 0.1f64..2.0,
+        c1 in 1e-10f64..1e-8,
+        c2 in 1e-10f64..1e-8,
+        seeds in prop::collection::vec((1e6f64..1e9, 1e6f64..1e9), 6..20),
+    ) {
+        // Ensure the two columns are not collinear.
+        let distinct = seeds
+            .iter()
+            .map(|&(a, b)| (a / b * 1000.0) as i64)
+            .collect::<std::collections::BTreeSet<_>>();
+        prop_assume!(distinct.len() >= 4);
+        let ds = synthetic_dataset(c0, c1, c2, &seeds, 1.0e9);
+        let terms = vec![EventExpr::single(0x11), EventExpr::single(0x04)];
+        let model = match PowerModel::fit(&ds, &terms) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // near-collinear draw
+        };
+        let q = model.quality(&ds).unwrap();
+        prop_assert!(q.mape < 1e-6, "exact data must fit exactly, mape={}", q.mape);
+        // Coefficients recovered.
+        let coeffs = model.coefficients_at(1.0e9).unwrap();
+        prop_assert!((coeffs[0] - c0).abs() / c0 < 1e-6);
+        prop_assert!((coeffs[1] - c1).abs() / c1 < 1e-6);
+        prop_assert!((coeffs[2] - c2).abs() / c2 < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_always_sums_to_total(
+        rates in prop::collection::vec((1e6f64..1e9, 1e6f64..1e9), 8..16),
+        probe_r1 in 1e6f64..1e9,
+        probe_r2 in 1e6f64..1e9,
+    ) {
+        let ds = synthetic_dataset(0.5, 3e-10, 7e-10, &rates, 1.0e9);
+        let terms = vec![EventExpr::single(0x11), EventExpr::single(0x04)];
+        let model = match PowerModel::fit(&ds, &terms) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        let mut probe = BTreeMap::new();
+        probe.insert(0x11u16, probe_r1);
+        probe.insert(0x04u16, probe_r2);
+        let b = model.breakdown(1.0e9, &probe).unwrap();
+        let sum: f64 = b.components.iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - b.total_w).abs() < 1e-9);
+        prop_assert_eq!(b.components.len(), 3);
+    }
+
+    #[test]
+    fn diff_terms_evaluate_as_difference(r1 in 0.0f64..1e9, r2 in 0.0f64..1e9) {
+        let mut m = BTreeMap::new();
+        m.insert(0x1Bu16, r1);
+        m.insert(0x73u16, r2);
+        let obs = PowerObservation {
+            workload: "x".into(),
+            freq_hz: 1.0e9,
+            voltage: 1.0,
+            power_w: 1.0,
+            time_s: 1.0,
+            rates: m,
+        };
+        let d = EventExpr::diff(0x1B, 0x73);
+        prop_assert!((d.rate(&obs) - (r1 - r2)).abs() < 1e-9);
+        let s = EventExpr::single(0x1B);
+        prop_assert!((s.rate(&obs) - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbed_models_still_predict_finite_power(
+        rates in prop::collection::vec((1e6f64..1e9, 1e6f64..1e9), 8..14),
+        variation in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let ds = synthetic_dataset(0.4, 2e-10, 5e-10, &rates, 1.0e9);
+        let terms = vec![EventExpr::single(0x11), EventExpr::single(0x04)];
+        let model = match PowerModel::fit(&ds, &terms) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        let perturbed = gemstone_powmon::published::published_variant(&model, variation, seed);
+        for o in &ds.observations {
+            let p = perturbed.predict(o.freq_hz, &o.rates).unwrap();
+            prop_assert!(p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Agglomerative Hierarchical Cluster Analysis (HCA).
+//!
+//! The paper uses HCA twice:
+//!
+//! * to group **workloads** with similar hardware PMC behaviour (Fig. 3 —
+//!   "workloads of the same cluster exhibit similar MPEs");
+//! * to group **events** that correlate with each other across workloads
+//!   (Fig. 5 and the gem5-event clusters A/B/C of §IV-C).
+//!
+//! Observations are rows of a feature matrix. Distances may be Euclidean
+//! (typically on z-scored features) or correlation-based (for clustering
+//! events by the similarity of their behaviour). Merging uses the
+//! Lance–Williams update for single, complete, average and Ward linkage.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::cluster::{Hca, Linkage, Metric};
+//!
+//! // Two obvious groups of points on a line.
+//! let rows = vec![
+//!     vec![0.0], vec![0.1], vec![0.2],
+//!     vec![10.0], vec![10.1],
+//! ];
+//! let hca = Hca::new(&rows, Metric::Euclidean, Linkage::Average).unwrap();
+//! let labels = hca.cut_k(2).unwrap();
+//! assert_eq!(labels[0], labels[1]);
+//! assert_eq!(labels[3], labels[4]);
+//! assert_ne!(labels[0], labels[3]);
+//! ```
+
+use crate::corr::pearson;
+use crate::{Result, StatsError};
+
+/// Distance metric between observation rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance on the raw feature values.
+    Euclidean,
+    /// `1 − r` where `r` is the Pearson correlation of the two rows.
+    Correlation,
+    /// `1 − |r|` — treats strongly anti-correlated rows as close, the usual
+    /// choice when clustering PMC events.
+    AbsCorrelation,
+}
+
+/// Cluster-merge criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+    /// Ward's minimum-variance criterion (Euclidean metrics only by
+    /// convention, but accepted for any metric).
+    Ward,
+}
+
+/// A single agglomeration step. Nodes `0..n` are the original observations;
+/// step `i` creates node `n + i` (the SciPy convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node id.
+    pub a: usize,
+    /// Second merged node id.
+    pub b: usize,
+    /// Distance at which the merge happened.
+    pub height: f64,
+    /// Number of observations in the new cluster.
+    pub size: usize,
+}
+
+/// The result of agglomerative clustering: a dendrogram that can be cut into
+/// flat cluster assignments.
+#[derive(Debug, Clone)]
+pub struct Hca {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+/// Z-scores each column of a row-major feature matrix in place; constant
+/// columns become all-zero.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] for ragged rows and
+/// [`StatsError::NotEnoughData`] when `rows` is empty.
+pub fn standardize(rows: &mut [Vec<f64>]) -> Result<()> {
+    let n = rows.len();
+    if n == 0 {
+        return Err(StatsError::NotEnoughData {
+            needed: 1,
+            available: 0,
+        });
+    }
+    let k = rows[0].len();
+    for r in rows.iter() {
+        if r.len() != k {
+            return Err(StatsError::DimensionMismatch {
+                context: "standardize",
+                expected: k,
+                actual: r.len(),
+            });
+        }
+    }
+    for j in 0..k {
+        let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+        let var = rows.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        for r in rows.iter_mut() {
+            r[j] = if sd > 0.0 { (r[j] - mean) / sd } else { 0.0 };
+        }
+    }
+    Ok(())
+}
+
+fn distance(a: &[f64], b: &[f64], metric: Metric) -> Result<f64> {
+    match metric {
+        Metric::Euclidean => Ok(a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()),
+        Metric::Correlation => Ok(1.0 - pearson(a, b)?),
+        Metric::AbsCorrelation => Ok(1.0 - pearson(a, b)?.abs()),
+    }
+}
+
+impl Hca {
+    /// Clusters the observation rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NotEnoughData`] — fewer than 2 rows.
+    /// * [`StatsError::DimensionMismatch`] — ragged rows.
+    /// * [`StatsError::InvalidArgument`] — non-finite features (via the
+    ///   correlation metrics).
+    pub fn new(rows: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Result<Hca> {
+        let n = rows.len();
+        if n < 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                available: n,
+            });
+        }
+        let width = rows[0].len();
+        for r in rows {
+            if r.len() != width {
+                return Err(StatsError::DimensionMismatch {
+                    context: "Hca::new",
+                    expected: width,
+                    actual: r.len(),
+                });
+            }
+            if r.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::InvalidArgument("Hca::new: non-finite feature"));
+            }
+        }
+
+        // Pairwise distance matrix. Ward operates on squared distances
+        // internally and reports sqrt at merge time.
+        let ward = linkage == Linkage::Ward;
+        let mut d = vec![vec![0.0_f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut dist = distance(&rows[i], &rows[j], metric)?;
+                if ward {
+                    dist *= dist;
+                }
+                d[i][j] = dist;
+                d[j][i] = dist;
+            }
+        }
+
+        // active[i] = Some(node_id); sizes indexed like `d`.
+        let mut node_id: Vec<usize> = (0..n).collect();
+        let mut size = vec![1usize; n];
+        let mut active = vec![true; n];
+        let mut merges = Vec::with_capacity(n - 1);
+
+        for step in 0..(n - 1) {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !active[j] {
+                        continue;
+                    }
+                    if d[i][j] < best.2 {
+                        best = (i, j, d[i][j]);
+                    }
+                }
+            }
+            let (i, j, dij) = best;
+            debug_assert!(i != usize::MAX, "no active pair found");
+
+            let height = if ward { dij.max(0.0).sqrt() } else { dij };
+            let new_size = size[i] + size[j];
+            merges.push(Merge {
+                a: node_id[i],
+                b: node_id[j],
+                height,
+                size: new_size,
+            });
+
+            // Lance–Williams update into slot i; deactivate j.
+            for k in 0..n {
+                if !active[k] || k == i || k == j {
+                    continue;
+                }
+                let dik = d[i][k];
+                let djk = d[j][k];
+                let new_d = match linkage {
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                    Linkage::Average => {
+                        let (si, sj) = (size[i] as f64, size[j] as f64);
+                        (si * dik + sj * djk) / (si + sj)
+                    }
+                    Linkage::Ward => {
+                        let (si, sj, sk) = (size[i] as f64, size[j] as f64, size[k] as f64);
+                        ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk)
+                    }
+                };
+                d[i][k] = new_d;
+                d[k][i] = new_d;
+            }
+            active[j] = false;
+            size[i] = new_size;
+            node_id[i] = n + step;
+        }
+
+        Ok(Hca { n, merges })
+    }
+
+    /// Number of original observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: an `Hca` requires at least two observations.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The agglomeration steps, in merge order (ascending height for
+    /// monotone linkages).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into exactly `k` clusters. Labels are dense,
+    /// `0..k`, numbered by first appearance in observation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `1 <= k <= n`.
+    pub fn cut_k(&self, k: usize) -> Result<Vec<usize>> {
+        if k == 0 || k > self.n {
+            return Err(StatsError::InvalidArgument("cut_k: k out of range"));
+        }
+        // Apply the first (n - k) merges.
+        self.labels_after(self.n - k)
+    }
+
+    /// Cuts the dendrogram at a distance threshold: merges with
+    /// `height <= h` are applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] when `h` is NaN.
+    pub fn cut_height(&self, h: f64) -> Result<Vec<usize>> {
+        if h.is_nan() {
+            return Err(StatsError::InvalidArgument("cut_height: NaN threshold"));
+        }
+        let applied = self.merges.iter().take_while(|m| m.height <= h).count();
+        self.labels_after(applied)
+    }
+
+    /// Computes flat labels after applying the first `applied` merges.
+    fn labels_after(&self, applied: usize) -> Result<Vec<usize>> {
+        // Union-find over node ids 0..n+applied.
+        let total = self.n + applied;
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().take(applied).enumerate() {
+            let new_node = self.n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_node;
+            parent[rb] = new_node;
+        }
+        // Dense labels by first appearance.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(r).or_insert(next);
+            labels.push(l);
+        }
+        Ok(labels)
+    }
+
+    /// Chooses the number of clusters by the largest relative jump in merge
+    /// height within `[k_min, k_max]` — a simple automated "elbow" rule used
+    /// by GemStone to pick a workload cluster count comparable to the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] when the range is empty or out
+    /// of bounds.
+    pub fn suggest_k(&self, k_min: usize, k_max: usize) -> Result<usize> {
+        if k_min == 0 || k_min > k_max || k_max > self.n {
+            return Err(StatsError::InvalidArgument("suggest_k: bad range"));
+        }
+        // Cutting to k clusters means stopping before merge (n - k).
+        // The "gap" for k is the height of the merge that would reduce
+        // k clusters to k - 1, relative to the previous merge height.
+        let mut best = (k_min, f64::NEG_INFINITY);
+        for k in k_min..=k_max {
+            let idx = self.n - k; // merge that destroys the k-cluster solution
+            if idx == 0 || idx >= self.merges.len() {
+                continue;
+            }
+            let h_hi = self.merges[idx].height;
+            let h_lo = self.merges[idx - 1].height.max(1e-12);
+            let gap = h_hi / h_lo;
+            if gap > best.1 {
+                best = (k, gap);
+            }
+        }
+        Ok(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_groups() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![5.0, 5.0],
+            vec![5.1, 5.2],
+            vec![10.0, 0.0],
+            vec![10.2, 0.1],
+        ]
+    }
+
+    #[test]
+    fn finds_three_groups_all_linkages() {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let hca = Hca::new(&three_groups(), Metric::Euclidean, linkage).unwrap();
+            let labels = hca.cut_k(3).unwrap();
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[5], labels[6]);
+            assert_ne!(labels[0], labels[3]);
+            assert_ne!(labels[0], labels[5]);
+            assert_ne!(labels[3], labels[5]);
+        }
+    }
+
+    #[test]
+    fn cut_k_boundaries() {
+        let hca = Hca::new(&three_groups(), Metric::Euclidean, Linkage::Average).unwrap();
+        let all_one = hca.cut_k(1).unwrap();
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = hca.cut_k(7).unwrap();
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+        assert!(hca.cut_k(0).is_err());
+        assert!(hca.cut_k(8).is_err());
+    }
+
+    #[test]
+    fn cut_height_monotone() {
+        let hca = Hca::new(&three_groups(), Metric::Euclidean, Linkage::Complete).unwrap();
+        let low = hca.cut_height(0.01).unwrap();
+        let mid = hca.cut_height(1.0).unwrap();
+        let high = hca.cut_height(1e9).unwrap();
+        let count = |l: &[usize]| {
+            let mut s = l.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        };
+        assert!(count(&low) >= count(&mid));
+        assert_eq!(count(&high), 1);
+        assert!(hca.cut_height(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn heights_nondecreasing_for_complete_average_ward() {
+        for linkage in [Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let hca = Hca::new(&three_groups(), Metric::Euclidean, linkage).unwrap();
+            let hs: Vec<f64> = hca.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "non-monotone heights for {linkage:?}: {hs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sizes_sum_to_n() {
+        let hca = Hca::new(&three_groups(), Metric::Euclidean, Linkage::Ward).unwrap();
+        assert_eq!(hca.merges().last().unwrap().size, 7);
+        assert_eq!(hca.len(), 7);
+        assert!(!hca.is_empty());
+    }
+
+    #[test]
+    fn correlation_metric_groups_by_shape() {
+        // Rows 0 and 1 have identical shape (scaled), row 2 is anti-correlated,
+        // row 3 is unrelated.
+        let rows = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0],
+            vec![1.0, -1.0, 2.0, -2.0, 0.0],
+        ];
+        let hca = Hca::new(&rows, Metric::Correlation, Linkage::Average).unwrap();
+        let labels = hca.cut_k(3).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+
+        // With |r| distance the anti-correlated row joins the first group.
+        let hca = Hca::new(&rows, Metric::AbsCorrelation, Linkage::Average).unwrap();
+        let labels = hca.cut_k(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let mut rows = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
+        standardize(&mut rows).unwrap();
+        let col0: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let m = col0.iter().sum::<f64>() / 3.0;
+        assert!(m.abs() < 1e-12);
+        // Constant column becomes zeros.
+        assert!(rows.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn standardize_errors() {
+        assert!(standardize(&mut []).is_err());
+        let mut ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(standardize(&mut ragged).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Hca::new(&[vec![1.0]], Metric::Euclidean, Linkage::Single).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(Hca::new(&ragged, Metric::Euclidean, Linkage::Single).is_err());
+        let nan = vec![vec![f64::NAN], vec![1.0]];
+        assert!(Hca::new(&nan, Metric::Euclidean, Linkage::Single).is_err());
+    }
+
+    #[test]
+    fn suggest_k_finds_obvious_structure() {
+        let hca = Hca::new(&three_groups(), Metric::Euclidean, Linkage::Average).unwrap();
+        let k = hca.suggest_k(2, 6).unwrap();
+        assert_eq!(k, 3);
+        assert!(hca.suggest_k(0, 3).is_err());
+        assert!(hca.suggest_k(5, 3).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Pearson and Spearman correlation, plus correlation matrices.
+//!
+//! GemStone correlates every hardware PMC event rate (and every gem5
+//! statistic) with the execution-time MPE to locate sources of error
+//! (Fig. 5, §IV-B/§IV-C of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::corr::pearson;
+//!
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [2.0, 4.0, 6.0, 8.0];
+//! assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::{Result, StatsError};
+
+/// Pearson product-moment correlation coefficient of `x` and `y`.
+///
+/// Returns `0.0` when either vector has zero variance (the convention used
+/// throughout GemStone: a constant event carries no error signal).
+///
+/// # Errors
+///
+/// * [`StatsError::DimensionMismatch`] when lengths differ.
+/// * [`StatsError::NotEnoughData`] when fewer than 2 observations.
+/// * [`StatsError::InvalidArgument`] on non-finite values.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "pearson",
+            expected: x.len(),
+            actual: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            available: x.len(),
+        });
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument("pearson: non-finite input"));
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Assigns fractional ranks (average rank for ties), 1-based.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "spearman",
+            expected: x.len(),
+            actual: y.len(),
+        });
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument("spearman: non-finite input"));
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Pairwise Pearson correlation matrix of the given columns
+/// (`columns[j]` is variable *j* observed over the same n rows).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`], applied pairwise.
+pub fn correlation_matrix(columns: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let k = columns.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let r = pearson(&columns[i], &columns[j])?;
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 5.0];
+        let up: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!(approx(pearson(&x, &up).unwrap(), 1.0, 1e-12));
+        assert!(approx(pearson(&x, &down).unwrap(), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn zero_variance_is_zero_corr() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(approx(pearson(&x, &y).unwrap(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0_f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!(approx(spearman(&x, &y).unwrap(), 1.0, 1e-12));
+        // Pearson is below 1 for this convex relation.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!(approx(spearman(&x, &y).unwrap(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(r, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_unit_diag() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, -1.0, 1.0, -1.0],
+        ];
+        let m = correlation_matrix(&cols).unwrap();
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert!(approx(m[i][j], m[j][i], 1e-15));
+            }
+        }
+        assert!(approx(m[0][1], -1.0, 1e-12));
+    }
+}

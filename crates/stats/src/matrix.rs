@@ -1,0 +1,556 @@
+//! Dense row-major matrices and the Householder QR factorisation used by the
+//! OLS machinery.
+//!
+//! Only what the GemStone statistics need is implemented: construction,
+//! element access, transpose, multiplication, QR least squares and the
+//! upper-triangular inverse required for coefficient covariance estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! let b = a.matmul(&Matrix::identity(2)).unwrap();
+//! assert_eq!(a, b);
+//! ```
+
+use crate::{Result, StatsError};
+
+/// A dense, row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the rows have unequal
+    /// lengths, or [`StatsError::InvalidArgument`] if `rows` is empty or the
+    /// rows are empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(StatsError::InvalidArgument("matrix needs at least one row"));
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(StatsError::InvalidArgument(
+                "matrix needs at least one column",
+            ));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(StatsError::DimensionMismatch {
+                    context: "Matrix::from_rows",
+                    expected: ncols,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a single-column matrix from a vector.
+    pub fn column_vector(v: &[f64]) -> Result<Self> {
+        if v.is_empty() {
+            return Err(StatsError::InvalidArgument("empty column vector"));
+        }
+        Ok(Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns column `c` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when the inner dimensions
+    /// differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: "Matrix::matmul",
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) + a * other.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                context: "Matrix::matvec",
+                expected: self.cols,
+                actual: v.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+}
+
+/// Result of a Householder QR factorisation of an `n × k` matrix (`n ≥ k`):
+/// the upper-triangular factor `R` (as a `k × k` matrix) plus the Householder
+/// vectors needed to apply `Qᵀ` to right-hand sides.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorisation: upper triangle holds `R`, lower part holds the
+    /// Householder vectors.
+    packed: Matrix,
+    /// Scalar `β` for each Householder reflector.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Householder QR factorisation with normalised reflectors
+    /// (`H = I − β v vᵀ`, `v₀ = 1`).
+    #[allow(clippy::needless_range_loop)] // indexing mirrors the maths
+    fn decompose_clear(a: &Matrix) -> Result<Qr> {
+        let (n, k) = (a.rows(), a.cols());
+        let mut m = a.clone();
+        let mut betas = vec![0.0; k];
+        for j in 0..k {
+            let mut norm = 0.0;
+            for i in j..n {
+                norm += m.get(i, j) * m.get(i, j);
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let x0 = m.get(j, j);
+            let alpha = if x0 >= 0.0 { -norm } else { norm };
+            let v0 = x0 - alpha;
+            // Normalised Householder vector: v = [1, m[j+1..n, j] / v0].
+            for i in (j + 1)..n {
+                let vi = m.get(i, j) / v0;
+                m.set(i, j, vi);
+            }
+            let beta = -v0 / alpha; // β such that H = I - β v vᵀ with v0 = 1
+            betas[j] = beta;
+            m.set(j, j, alpha);
+            // Apply H to the remaining columns.
+            for c in (j + 1)..k {
+                let mut dot = m.get(j, c);
+                for i in (j + 1)..n {
+                    dot += m.get(i, j) * m.get(i, c);
+                }
+                let s = beta * dot;
+                let top = m.get(j, c) - s;
+                m.set(j, c, top);
+                for i in (j + 1)..n {
+                    let v = m.get(i, c) - s * m.get(i, j);
+                    m.set(i, c, v);
+                }
+            }
+        }
+        Ok(Qr { packed: m, betas })
+    }
+
+    /// Applies `Qᵀ` to a right-hand side vector in place.
+    #[allow(clippy::needless_range_loop)] // indexing mirrors the maths
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (n, k) = (self.packed.rows(), self.packed.cols());
+        for j in 0..k {
+            let beta = self.betas[j];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = b[j];
+            for i in (j + 1)..n {
+                dot += self.packed.get(i, j) * b[i];
+            }
+            let s = beta * dot;
+            b[j] -= s;
+            for i in (j + 1)..n {
+                b[i] -= s * self.packed.get(i, j);
+            }
+        }
+    }
+
+    /// Returns the diagonal of `R`.
+    pub fn r_diag(&self) -> Vec<f64> {
+        (0..self.packed.cols())
+            .map(|j| self.packed.get(j, j))
+            .collect()
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `b.len() != rows`, or
+    /// [`StatsError::Singular`] when `R` is numerically rank-deficient.
+    #[allow(clippy::needless_range_loop)] // indexing mirrors the maths
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (n, k) = (self.packed.rows(), self.packed.cols());
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "Qr::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on R x = y[..k].
+        let tol = self.singularity_tolerance();
+        let mut x = vec![0.0; k];
+        for j in (0..k).rev() {
+            let d = self.packed.get(j, j);
+            if d.abs() <= tol {
+                return Err(StatsError::Singular);
+            }
+            let mut s = y[j];
+            for c in (j + 1)..k {
+                s -= self.packed.get(j, c) * x[c];
+            }
+            x[j] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Computes `(XᵀX)⁻¹ = R⁻¹ R⁻ᵀ` — the unscaled covariance of OLS
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Singular`] when `R` is numerically
+    /// rank-deficient.
+    pub fn xtx_inverse(&self) -> Result<Matrix> {
+        let k = self.packed.cols();
+        let tol = self.singularity_tolerance();
+        // Invert the upper-triangular R.
+        let mut rinv = Matrix::zeros(k, k);
+        for j in 0..k {
+            let d = self.packed.get(j, j);
+            if d.abs() <= tol {
+                return Err(StatsError::Singular);
+            }
+            rinv.set(j, j, 1.0 / d);
+            for i in (0..j).rev() {
+                let mut s = 0.0;
+                for l in (i + 1)..=j {
+                    s += self.packed.get(i, l) * rinv.get(l, j);
+                }
+                rinv.set(i, j, -s / self.packed.get(i, i));
+            }
+        }
+        rinv.matmul(&rinv.transpose())
+    }
+
+    fn singularity_tolerance(&self) -> f64 {
+        let maxdiag = self
+            .r_diag()
+            .iter()
+            .fold(0.0_f64, |m, d| m.max(d.abs()))
+            .max(1.0);
+        maxdiag * 1e-12
+    }
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` in one call.
+///
+/// # Errors
+///
+/// Propagates errors from [`Qr::new`] and [`Qr::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use gemstone_stats::matrix::{lstsq, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+/// let x = lstsq(&a, &[1.0, 2.0, 3.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-9);
+/// assert!((x[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(a)?.solve(b)
+}
+
+impl Qr {
+    /// Public entry point that always uses the clear implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] if `a` has fewer rows than
+    /// columns.
+    pub fn new(a: &Matrix) -> Result<Qr> {
+        let (n, k) = (a.rows(), a.cols());
+        if n < k {
+            return Err(StatsError::NotEnoughData {
+                needed: k,
+                available: n,
+            });
+        }
+        Self::decompose_clear(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z.get(1, 2), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, StatsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn lstsq_exact_square() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn lstsq_overdetermined_line_fit() {
+        // y = 2 + 3 t with noise-free data.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![1.0, t]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = ts.iter().map(|&t| 2.0 + 3.0 * t).collect();
+        let x = lstsq(&a, &y).unwrap();
+        assert!(approx(x[0], 2.0, 1e-10));
+        assert!(approx(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn lstsq_detects_singular() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        assert_eq!(lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn qr_needs_tall_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::new(&a).unwrap_err(),
+            StatsError::NotEnoughData { .. }
+        ));
+    }
+
+    #[test]
+    fn xtx_inverse_matches_direct() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![1.0, 1.5],
+            vec![1.0, 2.5],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let inv = qr.xtx_inverse().unwrap();
+        let xtx = a.transpose().matmul(&a).unwrap();
+        let prod = xtx.matmul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(prod.get(i, j), want, 1e-9), "prod = {prod:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_r_diag_nonzero_for_full_rank() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0], vec![0.5, 0.25]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        for d in qr.r_diag() {
+            assert!(d.abs() > 1e-9);
+        }
+    }
+
+    #[test]
+    fn column_vector_and_accessors() {
+        let c = Matrix::column_vector(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.col(0), vec![1.0, 2.0, 3.0]);
+        assert!(Matrix::column_vector(&[]).is_err());
+    }
+}

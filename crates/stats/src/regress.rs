@@ -1,0 +1,448 @@
+//! Ordinary least squares with full inferential statistics.
+//!
+//! This is the regression engine behind both the empirical power models
+//! (§V of the paper: MAPE, SER, adjusted R², VIF, coefficient *p*-values)
+//! and the error-regression analysis (§IV-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::regress::Ols;
+//!
+//! let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64]).collect();
+//! let y: Vec<f64> = (0..20).map(|i| 4.0 + 2.0 * i as f64 - 0.1 * (i * i) as f64).collect();
+//! let fit = Ols::fit(&x, &y, &["lin".into(), "quad".into()]).unwrap();
+//! assert!(fit.r_squared > 0.999);
+//! assert_eq!(fit.terms.len(), 3); // intercept + 2 predictors
+//! ```
+
+use crate::dist::{f_cdf, student_t_sf2};
+use crate::matrix::{Matrix, Qr};
+use crate::{Result, StatsError};
+
+/// One fitted regression term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Term name (`"(intercept)"` for the constant).
+    pub name: String,
+    /// Estimated coefficient.
+    pub coefficient: f64,
+    /// Standard error of the coefficient.
+    pub std_error: f64,
+    /// *t*-statistic (`coefficient / std_error`).
+    pub t_value: f64,
+    /// Two-sided *p*-value under H₀: coefficient = 0.
+    pub p_value: f64,
+}
+
+/// A fitted ordinary-least-squares model.
+#[derive(Debug, Clone)]
+pub struct Ols {
+    /// All terms, intercept first.
+    pub terms: Vec<Term>,
+    /// Coefficients in term order (intercept first) — convenience copy.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// R² adjusted for the number of predictors.
+    pub adj_r_squared: f64,
+    /// Standard error of the regression (residual standard error).
+    pub ser: f64,
+    /// Residuals `y − ŷ`.
+    pub residuals: Vec<f64>,
+    /// Fitted values `ŷ`.
+    pub fitted: Vec<f64>,
+    /// F statistic of the overall regression (NaN when there are no
+    /// predictors).
+    pub f_statistic: f64,
+    /// p-value of the overall F test (NaN when there are no predictors).
+    pub f_p_value: f64,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of predictors (excluding the intercept).
+    pub k: usize,
+}
+
+impl Ols {
+    /// Fits `y = β₀ + Σ βⱼ xⱼ` by least squares. `x[i]` is the i-th
+    /// observation's predictor vector; `names[j]` labels predictor `j`.
+    /// An intercept is always included.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] — inconsistent row lengths or
+    ///   `names.len() != x[0].len()` or `y.len() != x.len()`.
+    /// * [`StatsError::NotEnoughData`] — fewer observations than
+    ///   coefficients + 1 (no residual degrees of freedom).
+    /// * [`StatsError::Singular`] — collinear predictors.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], names: &[String]) -> Result<Ols> {
+        let n = x.len();
+        if n == 0 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                available: 0,
+            });
+        }
+        let k = x[0].len();
+        if names.len() != k {
+            return Err(StatsError::DimensionMismatch {
+                context: "Ols::fit names",
+                expected: k,
+                actual: names.len(),
+            });
+        }
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "Ols::fit y",
+                expected: n,
+                actual: y.len(),
+            });
+        }
+        if n < k + 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: k + 2,
+                available: n,
+            });
+        }
+        // Design matrix with a leading column of ones.
+        let mut design = Matrix::zeros(n, k + 1);
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != k {
+                return Err(StatsError::DimensionMismatch {
+                    context: "Ols::fit x row",
+                    expected: k,
+                    actual: row.len(),
+                });
+            }
+            design.set(i, 0, 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(StatsError::InvalidArgument(
+                        "Ols::fit: non-finite predictor value",
+                    ));
+                }
+                design.set(i, j + 1, v);
+            }
+        }
+        for &v in y {
+            if !v.is_finite() {
+                return Err(StatsError::InvalidArgument(
+                    "Ols::fit: non-finite response value",
+                ));
+            }
+        }
+
+        let qr = Qr::new(&design)?;
+        let beta = qr.solve(y)?;
+        let fitted = design.matvec(&beta)?;
+        let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+
+        let ybar = y.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - ybar) * (v - ybar)).sum();
+        let ss_res: f64 = residuals.iter().map(|r| r * r).sum();
+        let r_squared = if ss_tot > 0.0 {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let df_res = (n - k - 1) as f64;
+        let adj_r_squared = if ss_tot > 0.0 && df_res > 0.0 {
+            1.0 - (ss_res / df_res) / (ss_tot / (n - 1) as f64)
+        } else {
+            r_squared
+        };
+        let sigma2 = ss_res / df_res;
+        let ser = sigma2.sqrt();
+
+        // Coefficient covariance = σ² (XᵀX)⁻¹.
+        let xtx_inv = qr.xtx_inverse()?;
+        let mut terms = Vec::with_capacity(k + 1);
+        for j in 0..=k {
+            let var = sigma2 * xtx_inv.get(j, j);
+            let se = var.max(0.0).sqrt();
+            let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+            let p = student_t_sf2(t, df_res).unwrap_or(f64::NAN);
+            terms.push(Term {
+                name: if j == 0 {
+                    "(intercept)".to_string()
+                } else {
+                    names[j - 1].clone()
+                },
+                coefficient: beta[j],
+                std_error: se,
+                t_value: t,
+                p_value: p,
+            });
+        }
+
+        let (f_statistic, f_p_value) = if k > 0 && ss_tot > ss_res {
+            let fstat = ((ss_tot - ss_res) / k as f64) / sigma2;
+            let fp = 1.0 - f_cdf(fstat, k as f64, df_res).unwrap_or(f64::NAN);
+            (fstat, fp)
+        } else if k > 0 {
+            (0.0, 1.0)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+
+        Ok(Ols {
+            coefficients: beta,
+            terms,
+            r_squared,
+            adj_r_squared,
+            ser,
+            residuals,
+            fitted,
+            f_statistic,
+            f_p_value,
+            n,
+            k,
+        })
+    }
+
+    /// Predicts the response for a new observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `x.len() != k`.
+    pub fn predict(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: "Ols::predict",
+                expected: self.k,
+                actual: x.len(),
+            });
+        }
+        Ok(self.coefficients[0]
+            + self.coefficients[1..]
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>())
+    }
+
+    /// Largest coefficient *p*-value among the non-intercept terms
+    /// (`None` when there are no predictors).
+    pub fn max_predictor_p_value(&self) -> Option<f64> {
+        self.terms[1..]
+            .iter()
+            .map(|t| t.p_value)
+            .fold(None, |acc, p| {
+                Some(match acc {
+                    None => p,
+                    Some(m) => m.max(p),
+                })
+            })
+    }
+}
+
+/// Variance inflation factors for each predictor column of `x`
+/// (VIF_j = 1 / (1 − R²_j) where R²_j regresses predictor *j* on the others).
+///
+/// Columns that cannot be explained at all get VIF 1; perfectly collinear
+/// columns get `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns an error when the auxiliary regressions cannot be computed
+/// (e.g. too few rows).
+///
+/// # Examples
+///
+/// ```
+/// use gemstone_stats::regress::vif;
+///
+/// // Two independent-ish columns → VIFs near 1.
+/// let x: Vec<Vec<f64>> = (0..30)
+///     .map(|i| vec![(i % 7) as f64, ((i * i) % 11) as f64])
+///     .collect();
+/// let v = vif(&x).unwrap();
+/// assert!(v.iter().all(|&f| f < 3.0));
+/// ```
+pub fn vif(x: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 {
+        return Err(StatsError::NotEnoughData {
+            needed: 3,
+            available: 0,
+        });
+    }
+    let k = x[0].len();
+    if k < 2 {
+        return Ok(vec![1.0; k]);
+    }
+    let mut out = Vec::with_capacity(k);
+    for j in 0..k {
+        let target: Vec<f64> = x.iter().map(|row| row[j]).collect();
+        let others: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(c, _)| *c != j)
+                    .map(|(_, v)| *v)
+                    .collect()
+            })
+            .collect();
+        let names: Vec<String> = (0..k - 1).map(|i| format!("x{i}")).collect();
+        match Ols::fit(&others, &target, &names) {
+            Ok(fit) => {
+                let r2 = fit.r_squared.min(1.0 - 1e-12);
+                out.push(1.0 / (1.0 - r2));
+            }
+            Err(StatsError::Singular) => out.push(f64::INFINITY),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5) without pulling in `rand`.
+    fn noise(i: usize) -> f64 {
+        let h = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        let h = (h ^ (h >> 33)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn exact_line() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 5.0 - 2.0 * i as f64).collect();
+        let fit = Ols::fit(&x, &y, &["t".into()]).unwrap();
+        assert!(approx(fit.coefficients[0], 5.0, 1e-9));
+        assert!(approx(fit.coefficients[1], -2.0, 1e-9));
+        assert!(fit.r_squared > 1.0 - 1e-12);
+        assert!(fit.ser < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_statistics_sane() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, noise(i + 1000) * 10.0]).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 1.0 + 0.5 * i as f64 + noise(i) * 2.0)
+            .collect();
+        let fit = Ols::fit(&x, &y, &["t".into(), "junk".into()]).unwrap();
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.adj_r_squared <= fit.r_squared);
+        // The real predictor is significant; the junk one is not.
+        assert!(fit.terms[1].p_value < 1e-10);
+        assert!(fit.terms[2].p_value > 0.01);
+        assert!(fit.f_statistic > 100.0);
+        assert!(fit.f_p_value < 1e-6);
+        // Residuals sum ≈ 0 because of the intercept.
+        let s: f64 = fit.residuals.iter().sum();
+        assert!(approx(s, 0.0, 1e-6));
+    }
+
+    #[test]
+    fn predict_matches_fitted() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i as f64).sqrt()]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 3.0 + i as f64 * 0.25).collect();
+        let fit = Ols::fit(&x, &y, &["a".into(), "b".into()]).unwrap();
+        for (i, row) in x.iter().enumerate() {
+            assert!(approx(fit.predict(row).unwrap(), fit.fitted[i], 1e-9));
+        }
+        assert!(fit.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(Ols::fit(&x, &[1.0], &["a".into()]).is_err());
+        assert!(Ols::fit(&x, &[1.0, 2.0], &[]).is_err());
+        assert!(Ols::fit(&[], &[], &[]).is_err());
+        let ragged = vec![vec![1.0], vec![2.0, 3.0], vec![4.0], vec![5.0]];
+        assert!(Ols::fit(&ragged, &[1.0, 2.0, 3.0, 4.0], &["a".into()]).is_err());
+    }
+
+    #[test]
+    fn rejects_nonfinite() {
+        let x = vec![vec![1.0], vec![f64::NAN], vec![2.0], vec![3.0]];
+        assert!(Ols::fit(&x, &[1.0, 2.0, 3.0, 4.0], &["a".into()]).is_err());
+        let x = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        assert!(Ols::fit(&x, &[1.0, f64::INFINITY, 3.0, 4.0], &["a".into()]).is_err());
+    }
+
+    #[test]
+    fn detects_collinearity() {
+        let x: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 2.0 * i as f64])
+            .collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(
+            Ols::fit(&x, &y, &["a".into(), "b".into()]).unwrap_err(),
+            StatsError::Singular
+        );
+    }
+
+    #[test]
+    fn needs_degrees_of_freedom() {
+        let x = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![0.0, 1.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            Ols::fit(&x, &y, &["a".into(), "b".into()]).unwrap_err(),
+            StatsError::NotEnoughData { .. }
+        ));
+    }
+
+    #[test]
+    fn intercept_only_constant_response() {
+        let x: Vec<Vec<f64>> = (0..5).map(|_| vec![]).collect();
+        let y = vec![4.0; 5];
+        let fit = Ols::fit(&x, &y, &[]).unwrap();
+        assert!(approx(fit.coefficients[0], 4.0, 1e-12));
+        assert_eq!(fit.r_squared, 1.0); // ss_tot = 0 convention
+        assert!(fit.f_statistic.is_nan());
+    }
+
+    #[test]
+    fn vif_detects_collinearity() {
+        // Third column ≈ first + second → enormous VIF.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let a = noise(i) * 4.0;
+                let b = noise(i + 99) * 4.0;
+                vec![a, b, a + b + noise(i + 500) * 1e-6]
+            })
+            .collect();
+        let v = vif(&x).unwrap();
+        assert!(v[2] > 1000.0, "vif = {v:?}");
+    }
+
+    #[test]
+    fn vif_near_one_for_independent() {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![noise(i), noise(i + 10_000)])
+            .collect();
+        let v = vif(&x).unwrap();
+        for f in v {
+            assert!(f < 1.5);
+        }
+    }
+
+    #[test]
+    fn vif_single_column_is_one() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        assert_eq!(vif(&x).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn max_predictor_p_value_behaviour() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64 + noise(i)).collect();
+        let fit = Ols::fit(&x, &y, &["t".into()]).unwrap();
+        assert!(fit.max_predictor_p_value().unwrap() < 0.01);
+        let fit0 = Ols::fit(&vec![vec![]; 5], &[1.0, 2.0, 1.5, 1.2, 0.8], &[]).unwrap();
+        assert!(fit0.max_predictor_p_value().is_none());
+    }
+}

@@ -1,0 +1,333 @@
+//! Forward-selection stepwise regression.
+//!
+//! Implements the §IV-D procedure of the paper: starting from an
+//! intercept-only model, repeatedly add the candidate predictor that
+//! maximises R², until adding any candidate would leave a term with a
+//! *p*-value above the significance threshold (0.05 by default) or no
+//! candidate improves the fit.
+//!
+//! "Both the total event counts and the rates were made available as
+//! candidates to the selection process" — callers provide one
+//! [`Candidate`] per variant.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::stepwise::{forward_select, Candidate, StepwiseOptions};
+//!
+//! // y depends on c0 only; c1 is noise.
+//! let y: Vec<f64> = (0..40).map(|i| 2.0 * i as f64 + ((i * 7) % 5) as f64 * 0.01).collect();
+//! let cands = vec![
+//!     Candidate::new("signal", (0..40).map(|i| i as f64).collect()),
+//!     Candidate::new("noise", (0..40).map(|i| ((i * 13) % 11) as f64).collect()),
+//! ];
+//! let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+//! assert_eq!(sel.selected_names(), vec!["signal"]);
+//! ```
+
+use crate::regress::Ols;
+use crate::{Result, StatsError};
+
+/// A named candidate predictor column.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Predictor name (e.g. `"0x11 rate"` or `"PC_WRITE_SPEC total"`).
+    pub name: String,
+    /// Observed values, one per observation.
+    pub values: Vec<f64>,
+}
+
+impl Candidate {
+    /// Creates a candidate from a name and its column of values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Candidate {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Options controlling forward selection.
+#[derive(Debug, Clone)]
+pub struct StepwiseOptions {
+    /// Stop when adding any term would push a coefficient's *p*-value above
+    /// this threshold (the paper uses 0.05, citing Fisher).
+    pub p_threshold: f64,
+    /// Minimum R² improvement to accept another term.
+    pub min_r2_gain: f64,
+    /// Hard cap on the number of selected terms (0 = no cap).
+    pub max_terms: usize,
+}
+
+impl Default for StepwiseOptions {
+    fn default() -> Self {
+        StepwiseOptions {
+            p_threshold: 0.05,
+            min_r2_gain: 1e-4,
+            max_terms: 0,
+        }
+    }
+}
+
+/// The result of a forward-selection run.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Indices into the candidate slice, in selection order
+    /// ("in order of importance", §IV-D).
+    pub selected: Vec<usize>,
+    /// Names in selection order.
+    names: Vec<String>,
+    /// The final fitted model.
+    pub model: Ols,
+    /// R² trajectory after each accepted term.
+    pub r2_path: Vec<f64>,
+}
+
+impl Selection {
+    /// Selected candidate names in order of importance.
+    pub fn selected_names(&self) -> Vec<&str> {
+        self.names.iter().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Runs forward selection of `candidates` against the response `y`.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidArgument`] — no candidates, or candidate columns of
+///   the wrong length.
+/// * [`StatsError::NotEnoughData`] — fewer than 4 observations.
+/// * Errors from the underlying OLS fits are skipped per-candidate
+///   (a collinear candidate simply cannot be selected); if *no* candidate can
+///   be fitted on the first step the last error is returned.
+pub fn forward_select(
+    candidates: &[Candidate],
+    y: &[f64],
+    opts: &StepwiseOptions,
+) -> Result<Selection> {
+    if candidates.is_empty() {
+        return Err(StatsError::InvalidArgument(
+            "forward_select: no candidates supplied",
+        ));
+    }
+    let n = y.len();
+    if n < 4 {
+        return Err(StatsError::NotEnoughData {
+            needed: 4,
+            available: n,
+        });
+    }
+    for c in candidates {
+        if c.values.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "forward_select candidate",
+                expected: n,
+                actual: c.values.len(),
+            });
+        }
+    }
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_model: Option<Ols> = None;
+    let mut r2_path = Vec::new();
+    let mut last_err: Option<StatsError> = None;
+
+    loop {
+        if opts.max_terms > 0 && selected.len() >= opts.max_terms {
+            break;
+        }
+        // Out of residual degrees of freedom?
+        if n < selected.len() + 3 {
+            break;
+        }
+        let current_r2 = best_model.as_ref().map_or(0.0, |m| m.r_squared);
+
+        // Among all candidates, pick the best-R² one whose fit keeps every
+        // term significant (the paper's rule: stop only when *no* addition
+        // leaves all p-values below the threshold).
+        let mut best_step: Option<(usize, Ols)> = None;
+        let mut any_fit = false;
+        for ci in 0..candidates.len() {
+            if selected.contains(&ci) {
+                continue;
+            }
+            let cols: Vec<usize> = selected.iter().copied().chain([ci]).collect();
+            let x: Vec<Vec<f64>> = (0..n)
+                .map(|row| cols.iter().map(|&c| candidates[c].values[row]).collect())
+                .collect();
+            let names: Vec<String> = cols.iter().map(|&c| candidates[c].name.clone()).collect();
+            match Ols::fit(&x, y, &names) {
+                Ok(fit) => {
+                    any_fit = true;
+                    if let Some(pmax) = fit.max_predictor_p_value() {
+                        if pmax > opts.p_threshold {
+                            continue;
+                        }
+                    }
+                    let better = match &best_step {
+                        None => true,
+                        Some((_, b)) => fit.r_squared > b.r_squared,
+                    };
+                    if better {
+                        best_step = Some((ci, fit));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+
+        let Some((ci, fit)) = best_step else {
+            if best_model.is_none() && !any_fit {
+                return Err(last_err.unwrap_or(StatsError::Singular));
+            }
+            break;
+        };
+
+        // Acceptance rule: meaningful R² gain.
+        if fit.r_squared - current_r2 < opts.min_r2_gain {
+            break;
+        }
+        selected.push(ci);
+        r2_path.push(fit.r_squared);
+        best_model = Some(fit);
+        if selected.len() == candidates.len() {
+            break;
+        }
+    }
+
+    let model = match best_model {
+        Some(m) => m,
+        // Nothing selected: fall back to the intercept-only model.
+        None => Ols::fit(&vec![vec![]; n], y, &[])?,
+    };
+    let names = selected
+        .iter()
+        .map(|&i| candidates[i].name.clone())
+        .collect();
+    Ok(Selection {
+        selected,
+        names,
+        model,
+        r2_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize) -> f64 {
+        let h = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        let h = (h ^ (h >> 31)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    /// y = 3 a − 2 b + noise; c and d are distractors.
+    fn dataset() -> (Vec<Candidate>, Vec<f64>) {
+        let n = 80;
+        let a: Vec<f64> = (0..n).map(|i| noise(i) * 10.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| noise(i + 1_000) * 10.0).collect();
+        let c: Vec<f64> = (0..n).map(|i| noise(i + 2_000) * 10.0).collect();
+        let d: Vec<f64> = (0..n).map(|i| noise(i + 3_000) * 10.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 * a[i] - 2.0 * b[i] + 0.05 * noise(i + 4_000))
+            .collect();
+        (
+            vec![
+                Candidate::new("a", a),
+                Candidate::new("b", b),
+                Candidate::new("c", c),
+                Candidate::new("d", d),
+            ],
+            y,
+        )
+    }
+
+    #[test]
+    fn selects_true_predictors_only() {
+        let (cands, y) = dataset();
+        let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+        let mut names = sel.selected_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(sel.model.r_squared > 0.999);
+    }
+
+    #[test]
+    fn selection_order_is_by_importance() {
+        let (cands, y) = dataset();
+        let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+        // a has the larger true coefficient (|3| vs |−2|) on same-scale
+        // inputs, so it should be picked first.
+        assert_eq!(sel.selected_names()[0], "a");
+        // R² path is strictly increasing.
+        for w in sel.r2_path.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn max_terms_cap_respected() {
+        let (cands, y) = dataset();
+        let sel = forward_select(
+            &cands,
+            &y,
+            &StepwiseOptions {
+                max_terms: 1,
+                ..StepwiseOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sel.selected.len(), 1);
+    }
+
+    #[test]
+    fn skips_collinear_candidates() {
+        let (mut cands, y) = dataset();
+        // A perfect copy of "a": collinear once "a" is in the model.
+        let copy = Candidate::new("a_copy", cands[0].values.clone());
+        cands.push(copy);
+        let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+        let names = sel.selected_names();
+        // Exactly one of a/a_copy may appear.
+        let a_like = names.iter().filter(|n| n.starts_with('a')).count();
+        assert_eq!(a_like, 1);
+        assert!(sel.model.r_squared > 0.999);
+    }
+
+    #[test]
+    fn pure_noise_selects_nothing_or_little() {
+        let n = 60;
+        let y: Vec<f64> = (0..n).map(|i| noise(i + 9_999)).collect();
+        let cands: Vec<Candidate> = (0..5)
+            .map(|c| Candidate::new(format!("junk{c}"), (0..n).map(|i| noise(i + c * 500)).collect()))
+            .collect();
+        let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+        // With p = 0.05 an occasional false positive is possible but the
+        // model must stay tiny and weak.
+        assert!(sel.selected.len() <= 1);
+        assert!(sel.model.r_squared < 0.3);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(forward_select(&[], &[1.0; 10], &StepwiseOptions::default()).is_err());
+        let c = vec![Candidate::new("x", vec![1.0, 2.0])];
+        assert!(forward_select(&c, &[1.0, 2.0], &StepwiseOptions::default()).is_err());
+        let c = vec![Candidate::new("x", vec![1.0, 2.0, 3.0])];
+        assert!(forward_select(&c, &[1.0; 5], &StepwiseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn constant_candidates_fall_back_to_intercept() {
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let c = vec![Candidate::new("const", vec![2.0; 6])];
+        // A constant column is collinear with the intercept → Singular on the
+        // only candidate → fall back to intercept-only would need best_model
+        // None path, which errors because no candidate ever fit.
+        let r = forward_select(&c, &y, &StepwiseOptions::default());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the statistics toolkit.
+
+use gemstone_stats::cluster::{standardize, Hca, Linkage, Metric};
+use gemstone_stats::corr::{pearson, spearman};
+use gemstone_stats::dist::{inc_beta, student_t_cdf, student_t_sf2};
+use gemstone_stats::matrix::{lstsq, Matrix};
+use gemstone_stats::metrics::{mae, mape, mpe, rmse};
+use gemstone_stats::regress::Ols;
+use proptest::prelude::*;
+
+/// A strategy for "nice" finite floats that keep the numerics well away from
+/// overflow while still exercising sign and magnitude variation.
+fn nice_f64() -> impl Strategy<Value = f64> {
+    (-1e3_f64..1e3).prop_filter("nonzero-ish", |v| v.abs() > 1e-9 || *v == 0.0)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in prop::collection::vec(nice_f64(), 3..40),
+        ys in prop::collection::vec(nice_f64(), 3..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (x, y) = (&xs[..n], &ys[..n]);
+        let r = pearson(x, y).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r));
+        let r2 = pearson(y, x).unwrap();
+        prop_assert!((r - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform(
+        xs in prop::collection::vec(-100.0_f64..100.0, 4..30),
+        a in 0.1_f64..10.0,
+        b in -50.0_f64..50.0,
+    ) {
+        // Skip constant vectors (correlation defined as 0 there).
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|v| a * v + b).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        prop_assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+        let neg: Vec<f64> = xs.iter().map(|v| -a * v + b).collect();
+        let rn = pearson(&xs, &neg).unwrap();
+        prop_assert!((rn + 1.0).abs() < 1e-9, "rn = {rn}");
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform(
+        xs in prop::collection::vec(-50.0_f64..50.0, 4..30),
+    ) {
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|v| v.exp().min(1e30)).collect();
+        let rho = spearman(&xs, &ys).unwrap();
+        prop_assert!(rho > 0.99, "rho = {rho}");
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns(
+        rows in prop::collection::vec(
+            (-10.0_f64..10.0, -10.0_f64..10.0),
+            6..30,
+        ),
+        c0 in -5.0_f64..5.0,
+        c1 in -5.0_f64..5.0,
+    ) {
+        // Build a well-conditioned 2-column design with distinct columns.
+        let design: Vec<Vec<f64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| vec![a + i as f64 * 0.05, b - i as f64 * 0.07])
+            .collect();
+        let y: Vec<f64> = design
+            .iter()
+            .enumerate()
+            .map(|(i, r)| c0 * r[0] + c1 * r[1] + ((i % 3) as f64 - 1.0))
+            .collect();
+        let a = Matrix::from_rows(&design).unwrap();
+        match lstsq(&a, &y) {
+            Ok(x) => {
+                // Residual must be orthogonal to each column.
+                let fitted = a.matvec(&x).unwrap();
+                let resid: Vec<f64> = y.iter().zip(&fitted).map(|(p, q)| p - q).collect();
+                let ynorm = y.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+                for c in 0..2 {
+                    let col = a.col(c);
+                    let dot: f64 = col.iter().zip(&resid).map(|(p, q)| p * q).sum();
+                    prop_assert!(dot.abs() < 1e-6 * ynorm, "dot = {dot}");
+                }
+            }
+            Err(_) => {
+                // Rank-deficient random draw: acceptable.
+            }
+        }
+    }
+
+    #[test]
+    fn ols_r2_in_unit_interval_and_adj_below(
+        seed_rows in prop::collection::vec((-10.0_f64..10.0, -10.0_f64..10.0), 8..40),
+    ) {
+        let x: Vec<Vec<f64>> = seed_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| vec![a + (i as f64).sin(), b * 0.5 + (i as f64 * 0.3).cos()])
+            .collect();
+        let y: Vec<f64> = seed_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| a - b + (i % 5) as f64)
+            .collect();
+        if let Ok(fit) = Ols::fit(&x, &y, &["a".into(), "b".into()]) {
+            prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+            prop_assert!(fit.adj_r_squared <= fit.r_squared + 1e-12);
+            prop_assert!(fit.ser >= 0.0);
+            // p-values in [0, 1].
+            for t in &fit.terms {
+                prop_assert!(t.p_value.is_nan() || (0.0..=1.0).contains(&t.p_value));
+            }
+            // Residual mean ≈ 0 (intercept included).
+            let m: f64 = fit.residuals.iter().sum::<f64>() / fit.residuals.len() as f64;
+            prop_assert!(m.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn t_cdf_monotone_in_t(df in 1.0_f64..100.0, t1 in -8.0_f64..8.0, dt in 0.01_f64..4.0) {
+        let a = student_t_cdf(t1, df).unwrap();
+        let b = student_t_cdf(t1 + dt, df).unwrap();
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    #[test]
+    fn t_sf2_matches_cdf_tails(df in 1.0_f64..60.0, t in 0.0_f64..6.0) {
+        let p2 = student_t_sf2(t, df).unwrap();
+        let tail = 2.0 * (1.0 - student_t_cdf(t, df).unwrap());
+        prop_assert!((p2 - tail).abs() < 1e-9, "p2={p2} tail={tail}");
+    }
+
+    #[test]
+    fn inc_beta_monotone_in_x(a in 0.2_f64..20.0, b in 0.2_f64..20.0, x1 in 0.0_f64..1.0, x2 in 0.0_f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = inc_beta(a, b, lo).unwrap();
+        let f_hi = inc_beta(a, b, hi).unwrap();
+        prop_assert!(f_hi >= f_lo - 1e-10);
+    }
+
+    #[test]
+    fn mape_bounds_mpe(
+        pairs in prop::collection::vec((0.5_f64..100.0, 0.1_f64..100.0), 1..30),
+    ) {
+        let r: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let e: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mape_v = mape(&r, &e).unwrap();
+        let mpe_v = mpe(&r, &e).unwrap();
+        prop_assert!(mape_v >= mpe_v.abs() - 1e-9);
+        prop_assert!(mape_v >= 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae(
+        pairs in prop::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 1..30),
+    ) {
+        let r: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let e: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!(rmse(&r, &e).unwrap() >= mae(&r, &e).unwrap() - 1e-12);
+    }
+
+    #[test]
+    fn hca_cut_k_produces_exactly_k_labels(
+        rows in prop::collection::vec(
+            prop::collection::vec(-10.0_f64..10.0, 3),
+            4..20,
+        ),
+        kseed in 1usize..100,
+    ) {
+        let hca = Hca::new(&rows, Metric::Euclidean, Linkage::Average).unwrap();
+        let k = 1 + kseed % rows.len();
+        let labels = hca.cut_k(k).unwrap();
+        prop_assert_eq!(labels.len(), rows.len());
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), k);
+        // Labels are dense 0..k.
+        prop_assert_eq!(uniq, (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hca_merge_count_is_n_minus_1(
+        rows in prop::collection::vec(
+            prop::collection::vec(-5.0_f64..5.0, 2),
+            2..25,
+        ),
+    ) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let hca = Hca::new(&rows, Metric::Euclidean, linkage).unwrap();
+            prop_assert_eq!(hca.merges().len(), rows.len() - 1);
+            prop_assert_eq!(hca.merges().last().unwrap().size, rows.len());
+        }
+    }
+
+    #[test]
+    fn standardize_columns_have_unit_variance(
+        rows in prop::collection::vec(
+            prop::collection::vec(-100.0_f64..100.0, 4),
+            3..30,
+        ),
+    ) {
+        let mut m = rows.clone();
+        standardize(&mut m).unwrap();
+        let n = m.len() as f64;
+        for j in 0..4 {
+            let mean: f64 = m.iter().map(|r| r[j]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-9);
+            let var: f64 = m.iter().map(|r| r[j] * r[j]).sum::<f64>() / n;
+            // Either standardized (var 1) or constant column (var 0).
+            prop_assert!((var - 1.0).abs() < 1e-6 || var < 1e-12, "var = {var}");
+        }
+    }
+}

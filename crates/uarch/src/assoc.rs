@@ -1,0 +1,206 @@
+//! Internal set-associative array with true-LRU replacement, shared by the
+//! TLB and cache models.
+
+/// One way of a set: a tag plus an LRU timestamp and a dirty bit.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A set-associative tag array with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub(crate) struct LruSets {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    tick: u64,
+}
+
+/// Result of an [`LruSets::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AccessResult {
+    pub hit: bool,
+    /// On a miss with an eviction, whether the victim was dirty.
+    pub victim_dirty: bool,
+    /// Whether a valid victim was evicted at all.
+    pub evicted: bool,
+    /// Tag of the evicted victim, when `evicted`.
+    pub victim_tag: Option<u64>,
+}
+
+impl LruSets {
+    /// Creates `num_sets × ways` storage. `num_sets` is rounded up to a
+    /// power of two; both arguments have a minimum of 1.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        let n = num_sets.next_power_of_two().max(1);
+        let w = ways.max(1);
+        LruSets {
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        lru: 0,
+                        valid: false,
+                        dirty: false,
+                    };
+                    w
+                ];
+                n
+            ],
+            set_mask: (n - 1) as u64,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, key: u64) -> usize {
+        // Mix upper bits in so strided patterns spread across sets.
+        let mixed = key ^ (key >> 13);
+        (mixed & self.set_mask) as usize
+    }
+
+    /// Probes for `key`; on hit refreshes LRU (and ORs in `dirty`); on miss
+    /// fills `key`, evicting the LRU way.
+    pub fn access(&mut self, key: u64, dirty: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        for way in set.iter_mut() {
+            if way.valid && way.tag == key {
+                way.lru = tick;
+                way.dirty |= dirty;
+                return AccessResult {
+                    hit: true,
+                    victim_dirty: false,
+                    evicted: false,
+                    victim_tag: None,
+                };
+            }
+        }
+        // Miss: pick invalid way or LRU victim.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("set has at least one way");
+        let evicted = victim.valid;
+        let victim_dirty = victim.valid && victim.dirty;
+        let victim_tag = if evicted { Some(victim.tag) } else { None };
+        *victim = Way {
+            tag: key,
+            lru: tick,
+            valid: true,
+            dirty,
+        };
+        AccessResult {
+            hit: false,
+            victim_dirty,
+            evicted,
+            victim_tag,
+        }
+    }
+
+    /// Probes without filling or LRU update. Used for snoop-style checks.
+    pub fn probe(&self, key: u64) -> bool {
+        let idx = self.set_index(key);
+        self.sets[idx].iter().any(|w| w.valid && w.tag == key)
+    }
+
+    /// Invalidates `key` if present; returns whether the line was dirty.
+    pub fn invalidate(&mut self, key: u64) -> Option<bool> {
+        let idx = self.set_index(key);
+        for way in self.sets[idx].iter_mut() {
+            if way.valid && way.tag == key {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.valid = false;
+            }
+        }
+    }
+
+    /// Total capacity in entries.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.sets[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut s = LruSets::new(4, 2);
+        assert!(!s.access(10, false).hit);
+        assert!(s.access(10, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set, 2 ways: keys map to the same set.
+        let mut s = LruSets::new(1, 2);
+        s.access(1, false);
+        s.access(2, false);
+        s.access(1, false); // refresh 1 → 2 becomes LRU
+        let r = s.access(3, false); // evicts 2
+        assert!(!r.hit);
+        assert!(r.evicted);
+        assert!(s.access(1, false).hit);
+        assert!(!s.access(2, false).hit);
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut s = LruSets::new(1, 1);
+        s.access(1, true);
+        let r = s.access(2, false);
+        assert!(r.victim_dirty);
+        let r = s.access(3, false);
+        assert!(!r.victim_dirty);
+    }
+
+    #[test]
+    fn dirty_bit_sticks_on_hits() {
+        let mut s = LruSets::new(1, 1);
+        s.access(1, false);
+        s.access(1, true); // mark dirty via hit
+        let r = s.access(2, false);
+        assert!(r.victim_dirty);
+    }
+
+    #[test]
+    fn probe_and_invalidate() {
+        let mut s = LruSets::new(4, 2);
+        s.access(9, true);
+        assert!(s.probe(9));
+        assert!(!s.probe(8));
+        assert_eq!(s.invalidate(9), Some(true));
+        assert!(!s.probe(9));
+        assert_eq!(s.invalidate(9), None);
+    }
+
+    #[test]
+    fn capacity_larger_array_fewer_misses() {
+        let trace: Vec<u64> = (0..64).cycle().take(1024).collect();
+        let mut small = LruSets::new(4, 2);
+        let mut large = LruSets::new(32, 4);
+        let miss = |s: &mut LruSets| trace.iter().filter(|&&k| !s.access(k, false).hit).count();
+        let m_small = miss(&mut small);
+        let m_large = miss(&mut large);
+        assert!(m_large <= m_small);
+        assert_eq!(m_large, 64); // compulsory only: 128 entries hold 64 keys
+        assert_eq!(large.capacity(), 128);
+    }
+}

@@ -1,0 +1,618 @@
+//! Simulation statistics: a typed aggregate of every counter the engine
+//! produces, plus a gem5-style hierarchical statistics dump.
+//!
+//! gem5 emits thousands of `system.cpu.*` statistics; GemStone's §IV-C
+//! analysis correlates each of them with the execution-time error. This
+//! module reproduces the relevant naming (`branchPred.*`, `itb.*`,
+//! `itb_walker_cache.*`, `icache/dcache/l2.*`, `fetch.*`, `commit.*`,
+//! `iew.*`) so the downstream analyses read like the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_uarch::stats::SimStats;
+//!
+//! let stats = SimStats::default();
+//! let map = stats.gem5_stats_map();
+//! assert!(map.contains_key("system.cpu.branchPred.condIncorrect"));
+//! ```
+
+use crate::branch::BranchCounters;
+use crate::cache::CacheCounters;
+use crate::tlb::TlbSideCounters;
+use std::collections::BTreeMap;
+
+/// Committed (architectural) instruction counts by class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassCounts {
+    /// Integer ALU ops.
+    pub int_alu: u64,
+    /// Integer multiplies.
+    pub int_mul: u64,
+    /// Integer divides.
+    pub int_div: u64,
+    /// Scalar FP ops.
+    pub fp_alu: u64,
+    /// Scalar FP divides.
+    pub fp_div: u64,
+    /// SIMD ops.
+    pub simd: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Indirect branches.
+    pub indirect_branches: u64,
+    /// Calls.
+    pub calls: u64,
+    /// Returns.
+    pub returns: u64,
+    /// Load-exclusives.
+    pub load_exclusives: u64,
+    /// Store-exclusives.
+    pub store_exclusives: u64,
+    /// Barriers.
+    pub barriers: u64,
+    /// Nops / unmodelled.
+    pub nops: u64,
+}
+
+impl ClassCounts {
+    /// Total instructions across all classes.
+    pub fn total(&self) -> u64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.fp_div
+            + self.simd
+            + self.loads
+            + self.stores
+            + self.branches
+            + self.indirect_branches
+            + self.calls
+            + self.returns
+            + self.load_exclusives
+            + self.store_exclusives
+            + self.barriers
+            + self.nops
+    }
+
+    /// All control-flow instructions.
+    pub fn all_branches(&self) -> u64 {
+        self.branches + self.indirect_branches + self.calls + self.returns
+    }
+
+    /// Integer data-processing ops (PMU `DP_SPEC` family).
+    pub fn int_dp(&self) -> u64 {
+        self.int_alu + self.int_mul + self.int_div
+    }
+
+    /// Scalar floating-point ops.
+    pub fn fp(&self) -> u64 {
+        self.fp_alu + self.fp_div
+    }
+}
+
+/// Stall-cycle breakdown (all in core cycles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallCycles {
+    /// Cycles lost to branch mispredict squashes.
+    pub mispredict: f64,
+    /// Front-end stalls: L1I misses and wrong-path pollution.
+    pub fetch: f64,
+    /// Front-end TLB stalls (gem5 `fetch.TlbCycles`).
+    pub fetch_tlb: f64,
+    /// Back-end data-memory stalls.
+    pub memory: f64,
+    /// Data-TLB stalls.
+    pub data_tlb: f64,
+    /// Serialisation: barriers and exclusives.
+    pub serialization: f64,
+    /// Long-latency execution (divides etc.).
+    pub execute: f64,
+}
+
+impl StallCycles {
+    /// Total stall cycles.
+    pub fn total(&self) -> f64 {
+        self.mispredict
+            + self.fetch
+            + self.fetch_tlb
+            + self.memory
+            + self.data_tlb
+            + self.serialization
+            + self.execute
+    }
+}
+
+/// Complete statistics from one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Core clock frequency the run used (Hz).
+    pub freq_hz: f64,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Simulated wall-clock seconds.
+    pub seconds: f64,
+    /// Committed (architectural) instructions.
+    pub committed_instructions: u64,
+    /// Speculatively executed instructions (committed + wrong path).
+    pub speculative_instructions: u64,
+    /// Wrong-path instructions fetched after mispredicts.
+    pub wrong_path_instructions: u64,
+    /// Committed per-class counts.
+    pub committed: ClassCounts,
+    /// Speculative per-class counts (committed + wrong-path composition).
+    pub speculative: ClassCounts,
+    /// Committed unaligned loads.
+    pub unaligned_loads: u64,
+    /// Committed unaligned stores.
+    pub unaligned_stores: u64,
+    /// Store-exclusive failures.
+    pub strex_fails: u64,
+    /// Branch-unit counters.
+    pub branch: BranchCounters,
+    /// Instruction-side TLB counters.
+    pub itlb: TlbSideCounters,
+    /// Data-side TLB counters.
+    pub dtlb: TlbSideCounters,
+    /// Data-TLB misses triggered by loads.
+    pub dtlb_miss_loads: u64,
+    /// Data-TLB misses triggered by stores.
+    pub dtlb_miss_stores: u64,
+    /// L1 instruction cache counters.
+    pub l1i: CacheCounters,
+    /// L1I accesses *as reported* (per instruction in the gem5 model,
+    /// per fetched line on hardware).
+    pub l1i_reported_accesses: u64,
+    /// L1 data cache counters.
+    pub l1d: CacheCounters,
+    /// Shared L2 counters.
+    pub l2: CacheCounters,
+    /// DRAM accesses (L2 demand misses + L2 writebacks + walks that miss).
+    pub dram_accesses: u64,
+    /// DRAM accesses triggered by reads.
+    pub dram_reads: u64,
+    /// DRAM accesses triggered by writes(backs).
+    pub dram_writes: u64,
+    /// Coherence snoops observed.
+    pub snoops: u64,
+    /// Commit stalls for non-speculatable instructions (barriers,
+    /// exclusives) — gem5 `commit.commitNonSpecStalls`.
+    pub nonspec_stalls: u64,
+    /// Stall breakdown.
+    pub stalls: StallCycles,
+    /// Whether this run's configuration counts VFP ops in the SIMD event
+    /// (the gem5 misclassification of §V).
+    pub fp_counted_as_simd: bool,
+    /// Whether the second-level TLB was split (controls which walker-cache
+    /// statistics appear in the gem5 dump).
+    pub split_l2_tlb: bool,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.committed_instructions as f64 / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Event count per second of simulated time — the rate form used by the
+    /// power models.
+    pub fn rate(&self, count: f64) -> f64 {
+        if self.seconds > 0.0 {
+            count / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Produces a gem5-style statistics dump. Key names follow gem5's
+    /// `system.cpu.*` conventions; the walker-cache statistics
+    /// (`itb_walker_cache.*`) appear only for split-L2-TLB (model)
+    /// configurations, mirroring which statistics exist in each tool.
+    pub fn gem5_stats_map(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        let mut put = |k: &str, v: f64| {
+            m.insert(k.to_string(), v);
+        };
+
+        put("sim_seconds", self.seconds);
+        put("sim_insts", self.committed_instructions as f64);
+        put("system.cpu.numCycles", self.cycles);
+        put("system.cpu.ipc", self.ipc());
+        put(
+            "system.cpu.committedInsts",
+            self.committed_instructions as f64,
+        );
+        put("system.cpu.commit.committedInsts", self.committed_instructions as f64);
+        put(
+            "system.cpu.commit.branches",
+            self.committed.all_branches() as f64,
+        );
+        put(
+            "system.cpu.commit.branchMispredicts",
+            self.branch.total_mispredicts() as f64,
+        );
+        put(
+            "system.cpu.commit.commitNonSpecStalls",
+            self.nonspec_stalls as f64,
+        );
+        put("system.cpu.commit.loads", self.committed.loads as f64);
+        put(
+            "system.cpu.commit.membars",
+            self.committed.barriers as f64,
+        );
+
+        // Branch predictor.
+        put("system.cpu.branchPred.lookups", self.branch.lookups as f64);
+        put(
+            "system.cpu.branchPred.condPredicted",
+            self.branch.cond_predicted as f64,
+        );
+        put(
+            "system.cpu.branchPred.condIncorrect",
+            self.branch.cond_incorrect as f64,
+        );
+        put("system.cpu.branchPred.BTBHits", self.branch.btb_hits as f64);
+        put(
+            "system.cpu.branchPred.BTBLookups",
+            (self.branch.btb_hits + self.branch.btb_misses) as f64,
+        );
+        put("system.cpu.branchPred.usedRAS", self.branch.used_ras as f64);
+        put(
+            "system.cpu.branchPred.RASInCorrect",
+            self.branch.ras_incorrect as f64,
+        );
+        put(
+            "system.cpu.branchPred.indirectLookups",
+            self.branch.indirect_lookups as f64,
+        );
+        put(
+            "system.cpu.branchPred.indirectMisses",
+            self.branch.indirect_misses as f64,
+        );
+
+        // Fetch.
+        put(
+            "system.cpu.fetch.predictedBranches",
+            self.branch.lookups as f64,
+        );
+        put(
+            "system.cpu.fetch.Branches",
+            self.speculative.all_branches() as f64,
+        );
+        put("system.cpu.fetch.TlbCycles", self.stalls.fetch_tlb);
+        put("system.cpu.fetch.IcacheStallCycles", self.stalls.fetch);
+        put(
+            "system.cpu.fetch.PendingTrapStallCycles",
+            self.stalls.mispredict * 0.1,
+        );
+        put(
+            "system.cpu.fetch.insts",
+            self.speculative_instructions as f64,
+        );
+
+        // IEW (issue/execute/writeback).
+        put("system.cpu.iew.exec_nop", self.speculative.nops as f64);
+        put(
+            "system.cpu.iew.exec_branches",
+            self.speculative.all_branches() as f64,
+        );
+        put(
+            "system.cpu.iew.predictedTakenIncorrect",
+            self.branch.cond_incorrect as f64 * 0.6,
+        );
+        put(
+            "system.cpu.iew.predictedNotTakenIncorrect",
+            self.branch.cond_incorrect as f64 * 0.4,
+        );
+        put(
+            "system.cpu.iew.memOrderViolationEvents",
+            self.strex_fails as f64,
+        );
+
+        // Instruction classes (speculative, matching gem5's op-class stats).
+        put("system.cpu.intAluAccesses", self.speculative.int_dp() as f64);
+        put(
+            "system.cpu.fpAluAccesses",
+            (self.speculative.fp() + self.speculative.simd) as f64,
+        );
+
+        // TLBs. gem5's `itb`/`dtb` are the L1 TLBs.
+        put("system.cpu.itb.accesses", self.itlb.l1_accesses as f64);
+        put("system.cpu.itb.misses", self.itlb.l1_misses as f64);
+        put(
+            "system.cpu.itb.hits",
+            (self.itlb.l1_accesses - self.itlb.l1_misses) as f64,
+        );
+        put("system.cpu.dtb.accesses", self.dtlb.l1_accesses as f64);
+        put("system.cpu.dtb.misses", self.dtlb.l1_misses as f64);
+        put(
+            "system.cpu.dtb.hits",
+            (self.dtlb.l1_accesses - self.dtlb.l1_misses) as f64,
+        );
+        put(
+            "system.cpu.dtb.prefetch_faults",
+            (self.dtlb.walks / 8) as f64,
+        );
+        put("system.cpu.itb.walks", self.itlb.walks as f64);
+        put("system.cpu.dtb.walks", self.dtlb.walks as f64);
+
+        if self.split_l2_tlb {
+            // The ex5 model's walker caches (the paper's Cluster A events).
+            put(
+                "system.cpu.itb_walker_cache.overall_accesses",
+                self.itlb.l2_accesses as f64,
+            );
+            put(
+                "system.cpu.itb_walker_cache.overall_hits",
+                self.itlb.l2_hits as f64,
+            );
+            put(
+                "system.cpu.itb_walker_cache.overall_misses",
+                self.itlb.walks as f64,
+            );
+            put(
+                "system.cpu.itb_walker_cache.ReadReq_accesses",
+                self.itlb.l2_accesses as f64,
+            );
+            put(
+                "system.cpu.itb_walker_cache.overall_miss_rate",
+                if self.itlb.l2_accesses > 0 {
+                    self.itlb.walks as f64 / self.itlb.l2_accesses as f64
+                } else {
+                    0.0
+                },
+            );
+            put(
+                "system.cpu.dtb_walker_cache.overall_accesses",
+                self.dtlb.l2_accesses as f64,
+            );
+            put(
+                "system.cpu.dtb_walker_cache.overall_hits",
+                self.dtlb.l2_hits as f64,
+            );
+            put(
+                "system.cpu.dtb_walker_cache.overall_misses",
+                self.dtlb.walks as f64,
+            );
+        } else {
+            put(
+                "system.cpu.l2tlb.overall_accesses",
+                (self.itlb.l2_accesses + self.dtlb.l2_accesses) as f64,
+            );
+            put(
+                "system.cpu.l2tlb.overall_hits",
+                (self.itlb.l2_hits + self.dtlb.l2_hits) as f64,
+            );
+        }
+
+        // Caches.
+        put(
+            "system.cpu.icache.overall_accesses",
+            self.l1i_reported_accesses as f64,
+        );
+        put("system.cpu.icache.overall_misses", self.l1i.misses as f64);
+        put(
+            "system.cpu.icache.overall_hits",
+            self.l1i_reported_accesses.saturating_sub(self.l1i.misses) as f64,
+        );
+        put(
+            "system.cpu.icache.overall_miss_rate",
+            if self.l1i_reported_accesses > 0 {
+                self.l1i.misses as f64 / self.l1i_reported_accesses as f64
+            } else {
+                0.0
+            },
+        );
+        put(
+            "system.cpu.dcache.overall_accesses",
+            self.l1d.accesses as f64,
+        );
+        put("system.cpu.dcache.overall_misses", self.l1d.misses as f64);
+        put("system.cpu.dcache.overall_hits", self.l1d.hits as f64);
+        put(
+            "system.cpu.dcache.ReadReq_accesses",
+            self.l1d.read_accesses as f64,
+        );
+        put(
+            "system.cpu.dcache.WriteReq_accesses",
+            self.l1d.write_accesses as f64,
+        );
+        put(
+            "system.cpu.dcache.ReadReq_hits",
+            (self.l1d.read_accesses - self.l1d.read_misses) as f64,
+        );
+        put(
+            "system.cpu.dcache.WriteReq_hits",
+            (self.l1d.write_accesses - self.l1d.write_misses) as f64,
+        );
+        put(
+            "system.cpu.dcache.ReadReq_misses",
+            self.l1d.read_misses as f64,
+        );
+        put(
+            "system.cpu.dcache.WriteReq_misses",
+            self.l1d.write_misses as f64,
+        );
+        put(
+            "system.cpu.dcache.writebacks",
+            self.l1d.writebacks_reported as f64,
+        );
+        put(
+            "system.cpu.dcache.overall_mshr_misses",
+            self.l1d.misses as f64,
+        );
+
+        put("system.l2.overall_accesses", self.l2.accesses as f64);
+        put("system.l2.overall_misses", self.l2.misses as f64);
+        put("system.l2.overall_hits", self.l2.hits as f64);
+        put(
+            "system.l2.overall_miss_rate",
+            self.l2.miss_rate(),
+        );
+        put(
+            "system.l2.ReadExReq_accesses",
+            self.l2.write_accesses as f64,
+        );
+        put(
+            "system.l2.ReadExReq_hits",
+            (self.l2.write_accesses - self.l2.write_misses) as f64,
+        );
+        put(
+            "system.l2.ReadExReq_misses",
+            self.l2.write_misses as f64,
+        );
+        put("system.l2.writebacks", self.l2.writebacks_reported as f64);
+        put("system.l2.prefetches", self.l2.prefetch_fills as f64);
+        put(
+            "system.l2.overall_miss_latency",
+            self.l2.misses as f64 * self.stalls.memory.max(1.0)
+                / (self.l1d.misses.max(1)) as f64,
+        );
+        put(
+            "system.l2.UncacheableLatency::cpu.data",
+            self.stalls.serialization * 0.2,
+        );
+
+        // Memory system.
+        put("system.mem_ctrls.num_reads", self.dram_reads as f64);
+        put("system.mem_ctrls.num_writes", self.dram_writes as f64);
+        put(
+            "system.mem_ctrls.bytes_read",
+            self.dram_reads as f64 * 64.0,
+        );
+        put("system.membus.snoops", self.snoops as f64);
+
+        // Stall decomposition.
+        put("system.cpu.stalls.mispredict", self.stalls.mispredict);
+        put("system.cpu.stalls.fetch", self.stalls.fetch);
+        put("system.cpu.stalls.memory", self.stalls.memory);
+        put("system.cpu.stalls.dataTlb", self.stalls.data_tlb);
+        put("system.cpu.stalls.serialization", self.stalls.serialization);
+        put("system.cpu.stalls.execute", self.stalls.execute);
+
+        m
+    }
+}
+
+impl SimStats {
+    /// Renders the statistics in gem5's `stats.txt` format:
+    /// `name  value  # description`-style lines between begin/end markers.
+    pub fn to_stats_txt(&self) -> String {
+        let mut out = String::from(
+            "---------- Begin Simulation Statistics ----------\n",
+        );
+        for (name, value) in self.gem5_stats_map() {
+            // gem5 prints integers without a fraction and floats with six
+            // significant digits.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                out.push_str(&format!("{name:<60} {value:>20.0}\n"));
+            } else {
+                out.push_str(&format!("{name:<60} {value:>20.6}\n"));
+            }
+        }
+        out.push_str("---------- End Simulation Statistics   ----------\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_txt_format() {
+        let mut s = SimStats::default();
+        s.committed_instructions = 12345;
+        s.cycles = 67890.5;
+        let txt = s.to_stats_txt();
+        assert!(txt.starts_with("---------- Begin Simulation Statistics"));
+        assert!(txt.trim_end().ends_with("End Simulation Statistics   ----------"));
+        assert!(txt.contains("sim_insts"));
+        assert!(txt.contains("12345"));
+        // One line per stat plus the two markers.
+        assert_eq!(
+            txt.lines().count(),
+            s.gem5_stats_map().len() + 2
+        );
+    }
+
+    #[test]
+    fn class_counts_total() {
+        let mut c = ClassCounts::default();
+        c.int_alu = 10;
+        c.loads = 5;
+        c.branches = 3;
+        c.returns = 1;
+        c.calls = 1;
+        assert_eq!(c.total(), 20);
+        assert_eq!(c.all_branches(), 5);
+        assert_eq!(c.int_dp(), 10);
+    }
+
+    #[test]
+    fn ipc_and_rate() {
+        let mut s = SimStats::default();
+        s.cycles = 1000.0;
+        s.committed_instructions = 500;
+        s.seconds = 2.0;
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.rate(100.0) - 50.0).abs() < 1e-12);
+        let z = SimStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.rate(5.0), 0.0);
+    }
+
+    #[test]
+    fn gem5_map_has_core_keys() {
+        let map = SimStats::default().gem5_stats_map();
+        for k in [
+            "sim_seconds",
+            "system.cpu.numCycles",
+            "system.cpu.branchPred.condIncorrect",
+            "system.cpu.itb.misses",
+            "system.cpu.dcache.writebacks",
+            "system.l2.prefetches",
+            "system.mem_ctrls.num_reads",
+        ] {
+            assert!(map.contains_key(k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn walker_cache_stats_only_when_split() {
+        let mut s = SimStats::default();
+        s.split_l2_tlb = false;
+        assert!(!s
+            .gem5_stats_map()
+            .contains_key("system.cpu.itb_walker_cache.overall_accesses"));
+        assert!(s.gem5_stats_map().contains_key("system.cpu.l2tlb.overall_accesses"));
+        s.split_l2_tlb = true;
+        assert!(s
+            .gem5_stats_map()
+            .contains_key("system.cpu.itb_walker_cache.overall_accesses"));
+        assert!(!s.gem5_stats_map().contains_key("system.cpu.l2tlb.overall_accesses"));
+    }
+
+    #[test]
+    fn stall_total_is_sum() {
+        let s = StallCycles {
+            mispredict: 1.0,
+            fetch: 2.0,
+            fetch_tlb: 3.0,
+            memory: 4.0,
+            data_tlb: 5.0,
+            serialization: 6.0,
+            execute: 7.0,
+        };
+        assert!((s.total() - 28.0).abs() < 1e-12);
+    }
+}

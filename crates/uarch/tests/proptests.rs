@@ -1,0 +1,270 @@
+//! Property-based tests for the micro-architecture timing engine.
+
+use gemstone_uarch::branch::{
+    BimodalPredictor, DirectionPredictor, GsharePredictor, TournamentPredictor,
+};
+use gemstone_uarch::cache::{Cache, CacheConfig};
+use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
+use gemstone_uarch::core::Engine;
+use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
+use gemstone_uarch::pmu::{self, event_counts};
+use gemstone_uarch::tlb::{SecondLevelTlb, TlbConfig, TlbHierarchy, TlbKind};
+use proptest::prelude::*;
+
+/// A small random-but-valid instruction stream.
+fn stream_strategy() -> impl Strategy<Value = Vec<Instr>> {
+    prop::collection::vec(
+        (0u8..10, 0u64..4096, 0u64..(1 << 22), any::<bool>()),
+        50..400,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (kind, pcoff, addr, flag))| {
+                let pc = pcoff * 4;
+                match kind {
+                    0 | 1 | 2 => Instr::alu(InstrClass::IntAlu, pc),
+                    3 => Instr::alu(InstrClass::FpAlu, pc),
+                    4 => Instr::alu(InstrClass::Simd, pc),
+                    5 | 6 => Instr::mem(InstrClass::Load, pc, MemRef::load(addr, 4)),
+                    7 => Instr::mem(InstrClass::Store, pc, MemRef::store(addr, 4)),
+                    8 => Instr::branch(
+                        InstrClass::Branch,
+                        pc,
+                        BranchRef {
+                            static_id: (pcoff % 64) as u32,
+                            taken: flag,
+                            target_page: pcoff % 8,
+                        },
+                    ),
+                    _ => Instr::alu(InstrClass::Nop, pc),
+                }
+                .with_index(i)
+            })
+            .collect()
+    })
+}
+
+/// Helper to keep instruction pcs distinct-ish per index.
+trait WithIndex {
+    fn with_index(self, i: usize) -> Self;
+}
+
+impl WithIndex for Instr {
+    fn with_index(mut self, i: usize) -> Self {
+        self.pc = self.pc.wrapping_add((i as u64 % 16) * 4);
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_commits_every_instruction(stream in stream_strategy()) {
+        let n = stream.len() as u64;
+        let mut e = Engine::new(cortex_a15_hw(), 1.0e9, 1);
+        let r = e.run(stream.into_iter());
+        prop_assert_eq!(r.stats.committed_instructions, n);
+        prop_assert!(r.cycles > 0.0);
+        prop_assert!(r.seconds > 0.0);
+        // Speculative ≥ committed.
+        prop_assert!(r.stats.speculative_instructions >= r.stats.committed_instructions);
+    }
+
+    #[test]
+    fn engine_is_deterministic(stream in stream_strategy()) {
+        let run = |s: Vec<Instr>| {
+            let mut e = Engine::new(ex5_big(Ex5Variant::Old), 1.0e9, 4);
+            e.run(s.into_iter())
+        };
+        let a = run(stream.clone());
+        let b = run(stream);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.stats.branch.cond_incorrect, b.stats.branch.cond_incorrect);
+        prop_assert_eq!(a.stats.l1d.misses, b.stats.l1d.misses);
+    }
+
+    #[test]
+    fn cycles_scale_down_with_frequency_but_not_linearly(stream in stream_strategy()) {
+        // Higher frequency ⇒ more cycles spent on the same DRAM nanoseconds,
+        // so cycle count grows (or stays equal) with frequency.
+        let run = |f: f64, s: Vec<Instr>| {
+            let mut e = Engine::new(cortex_a7_hw(), f, 1);
+            e.run(s.into_iter())
+        };
+        let lo = run(0.2e9, stream.clone());
+        let hi = run(1.4e9, stream);
+        prop_assert!(hi.cycles >= lo.cycles - 1e-9);
+        // And wall-clock time still improves.
+        prop_assert!(hi.seconds <= lo.seconds + 1e-12);
+    }
+
+    #[test]
+    fn stall_breakdown_consistent(stream in stream_strategy()) {
+        let mut e = Engine::new(cortex_a15_hw(), 1.0e9, 1);
+        let r = e.run(stream.into_iter());
+        // Total cycles at least base issue cost plus stalls.
+        prop_assert!(r.cycles >= r.stats.stalls.total() - 1e-6);
+        // Every stall component non-negative.
+        let s = &r.stats.stalls;
+        for v in [s.mispredict, s.fetch, s.fetch_tlb, s.memory, s.data_tlb, s.serialization, s.execute] {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pmu_counts_nonnegative_and_cover_events(stream in stream_strategy()) {
+        let mut e = Engine::new(ex5_big(Ex5Variant::Fixed), 1.0e9, 1);
+        let r = e.run(stream.into_iter());
+        let counts = event_counts(&r.stats);
+        for &ev in pmu::events() {
+            let v = counts[&ev];
+            prop_assert!(v >= 0.0, "event {ev:#x} = {v}");
+            prop_assert!(v.is_finite());
+        }
+        // Retired instruction count matches.
+        prop_assert_eq!(
+            counts[&pmu::INST_RETIRED] as u64,
+            r.stats.committed_instructions
+        );
+        // Cycles event matches engine cycles.
+        prop_assert!((counts[&pmu::CPU_CYCLES] - r.cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_counters_are_consistent(
+        lines in prop::collection::vec((0u64..512, any::<bool>()), 1..600),
+    ) {
+        let mut c = Cache::new(CacheConfig::new(8 * 1024, 4, 64, 2));
+        for &(l, w) in &lines {
+            c.access(l, w);
+        }
+        let k = c.counters();
+        prop_assert_eq!(k.accesses, lines.len() as u64);
+        prop_assert_eq!(k.hits + k.misses, k.accesses);
+        prop_assert_eq!(k.read_accesses + k.write_accesses, k.accesses);
+        prop_assert_eq!(k.read_misses + k.write_misses, k.misses);
+        prop_assert!(k.writeback_lines <= k.evictions);
+        prop_assert!(k.refill_reads + k.refill_writes <= k.misses);
+        prop_assert!(k.writebacks_reported >= k.writeback_lines);
+    }
+
+    #[test]
+    fn tlb_counters_are_consistent(pages in prop::collection::vec(0u64..256, 1..500)) {
+        let mut h = TlbHierarchy::new(
+            TlbConfig { entries: 16, ways: 16 },
+            TlbConfig { entries: 16, ways: 16 },
+            SecondLevelTlb::unified(TlbConfig { entries: 64, ways: 4 }, 2, 40),
+        );
+        for (i, &p) in pages.iter().enumerate() {
+            let kind = if i % 2 == 0 { TlbKind::Instruction } else { TlbKind::Data };
+            h.translate(kind, p);
+        }
+        for c in [h.instruction_counters(), h.data_counters()] {
+            prop_assert!(c.l1_misses <= c.l1_accesses);
+            prop_assert_eq!(c.l2_accesses, c.l1_misses);
+            prop_assert_eq!(c.l2_hits + c.walks, c.l2_accesses);
+        }
+    }
+
+    #[test]
+    fn predictors_learn_biased_branches(bias in 0u8..2, reps in 40usize..120) {
+        let taken = bias == 1;
+        let preds: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(BimodalPredictor::new(256)),
+            Box::new(GsharePredictor::new(1024, 8, false)),
+            Box::new(TournamentPredictor::new(256, 1024, 8)),
+        ];
+        for mut p in preds {
+            let mut correct = 0;
+            for i in 0..reps {
+                let pr = p.predict(7);
+                if i >= 8 && pr == taken {
+                    correct += 1;
+                }
+                p.update(7, taken, pr != taken);
+            }
+            let acc = correct as f64 / (reps - 8) as f64;
+            prop_assert!(acc > 0.95, "{} acc = {acc}", p.name());
+        }
+    }
+
+    #[test]
+    fn old_model_never_faster_to_predict_than_hw_on_periodic(period in 2usize..8) {
+        // For any short periodic pattern the buggy predictor cannot beat
+        // the tournament predictor (after warm-up).
+        let pattern: Vec<bool> = (0..period).map(|i| i < period / 2 || period == 2 && i == 0).collect();
+        let run = |mut p: Box<dyn DirectionPredictor>| {
+            let mut correct = 0u32;
+            let mut total = 0u32;
+            for rep in 0..200 {
+                for &t in &pattern {
+                    let pr = p.predict(3);
+                    if rep >= 50 {
+                        total += 1;
+                        correct += u32::from(pr == t);
+                    }
+                    p.update(3, t, pr != t);
+                }
+            }
+            correct as f64 / total as f64
+        };
+        let hw = run(Box::new(TournamentPredictor::new(2048, 8192, 12)));
+        let buggy = run(Box::new(GsharePredictor::new(4096, 12, true)));
+        prop_assert!(hw >= buggy - 0.02, "hw {hw} vs buggy {buggy} (period {period})");
+        prop_assert!(hw > 0.95, "hw accuracy {hw} on period {period}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine must never panic or produce non-finite results, even for
+    /// adversarial addresses near the integer boundaries.
+    #[test]
+    fn engine_survives_extreme_addresses(
+        pcs in prop::collection::vec(any::<u64>(), 20..100),
+        addrs in prop::collection::vec(any::<u64>(), 20..100),
+    ) {
+        let n = pcs.len().min(addrs.len());
+        let stream: Vec<Instr> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Instr::mem(InstrClass::Load, pcs[i], MemRef::load(addrs[i], 4))
+                } else if i % 7 == 0 {
+                    Instr::branch(
+                        InstrClass::Branch,
+                        pcs[i],
+                        BranchRef {
+                            static_id: (addrs[i] & 0xFFFF) as u32,
+                            taken: addrs[i] % 2 == 0,
+                            target_page: addrs[i] >> 12,
+                        },
+                    )
+                } else {
+                    Instr::alu(InstrClass::IntAlu, pcs[i])
+                }
+            })
+            .collect();
+        for cfg in [cortex_a15_hw(), ex5_big(Ex5Variant::Old)] {
+            let mut e = Engine::new(cfg, 1.0e9, 4);
+            let r = e.run(stream.iter().copied());
+            prop_assert!(r.cycles.is_finite());
+            prop_assert!(r.seconds.is_finite() && r.seconds > 0.0);
+            prop_assert_eq!(r.stats.committed_instructions, n as u64);
+        }
+    }
+
+    /// Extreme frequencies keep the cycle accounting finite.
+    #[test]
+    fn engine_survives_extreme_frequencies(freq in prop_oneof![Just(1.0), Just(1e3), Just(1e12)]) {
+        let stream: Vec<Instr> = (0..500)
+            .map(|i| Instr::mem(InstrClass::Load, i * 4, MemRef::load(i * 64, 4)))
+            .collect();
+        let mut e = Engine::new(cortex_a7_hw(), freq, 1);
+        let r = e.run(stream.into_iter());
+        prop_assert!(r.cycles.is_finite() && r.cycles > 0.0);
+        prop_assert!(r.seconds.is_finite());
+    }
+}

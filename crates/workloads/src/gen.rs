@@ -1,0 +1,620 @@
+//! The instruction-stream generator: turns a [`WorkloadSpec`] into a
+//! deterministic stream of abstract instructions for the timing engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_workloads::gen::StreamGen;
+//! use gemstone_workloads::spec::{Suite, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::builder("demo", Suite::MiBench)
+//!     .instructions(5_000)
+//!     .build();
+//! let instrs: Vec<_> = StreamGen::new(&spec).collect();
+//! assert_eq!(instrs.len(), 5_000);
+//! // Determinism: the same spec generates the same stream.
+//! let again: Vec<_> = StreamGen::new(&spec).collect();
+//! assert_eq!(instrs, again);
+//! ```
+
+use crate::spec::{BranchBehavior, PhaseSpec, WorkloadSpec};
+use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Base virtual address of the data segment (keeps data pages disjoint from
+/// code pages).
+const DATA_BASE: u64 = 1 << 30;
+/// Base virtual page of the code segment.
+const CODE_BASE_PAGE: u64 = 0x100;
+/// Static branch sites materialised per behaviour component.
+const SITES_PER_COMPONENT: usize = 4;
+
+#[derive(Debug, Clone)]
+struct SiteState {
+    behavior: BranchBehavior,
+    static_id: u32,
+    target_page: u64,
+    counter: u32,
+}
+
+impl SiteState {
+    fn outcome(&mut self, rng: &mut SmallRng) -> bool {
+        match self.behavior {
+            BranchBehavior::Random { taken_prob } | BranchBehavior::Biased { taken_prob } => {
+                rng.gen::<f64>() < taken_prob
+            }
+            BranchBehavior::Pattern { bits, len } => {
+                let len = u32::from(len.clamp(1, 32));
+                let bit = (bits >> (self.counter % len)) & 1;
+                self.counter = self.counter.wrapping_add(1);
+                bit == 1
+            }
+            BranchBehavior::Loop { body } => {
+                let body = u32::from(body.max(2));
+                let taken = (self.counter % body) != body - 1;
+                self.counter = self.counter.wrapping_add(1);
+                taken
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PhaseRuntime {
+    spec: PhaseSpec,
+    /// Cumulative class-probability table.
+    cdf: [f64; 14],
+    sites: Vec<SiteState>,
+    /// Weighted site-sampling table (indices into `sites`).
+    site_table: Vec<usize>,
+    /// Call sites: (static id, fixed callee page). Real call sites call the
+    /// same function every time.
+    call_sites: Vec<(u32, u64)>,
+    instructions: u64,
+}
+
+/// Deterministic instruction-stream generator. Implements
+/// [`Iterator<Item = Instr>`].
+#[derive(Debug)]
+pub struct StreamGen {
+    rng: SmallRng,
+    phases: Vec<PhaseRuntime>,
+    phase_idx: usize,
+    phase_remaining: u64,
+    remaining: u64,
+    // Runtime state.
+    pc: u64,
+    code_pages: u64,
+    seq_ptr: u64,
+    call_stack: Vec<u64>,
+    pending: VecDeque<Instr>,
+    shared_threads: bool,
+}
+
+impl StreamGen {
+    /// Builds the generator for a workload specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no phases or a phase has no branch sites while
+    /// its mix contains branches.
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        assert!(!spec.phases.is_empty(), "workload needs phases");
+        let mut rng = SmallRng::seed_from_u64(spec.derived_seed());
+        let total_weight: f64 = spec.phases.iter().map(|p| p.weight.max(0.0)).sum();
+        assert!(total_weight > 0.0, "phase weights must be positive");
+
+        let mut phases = Vec::with_capacity(spec.phases.len());
+        let mut site_id = 0u32;
+        for (pi, p) in spec.phases.iter().enumerate() {
+            let mix = p.mix.normalised();
+            let probs = [
+                mix.int_alu,
+                mix.int_mul,
+                mix.int_div,
+                mix.fp_alu,
+                mix.fp_div,
+                mix.simd,
+                mix.load,
+                mix.store,
+                mix.branch,
+                mix.indirect,
+                mix.call,
+                mix.exclusive,
+                mix.barrier,
+                mix.nop,
+            ];
+            let mut cdf = [0.0; 14];
+            let mut acc = 0.0;
+            for (i, p) in probs.iter().enumerate() {
+                acc += p;
+                cdf[i] = acc;
+            }
+            // Materialise branch sites. Pattern behaviours get a single
+            // static site so the *dynamic* outcome stream follows the
+            // pattern — a tight loop with one dominant patterned branch,
+            // like the paper's `par-basicmath-rad2deg`.
+            let mut sites = Vec::new();
+            let mut site_table = Vec::new();
+            let bw: f64 = p.branches.iter().map(|b| b.weight.max(0.0)).sum();
+            for b in &p.branches {
+                let first = sites.len();
+                let n_sites = match b.behavior {
+                    BranchBehavior::Pattern { .. } => 1,
+                    _ => SITES_PER_COMPONENT,
+                };
+                for _ in 0..n_sites {
+                    sites.push(SiteState {
+                        behavior: b.behavior,
+                        static_id: site_id,
+                        target_page: CODE_BASE_PAGE
+                            + rng.gen::<u64>() % u64::from(p.code_pages.max(1)),
+                        counter: 0,
+                    });
+                    site_id += 1;
+                }
+                // Sampling table entries proportional to weight.
+                let entries = if bw > 0.0 {
+                    ((b.weight.max(0.0) / bw) * 64.0).round() as usize
+                } else {
+                    0
+                };
+                for e in 0..entries.max(1) {
+                    site_table.push(first + e % n_sites);
+                }
+            }
+            if (mix.branch > 0.0 || mix.indirect > 0.0) && sites.is_empty() {
+                panic!("phase {pi} mixes branches but declares no branch sites");
+            }
+            // Fixed-target call sites spread over the code footprint.
+            let call_sites: Vec<(u32, u64)> = (0..8)
+                .map(|k| {
+                    let id = 0xF000 + (pi as u32) * 16 + k;
+                    let page = CODE_BASE_PAGE + rng.gen::<u64>() % u64::from(p.code_pages.max(1));
+                    (id, page)
+                })
+                .collect();
+            let share = p.weight.max(0.0) / total_weight;
+            phases.push(PhaseRuntime {
+                spec: p.clone(),
+                cdf,
+                sites,
+                site_table,
+                call_sites,
+                instructions: (spec.instructions as f64 * share) as u64,
+            });
+        }
+        // Rounding remainder goes to the last phase.
+        let assigned: u64 = phases.iter().map(|p| p.instructions).sum();
+        if let Some(last) = phases.last_mut() {
+            last.instructions += spec.instructions - assigned.min(spec.instructions);
+        }
+
+        let first_remaining = phases[0].instructions;
+        let code_pages = u64::from(phases[0].spec.code_pages.max(1));
+        StreamGen {
+            rng,
+            phases,
+            phase_idx: 0,
+            phase_remaining: first_remaining,
+            remaining: spec.instructions,
+            pc: CODE_BASE_PAGE << 12,
+            code_pages,
+            seq_ptr: 0,
+            call_stack: Vec::new(),
+            pending: VecDeque::new(),
+            shared_threads: spec.threads > 1,
+        }
+    }
+
+    fn advance_pc(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc += 4;
+        // Wrap within the code footprint.
+        let page = self.pc >> 12;
+        if page >= CODE_BASE_PAGE + self.code_pages {
+            self.pc = CODE_BASE_PAGE << 12;
+        }
+        pc
+    }
+
+    fn jump_to_page(&mut self, page: u64) {
+        let offset = (self.rng.gen::<u64>() & 0x3FF) << 2;
+        self.pc = (page << 12) | offset;
+    }
+
+    fn mem_ref(&mut self, is_store: bool) -> MemRef {
+        let phase = &self.phases[self.phase_idx].spec;
+        let pat = phase.mem;
+        let addr = if self.rng.gen::<f64>() < pat.random_frac {
+            (DATA_BASE + (self.rng.gen::<u64>() % pat.ws_bytes)) & !3
+        } else {
+            self.seq_ptr = (self.seq_ptr + pat.stride) % pat.ws_bytes;
+            DATA_BASE + self.seq_ptr
+        };
+        let unaligned = self.rng.gen::<f64>() < pat.unaligned_frac;
+        let shared = self.shared_threads
+            && pat.shared_frac > 0.0
+            && self.rng.gen::<f64>() < pat.shared_frac;
+        let m = if is_store {
+            MemRef::store(addr, 4)
+        } else {
+            MemRef::load(addr, 4)
+        };
+        m.with_unaligned(unaligned)
+            .with_shared(shared)
+            .with_dependent(pat.dependent && !is_store)
+    }
+
+    fn branch_instr(&mut self, indirect: bool) -> Instr {
+        let pc = self.advance_pc();
+        let phase = &mut self.phases[self.phase_idx];
+        let idx = phase.site_table[self.rng.gen::<usize>() % phase.site_table.len()];
+        let n_sites = phase.sites.len();
+        let site = &mut phase.sites[idx % n_sites];
+        let taken = site.outcome(&mut self.rng);
+        let (class, target_page) = if indirect {
+            // Indirect targets are sticky: mostly the same target, with
+            // occasional hops among a small set of pages.
+            let hop = if self.rng.gen::<f64>() < 0.85 {
+                0
+            } else {
+                1 + self.rng.gen::<u64>() % 3
+            };
+            (
+                InstrClass::IndirectBranch,
+                CODE_BASE_PAGE + (site.target_page - CODE_BASE_PAGE + hop) % self.code_pages,
+            )
+        } else {
+            // Conditional branches are loop back-edges and short forward
+            // skips: they stay within the current page. Only calls and
+            // indirect branches cross pages.
+            (InstrClass::Branch, pc >> 12)
+        };
+        let static_id = site.static_id;
+        let out = Instr::branch(
+            class,
+            pc,
+            BranchRef {
+                static_id,
+                taken: if indirect { true } else { taken },
+                target_page,
+            },
+        );
+        if indirect && target_page != pc >> 12 {
+            self.jump_to_page(target_page);
+        } else if !indirect && taken {
+            // Short backward jump within the page (loop-shaped locality).
+            let back = (self.rng.gen::<u64>() & 0x1FF) + 4;
+            self.pc = (pc & !0xFFF) | (pc & 0xFFF).saturating_sub(back);
+        }
+        out
+    }
+
+    fn call_or_return(&mut self) -> Instr {
+        let pc = self.advance_pc();
+        let current_page = pc >> 12;
+        // Return when the stack is deep enough, call otherwise.
+        if !self.call_stack.is_empty() && (self.call_stack.len() >= 6 || self.rng.gen::<bool>()) {
+            let back = self.call_stack.pop().expect("non-empty stack");
+            let out = Instr::branch(
+                InstrClass::Return,
+                pc,
+                BranchRef {
+                    static_id: 0xFFFF,
+                    taken: true,
+                    target_page: back,
+                },
+            );
+            self.jump_to_page(back);
+            out
+        } else {
+            let sites = &self.phases[self.phase_idx].call_sites;
+            let (static_id, callee) = sites[self.rng.gen::<usize>() % sites.len()];
+            self.call_stack.push(current_page);
+            let out = Instr::branch(
+                InstrClass::Call,
+                pc,
+                BranchRef {
+                    static_id,
+                    taken: true,
+                    target_page: callee,
+                },
+            );
+            self.jump_to_page(callee);
+            out
+        }
+    }
+
+    fn enter_phase(&mut self, idx: usize) {
+        self.phase_idx = idx;
+        self.phase_remaining = self.phases[idx].instructions;
+        self.code_pages = u64::from(self.phases[idx].spec.code_pages.max(1));
+        self.pc = CODE_BASE_PAGE << 12;
+    }
+}
+
+impl Iterator for StreamGen {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        // Pending second halves of pairs were already counted when the
+        // first half was emitted.
+        if let Some(i) = self.pending.pop_front() {
+            return Some(i);
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.phase_remaining == 0 {
+            if self.phase_idx + 1 >= self.phases.len() {
+                // Keep draining the final phase for any rounding remainder.
+                break;
+            }
+            self.enter_phase(self.phase_idx + 1);
+        }
+        self.remaining -= 1;
+        self.phase_remaining = self.phase_remaining.saturating_sub(1);
+
+        let r = self.rng.gen::<f64>();
+        let cdf = self.phases[self.phase_idx].cdf;
+        let class_idx = cdf.iter().position(|&c| r < c).unwrap_or(13);
+        Some(match class_idx {
+            0 => Instr::alu(InstrClass::IntAlu, self.advance_pc()),
+            1 => Instr::alu(InstrClass::IntMul, self.advance_pc()),
+            2 => Instr::alu(InstrClass::IntDiv, self.advance_pc()),
+            3 => Instr::alu(InstrClass::FpAlu, self.advance_pc()),
+            4 => Instr::alu(InstrClass::FpDiv, self.advance_pc()),
+            5 => Instr::alu(InstrClass::Simd, self.advance_pc()),
+            6 => {
+                let m = self.mem_ref(false);
+                Instr::mem(InstrClass::Load, self.advance_pc(), m)
+            }
+            7 => {
+                let m = self.mem_ref(true);
+                Instr::mem(InstrClass::Store, self.advance_pc(), m)
+            }
+            8 => self.branch_instr(false),
+            9 => self.branch_instr(true),
+            10 => self.call_or_return(),
+            11 => {
+                // An exclusive pair on shared data; the pair counts as two
+                // instructions of the budget up front.
+                let addr = (DATA_BASE + (self.rng.gen::<u64>() % 4096)) & !3;
+                let ld = Instr::mem(
+                    InstrClass::LoadExclusive,
+                    self.advance_pc(),
+                    MemRef::load(addr, 4).with_shared(self.shared_threads),
+                );
+                if self.remaining > 0 {
+                    let st = Instr::mem(
+                        InstrClass::StoreExclusive,
+                        self.advance_pc(),
+                        MemRef::store(addr, 4).with_shared(self.shared_threads),
+                    );
+                    self.pending.push_back(st);
+                    self.remaining -= 1;
+                    self.phase_remaining = self.phase_remaining.saturating_sub(1);
+                }
+                ld
+            }
+            12 => Instr {
+                class: InstrClass::Barrier,
+                pc: self.advance_pc(),
+                mem: None,
+                branch: None,
+            },
+            _ => Instr::alu(InstrClass::Nop, self.advance_pc()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BranchSite, InstrMix, MemPattern, Suite};
+
+    fn basic_spec(n: u64) -> WorkloadSpec {
+        WorkloadSpec::builder("gen-test", Suite::MiBench)
+            .instructions(n)
+            .build()
+    }
+
+    #[test]
+    fn generates_exact_count() {
+        let spec = basic_spec(12_345);
+        assert_eq!(StreamGen::new(&spec).count(), 12_345);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = basic_spec(5_000);
+        let a: Vec<Instr> = StreamGen::new(&spec).collect();
+        let b: Vec<Instr> = StreamGen::new(&spec).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let a: Vec<Instr> = StreamGen::new(&basic_spec(1000)).collect();
+        let spec_b = WorkloadSpec::builder("other", Suite::MiBench)
+            .instructions(1000)
+            .build();
+        let b: Vec<Instr> = StreamGen::new(&spec_b).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_shares_are_respected() {
+        let spec = basic_spec(100_000);
+        let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
+        let loads = instrs.iter().filter(|i| i.class == InstrClass::Load).count() as f64;
+        let branches = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Branch)
+            .count() as f64;
+        let n = instrs.len() as f64;
+        let mix = InstrMix::integer_baseline().normalised();
+        assert!(
+            (loads / n - mix.load).abs() < 0.02,
+            "load share {}",
+            loads / n
+        );
+        assert!(
+            (branches / n - mix.branch).abs() < 0.02,
+            "branch share {}",
+            branches / n
+        );
+    }
+
+    #[test]
+    fn code_footprint_respected() {
+        let spec = WorkloadSpec::builder("pages", Suite::MiBench)
+            .instructions(50_000)
+            .tweak(|p| p.code_pages = 5)
+            .build();
+        let pages: std::collections::HashSet<u64> =
+            StreamGen::new(&spec).map(|i| i.page()).collect();
+        assert!(pages.len() <= 5, "pages = {}", pages.len());
+        assert!(pages.iter().all(|&p| (CODE_BASE_PAGE..CODE_BASE_PAGE + 5).contains(&p)));
+    }
+
+    #[test]
+    fn working_set_respected() {
+        let spec = WorkloadSpec::builder("ws", Suite::MiBench)
+            .instructions(50_000)
+            .tweak(|p| p.mem = MemPattern::streaming(8 * 1024, 16))
+            .build();
+        for i in StreamGen::new(&spec) {
+            if let Some(m) = i.mem {
+                assert!(m.vaddr >= DATA_BASE);
+                assert!(m.vaddr < DATA_BASE + 8 * 1024 + 64);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusives_come_in_pairs() {
+        let spec = WorkloadSpec::builder("excl", Suite::Parsec)
+            .threads(4)
+            .instructions(20_000)
+            .tweak(|p| {
+                p.mix.exclusive = 0.05;
+            })
+            .build();
+        let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
+        let ld = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadExclusive)
+            .count() as i64;
+        let st = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::StoreExclusive)
+            .count() as i64;
+        assert!((ld - st).abs() <= 1, "ld {ld} st {st}");
+        assert!(ld > 100);
+    }
+
+    #[test]
+    fn calls_and_returns_roughly_balance() {
+        let spec = WorkloadSpec::builder("callret", Suite::MiBench)
+            .instructions(50_000)
+            .tweak(|p| p.mix.call = 0.05)
+            .build();
+        let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
+        let calls = instrs.iter().filter(|i| i.class == InstrClass::Call).count() as f64;
+        let rets = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Return)
+            .count() as f64;
+        assert!(calls > 0.0 && rets > 0.0);
+        assert!((calls / rets) < 1.6 && (calls / rets) > 0.6, "{calls}/{rets}");
+    }
+
+    #[test]
+    fn pattern_branch_sites_follow_pattern() {
+        let spec = WorkloadSpec::builder("pattern", Suite::ParMiBench)
+            .instructions(10_000)
+            .tweak(|p| {
+                p.branches = vec![BranchSite {
+                    behavior: BranchBehavior::Pattern { bits: 0b01, len: 2 },
+                    weight: 1.0,
+                }];
+                p.mix = InstrMix {
+                    branch: 1.0,
+                    ..InstrMix {
+                        int_alu: 0.0,
+                        int_mul: 0.0,
+                        int_div: 0.0,
+                        fp_alu: 0.0,
+                        fp_div: 0.0,
+                        simd: 0.0,
+                        load: 0.0,
+                        store: 0.0,
+                        branch: 1.0,
+                        indirect: 0.0,
+                        call: 0.0,
+                        exclusive: 0.0,
+                        barrier: 0.0,
+                        nop: 0.0,
+                    }
+                };
+            })
+            .build();
+        // Per-site outcomes must alternate strictly.
+        use std::collections::HashMap;
+        let mut last: HashMap<u32, bool> = HashMap::new();
+        let mut alternations = 0u32;
+        let mut repeats = 0u32;
+        for i in StreamGen::new(&spec) {
+            let b = i.branch.expect("all branches");
+            if let Some(&prev) = last.get(&b.static_id) {
+                if prev != b.taken {
+                    alternations += 1;
+                } else {
+                    repeats += 1;
+                }
+            }
+            last.insert(b.static_id, b.taken);
+        }
+        assert!(alternations > 0);
+        assert_eq!(repeats, 0, "pattern must alternate per site");
+    }
+
+    #[test]
+    fn multi_phase_split() {
+        let mut p1 = crate::spec::PhaseSpec::default_phase();
+        p1.weight = 3.0;
+        p1.mix = InstrMix::integer_baseline();
+        let mut p2 = crate::spec::PhaseSpec::default_phase();
+        p2.weight = 1.0;
+        p2.mix = InstrMix::fp_baseline();
+        let spec = WorkloadSpec::builder("phased", Suite::Whetstone)
+            .instructions(40_000)
+            .phases(vec![p1, p2])
+            .build();
+        let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
+        assert_eq!(instrs.len(), 40_000);
+        let fp = instrs.iter().filter(|i| i.class == InstrClass::FpAlu).count() as f64;
+        // Phase 2 is 25 % of the run at fp_alu 0.30 → ~7.5 % overall.
+        assert!(fp / 40_000.0 > 0.04 && fp / 40_000.0 < 0.12, "fp share {}", fp / 40_000.0);
+    }
+
+    #[test]
+    fn shared_flags_only_with_threads() {
+        let mk = |threads| {
+            let spec = WorkloadSpec::builder("sh", Suite::Parsec)
+                .threads(threads)
+                .instructions(20_000)
+                .tweak(|p| p.mem.shared_frac = 0.5)
+                .build();
+            StreamGen::new(&spec)
+                .filter(|i| i.mem.map_or(false, |m| m.shared))
+                .count()
+        };
+        assert_eq!(mk(1), 0);
+        assert!(mk(4) > 100);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the workload generator.
+
+use gemstone_workloads::gen::StreamGen;
+use gemstone_workloads::microbench::{bw_mem, lat_mem_rd};
+use gemstone_workloads::spec::{
+    BranchBehavior, BranchSite, MemPattern, PhaseSpec, Suite, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn arb_mem_pattern() -> impl Strategy<Value = MemPattern> {
+    (
+        1024u64..(8 << 20),
+        4u64..512,
+        0.0f64..1.0,
+        0.0f64..0.1,
+        0.0f64..0.5,
+        any::<bool>(),
+    )
+        .prop_map(|(ws, stride, rnd, unal, shared, dep)| MemPattern {
+            ws_bytes: ws,
+            stride,
+            random_frac: rnd,
+            unaligned_frac: unal,
+            shared_frac: shared,
+            dependent: dep,
+        })
+}
+
+fn arb_branches() -> impl Strategy<Value = Vec<BranchSite>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0.5f64..1.0).prop_map(|p| BranchBehavior::Biased { taken_prob: p }),
+            (0.0f64..1.0).prop_map(|p| BranchBehavior::Random { taken_prob: p }),
+            (1u32..256, 2u8..16)
+                .prop_map(|(bits, len)| BranchBehavior::Pattern { bits, len }),
+            (2u16..128).prop_map(|body| BranchBehavior::Loop { body }),
+        ]
+        .prop_flat_map(|behavior| {
+            (0.05f64..1.0).prop_map(move |weight| BranchSite { behavior, weight })
+        }),
+        1..4,
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        arb_mem_pattern(),
+        arb_branches(),
+        1u32..80,
+        2_000u64..20_000,
+        prop_oneof![Just(1u32), Just(4u32)],
+        any::<u64>(),
+    )
+        .prop_map(|(mem, branches, code_pages, instructions, threads, seed)| {
+            WorkloadSpec::builder("prop-wl", Suite::MiBench)
+                .threads(threads)
+                .instructions(instructions)
+                .seed(seed)
+                .tweak(|p: &mut PhaseSpec| {
+                    p.mem = mem;
+                    p.branches = branches;
+                    p.code_pages = code_pages;
+                })
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_is_deterministic_and_exact(spec in arb_spec()) {
+        let a: Vec<_> = StreamGen::new(&spec).collect();
+        let b: Vec<_> = StreamGen::new(&spec).collect();
+        prop_assert_eq!(&a, &b);
+        // Exact count, possibly ± the trailing half of an exclusive pair.
+        prop_assert!(a.len() as u64 >= spec.instructions);
+        prop_assert!(a.len() as u64 <= spec.instructions + 1);
+    }
+
+    #[test]
+    fn addresses_stay_in_bounds(spec in arb_spec()) {
+        let code_lo = 0x100u64; // CODE_BASE_PAGE
+        let code_hi = code_lo + u64::from(spec.phases[0].code_pages.max(1));
+        for i in StreamGen::new(&spec) {
+            prop_assert!((code_lo..code_hi).contains(&i.page()),
+                "pc page {:#x} outside [{:#x},{:#x})", i.page(), code_lo, code_hi);
+            if let Some(m) = i.mem {
+                // Data addresses live in the data segment, within ws (+ one
+                // unaligned spill-over line).
+                prop_assert!(m.vaddr >= (1 << 30));
+                prop_assert!(m.vaddr < (1 << 30) + spec.phases[0].mem.ws_bytes + 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_metadata_is_consistent(spec in arb_spec()) {
+        for i in StreamGen::new(&spec) {
+            if i.class.is_branch() {
+                prop_assert!(i.branch.is_some());
+                prop_assert!(i.mem.is_none());
+            } else if i.class.is_memory() {
+                prop_assert!(i.mem.is_some());
+                prop_assert!(i.branch.is_none());
+            } else {
+                prop_assert!(i.mem.is_none() && i.branch.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_stream(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let mk = |seed| {
+            WorkloadSpec::builder("seeded", Suite::MiBench)
+                .instructions(3_000)
+                .seed(seed)
+                .build()
+        };
+        let a: Vec<_> = StreamGen::new(&mk(seed_a)).collect();
+        let b: Vec<_> = StreamGen::new(&mk(seed_b)).collect();
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lat_mem_rd_stays_in_array(size_pow in 12u32..24, stride in 8u64..1024, n in 10u64..500) {
+        let size = 1u64 << size_pow;
+        let stream = lat_mem_rd(size, stride, n);
+        prop_assert_eq!(stream.len() as u64, n * 2);
+        for i in stream.iter().step_by(2) {
+            let m = i.mem.unwrap();
+            prop_assert!(m.vaddr >= (1 << 31) && m.vaddr < (1 << 31) + size);
+            prop_assert!(m.dependent);
+        }
+    }
+
+    #[test]
+    fn bw_mem_direction(write in any::<bool>(), n in 1u64..300) {
+        let s = bw_mem(1 << 20, write, n);
+        prop_assert_eq!(s.len() as u64, n);
+        prop_assert!(s.iter().all(|i| i.mem.unwrap().is_store == write));
+    }
+}

@@ -1,0 +1,78 @@
+//! big.LITTLE DVFS exploration: for each workload, find the most
+//! energy-efficient (cluster, frequency) operating point under a
+//! performance constraint — the §VI use-case ("trade-offs between DVFS
+//! levels and different cores … are important for many investigations").
+//!
+//! ```sh
+//! cargo run --release --example dvfs_explorer
+//! ```
+
+use gemstone::powmon::{dataset, model::PowerModel, selection};
+use gemstone::prelude::*;
+
+fn main() {
+    let scale = std::env::var("GEMSTONE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let board = OdroidXu3::new();
+
+    // Power models for both clusters (restricted selection).
+    let model_specs: Vec<_> = suites::power_suite().iter().map(|w| w.scaled(scale)).collect();
+    let mut models = Vec::new();
+    for cluster in [Cluster::LittleA7, Cluster::BigA15] {
+        let ds = dataset::collect(&board, cluster, &model_specs, cluster.frequencies());
+        let opts = selection::SelectionOptions {
+            restricted_pool: Some(selection::gem5_compatible_pool()),
+            max_terms: 5,
+            ..selection::SelectionOptions::default()
+        };
+        let sel = selection::select_events(&ds, &opts).expect("selection");
+        models.push((cluster, PowerModel::fit(&ds, &sel.terms).expect("fit")));
+    }
+
+    let study = ["mi-sha", "mi-fft", "parsec-canneal-1", "lm-bw-mem-rd", "mi-bitcount"];
+    println!(
+        "{:<20} {:>22} {:>12} {:>10} {:>10}",
+        "workload", "best point (≤2x slow)", "energy (mJ)", "time (ms)", "power (W)"
+    );
+    for name in study {
+        let spec = suites::by_name(name).expect("workload").scaled(scale);
+
+        // Reference: fastest point = A15 at max frequency.
+        let fastest = board.run(&spec, Cluster::BigA15, 1.8e9);
+        let budget = fastest.time_s * 2.0; // allow 2x slowdown
+
+        let mut best: Option<(String, f64, f64, f64)> = None;
+        for (cluster, model) in &models {
+            for &f in cluster.frequencies() {
+                let run = board.run(&spec, *cluster, f);
+                if run.time_s > budget {
+                    continue;
+                }
+                let rates: std::collections::BTreeMap<u16, f64> = run
+                    .pmc
+                    .iter()
+                    .map(|(&c, &v)| (c, v / run.time_s))
+                    .collect();
+                let p = model.predict(f, &rates).expect("prediction");
+                let energy = p * run.time_s;
+                let label = format!("{} @{:.0} MHz", cluster.name(), f / 1e6);
+                if best.as_ref().is_none_or(|(_, e, _, _)| energy < *e) {
+                    best = Some((label, energy, run.time_s, p));
+                }
+            }
+        }
+        let (label, energy, time, power) = best.expect("at least one feasible point");
+        println!(
+            "{name:<20} {label:>22} {:>12.2} {:>10.3} {:>10.2}",
+            energy * 1e3,
+            time * 1e3,
+            power
+        );
+    }
+    println!(
+        "\nmemory-bound workloads park on the LITTLE cluster at low frequency;\n\
+         compute-bound ones need the big cluster — the classic big.LITTLE trade-off."
+    );
+}

@@ -1,0 +1,103 @@
+//! Walk through the §IV error-source identification methodology step by
+//! step: clustering, PMC correlation, gem5-statistic correlation, stepwise
+//! regression, and matched-event comparison — ending at the paper's
+//! diagnosis (the branch predictor, coupled to the split L2 ITLB).
+//!
+//! ```sh
+//! cargo run --release --example find_error_sources
+//! ```
+
+use gemstone::core::analysis::{
+    error_regression, event_compare, gem5_corr, hca_workloads, pmc_corr,
+};
+use gemstone::prelude::*;
+use gemstone::uarch::pmu;
+
+fn main() {
+    let scale = std::env::var("GEMSTONE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let mut cfg = ExperimentConfig::default();
+    cfg.workload_scale = scale;
+    cfg.clusters = vec![Cluster::BigA15];
+    cfg.models = vec![Gem5Model::Ex5BigOld];
+
+    println!("step 0 — run the experiments (45 workloads, 4 DVFS points) …");
+    let data = run_validation(&cfg);
+    let collated = Collated::build(&data);
+
+    println!("\nstep 1 — cluster workloads by HW PMC behaviour (Fig. 3):");
+    let wc = hca_workloads::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Some(16))
+        .expect("clustering");
+    println!(
+        "  {} clusters; within-cluster MPE spread {:.1} vs overall {:.1} — \
+         error follows workload type",
+        wc.k,
+        wc.within_cluster_spread(),
+        wc.overall_spread()
+    );
+
+    println!("\nstep 2 — correlate HW PMC rates with the error (Fig. 5):");
+    let pc = pmc_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).expect("pmc corr");
+    for e in pc.top_negative(4) {
+        println!("  {:+.2}  {}", e.correlation, e.name);
+    }
+    println!("  → control-flow events dominate the negative tail.");
+
+    println!("\nstep 3 — correlate gem5's own statistics with the error (§IV-C):");
+    match gem5_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, 0.3) {
+        Ok(gc) => {
+            println!(
+                "  {} statistics clear |r| ≥ 0.3; largest cluster has {} members (mean r {:+.2})",
+                gc.entries.len(),
+                gc.cluster_a().map_or(0, |c| c.members.len()),
+                gc.cluster_a().map_or(f64::NAN, |c| c.mean_correlation)
+            );
+            for e in gc.entries.iter().take(4) {
+                println!("  {:+.2}  {}", e.correlation, e.stat);
+            }
+        }
+        Err(e) => println!("  (skipped: {e})"),
+    }
+
+    println!("\nstep 4 — stepwise regression of the error (§IV-D):");
+    let reg = error_regression::analyse(
+        &collated,
+        Gem5Model::Ex5BigOld,
+        1.0e9,
+        error_regression::Side::HwPmc,
+    )
+    .expect("regression");
+    println!(
+        "  R² = {:.2} from {} HW events: {:?}",
+        reg.r_squared,
+        reg.selected.len(),
+        reg.selected
+    );
+
+    println!("\nstep 5 — compare matched events (Fig. 6):");
+    let cmp = event_compare::analyse(&collated, &wc, Gem5Model::Ex5BigOld, 1.0e9, true)
+        .expect("comparison");
+    for (code, label) in [
+        (pmu::BR_MIS_PRED, "branch mispredicts"),
+        (pmu::L1I_TLB_REFILL, "ITLB refills"),
+        (pmu::L1D_TLB_REFILL, "DTLB refills"),
+    ] {
+        if let Some(r) = cmp.ratio_of(code) {
+            println!("  {label:<20} gem5/HW = {r:.2}x");
+        }
+    }
+    println!(
+        "  BP accuracy: HW {:.1} % vs model {:.1} %",
+        cmp.hw_bp_accuracy * 100.0,
+        cmp.gem5_bp_accuracy * 100.0
+    );
+
+    println!(
+        "\ndiagnosis (as in §IV-F): the branch predictor is the dominant error\n\
+         source; its wrong-path fetches flood the model's split, slow L2 ITLB,\n\
+         multiplying the cost of every mispredict. Fix the BP first — then\n\
+         re-validate (see the exp_bp_fix binary for the §VII swing)."
+    );
+}

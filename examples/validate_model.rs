@@ -1,0 +1,41 @@
+//! Validate a CPU model against reference hardware, the GemStone way:
+//! run the full pipeline (without the power stage) and print the report.
+//!
+//! ```sh
+//! cargo run --release --example validate_model
+//! ```
+//!
+//! Set `GEMSTONE_SCALE` (default 0.25 here) to trade accuracy for speed.
+
+use gemstone::prelude::*;
+
+fn main() {
+    let scale = std::env::var("GEMSTONE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let mut opts = PipelineOptions::default();
+    opts.experiment.workload_scale = scale;
+    opts.with_power = false; // time-error validation only; see build_power_model
+    opts.clusters_k = Some(16); // the paper's cluster count
+
+    println!("running the GemStone validation pipeline (scale {scale}) …\n");
+    match GemStone::new(opts).run() {
+        Ok(report) => {
+            println!("{}", report.render());
+            // Programmatic access to the headline numbers.
+            if let Some(row) = report.summary.at(Gem5Model::Ex5BigOld, 1.0e9) {
+                println!(
+                    "\nheadline: ex5_big(old) @1 GHz — MAPE {:.1} %, MPE {:+.1} % \
+                     (paper: 59 %, −51 %)",
+                    row.mape, row.mpe
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

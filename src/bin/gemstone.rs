@@ -1,0 +1,332 @@
+//! The `gemstone` command-line tool.
+//!
+//! Subcommands mirror the paper's workflows:
+//!
+//! ```text
+//! gemstone validate  [--scale S] [--clusters K] [--save FILE]   full pipeline (no power)
+//! gemstone report    [--scale S] [--save FILE]                  full pipeline incl. power
+//! gemstone power     [--scale S] [--cluster a7|a15]             build a §V power model
+//! gemstone ablate    [--scale S]                                per-error ablation study
+//! gemstone suitability [--scale S] [--max-mape PCT]             §VII use-case check
+//! gemstone improve   [--scale S] [--target-mape PCT]            guided improvement loop
+//! gemstone stats     <workload> [--model old|fixed|little]      dump gem5-style stats.txt
+//! ```
+
+use gemstone::core::analysis::{ablation, improve, suitability};
+use gemstone::core::pipeline::{GemStone, PipelineOptions};
+use gemstone::core::{collate::Collated, experiment, persist, report::Table};
+use gemstone::powmon::{dataset, model::PowerModel, selection};
+use gemstone::prelude::*;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn scale(&self) -> f64 {
+        self.flags
+            .get("scale")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gemstone <validate|report|power|ablate|suitability|stats> [flags]\n\
+         \n\
+         validate     [--scale S] [--clusters K] [--save FILE]  time-error validation pipeline\n\
+         report       [--scale S] [--save FILE]                 full pipeline incl. power models\n\
+         power        [--scale S] [--cluster a7|a15]            build and print a power model\n\
+         ablate       [--scale S]                               per-spec-error ablation study\n\
+         suitability  [--scale S] [--max-mape PCT]              use-case suitability check\n\
+         improve      [--scale S] [--target-mape PCT]           guided diagnose-and-fix loop\n\
+         stats <workload> [--model old|fixed|little]            gem5-style stats.txt dump"
+    );
+    ExitCode::from(2)
+}
+
+fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
+    let mut opts = PipelineOptions::default();
+    opts.experiment.workload_scale = args.scale();
+    opts.with_power = with_power;
+    opts.clusters_k = args.get("clusters").and_then(|v| v.parse().ok()).or(Some(16));
+    match GemStone::new(opts).run() {
+        Ok(report) => {
+            println!("{}", report.render());
+            if let Some(path) = args.get("save") {
+                // Re-run collation quickly is wasteful; persist what we can:
+                // the experiment data is not retained by the report, so save
+                // a fresh collation at the same scale.
+                let cfg = experiment::ExperimentConfig {
+                    workload_scale: args.scale(),
+                    ..experiment::ExperimentConfig::default()
+                };
+                let collated = Collated::build(&experiment::run_validation(&cfg));
+                if let Err(e) = persist::save_collated(&collated, path) {
+                    eprintln!("save failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("collated dataset saved to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_power(args: &Args) -> ExitCode {
+    let cluster = match args.get("cluster").unwrap_or("a15") {
+        "a7" => Cluster::LittleA7,
+        _ => Cluster::BigA15,
+    };
+    let board = OdroidXu3::new();
+    let specs: Vec<_> = suites::power_suite()
+        .iter()
+        .map(|w| w.scaled(args.scale()))
+        .collect();
+    let ds = dataset::collect(&board, cluster, &specs, cluster.frequencies());
+    let opts = selection::SelectionOptions {
+        restricted_pool: Some(selection::gem5_compatible_pool()),
+        ..selection::SelectionOptions::default()
+    };
+    let sel = match selection::select_events(&ds, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("event selection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match PowerModel::fit(&ds, &sel.terms) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("fit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match model.quality(&ds) {
+        Ok(q) => println!(
+            "{}: MAPE {:.2}%  SER {:.3} W  adj.R² {:.3}  VIF {:.1}  (n={})\n\n{}",
+            cluster.name(),
+            q.mape,
+            q.ser,
+            q.adj_r_squared,
+            q.mean_vif,
+            q.n,
+            model.equations()
+        ),
+        Err(e) => {
+            eprintln!("quality evaluation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_ablate(args: &Args) -> ExitCode {
+    let board = OdroidXu3::new();
+    let workloads: Vec<_> = suites::validation_suite()
+        .iter()
+        .map(|w| w.scaled(args.scale()))
+        .collect();
+    match ablation::analyse(&board, &workloads, 1.0e9) {
+        Ok(ab) => {
+            let mut t = Table::new(vec!["variant", "MAPE %", "MPE %"]);
+            t.row(vec![
+                ab.baseline.label.clone(),
+                format!("{:.1}", ab.baseline.mape),
+                format!("{:+.1}", ab.baseline.mpe),
+            ]);
+            for v in ab.fix_one.iter().chain(ab.keep_one.iter()) {
+                t.row(vec![
+                    v.label.clone(),
+                    format!("{:.1}", v.mape),
+                    format!("{:+.1}", v.mpe),
+                ]);
+            }
+            t.row(vec![
+                ab.truth_config.label.clone(),
+                format!("{:.1}", ab.truth_config.mape),
+                format!("{:+.1}", ab.truth_config.mpe),
+            ]);
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_suitability(args: &Args) -> ExitCode {
+    let max_mape: f64 = args
+        .get("max-mape")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let cfg = experiment::ExperimentConfig {
+        workload_scale: args.scale(),
+        ..experiment::ExperimentConfig::default()
+    };
+    let collated = Collated::build(&experiment::run_validation(&cfg));
+    let cases = vec![
+        suitability::UseCase::timing(format!("all workloads (≤{max_mape} %)"), max_mape),
+        suitability::UseCase::timing(format!("PARSEC only (≤{max_mape} %)"), max_mape)
+            .with_workloads(&["parsec-"]),
+        suitability::UseCase::timing(format!("control-heavy (≤{max_mape} %)"), max_mape)
+            .with_workloads(&["mi-bitcount", "mi-stringsearch", "par-"]),
+    ];
+    let mut t = Table::new(vec!["model", "use-case", "n", "MAPE %", "verdict"]);
+    for model in [Gem5Model::Ex5BigOld, Gem5Model::Ex5BigFixed, Gem5Model::Ex5Little] {
+        match suitability::assess(&collated, model, 1.0e9, &cases) {
+            Ok(verdicts) => {
+                for v in verdicts {
+                    t.row(vec![
+                        model.name().to_string(),
+                        v.use_case.clone(),
+                        v.n.to_string(),
+                        format!("{:.1}", v.time_mape),
+                        if v.suitable { "SUITABLE" } else { "unsuitable" }.to_string(),
+                    ]);
+                }
+            }
+            Err(e) => {
+                eprintln!("assessment failed for {}: {e}", model.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+fn run_improve(args: &Args) -> ExitCode {
+    let target: f64 = args
+        .get("target-mape")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let board = OdroidXu3::new();
+    let workloads: Vec<_> = suites::validation_suite()
+        .iter()
+        .map(|w| w.scaled(args.scale()))
+        .collect();
+    match improve::improve_model(&board, &workloads, 1.0e9, target, 8) {
+        Ok(imp) => {
+            let mut t = Table::new(vec!["iter", "MAPE %", "MPE %", "fix applied"]);
+            for it in &imp.iterations {
+                t.row(vec![
+                    it.index.to_string(),
+                    format!("{:.1}", it.mape),
+                    format!("{:+.1}", it.mpe),
+                    it.fixed.unwrap_or("stop").to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            println!("final MAPE {:.1} %", imp.final_mape);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("improvement loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_stats(args: &Args) -> ExitCode {
+    let Some(name) = args.positional.first() else {
+        eprintln!("stats needs a workload name (see `suites::power_suite()` for the list)");
+        return ExitCode::from(2);
+    };
+    let Some(spec) = suites::by_name(name) else {
+        eprintln!("unknown workload '{name}'");
+        return ExitCode::FAILURE;
+    };
+    let model = match args.get("model").unwrap_or("old") {
+        "fixed" => Gem5Model::Ex5BigFixed,
+        "little" => Gem5Model::Ex5Little,
+        _ => Gem5Model::Ex5BigOld,
+    };
+    let run = Gem5Sim::run(&spec.scaled(args.scale()), model, 1.0e9);
+    print!("{}", run.stats.to_stats_txt());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "validate" => run_pipeline(&args, false),
+        "report" => run_pipeline(&args, true),
+        "power" => run_power(&args),
+        "ablate" => run_ablate(&args),
+        "suitability" => run_suitability(&args),
+        "improve" => run_improve(&args),
+        "stats" => run_stats(&args),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_positionals() {
+        let a = Args::parse(&strs(&["mi-sha", "--scale", "0.5", "--model", "old"])).unwrap();
+        assert_eq!(a.positional, vec!["mi-sha"]);
+        assert_eq!(a.scale(), 0.5);
+        assert_eq!(a.get("model"), Some("old"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn args_default_scale_and_errors() {
+        let a = Args::parse(&strs(&[])).unwrap();
+        assert_eq!(a.scale(), 1.0);
+        assert!(Args::parse(&strs(&["--scale"])).is_err());
+        // Unparseable scale falls back to the default.
+        let a = Args::parse(&strs(&["--scale", "not-a-number"])).unwrap();
+        assert_eq!(a.scale(), 1.0);
+    }
+}

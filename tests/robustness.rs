@@ -1,0 +1,94 @@
+//! Robustness: the reproduction's conclusions must not be artefacts of one
+//! particular measurement-noise draw or board instance.
+
+use gemstone::core::analysis::summary;
+use gemstone::core::collate::Collated;
+use gemstone::core::experiment::{run_over, ExperimentConfig};
+use gemstone::prelude::*;
+
+fn workloads() -> Vec<gemstone::workloads::spec::WorkloadSpec> {
+    [
+        "mi-bitcount",
+        "mi-stringsearch",
+        "par-basicmath-rad2deg",
+        "mi-fft",
+        "mi-sha",
+        "mi-dijkstra",
+        "parsec-canneal-1",
+        "lm-bw-mem-rd",
+        "dhry-dhrystone",
+        "parsec-swaptions-4",
+    ]
+    .iter()
+    .map(|n| suites::by_name(n).unwrap().scaled(0.1))
+    .collect()
+}
+
+#[test]
+fn headline_error_is_stable_across_board_instances() {
+    // Three "different boards" (different sensor/PMU/timing noise draws)
+    // must agree on the old model's error to within a few points — the
+    // error is structural, not measurement noise.
+    let mut mapes = Vec::new();
+    for seed in [0u64, 1234, 987_654] {
+        let mut board = OdroidXu3::new();
+        board.board_seed = seed;
+        let cfg = ExperimentConfig {
+            board,
+            workload_scale: 0.1,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld],
+            ..ExperimentConfig::default()
+        };
+        let collated = Collated::build(&run_over(&cfg, workloads()));
+        let s = summary::analyse(&collated).unwrap();
+        mapes.push(s.at(Gem5Model::Ex5BigOld, 1.0e9).unwrap().mape);
+    }
+    let min = mapes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = mapes.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        max - min < 3.0,
+        "board-to-board MAPE spread too wide: {mapes:?}"
+    );
+    assert!(min > 30.0, "the structural error must persist: {mapes:?}");
+}
+
+#[test]
+fn ambient_temperature_moves_power_not_time() {
+    // The paper notes ambient temperature strongly affects power
+    // measurements; it must not affect timing.
+    let spec = suites::by_name("mi-fft").unwrap().scaled(0.1);
+    let mut cold = OdroidXu3::new();
+    cold.ambient_c = 15.0;
+    let mut hot = OdroidXu3::new();
+    hot.ambient_c = 40.0;
+    let run_cold = cold.run(&spec, Cluster::BigA15, 1.0e9);
+    let run_hot = hot.run(&spec, Cluster::BigA15, 1.0e9);
+    assert_eq!(run_cold.time_s, run_hot.time_s);
+    assert!(
+        run_hot.power_w > run_cold.power_w,
+        "hot {} vs cold {}",
+        run_hot.power_w,
+        run_cold.power_w
+    );
+}
+
+#[test]
+fn workload_scale_preserves_error_signs() {
+    // Conclusions should be visible at any reasonable simulation length.
+    for scale in [0.05, 0.2] {
+        let cfg = ExperimentConfig {
+            workload_scale: scale,
+            clusters: vec![Cluster::BigA15],
+            models: vec![Gem5Model::Ex5BigOld, Gem5Model::Ex5BigFixed],
+            ..ExperimentConfig::default()
+        };
+        let wl: Vec<_> = workloads().iter().map(|w| w.scaled(scale / 0.1)).collect();
+        let collated = Collated::build(&run_over(&cfg, wl));
+        let s = summary::analyse(&collated).unwrap();
+        let old = s.at(Gem5Model::Ex5BigOld, 1.0e9).unwrap();
+        let fixed = s.at(Gem5Model::Ex5BigFixed, 1.0e9).unwrap();
+        assert!(old.mpe < -15.0, "scale {scale}: old mpe {}", old.mpe);
+        assert!(fixed.mpe > old.mpe + 30.0, "scale {scale}: swing missing");
+    }
+}
