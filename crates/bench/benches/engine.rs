@@ -14,7 +14,9 @@ fn engine_throughput(c: &mut Criterion) {
         ("cortex_a7_hw", cortex_a7_hw()),
         ("ex5_big_old", ex5_big(Ex5Variant::Old)),
     ] {
-        let spec = suites::by_name("mi-fft").unwrap().scaled(n as f64 / 200_000.0);
+        let spec = suites::by_name("mi-fft")
+            .unwrap()
+            .scaled(n as f64 / 200_000.0);
         let stream: Vec<_> = StreamGen::new(&spec).collect();
         group.throughput(Throughput::Elements(stream.len() as u64));
         group.bench_with_input(BenchmarkId::new("run", label), &stream, |b, stream| {
@@ -46,7 +48,10 @@ fn branch_predictors(c: &mut Criterion) {
     let mut group = c.benchmark_group("branch_predictors");
     let outcomes: Vec<bool> = (0..10_000).map(|i| i % 3 != 0).collect();
     let mk: Vec<(&str, Box<dyn Fn() -> Box<dyn DirectionPredictor>>)> = vec![
-        ("bimodal", Box::new(|| Box::new(BimodalPredictor::new(4096)))),
+        (
+            "bimodal",
+            Box::new(|| Box::new(BimodalPredictor::new(4096))),
+        ),
         (
             "gshare",
             Box::new(|| Box::new(GsharePredictor::new(4096, 12, false))),

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the memoized simulation layer: power-dataset
+//! collection serial vs parallel, and cache cold vs warm.
+//!
+//! The acceptance target is that a warm-cache `collect` is at least 2×
+//! faster than a cold one — on a warm cache only the noise re-application
+//! and dataset assembly remain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gemstone_platform::board::OdroidXu3;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::simcache::SimCache;
+use gemstone_powmon::dataset;
+use gemstone_workloads::spec::WorkloadSpec;
+use gemstone_workloads::suites;
+use std::sync::Arc;
+
+fn bench_specs() -> Vec<WorkloadSpec> {
+    [
+        "mi-sha",
+        "mi-crc32",
+        "mi-fft",
+        "whet-whetstone",
+        "dhry-dhrystone",
+        "mi-dijkstra",
+        "mi-bitcount",
+        "lm-bw-mem-rd",
+    ]
+    .iter()
+    .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+    .collect()
+}
+
+/// A board whose cache is private to the returned instance and empty, so
+/// every engine run is a miss.
+fn cold_board() -> OdroidXu3 {
+    let mut board = OdroidXu3::new();
+    board.cache = Arc::new(SimCache::new());
+    board
+}
+
+fn simcache_benches(c: &mut Criterion) {
+    let specs = bench_specs();
+    let freqs = [600.0e6, 1000.0e6];
+
+    let mut g = c.benchmark_group("powmon_collect");
+    g.sample_size(10);
+
+    g.bench_function("cold_serial", |b| {
+        b.iter_batched(
+            cold_board,
+            |board| dataset::collect_with_threads(&board, Cluster::BigA15, &specs, &freqs, 1),
+            BatchSize::PerIteration,
+        );
+    });
+
+    g.bench_function("cold_parallel4", |b| {
+        b.iter_batched(
+            cold_board,
+            |board| dataset::collect_with_threads(&board, Cluster::BigA15, &specs, &freqs, 4),
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Warm: one shared cache, pre-populated outside the timed region.
+    let warm = cold_board();
+    dataset::collect_with_threads(&warm, Cluster::BigA15, &specs, &freqs, 1);
+
+    g.bench_function("warm_serial", |b| {
+        b.iter(|| dataset::collect_with_threads(&warm, Cluster::BigA15, &specs, &freqs, 1));
+    });
+
+    g.bench_function("warm_parallel4", |b| {
+        b.iter(|| dataset::collect_with_threads(&warm, Cluster::BigA15, &specs, &freqs, 4));
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = simcache_benches
+}
+criterion_main!(benches);

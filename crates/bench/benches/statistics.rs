@@ -37,9 +37,13 @@ fn ols_benchmark(c: &mut Criterion) {
             .map(|i| (0..k).map(|j| (j + 1) as f64 * pseudo(i, j)).sum::<f64>() + pseudo(i, 99))
             .collect();
         let names: Vec<String> = (0..k).map(|j| format!("x{j}")).collect();
-        group.bench_with_input(BenchmarkId::new("fit", k), &(x, y, names), |b, (x, y, n)| {
-            b.iter(|| Ols::fit(x, y, n).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit", k),
+            &(x, y, names),
+            |b, (x, y, n)| {
+                b.iter(|| Ols::fit(x, y, n).unwrap());
+            },
+        );
     }
     group.finish();
 }

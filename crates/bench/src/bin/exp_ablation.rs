@@ -12,7 +12,10 @@ use gemstone_platform::board::OdroidXu3;
 use gemstone_workloads::suites;
 
 fn main() {
-    banner("ablation over ex5_big specification errors", "§IV-F (design-space)");
+    banner(
+        "ablation over ex5_big specification errors",
+        "§IV-F (design-space)",
+    );
     let board = OdroidXu3::new();
     let workloads: Vec<_> = suites::validation_suite()
         .iter()
@@ -27,20 +30,34 @@ fn main() {
         format!("{:+.1}", ab.baseline.mpe),
     ]);
     for v in &ab.fix_one {
-        t.row(vec![v.label.clone(), format!("{:.1}", v.mape), format!("{:+.1}", v.mpe)]);
+        t.row(vec![
+            v.label.clone(),
+            format!("{:.1}", v.mape),
+            format!("{:+.1}", v.mpe),
+        ]);
     }
     t.row(vec![
         ab.truth_config.label.clone(),
         format!("{:.1}", ab.truth_config.mape),
         format!("{:+.1}", ab.truth_config.mpe),
     ]);
-    println!("fix one error at a time (lower MAPE = bigger contribution):\n{}", t.render());
+    println!(
+        "fix one error at a time (lower MAPE = bigger contribution):\n{}",
+        t.render()
+    );
 
     let mut t = Table::new(vec!["variant", "MAPE %", "MPE %"]);
     for v in &ab.keep_one {
-        t.row(vec![v.label.clone(), format!("{:.1}", v.mape), format!("{:+.1}", v.mpe)]);
+        t.row(vec![
+            v.label.clone(),
+            format!("{:.1}", v.mape),
+            format!("{:+.1}", v.mpe),
+        ]);
     }
-    println!("keep one error at a time (higher MAPE = bigger contribution):\n{}", t.render());
+    println!(
+        "keep one error at a time (higher MAPE = bigger contribution):\n{}",
+        t.render()
+    );
 
     if let Some(d) = ab.dominant_error() {
         println!(

@@ -8,13 +8,16 @@ use gemstone_bench::{banner, paper_vs, workload_scale};
 use gemstone_core::analysis::{hca_workloads, improvement};
 use gemstone_core::collate::Collated;
 use gemstone_core::experiment::{run_validation, ExperimentConfig};
-use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_powmon::{dataset, model::PowerModel, selection};
 use gemstone_workloads::suites;
 
 fn main() {
-    banner("E11: the branch-predictor fix (old vs fixed ex5_big)", "§VII");
+    banner(
+        "E11: the branch-predictor fix (old vs fixed ex5_big)",
+        "§VII",
+    );
     let cfg = ExperimentConfig {
         workload_scale: workload_scale(),
         clusters: vec![Cluster::BigA15],
@@ -32,7 +35,12 @@ fn main() {
         .iter()
         .map(|w| w.scaled(workload_scale()))
         .collect();
-    let ds = dataset::collect(&board, Cluster::BigA15, &specs, Cluster::BigA15.frequencies());
+    let ds = dataset::collect(
+        &board,
+        Cluster::BigA15,
+        &specs,
+        Cluster::BigA15.frequencies(),
+    );
     let opts = selection::SelectionOptions {
         restricted_pool: Some(selection::gem5_compatible_pool()),
         ..selection::SelectionOptions::default()

@@ -29,8 +29,8 @@ fn main() {
         println!("  {}. {s}", i + 1);
     }
 
-    let g5 = analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Side::Gem5Stats)
-        .expect("gem5 regression");
+    let g5 =
+        analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, Side::Gem5Stats).expect("gem5 regression");
     println!(
         "\n{}",
         paper_vs(

@@ -15,8 +15,8 @@ fn main() {
     banner("E5: gem5 event correlation clusters", "§IV-C");
     let data = run_validation(&a15_old_config());
     let collated = Collated::build(&data);
-    let gc = gem5_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, 0.3)
-        .expect("gem5 correlations");
+    let gc =
+        gem5_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, 0.3).expect("gem5 correlations");
 
     println!(
         "{}",
@@ -45,7 +45,10 @@ fn main() {
 
     println!("\nten most negative statistics:");
     for e in gc.entries.iter().take(10) {
-        println!("  {:+.2}  {}  (cluster {})", e.correlation, e.stat, e.cluster_id);
+        println!(
+            "  {:+.2}  {}  (cluster {})",
+            e.correlation, e.stat, e.cluster_id
+        );
     }
     println!(
         "\npaper's Cluster A: itb_walker_cache events (BP bug → wrong-path fetch floods\n\

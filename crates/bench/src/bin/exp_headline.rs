@@ -8,8 +8,8 @@
 use gemstone_bench::{banner, full_config, paper_vs};
 use gemstone_core::analysis::summary;
 use gemstone_core::collate::Collated;
-use gemstone_core::persist;
 use gemstone_core::experiment::run_validation;
+use gemstone_core::persist;
 use gemstone_core::report::Table;
 use gemstone_platform::gem5sim::Gem5Model;
 
@@ -72,10 +72,9 @@ fn main() {
             &format!("{mape:.0}% / {mpe:+.0}%")
         )
     );
-    let parsec = s
-        .rows
-        .iter()
-        .filter(|r| r.subset == "parsec" && matches!(r.model, Gem5Model::Ex5BigOld | Gem5Model::Ex5Little));
+    let parsec = s.rows.iter().filter(|r| {
+        r.subset == "parsec" && matches!(r.model, Gem5Model::Ex5BigOld | Gem5Model::Ex5Little)
+    });
     let (mut pm, mut pa, mut n) = (0.0, 0.0, 0);
     for r in parsec {
         pm += r.mpe * r.n as f64;

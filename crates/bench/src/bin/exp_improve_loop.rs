@@ -20,8 +20,7 @@ fn main() {
         .iter()
         .map(|w| w.scaled(workload_scale()))
         .collect();
-    let imp = improve::improve_model(&board, &workloads, 1.0e9, 10.0, 8)
-        .expect("improvement loop");
+    let imp = improve::improve_model(&board, &workloads, 1.0e9, 10.0, 8).expect("improvement loop");
 
     let mut t = Table::new(vec!["iter", "MAPE %", "MPE %", "diagnosis → fix applied"]);
     for it in &imp.iterations {

@@ -51,14 +51,41 @@ fn main() {
             "selected terms: {:?}",
             sel.terms.iter().map(|t| t.mnemonic()).collect::<Vec<_>>()
         );
-        println!("{}", paper_vs("restricted MAPE", paper_mape, &format!("{:.2}%", q.mape)));
-        println!("{}", paper_vs("restricted SER", paper_ser, &format!("{:.3} W", q.ser)));
-        println!("{}", paper_vs("restricted adj. R²", paper_r2, &format!("{:.3}", q.adj_r_squared)));
-        println!("{}", paper_vs("mean VIF", "6", &format!("{:.1}", q.mean_vif)));
-        println!("{}", paper_vs("max APE over observations", "14%", &format!("{:.1}%", q.max_ape)));
         println!(
             "{}",
-            paper_vs("unrestricted baseline MAPE", "4%", &format!("{:.2}%", q_free.mape))
+            paper_vs("restricted MAPE", paper_mape, &format!("{:.2}%", q.mape))
+        );
+        println!(
+            "{}",
+            paper_vs("restricted SER", paper_ser, &format!("{:.3} W", q.ser))
+        );
+        println!(
+            "{}",
+            paper_vs(
+                "restricted adj. R²",
+                paper_r2,
+                &format!("{:.3}", q.adj_r_squared)
+            )
+        );
+        println!(
+            "{}",
+            paper_vs("mean VIF", "6", &format!("{:.1}", q.mean_vif))
+        );
+        println!(
+            "{}",
+            paper_vs(
+                "max APE over observations",
+                "14%",
+                &format!("{:.1}%", q.max_ape)
+            )
+        );
+        println!(
+            "{}",
+            paper_vs(
+                "unrestricted baseline MAPE",
+                "4%",
+                &format!("{:.2}%", q_free.mape)
+            )
         );
 
         // Published-coefficient experiment (§V).
@@ -72,6 +99,9 @@ fn main() {
                 &format!("{:.2}% → {:.2}%", q_pub.mape, q.mape)
             )
         );
-        println!("\npower equations (gem5-insertable):\n{}", model.equations());
+        println!(
+            "\npower equations (gem5-insertable):\n{}",
+            model.equations()
+        );
     }
 }

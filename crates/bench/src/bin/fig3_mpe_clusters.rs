@@ -29,7 +29,10 @@ fn main() {
 
     println!("cluster mean MPE:");
     for (c, m) in &wc.cluster_mpe {
-        println!("  cluster {c:>2}: {m:+.1} %  (members: {:?})", wc.members(*c));
+        println!(
+            "  cluster {c:>2}: {m:+.1} %  (members: {:?})",
+            wc.members(*c)
+        );
     }
     println!(
         "\nwithin-cluster MPE spread {:.1} vs overall {:.1} (same-cluster workloads have similar errors)",

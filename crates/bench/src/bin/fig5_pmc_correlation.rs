@@ -12,8 +12,7 @@ fn main() {
     banner("Fig. 5: PMC correlation with MPE", "§IV-B, Fig. 5");
     let data = run_validation(&a15_old_config());
     let collated = Collated::build(&data);
-    let pc =
-        pmc_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).expect("correlations");
+    let pc = pmc_corr::analyse(&collated, Gem5Model::Ex5BigOld, 1.0e9, None).expect("correlations");
 
     let bars: Vec<(String, f64)> = pc
         .entries
@@ -24,11 +23,17 @@ fn main() {
 
     println!("\nmost positive (gem5 underestimates time when these are high):");
     for e in pc.top_positive(5) {
-        println!("  {:+.2}  {}  (cluster {})", e.correlation, e.name, e.cluster_id);
+        println!(
+            "  {:+.2}  {}  (cluster {})",
+            e.correlation, e.name, e.cluster_id
+        );
     }
     println!("\nmost negative (gem5 overestimates time when these are high):");
     for e in pc.top_negative(5) {
-        println!("  {:+.2}  {}  (cluster {})", e.correlation, e.name, e.cluster_id);
+        println!(
+            "  {:+.2}  {}  (cluster {})",
+            e.correlation, e.name, e.cluster_id
+        );
     }
     println!(
         "\npaper: largest positive = memory-barrier/exclusive events (0x6C/0x6D/0x7E);\n\

@@ -35,7 +35,11 @@ fn main() {
             .iter()
             .find(|(e, _)| *e == r.event)
             .map_or("-", |(_, p)| p);
-        t.row(vec![r.name.to_string(), format!("{:.2}x", r.ratio), p.to_string()]);
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.2}x", r.ratio),
+            p.to_string(),
+        ]);
     }
     println!(
         "mean ratios, excluding extreme cluster {:?}:\n{}",
@@ -77,7 +81,11 @@ fn main() {
             paper_vs(
                 "rad2deg BP accuracy HW vs gem5",
                 "99.9% vs 0.86%",
-                &format!("{:.1}% vs {:.1}%", acc(&r.hw_pmc) * 100.0, acc(&r.gem5_pmu) * 100.0)
+                &format!(
+                    "{:.1}% vs {:.1}%",
+                    acc(&r.hw_pmc) * 100.0,
+                    acc(&r.gem5_pmu) * 100.0
+                )
             )
         );
     }

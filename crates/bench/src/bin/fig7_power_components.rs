@@ -11,13 +11,16 @@ use gemstone_core::analysis::{hca_workloads, power_energy};
 use gemstone_core::collate::Collated;
 use gemstone_core::experiment::run_validation;
 use gemstone_core::report::Table;
-use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_powmon::{dataset, model::PowerModel, selection};
 use gemstone_workloads::suites;
 
 fn main() {
-    banner("Fig. 7: power & energy from HW PMCs vs gem5 events", "§VI, Fig. 7");
+    banner(
+        "Fig. 7: power & energy from HW PMCs vs gem5 events",
+        "§VI, Fig. 7",
+    );
     // Validation data (A15, old model).
     let data = run_validation(&a15_old_config());
     let collated = Collated::build(&data);
@@ -30,7 +33,12 @@ fn main() {
         .iter()
         .map(|w| w.scaled(workload_scale()))
         .collect();
-    let ds = dataset::collect(&board, Cluster::BigA15, &specs, Cluster::BigA15.frequencies());
+    let ds = dataset::collect(
+        &board,
+        Cluster::BigA15,
+        &specs,
+        Cluster::BigA15.frequencies(),
+    );
     let opts = selection::SelectionOptions {
         restricted_pool: Some(selection::gem5_compatible_pool()),
         ..selection::SelectionOptions::default()
@@ -46,7 +54,10 @@ fn main() {
         paper_vs(
             "A15 power MPE / MAPE",
             "3.3% / 10%",
-            &format!("{:+.1}% / {:.1}%", pe.overall.power_mpe, pe.overall.power_mape)
+            &format!(
+                "{:+.1}% / {:.1}%",
+                pe.overall.power_mpe, pe.overall.power_mape
+            )
         )
     );
     println!(
@@ -54,7 +65,10 @@ fn main() {
         paper_vs(
             "A15 energy MPE / MAPE",
             "-43.6% / 50.0%",
-            &format!("{:+.1}% / {:.1}%", pe.overall.energy_mpe, pe.overall.energy_mape)
+            &format!(
+                "{:+.1}% / {:.1}%",
+                pe.overall.energy_mpe, pe.overall.energy_mape
+            )
         )
     );
 
@@ -67,7 +81,10 @@ fn main() {
             format!("{:.1}", e.energy_mape),
         ]);
     }
-    println!("\nper-cluster errors (paper: energy MAPE ranges 0.6%–266%):\n{}", t.render());
+    println!(
+        "\nper-cluster errors (paper: energy MAPE ranges 0.6%–266%):\n{}",
+        t.render()
+    );
 
     // Component decomposition for one workload, showing cancellation.
     if let Some(w) = pe.workloads.iter().max_by(|a, b| {
@@ -75,14 +92,13 @@ fn main() {
         let eb = (b.hw_power_w - b.gem5_power_w).abs() / b.hw_power_w;
         eb.partial_cmp(&ea).expect("finite")
     }) {
-        println!("component breakdown — {} (smallest power error):", w.workload);
+        println!(
+            "component breakdown — {} (smallest power error):",
+            w.workload
+        );
         let mut t = Table::new(vec!["component", "HW-PMC est (W)", "gem5 est (W)"]);
         for ((name, hw), (_, g5)) in w.hw_components.iter().zip(&w.gem5_components) {
-            t.row(vec![
-                name.clone(),
-                format!("{hw:.3}"),
-                format!("{g5:.3}"),
-            ]);
+            t.row(vec![name.clone(), format!("{hw:.3}"), format!("{g5:.3}")]);
         }
         t.row(vec![
             "TOTAL".into(),

@@ -11,8 +11,8 @@ use gemstone_core::analysis::scaling;
 use gemstone_core::collate::Collated;
 use gemstone_core::experiment::{run_validation, ExperimentConfig};
 use gemstone_core::report::Table;
-use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_platform::{board::OdroidXu3, dvfs::Cluster};
 use gemstone_powmon::{dataset, model::PowerModel, selection};
 use gemstone_workloads::suites;
 use std::collections::BTreeMap;
@@ -44,7 +44,10 @@ fn main() {
             ..selection::SelectionOptions::default()
         };
         let sel = selection::select_events(&ds, &opts).expect("selection");
-        power.insert(cluster.name(), PowerModel::fit(&ds, &sel.terms).expect("fit"));
+        power.insert(
+            cluster.name(),
+            PowerModel::fit(&ds, &sel.terms).expect("fit"),
+        );
     }
 
     let s = scaling::analyse(

@@ -74,12 +74,20 @@ fn quality_of(
 /// propagates metric errors.
 pub fn analyse(board: &OdroidXu3, workloads: &[WorkloadSpec], freq_hz: f64) -> Result<Ablation> {
     if workloads.is_empty() {
-        return Err(GemStoneError::MissingData("no workloads for ablation".into()));
+        return Err(GemStoneError::MissingData(
+            "no workloads for ablation".into(),
+        ));
     }
     let errors = ex5_big_spec_errors();
 
     let baseline_cfg = ex5_big(Ex5Variant::Old);
-    let baseline = quality_of(board, workloads, &baseline_cfg, freq_hz, "ex5_big(old)".into())?;
+    let baseline = quality_of(
+        board,
+        workloads,
+        &baseline_cfg,
+        freq_hz,
+        "ex5_big(old)".into(),
+    )?;
 
     let mut truth_cfg = ex5_big(Ex5Variant::Old);
     for e in &errors {

@@ -18,17 +18,17 @@ use gemstone_uarch::pmu::{self, EventCode};
 /// The matched events shown in Fig. 6 (plus cycles for context).
 pub fn fig6_events() -> Vec<EventCode> {
     vec![
-        pmu::INST_RETIRED,       // 0x08
-        pmu::L1I_TLB_REFILL,     // 0x02
-        pmu::L1D_TLB_REFILL,     // 0x05
-        pmu::BR_PRED,            // 0x12
-        pmu::BR_MIS_PRED,        // 0x10
-        pmu::CPU_CYCLES,         // 0x11
-        pmu::L1I_CACHE,          // 0x14
+        pmu::INST_RETIRED,        // 0x08
+        pmu::L1I_TLB_REFILL,      // 0x02
+        pmu::L1D_TLB_REFILL,      // 0x05
+        pmu::BR_PRED,             // 0x12
+        pmu::BR_MIS_PRED,         // 0x10
+        pmu::CPU_CYCLES,          // 0x11
+        pmu::L1I_CACHE,           // 0x14
         pmu::L1D_CACHE_REFILL_ST, // 0x43
-        pmu::L1D_CACHE_WB,       // 0x15
-        pmu::INST_SPEC,          // 0x1B
-        pmu::L2D_CACHE,          // 0x16
+        pmu::L1D_CACHE_WB,        // 0x15
+        pmu::INST_SPEC,           // 0x1B
+        pmu::L2D_CACHE,           // 0x16
     ]
 }
 
@@ -128,9 +128,7 @@ pub fn analyse(
     let in_scope: Vec<&crate::collate::WorkloadRecord> = records
         .iter()
         .copied()
-        .filter(|r| {
-            excluded_cluster.is_none_or(|ex| clusters.cluster_of(&r.workload) != Some(ex))
-        })
+        .filter(|r| excluded_cluster.is_none_or(|ex| clusters.cluster_of(&r.workload) != Some(ex)))
         .collect();
     let mean = ratios_over(&in_scope, &events);
 
@@ -169,10 +167,7 @@ pub fn analyse(
 impl EventComparison {
     /// Mean ratio of an event.
     pub fn ratio_of(&self, event: EventCode) -> Option<f64> {
-        self.mean
-            .iter()
-            .find(|r| r.event == event)
-            .map(|r| r.ratio)
+        self.mean.iter().find(|r| r.event == event).map(|r| r.ratio)
     }
 }
 
@@ -255,9 +250,7 @@ mod tests {
         let cmp = analyse(&c, &wc, Gem5Model::Ex5BigOld, 1.0e9, true).unwrap();
         let ex = cmp.excluded_cluster.expect("an excluded cluster");
         // The excluded cluster contains the pathological workload.
-        assert!(wc
-            .members(ex)
-            .contains(&"par-basicmath-rad2deg"));
+        assert!(wc.members(ex).contains(&"par-basicmath-rad2deg"));
         // Per-cluster breakdown still includes it.
         assert!(cmp.per_cluster.iter().any(|(id, _)| *id == ex));
     }

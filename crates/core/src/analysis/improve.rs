@@ -10,13 +10,13 @@
 
 use crate::analysis::diagnose::{diagnose, Diagnosis};
 use crate::analysis::{event_compare, hca_workloads, microbench};
-use gemstone_uarch::configs::cortex_a15_hw;
 use crate::collate::{Collated, WorkloadRecord};
 use crate::{GemStoneError, Result};
 use gemstone_platform::board::{HwRun, OdroidXu3};
 use gemstone_platform::dvfs::Cluster;
 use gemstone_platform::gem5sim::{Gem5Model, Gem5Sim};
 use gemstone_stats::metrics::{mape, mpe, percentage_error};
+use gemstone_uarch::configs::cortex_a15_hw;
 use gemstone_uarch::configs::{ex5_big, ex5_big_spec_errors, Ex5Variant};
 use gemstone_uarch::core::CoreConfig;
 use gemstone_workloads::spec::WorkloadSpec;
@@ -73,7 +73,7 @@ fn collate_custom(
             }
         })
         .collect();
-    Collated { records }
+    Collated::from_records(records)
 }
 
 /// Runs the guided improvement loop starting from the old `ex5_big` model.

@@ -62,10 +62,8 @@ pub fn analyse(
     let (fixed_mape, fixed_mpe) = time_quality(collated, Gem5Model::Ex5BigFixed, freq_hz)?;
     let (old_energy, fixed_energy) = match power {
         Some((pm, wc)) => {
-            let old =
-                power_energy::analyse(collated, wc, pm, Gem5Model::Ex5BigOld, freq_hz)?;
-            let fixed =
-                power_energy::analyse(collated, wc, pm, Gem5Model::Ex5BigFixed, freq_hz)?;
+            let old = power_energy::analyse(collated, wc, pm, Gem5Model::Ex5BigOld, freq_hz)?;
+            let fixed = power_energy::analyse(collated, wc, pm, Gem5Model::Ex5BigFixed, freq_hz)?;
             (
                 Some(old.overall.energy_mape),
                 Some(fixed.overall.energy_mape),
@@ -123,7 +121,11 @@ mod tests {
         // The paper's −51 % → +10 % swing.
         let imp = analyse(&collated(), 1.0e9, None).unwrap();
         assert!(imp.old.time_mpe < -20.0, "old mpe = {}", imp.old.time_mpe);
-        assert!(imp.fixed.time_mpe > 0.0, "fixed mpe = {}", imp.fixed.time_mpe);
+        assert!(
+            imp.fixed.time_mpe > 0.0,
+            "fixed mpe = {}",
+            imp.fixed.time_mpe
+        );
         assert!(
             imp.fixed.time_mape < imp.old.time_mape / 2.0,
             "fixed {} vs old {}",

@@ -62,7 +62,9 @@ pub fn analyse(
         .filter(|&e| {
             let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
             let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-            rates.iter().any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+            rates
+                .iter()
+                .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
         })
         .collect();
     if events.is_empty() {

@@ -207,7 +207,11 @@ mod tests {
         );
         // The old model overestimates time → overestimates energy →
         // negative energy MPE.
-        assert!(pe.overall.energy_mpe < 0.0, "mpe = {}", pe.overall.energy_mpe);
+        assert!(
+            pe.overall.energy_mpe < 0.0,
+            "mpe = {}",
+            pe.overall.energy_mpe
+        );
     }
 
     #[test]

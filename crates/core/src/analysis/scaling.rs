@@ -256,7 +256,13 @@ mod tests {
     use gemstone_workloads::suites;
 
     fn setup() -> (Collated, BTreeMap<&'static str, PowerModel>) {
-        let names = ["mi-sha", "mi-fft", "lm-bw-mem-rd", "mi-bitcount", "whet-whetstone"];
+        let names = [
+            "mi-sha",
+            "mi-fft",
+            "lm-bw-mem-rd",
+            "mi-bitcount",
+            "whet-whetstone",
+        ];
         let specs: Vec<_> = names
             .iter()
             .map(|n| suites::by_name(n).unwrap().scaled(0.04))
@@ -283,12 +289,7 @@ mod tests {
     #[test]
     fn scaling_shape_matches_paper() {
         let (c, power) = setup();
-        let s = analyse(
-            &c,
-            &power,
-            &[Gem5Model::Ex5Little, Gem5Model::Ex5BigFixed],
-        )
-        .unwrap();
+        let s = analyse(&c, &power, &[Gem5Model::Ex5Little, Gem5Model::Ex5BigFixed]).unwrap();
         // Reference point normalises to 1.
         let first = &s.points[0];
         assert!((first.hw_perf - 1.0).abs() < 1e-9);

@@ -189,7 +189,11 @@ mod tests {
         let old = assess(&c, Gem5Model::Ex5BigOld, 1.0e9, &uc).unwrap();
         assert!(!old[0].suitable, "old model MAPE = {}", old[0].time_mape);
         let fixed = assess(&c, Gem5Model::Ex5BigFixed, 1.0e9, &uc).unwrap();
-        assert!(fixed[0].suitable, "fixed model MAPE = {}", fixed[0].time_mape);
+        assert!(
+            fixed[0].suitable,
+            "fixed model MAPE = {}",
+            fixed[0].time_mape
+        );
     }
 
     #[test]
@@ -201,8 +205,16 @@ mod tests {
             .requiring_event(pmu::INST_RETIRED, 0.05)
             .requiring_event(pmu::L1D_CACHE_REFILL_ST, 0.5)];
         let v = assess(&c, Gem5Model::Ex5BigOld, 1.0e9, &uc).unwrap();
-        let inst = v[0].events.iter().find(|e| e.event == pmu::INST_RETIRED).unwrap();
-        assert!(inst.pass, "instructions are accurate: {}", inst.mean_rel_error);
+        let inst = v[0]
+            .events
+            .iter()
+            .find(|e| e.event == pmu::INST_RETIRED)
+            .unwrap();
+        assert!(
+            inst.pass,
+            "instructions are accurate: {}",
+            inst.mean_rel_error
+        );
         let refill = v[0]
             .events
             .iter()

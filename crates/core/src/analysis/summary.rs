@@ -106,7 +106,9 @@ impl Summary {
     /// The row for a model at one frequency.
     pub fn at(&self, model: Gem5Model, freq_hz: f64) -> Option<&SummaryRow> {
         self.rows.iter().find(|r| {
-            r.model == model && r.subset == "all" && r.freq_hz.is_some_and(|f| (f - freq_hz).abs() < 1.0)
+            r.model == model
+                && r.subset == "all"
+                && r.freq_hz.is_some_and(|f| (f - freq_hz).abs() < 1.0)
         })
     }
 

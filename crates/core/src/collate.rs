@@ -6,11 +6,12 @@
 //! analyses.
 
 use crate::experiment::ValidationData;
-use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::dvfs::{nearest_frequency, Cluster};
 use gemstone_platform::gem5sim::Gem5Model;
 use gemstone_stats::metrics::percentage_error;
 use gemstone_uarch::pmu::EventCode;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// One joined (workload, cluster, frequency, model) record.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -56,13 +57,72 @@ impl WorkloadRecord {
 }
 
 /// The full collated dataset.
+///
+/// Slicing by model and frequency goes through an index built once per
+/// instance (lazily after deserialisation), replacing the per-call linear
+/// scans the analyses used to pay on every lookup.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct Collated {
     /// All joined records.
     pub records: Vec<WorkloadRecord>,
+    /// Lookup structures over `records`. Skipped by serde and rebuilt on
+    /// first use after a round-trip.
+    #[serde(skip)]
+    index: OnceLock<CollatedIndex>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CollatedIndex {
+    /// Distinct frequencies, ascending.
+    freqs: Vec<f64>,
+    /// Record indices per model, in record order.
+    by_model: HashMap<Gem5Model, Vec<usize>>,
+    /// Record indices per (model, exact frequency bits), in record order.
+    by_model_freq: HashMap<(Gem5Model, u64), Vec<usize>>,
+    /// Distinct workload names, first-seen order.
+    workloads: Vec<String>,
 }
 
 impl Collated {
+    /// Wraps pre-joined records, building the lookup index eagerly.
+    pub fn from_records(records: Vec<WorkloadRecord>) -> Collated {
+        let c = Collated {
+            records,
+            index: OnceLock::new(),
+        };
+        let _ = c.index();
+        c
+    }
+
+    fn index(&self) -> &CollatedIndex {
+        self.index.get_or_init(|| {
+            let mut by_model: HashMap<Gem5Model, Vec<usize>> = HashMap::new();
+            let mut by_model_freq: HashMap<(Gem5Model, u64), Vec<usize>> = HashMap::new();
+            let mut freqs: Vec<f64> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            let mut workloads = Vec::new();
+            for (i, r) in self.records.iter().enumerate() {
+                by_model.entry(r.model).or_default().push(i);
+                by_model_freq
+                    .entry((r.model, r.freq_hz.to_bits()))
+                    .or_default()
+                    .push(i);
+                freqs.push(r.freq_hz);
+                if seen.insert(r.workload.clone()) {
+                    workloads.push(r.workload.clone());
+                }
+            }
+            freqs.sort_by(f64::total_cmp);
+            freqs.dedup();
+            CollatedIndex {
+                freqs,
+                by_model,
+                by_model_freq,
+                workloads,
+            }
+        })
+    }
+
     /// Joins hardware and gem5 runs. Each gem5 run is matched with the
     /// hardware run of the model's target cluster at the same frequency;
     /// unmatched runs are skipped.
@@ -88,32 +148,34 @@ impl Collated {
                 hw_power_w: hw.power_w,
             });
         }
-        Collated { records }
+        Collated::from_records(records)
     }
 
-    /// Records for one (model, frequency) slice, in workload order.
+    /// Records for one (model, frequency) slice, in workload order
+    /// (indexed; matches within 1 Hz).
     pub fn slice(&self, model: Gem5Model, freq_hz: f64) -> Vec<&WorkloadRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.model == model && (r.freq_hz - freq_hz).abs() < 1.0)
-            .collect()
+        let idx = self.index();
+        let Some(f) = nearest_frequency(&idx.freqs, freq_hz) else {
+            return Vec::new();
+        };
+        idx.by_model_freq
+            .get(&(model, f.to_bits()))
+            .map(|is| is.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
     }
 
     /// Records for one model at every frequency.
     pub fn for_model(&self, model: Gem5Model) -> Vec<&WorkloadRecord> {
-        self.records.iter().filter(|r| r.model == model).collect()
+        self.index()
+            .by_model
+            .get(&model)
+            .map(|is| is.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
     }
 
     /// Distinct workload names, in first-seen order.
     pub fn workloads(&self) -> Vec<&str> {
-        let mut seen = std::collections::BTreeSet::new();
-        let mut out = Vec::new();
-        for r in &self.records {
-            if seen.insert(r.workload.as_str()) {
-                out.push(r.workload.as_str());
-            }
-        }
-        out
+        self.index().workloads.iter().map(String::as_str).collect()
     }
 }
 

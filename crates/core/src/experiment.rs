@@ -14,11 +14,12 @@
 //! ```
 
 use gemstone_platform::board::{HwRun, OdroidXu3};
-use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::dvfs::{nearest_frequency, Cluster};
 use gemstone_platform::gem5sim::{Gem5Model, Gem5Run, Gem5Sim};
 use gemstone_workloads::spec::WorkloadSpec;
 use gemstone_workloads::suites;
-use std::sync::Mutex;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 
 /// Configuration of a validation campaign.
 #[derive(Debug, Clone)]
@@ -63,6 +64,12 @@ impl ExperimentConfig {
 }
 
 /// Raw data from the validation experiments.
+///
+/// Lookups by (workload, cluster/model, frequency) go through hash-map
+/// indexes built once at construction, so collation over the full grid is
+/// linear instead of quadratic. The run vectors are public for iteration;
+/// if they are mutated, the indexes are *not* rebuilt — construct a fresh
+/// [`ValidationData::new`] instead.
 #[derive(Debug)]
 pub struct ValidationData {
     /// Hardware runs: every workload × cluster × DVFS point.
@@ -72,22 +79,65 @@ pub struct ValidationData {
     pub gem5_runs: Vec<Gem5Run>,
     /// The workload set used.
     pub workloads: Vec<WorkloadSpec>,
+    hw_index: HashMap<String, HashMap<(Cluster, u64), usize>>,
+    gem5_index: HashMap<String, HashMap<(Gem5Model, u64), usize>>,
+    hw_freqs: Vec<f64>,
+    gem5_freqs: Vec<f64>,
 }
 
 impl ValidationData {
+    /// Assembles the dataset and builds the lookup indexes.
+    pub fn new(hw_runs: Vec<HwRun>, gem5_runs: Vec<Gem5Run>, workloads: Vec<WorkloadSpec>) -> Self {
+        let mut hw_index: HashMap<String, HashMap<(Cluster, u64), usize>> = HashMap::new();
+        let mut hw_freqs = Vec::new();
+        for (i, r) in hw_runs.iter().enumerate() {
+            hw_index
+                .entry(r.workload.clone())
+                .or_default()
+                .entry((r.cluster, r.freq_hz.to_bits()))
+                .or_insert(i);
+            hw_freqs.push(r.freq_hz);
+        }
+        let mut gem5_index: HashMap<String, HashMap<(Gem5Model, u64), usize>> = HashMap::new();
+        let mut gem5_freqs = Vec::new();
+        for (i, r) in gem5_runs.iter().enumerate() {
+            gem5_index
+                .entry(r.workload.clone())
+                .or_default()
+                .entry((r.model, r.freq_hz.to_bits()))
+                .or_insert(i);
+            gem5_freqs.push(r.freq_hz);
+        }
+        ValidationData {
+            hw_runs,
+            gem5_runs,
+            workloads,
+            hw_index,
+            gem5_index,
+            hw_freqs: distinct_sorted(hw_freqs),
+            gem5_freqs: distinct_sorted(gem5_freqs),
+        }
+    }
+
     /// Finds the hardware run for (workload, cluster, freq).
     pub fn hw(&self, workload: &str, cluster: Cluster, freq_hz: f64) -> Option<&HwRun> {
-        self.hw_runs.iter().find(|r| {
-            r.workload == workload && r.cluster == cluster && (r.freq_hz - freq_hz).abs() < 1.0
-        })
+        let f = nearest_frequency(&self.hw_freqs, freq_hz)?;
+        let i = *self.hw_index.get(workload)?.get(&(cluster, f.to_bits()))?;
+        self.hw_runs.get(i)
     }
 
     /// Finds the gem5 run for (workload, model, freq).
     pub fn gem5(&self, workload: &str, model: Gem5Model, freq_hz: f64) -> Option<&Gem5Run> {
-        self.gem5_runs.iter().find(|r| {
-            r.workload == workload && r.model == model && (r.freq_hz - freq_hz).abs() < 1.0
-        })
+        let f = nearest_frequency(&self.gem5_freqs, freq_hz)?;
+        let i = *self.gem5_index.get(workload)?.get(&(model, f.to_bits()))?;
+        self.gem5_runs.get(i)
     }
+}
+
+fn distinct_sorted(mut fs: Vec<f64>) -> Vec<f64> {
+    fs.sort_by(f64::total_cmp);
+    fs.dedup();
+    fs
 }
 
 /// Runs Experiments 1 and 2 over the 45-workload validation set.
@@ -123,17 +173,30 @@ pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> Validat
                         g5_local.push(Gem5Sim::run(spec, model, f));
                     }
                 }
-                hw_runs.lock().expect("no poisoned lock").extend(hw_local);
-                gem5_runs.lock().expect("no poisoned lock").extend(g5_local);
+                hw_runs.lock().extend(hw_local);
+                gem5_runs.lock().extend(g5_local);
             });
         }
     });
 
-    ValidationData {
-        hw_runs: hw_runs.into_inner().expect("no poisoned lock"),
-        gem5_runs: gem5_runs.into_inner().expect("no poisoned lock"),
-        workloads,
-    }
+    // Workers push whole per-workload batches in completion order, which
+    // varies with scheduling. Restore a deterministic order before the
+    // data leaves the experiment layer, so collation and persisted
+    // artefacts are stable across runs and thread counts.
+    let mut hw_runs = hw_runs.into_inner();
+    hw_runs.sort_by(|a, b| {
+        (a.workload.as_str(), a.cluster.name())
+            .cmp(&(b.workload.as_str(), b.cluster.name()))
+            .then(a.freq_hz.total_cmp(&b.freq_hz))
+    });
+    let mut gem5_runs = gem5_runs.into_inner();
+    gem5_runs.sort_by(|a, b| {
+        (a.workload.as_str(), a.model.name())
+            .cmp(&(b.workload.as_str(), b.model.name()))
+            .then(a.freq_hz.total_cmp(&b.freq_hz))
+    });
+
+    ValidationData::new(hw_runs, gem5_runs, workloads)
 }
 
 #[cfg(test)]
@@ -164,9 +227,7 @@ mod tests {
         assert_eq!(data.hw_runs.len(), 12);
         assert_eq!(data.gem5_runs.len(), 12);
         assert!(data.hw("mi-sha", Cluster::BigA15, 1.0e9).is_some());
-        assert!(data
-            .gem5("mi-crc32", Gem5Model::Ex5BigOld, 1.4e9)
-            .is_some());
+        assert!(data.gem5("mi-crc32", Gem5Model::Ex5BigOld, 1.4e9).is_some());
         assert!(data.hw("nope", Cluster::BigA15, 1.0e9).is_none());
     }
 
@@ -183,6 +244,18 @@ mod tests {
             assert_eq!(p.time_s, r.time_s);
             assert_eq!(p.power_w, r.power_w);
         }
+        // And the same *order*: results are sorted after the scope joins,
+        // so the run vectors must be identical element for element.
+        let hw_key = |r: &HwRun| (r.workload.clone(), r.cluster.name(), r.freq_hz.to_bits());
+        assert_eq!(
+            ser.hw_runs.iter().map(hw_key).collect::<Vec<_>>(),
+            par.hw_runs.iter().map(hw_key).collect::<Vec<_>>(),
+        );
+        let g5_key = |r: &Gem5Run| (r.workload.clone(), r.model.name(), r.freq_hz.to_bits());
+        assert_eq!(
+            ser.gem5_runs.iter().map(g5_key).collect::<Vec<_>>(),
+            par.gem5_runs.iter().map(g5_key).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

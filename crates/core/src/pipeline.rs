@@ -18,8 +18,8 @@
 //! ```
 
 use crate::analysis::{
-    diagnose, error_regression, event_compare, gem5_corr, hca_workloads, improvement,
-    microbench, pmc_corr, power_energy, scaling, summary,
+    diagnose, error_regression, event_compare, gem5_corr, hca_workloads, improvement, microbench,
+    pmc_corr, power_energy, scaling, summary,
 };
 use crate::collate::Collated;
 use crate::experiment::{run_validation, ExperimentConfig};
@@ -123,11 +123,14 @@ impl GemStone {
 
         // §IV analyses.
         let summary = summary::analyse(&collated)?;
-        let clusters =
-            hca_workloads::analyse(&collated, o.analysis_model, o.analysis_freq_hz, o.clusters_k)?;
+        let clusters = hca_workloads::analyse(
+            &collated,
+            o.analysis_model,
+            o.analysis_freq_hz,
+            o.clusters_k,
+        )?;
         let pmc = pmc_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, None)?;
-        let g5corr =
-            gem5_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok();
+        let g5corr = gem5_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok();
         let reg_hw = error_regression::analyse(
             &collated,
             o.analysis_model,
@@ -162,17 +165,39 @@ impl GemStone {
                 .iter()
                 .map(|w| w.scaled(o.experiment.workload_scale))
                 .collect();
-            for cluster in [Cluster::LittleA7, Cluster::BigA15] {
-                let ds =
-                    dataset::collect(&o.experiment.board, cluster, &specs, cluster.frequencies());
+            // The two clusters' characterisation + fit are independent, so
+            // run them concurrently, splitting the worker budget between
+            // them (each `collect` fans out internally).
+            let fit = |cluster: Cluster| -> Result<(&'static str, PowerModel, ModelQuality)> {
+                let threads = (o.experiment.threads / 2).max(1);
+                let ds = dataset::collect_with_threads(
+                    &o.experiment.board,
+                    cluster,
+                    &specs,
+                    cluster.frequencies(),
+                    threads,
+                );
                 let sel_opts = selection::SelectionOptions {
                     restricted_pool: Some(selection::gem5_compatible_pool()),
                     ..selection::SelectionOptions::default()
                 };
                 let sel = selection::select_events(&ds, &sel_opts)?;
                 let pm = PowerModel::fit(&ds, &sel.terms)?;
-                power_quality.insert(cluster.name(), pm.quality(&ds)?);
-                power_models.insert(cluster.name(), pm);
+                let q = pm.quality(&ds)?;
+                Ok((cluster.name(), pm, q))
+            };
+            let (little, big) = std::thread::scope(|scope| {
+                let little = scope.spawn(|| fit(Cluster::LittleA7));
+                let big = scope.spawn(|| fit(Cluster::BigA15));
+                (
+                    little.join().expect("power-fit worker panicked"),
+                    big.join().expect("power-fit worker panicked"),
+                )
+            });
+            for fitted in [little, big] {
+                let (name, pm, q) = fitted?;
+                power_quality.insert(name, q);
+                power_models.insert(name, pm);
             }
             // §VI / Fig. 7.
             let a15_pm = &power_models[Cluster::BigA15.name()];
@@ -285,7 +310,10 @@ impl GemStoneReport {
                 "§IV-C — {} gem5 statistics with |r| ≥ {:.1}; cluster sizes: {:?}",
                 gc.entries.len(),
                 gc.threshold,
-                gc.clusters.iter().map(|c| c.members.len()).collect::<Vec<_>>()
+                gc.clusters
+                    .iter()
+                    .map(|c| c.members.len())
+                    .collect::<Vec<_>>()
             );
             if let Some(a) = gc.cluster_a() {
                 let _ = writeln!(
@@ -327,7 +355,11 @@ impl GemStoneReport {
         } else {
             let _ = writeln!(out, "automated diagnosis (most severe first):");
             for e in &self.diagnosis.evidence {
-                let _ = writeln!(out, "  [{:>5.1}] {} — {}", e.severity, e.component, e.statement);
+                let _ = writeln!(
+                    out,
+                    "  [{:>5.1}] {} — {}",
+                    e.severity, e.component, e.statement
+                );
             }
             out.push('\n');
         }
@@ -365,7 +397,13 @@ impl GemStoneReport {
         // Fig. 8.
         if let Some(sc) = &self.scaling {
             let mut t = Table::new(vec![
-                "model", "freq", "perf HW", "perf g5", "power HW", "power g5", "energy HW",
+                "model",
+                "freq",
+                "perf HW",
+                "perf g5",
+                "power HW",
+                "power g5",
+                "energy HW",
                 "energy g5",
             ]);
             for p in &sc.points {
@@ -380,7 +418,11 @@ impl GemStoneReport {
                     format!("{:.2}", p.gem5_energy),
                 ]);
             }
-            let _ = writeln!(out, "Fig. 8 — scaling normalised to A7@200 MHz\n{}", t.render());
+            let _ = writeln!(
+                out,
+                "Fig. 8 — scaling normalised to A7@200 MHz\n{}",
+                t.render()
+            );
             if let Some((hw, g5)) = sc.a15_speedup {
                 let _ = writeln!(
                     out,
@@ -407,6 +449,29 @@ impl GemStoneReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gemstone_platform::simcache::SimCache;
+    use std::sync::Arc;
+
+    #[test]
+    fn pipeline_never_duplicates_engine_runs() {
+        // Give the pipeline its own cache so the hit/miss counters see only
+        // this run. The power-characterisation sweep revisits validation
+        // (workload, cluster, freq) tuples, so the cache must serve hits —
+        // and every miss must correspond to exactly one stored entry,
+        // i.e. no tuple was ever executed twice.
+        let cache = Arc::new(SimCache::new());
+        let mut opts = PipelineOptions {
+            experiment: ExperimentConfig::quick(),
+            with_power: true,
+            ..PipelineOptions::default()
+        };
+        opts.experiment.workload_scale = 0.02;
+        opts.experiment.board.cache = Arc::clone(&cache);
+        let report = GemStone::new(opts).run().unwrap();
+        assert_eq!(report.power_models.len(), 2);
+        assert_eq!(cache.misses(), cache.len() as u64, "duplicate engine run");
+        assert!(cache.hits() > 0, "power sweep should reuse validation runs");
+    }
 
     #[test]
     fn quick_pipeline_runs_end_to_end() {

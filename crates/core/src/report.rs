@@ -268,10 +268,7 @@ mod tests {
 
     #[test]
     fn bar_chart_shows_signs() {
-        let s = bar_chart(
-            &[("pos".into(), 50.0), ("neg".into(), -100.0)],
-            40,
-        );
+        let s = bar_chart(&[("pos".into(), 50.0), ("neg".into(), -100.0)], 40);
         assert!(s.contains("+50.0"));
         assert!(s.contains("-100.0"));
         // The negative bar is longer.
@@ -288,13 +285,7 @@ mod tests {
     #[test]
     fn dendrogram_renders_all_leaves() {
         use gemstone_stats::cluster::{Hca, Linkage, Metric};
-        let rows = vec![
-            vec![0.0],
-            vec![0.1],
-            vec![5.0],
-            vec![5.1],
-            vec![99.0],
-        ];
+        let rows = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1], vec![99.0]];
         let hca = Hca::new(&rows, Metric::Euclidean, Linkage::Average).unwrap();
         let labels: Vec<String> = (0..5).map(|i| format!("wl{i}")).collect();
         let d = dendrogram(&hca, &labels);

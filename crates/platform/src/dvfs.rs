@@ -82,9 +82,41 @@ impl Cluster {
     }
 }
 
+/// Resolves `query_hz` to the entry of an ascending-sorted frequency list
+/// within the 1 Hz matching tolerance the result-lookup methods use, or
+/// `None` when no operating point is that close. This is the shared
+/// building block of the indexed (hash-map) lookups: a query frequency is
+/// first snapped to the stored operating point, then used as an exact key.
+pub fn nearest_frequency(sorted_hz: &[f64], query_hz: f64) -> Option<f64> {
+    let at = sorted_hz.partition_point(|&f| f < query_hz);
+    let mut best: Option<(f64, f64)> = None;
+    for i in [at.wrapping_sub(1), at] {
+        if let Some(&f) = sorted_hz.get(i) {
+            let d = (f - query_hz).abs();
+            if d < 1.0 && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, f));
+            }
+        }
+    }
+    best.map(|(_, f)| f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_frequency_snaps_within_one_hz() {
+        let fs = [200.0e6, 600.0e6, 1000.0e6];
+        assert_eq!(nearest_frequency(&fs, 600.0e6), Some(600.0e6));
+        assert_eq!(nearest_frequency(&fs, 600.0e6 + 0.5), Some(600.0e6));
+        assert_eq!(nearest_frequency(&fs, 600.0e6 - 0.5), Some(600.0e6));
+        assert_eq!(nearest_frequency(&fs, 601.0e6), None);
+        assert_eq!(nearest_frequency(&fs, 100.0), None);
+        assert_eq!(nearest_frequency(&[], 1.0e9), None);
+        assert_eq!(nearest_frequency(&fs, 1000.0e6), Some(1000.0e6));
+        assert_eq!(nearest_frequency(&fs, 200.0e6), Some(200.0e6));
+    }
 
     #[test]
     fn frequencies_match_paper() {

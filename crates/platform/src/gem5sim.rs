@@ -18,11 +18,10 @@
 //! ```
 
 use crate::dvfs::Cluster;
+use crate::simcache::SimCache;
 use gemstone_uarch::configs::{ex5_big, ex5_little, Ex5Variant};
-use gemstone_uarch::core::Engine;
 use gemstone_uarch::pmu::{event_counts, EventCode};
 use gemstone_uarch::stats::SimStats;
-use gemstone_workloads::gen::StreamGen;
 use gemstone_workloads::spec::WorkloadSpec;
 use std::collections::BTreeMap;
 
@@ -105,6 +104,22 @@ impl Gem5Sim {
         Self::run_config(spec, model, model.config(), freq_hz)
     }
 
+    /// Like [`Gem5Sim::run`], but consulting an explicit [`SimCache`]
+    /// instead of the process-wide one — for isolated cache tests and
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_with_cache(
+        cache: &SimCache,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+    ) -> Gem5Run {
+        Self::run_config_with_cache(cache, spec, model, model.config(), freq_hz)
+    }
+
     /// Runs a workload on a *custom* core configuration, reported under
     /// `model`'s name. This is the hook for model-improvement iteration
     /// ("adjustments can then be made to the problem component of the gem5
@@ -121,18 +136,35 @@ impl Gem5Sim {
         cfg: gemstone_uarch::core::CoreConfig,
         freq_hz: f64,
     ) -> Gem5Run {
-        let mut engine = Engine::with_seed(cfg, freq_hz, spec.threads, spec.derived_seed());
-        let result = engine.run(StreamGen::new(spec));
-        let stats_map = result.stats.gem5_stats_map();
-        let pmu_equiv = event_counts(&result.stats);
+        Self::run_config_with_cache(&SimCache::global(), spec, model, cfg, freq_hz)
+    }
+
+    /// Like [`Gem5Sim::run_config`], but consulting an explicit
+    /// [`SimCache`]. The cache key covers every configuration field, so
+    /// custom configurations reported under the same model name never
+    /// share an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_config_with_cache(
+        cache: &SimCache,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        cfg: gemstone_uarch::core::CoreConfig,
+        freq_hz: f64,
+    ) -> Gem5Run {
+        let sim = cache.run(&cfg, spec, freq_hz);
+        let stats_map = sim.stats.gem5_stats_map();
+        let pmu_equiv = event_counts(&sim.stats);
         Gem5Run {
             workload: spec.name.clone(),
             model,
             freq_hz,
-            time_s: result.seconds,
+            time_s: sim.seconds,
             stats_map,
             pmu_equiv,
-            stats: result.stats,
+            stats: sim.stats,
         }
     }
 }
@@ -153,6 +185,22 @@ mod tests {
         let b = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
         assert_eq!(a.time_s, b.time_s);
         assert_eq!(a.stats_map, b.stats_map);
+    }
+
+    #[test]
+    fn cache_cold_warm_disabled_bit_identical() {
+        let s = spec("mi-fft");
+        let cache = SimCache::new();
+        let cold = Gem5Sim::run_with_cache(&cache, &s, Gem5Model::Ex5BigOld, 1.0e9);
+        let warm = Gem5Sim::run_with_cache(&cache, &s, Gem5Model::Ex5BigOld, 1.0e9);
+        let off = Gem5Sim::run_with_cache(&SimCache::disabled(), &s, Gem5Model::Ex5BigOld, 1.0e9);
+        let global = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
+        for other in [&warm, &off, &global] {
+            assert_eq!(cold.time_s, other.time_s);
+            assert_eq!(cold.stats_map, other.stats_map);
+            assert_eq!(cold.pmu_equiv, other.pmu_equiv);
+        }
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! multiplexed PMC capture); [`gem5sim::Gem5Sim`] runs the `ex5` model
 //! configurations and returns a gem5-style statistics dump.
 //!
+//! Both drivers sit on top of a shared, concurrent simulation-result memo
+//! ([`simcache::SimCache`]): the deterministic engine result for each
+//! (workload, configuration, frequency, seed) tuple is computed once and
+//! reused, with the seeded measurement noise applied per call so every
+//! output stays bit-identical whether the cache is cold, warm or disabled.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,4 +50,5 @@ pub mod gem5sim;
 pub mod pmu_capture;
 pub mod power_truth;
 pub mod sensors;
+pub mod simcache;
 pub mod thermal;

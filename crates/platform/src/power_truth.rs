@@ -131,9 +131,9 @@ pub fn true_power(
         return static_power(cluster, v, temp_c);
     }
     let r = |count: f64| count / s; // events per second
-    // Per-component data-toggle factors in [1-A, 1+A]. The narrow A7
-    // datapath toggles proportionally more with operand width/value than
-    // the A15's, so its per-event energies vary more.
+                                    // Per-component data-toggle factors in [1-A, 1+A]. The narrow A7
+                                    // datapath toggles proportionally more with operand width/value than
+                                    // the A15's, so its per-event energies vary more.
     let amp_scale = match cluster {
         Cluster::BigA15 => 1.6,
         Cluster::LittleA7 => 2.8,
@@ -158,8 +158,7 @@ pub fn true_power(
             + m.dram_nj * tf(4, 0.20) * r(stats.dram_accesses as f64)
             + m.fp_nj * tf(5, 0.15) * r(stats.speculative.fp() as f64)
             + m.simd_nj * tf(6, 0.15) * r(stats.speculative.simd as f64)
-            + m.int_long_nj
-                * r((stats.speculative.int_mul + stats.speculative.int_div) as f64)
+            + m.int_long_nj * r((stats.speculative.int_mul + stats.speculative.int_div) as f64)
             + m.mispredict_nj * r(stats.branch.total_mispredicts() as f64)
             + m.walk_nj * r((stats.itlb.walks + stats.dtlb.walks) as f64)
             + m.unaligned_nj * r((stats.unaligned_loads + stats.unaligned_stores) as f64)

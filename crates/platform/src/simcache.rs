@@ -1,0 +1,346 @@
+//! A shared, concurrent simulation-result cache.
+//!
+//! The cycle-level engine is deterministic: for a given (workload
+//! specification, core configuration, frequency, seed) tuple it always
+//! produces the same statistics (see the determinism tests in
+//! [`crate::board`] and [`crate::gem5sim`]). The GemStone pipeline drives
+//! the engine over heavily overlapping operating-point grids — the
+//! validation sweep, the two per-cluster power sweeps and the
+//! model-improvement loop all revisit the same tuples — so the engine
+//! result is memoised here and the (seeded, per-call) measurement noise is
+//! applied *outside* the cache. All externally observable values stay
+//! bit-identical whether the cache is cold, warm, or disabled.
+//!
+//! The cache key is a 128-bit fingerprint over the full workload
+//! specification, the full core configuration, the frequency bits and the
+//! workload's derived seed, so two configurations that differ in any field
+//! — even when reported under the same model name — never share an entry.
+//!
+//! The map is sharded: each shard is an independent
+//! [`parking_lot::RwLock`]-protected hash map, so concurrent sweeps mostly
+//! touch different locks. Within one shard, a per-entry [`OnceLock`]
+//! guarantees that every tuple is simulated **exactly once** even when
+//! several worker threads request it simultaneously — the losers of the
+//! race block on the winner's result instead of re-running the engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_platform::simcache::SimCache;
+//! use gemstone_uarch::configs::cortex_a15_hw;
+//! use gemstone_workloads::suites;
+//!
+//! let cache = SimCache::new();
+//! let spec = suites::by_name("mi-sha").unwrap().scaled(0.05);
+//! let cold = cache.run(&cortex_a15_hw(), &spec, 1.0e9);
+//! let warm = cache.run(&cortex_a15_hw(), &spec, 1.0e9);
+//! assert_eq!(cold.seconds, warm.seconds);
+//! assert_eq!((cache.misses(), cache.hits()), (1, 1));
+//! ```
+
+use gemstone_uarch::core::{CoreConfig, Engine};
+use gemstone_uarch::stats::SimStats;
+use gemstone_workloads::gen::StreamGen;
+use gemstone_workloads::spec::WorkloadSpec;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of independent shards (power of two).
+const SHARD_COUNT: usize = 16;
+
+/// A 128-bit fingerprint of one (workload spec, core config, frequency,
+/// seed) simulation tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    hi: u64,
+    lo: u64,
+}
+
+/// The noise-free result of one engine run: everything the board and the
+/// gem5 driver derive their outputs from.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Simulated wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Full engine statistics.
+    pub stats: SimStats,
+}
+
+/// One cache entry; the [`OnceLock`] serialises concurrent fills so every
+/// key is computed exactly once.
+#[derive(Default)]
+struct Slot {
+    cell: OnceLock<SimOutcome>,
+}
+
+/// A shared, concurrent, sharded memo of engine results.
+///
+/// Cheap to share via [`Arc`]; see [`SimCache::global`] for the
+/// process-wide instance used by default.
+pub struct SimCache {
+    shards: Vec<RwLock<HashMap<SimKey, Arc<Slot>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+static GLOBAL: OnceLock<Arc<SimCache>> = OnceLock::new();
+
+impl SimCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// Creates a cache that never stores or returns entries — every
+    /// [`SimCache::run`] executes the engine directly. Useful for
+    /// bypass/equivalence tests and cold benchmarks.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Self {
+        SimCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(enabled),
+        }
+    }
+
+    /// The process-wide shared cache. The board and the gem5 driver use
+    /// this instance unless given another one, so the validation sweep,
+    /// the power sweeps and ad-hoc runs all share one memo.
+    pub fn global() -> Arc<SimCache> {
+        GLOBAL.get_or_init(|| Arc::new(SimCache::new())).clone()
+    }
+
+    /// Fingerprints one simulation tuple. The fingerprint covers every
+    /// field of the spec and the configuration (via their canonical debug
+    /// renderings), the exact frequency bits and the derived seed.
+    pub fn fingerprint(spec: &WorkloadSpec, cfg: &CoreConfig, freq_hz: f64) -> SimKey {
+        use std::hash::{Hash, Hasher};
+        let repr = format!(
+            "{spec:?}\u{1f}{cfg:?}\u{1f}{}\u{1f}{}",
+            freq_hz.to_bits(),
+            spec.derived_seed()
+        );
+        let mut sip = std::collections::hash_map::DefaultHasher::new();
+        repr.hash(&mut sip);
+        SimKey {
+            hi: fnv1a(repr.as_bytes()),
+            lo: sip.finish(),
+        }
+    }
+
+    /// Runs the engine for one tuple — or returns the memoised result.
+    ///
+    /// The first caller for a key executes the engine; concurrent callers
+    /// for the same key block on that execution rather than duplicating
+    /// it. When the cache is disabled the engine always runs.
+    pub fn run(&self, cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Self::execute(cfg, spec, freq_hz);
+        }
+        let key = Self::fingerprint(spec, cfg, freq_hz);
+        let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
+        let slot = {
+            let map = shard.read();
+            map.get(&key).cloned()
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => shard.write().entry(key).or_default().clone(),
+        };
+        let mut computed = false;
+        let out = slot
+            .cell
+            .get_or_init(|| {
+                computed = true;
+                Self::execute(cfg, spec, freq_hz)
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Executes the engine directly, bypassing any cache.
+    pub fn execute(cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
+        let mut engine = Engine::with_seed(cfg.clone(), freq_hz, spec.threads, spec.derived_seed());
+        let result = engine.run(StreamGen::new(spec));
+        SimOutcome {
+            seconds: result.seconds,
+            stats: result.stats,
+        }
+    }
+
+    /// Number of lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that executed the engine (= entries created).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoised entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
+    use gemstone_workloads::suites;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        suites::by_name(name).unwrap().scaled(0.05)
+    }
+
+    #[test]
+    fn warm_result_is_bit_identical_to_cold_and_bypassed() {
+        let cache = SimCache::new();
+        let s = spec("mi-fft");
+        let cold = cache.run(&cortex_a15_hw(), &s, 1.0e9);
+        let warm = cache.run(&cortex_a15_hw(), &s, 1.0e9);
+        let direct = SimCache::execute(&cortex_a15_hw(), &s, 1.0e9);
+        assert_eq!(cold.seconds, warm.seconds);
+        assert_eq!(cold.seconds, direct.seconds);
+        assert_eq!(cold.stats.cycles, warm.stats.cycles);
+        assert_eq!(cold.stats.cycles, direct.stats.cycles);
+        assert_eq!(
+            cold.stats.committed_instructions,
+            direct.stats.committed_instructions
+        );
+    }
+
+    #[test]
+    fn counters_track_misses_then_hits() {
+        let cache = SimCache::new();
+        let s = spec("mi-sha");
+        for _ in 0..3 {
+            cache.run(&cortex_a7_hw(), &s, 600.0e6);
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = SimCache::disabled();
+        let s = spec("mi-sha");
+        let a = cache.run(&cortex_a15_hw(), &s, 1.0e9);
+        let b = cache.run(&cortex_a15_hw(), &s, 1.0e9);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(cache.len(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn key_separates_spec_config_and_frequency() {
+        let a = SimCache::fingerprint(&spec("mi-sha"), &cortex_a15_hw(), 1.0e9);
+        assert_eq!(
+            a,
+            SimCache::fingerprint(&spec("mi-sha"), &cortex_a15_hw(), 1.0e9)
+        );
+        assert_ne!(
+            a,
+            SimCache::fingerprint(&spec("mi-fft"), &cortex_a15_hw(), 1.0e9)
+        );
+        assert_ne!(
+            a,
+            SimCache::fingerprint(&spec("mi-sha"), &cortex_a7_hw(), 1.0e9)
+        );
+        assert_ne!(
+            a,
+            SimCache::fingerprint(&spec("mi-sha"), &cortex_a15_hw(), 1.4e9)
+        );
+        // Two configs that differ only in internal fields (same cluster)
+        // still get distinct keys.
+        assert_ne!(
+            SimCache::fingerprint(&spec("mi-sha"), &ex5_big(Ex5Variant::Old), 1.0e9),
+            SimCache::fingerprint(&spec("mi-sha"), &ex5_big(Ex5Variant::Fixed), 1.0e9)
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_execute_each_tuple_once() {
+        let cache = SimCache::new();
+        let s = spec("mi-crc32");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for &f in [600.0e6, 1.0e9].iter() {
+                        cache.run(&cortex_a15_hw(), &s, f);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 2, "each tuple simulated exactly once");
+        assert_eq!(cache.hits(), 14);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = SimCache::global();
+        let b = SimCache::global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

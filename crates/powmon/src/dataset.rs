@@ -1,6 +1,12 @@
 //! Power-characterisation datasets: one observation per
 //! (workload, frequency) with measured power and PMC event rates.
 //!
+//! [`collect`] runs the characterisation sweep in parallel over a scoped
+//! worker pool (the same work-queue pattern as the validation experiment
+//! driver); observations always come back in the deterministic
+//! workload-major, frequency-minor order regardless of scheduling, because
+//! every board run is itself deterministic.
+//!
 //! # Examples
 //!
 //! ```
@@ -19,10 +25,13 @@
 //! ```
 
 use gemstone_platform::board::OdroidXu3;
-use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::dvfs::{nearest_frequency, Cluster};
 use gemstone_uarch::pmu::EventCode;
 use gemstone_workloads::spec::WorkloadSpec;
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// One (workload, DVFS point) power observation.
 #[derive(Debug, Clone)]
@@ -55,23 +64,58 @@ pub struct PowerDataset {
     pub cluster: Cluster,
     /// All observations.
     pub observations: Vec<PowerObservation>,
+    /// Per-frequency index over `observations`, built once and consulted
+    /// by [`PowerDataset::at_frequency`] / [`PowerDataset::frequencies`].
+    freq_index: OnceLock<FreqIndex>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FreqIndex {
+    /// Distinct frequencies, ascending.
+    freqs: Vec<f64>,
+    /// Observation indices per exact frequency bit pattern.
+    by_freq: HashMap<u64, Vec<usize>>,
 }
 
 impl PowerDataset {
-    /// Distinct frequencies present, ascending.
-    pub fn frequencies(&self) -> Vec<f64> {
-        let mut fs: Vec<f64> = self.observations.iter().map(|o| o.freq_hz).collect();
-        fs.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
-        fs.dedup();
-        fs
+    /// Builds a dataset and its frequency index.
+    pub fn new(cluster: Cluster, observations: Vec<PowerObservation>) -> Self {
+        let ds = PowerDataset {
+            cluster,
+            observations,
+            freq_index: OnceLock::new(),
+        };
+        let _ = ds.index();
+        ds
     }
 
-    /// Observations at one frequency.
+    fn index(&self) -> &FreqIndex {
+        self.freq_index.get_or_init(|| {
+            let mut by_freq: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (i, o) in self.observations.iter().enumerate() {
+                by_freq.entry(o.freq_hz.to_bits()).or_default().push(i);
+            }
+            let mut freqs: Vec<f64> = by_freq.keys().map(|&b| f64::from_bits(b)).collect();
+            freqs.sort_by(f64::total_cmp);
+            FreqIndex { freqs, by_freq }
+        })
+    }
+
+    /// Distinct frequencies present, ascending.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.index().freqs.clone()
+    }
+
+    /// Observations at one frequency (indexed; matches within 1 Hz).
     pub fn at_frequency(&self, freq_hz: f64) -> Vec<&PowerObservation> {
-        self.observations
-            .iter()
-            .filter(|o| (o.freq_hz - freq_hz).abs() < 1.0)
-            .collect()
+        let idx = self.index();
+        let Some(f) = nearest_frequency(&idx.freqs, freq_hz) else {
+            return Vec::new();
+        };
+        idx.by_freq
+            .get(&f.to_bits())
+            .map(|is| is.iter().map(|&i| &self.observations[i]).collect())
+            .unwrap_or_default()
     }
 
     /// Event codes that appear in every observation.
@@ -89,37 +133,73 @@ impl PowerDataset {
 }
 
 /// Runs the power-characterisation experiment (boxes *c*/*d* of the paper's
-/// Fig. 1): every workload at every frequency on one cluster.
+/// Fig. 1): every workload at every frequency on one cluster, in parallel
+/// over all available cores.
 pub fn collect(
     board: &OdroidXu3,
     cluster: Cluster,
     workloads: &[WorkloadSpec],
     freqs: &[f64],
 ) -> PowerDataset {
-    let mut observations = Vec::with_capacity(workloads.len() * freqs.len());
-    for spec in workloads {
-        for &f in freqs {
-            let run = board.run(spec, cluster, f);
-            // Rates are per second of the measurement window, which is only
-            // partly busy.
-            let rates = run
-                .pmc
-                .iter()
-                .map(|(&code, &count)| (code, count / run.time_s * run.power_utilization))
-                .collect();
-            observations.push(PowerObservation {
-                workload: spec.name.clone(),
-                freq_hz: f,
-                voltage: cluster.voltage(f),
-                power_w: run.power_w,
-                time_s: run.time_s,
-                rates,
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    collect_with_threads(board, cluster, workloads, freqs, threads)
+}
+
+/// [`collect`] with an explicit worker-thread count (`1` = serial). The
+/// observation order — workload-major, frequency-minor — and every value
+/// are identical for any thread count.
+pub fn collect_with_threads(
+    board: &OdroidXu3,
+    cluster: Cluster,
+    workloads: &[WorkloadSpec],
+    freqs: &[f64],
+    threads: usize,
+) -> PowerDataset {
+    let grid: Vec<(&WorkloadSpec, f64)> = workloads
+        .iter()
+        .flat_map(|spec| freqs.iter().map(move |&f| (spec, f)))
+        .collect();
+    let slots: Mutex<Vec<(usize, PowerObservation)>> = Mutex::new(Vec::with_capacity(grid.len()));
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(spec, f)) = grid.get(i) else { break };
+                let obs = observe(board, cluster, spec, f);
+                slots.lock().push((i, obs));
             });
         }
-    }
-    PowerDataset {
-        cluster,
-        observations,
+    });
+
+    // Restore the deterministic grid order regardless of completion order.
+    let mut indexed = slots.into_inner();
+    indexed.sort_by_key(|&(i, _)| i);
+    PowerDataset::new(cluster, indexed.into_iter().map(|(_, o)| o).collect())
+}
+
+fn observe(
+    board: &OdroidXu3,
+    cluster: Cluster,
+    spec: &WorkloadSpec,
+    freq_hz: f64,
+) -> PowerObservation {
+    let run = board.run(spec, cluster, freq_hz);
+    // Rates are per second of the measurement window, which is only
+    // partly busy.
+    let rates = run
+        .pmc
+        .iter()
+        .map(|(&code, &count)| (code, count / run.time_s * run.power_utilization))
+        .collect();
+    PowerObservation {
+        workload: spec.name.clone(),
+        freq_hz,
+        voltage: cluster.voltage(freq_hz),
+        power_w: run.power_w,
+        time_s: run.time_s,
+        rates,
     }
 }
 
@@ -154,6 +234,26 @@ mod tests {
             assert!(o.time_s > 0.0);
             assert!(o.voltage > 0.5 && o.voltage < 1.5);
             assert!(o.rate(gemstone_uarch::pmu::CPU_CYCLES) > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_in_order_and_values() {
+        let board = OdroidXu3::new();
+        let specs: Vec<WorkloadSpec> = ["mi-sha", "mi-crc32", "whet-whetstone"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+            .collect();
+        let freqs = [600.0e6, 1000.0e6];
+        let ser = collect_with_threads(&board, Cluster::LittleA7, &specs, &freqs, 1);
+        let par = collect_with_threads(&board, Cluster::LittleA7, &specs, &freqs, 4);
+        assert_eq!(ser.observations.len(), par.observations.len());
+        for (a, b) in ser.observations.iter().zip(&par.observations) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.freq_hz, b.freq_hz);
+            assert_eq!(a.power_w, b.power_w);
+            assert_eq!(a.time_s, b.time_s);
+            assert_eq!(a.rates, b.rates);
         }
     }
 

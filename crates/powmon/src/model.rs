@@ -54,14 +54,11 @@ impl EventExpr {
 
     /// Human-readable name using PMU mnemonics where known.
     pub fn mnemonic(&self) -> String {
-        let base = event_name(self.event).map_or_else(
-            || format!("{:#04x}", self.event),
-            |n| n.to_string(),
-        );
+        let base = event_name(self.event)
+            .map_or_else(|| format!("{:#04x}", self.event), |n| n.to_string());
         match self.minus {
             Some(m) => {
-                let sub =
-                    event_name(m).map_or_else(|| format!("{m:#04x}"), |n| n.to_string());
+                let sub = event_name(m).map_or_else(|| format!("{m:#04x}"), |n| n.to_string());
                 format!("{base}-{sub}")
             }
             None => base,
@@ -161,7 +158,10 @@ impl PowerModel {
 
     /// Frequencies the model has coefficients for (Hz).
     pub fn frequencies(&self) -> Vec<f64> {
-        self.coefficients.keys().map(|&k| k as f64 * 1000.0).collect()
+        self.coefficients
+            .keys()
+            .map(|&k| k as f64 * 1000.0)
+            .collect()
     }
 
     /// Coefficient vector (intercept first) at a frequency.
@@ -285,11 +285,7 @@ impl PowerModel {
             .map(|o| self.terms.iter().map(|t| t.rate(o)).collect())
             .collect();
         let vifs = vif(&pooled)?;
-        let mean_vif = vifs
-            .iter()
-            .map(|v| v.min(1000.0))
-            .sum::<f64>()
-            / vifs.len() as f64;
+        let mean_vif = vifs.iter().map(|v| v.min(1000.0)).sum::<f64>() / vifs.len() as f64;
         let max_ape = measured
             .iter()
             .zip(&predicted)
@@ -312,7 +308,11 @@ impl PowerModel {
     /// frequency.
     pub fn equations(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("# {} power model ({} terms)\n", self.cluster, self.terms.len()));
+        out.push_str(&format!(
+            "# {} power model ({} terms)\n",
+            self.cluster,
+            self.terms.len()
+        ));
         for (&k, coeffs) in &self.coefficients {
             let mhz = k / 1000;
             let mut eq = format!("power_{mhz}mhz = {:.6}", coeffs[0]);
@@ -376,10 +376,7 @@ mod tests {
         assert_eq!(EventExpr::single(0x11).name(), "0x11");
         assert_eq!(EventExpr::diff(0x1B, 0x73).name(), "0x1B-0x73");
         assert_eq!(EventExpr::single(0x11).mnemonic(), "CPU_CYCLES");
-        assert_eq!(
-            EventExpr::diff(0x1B, 0x73).mnemonic(),
-            "INST_SPEC-DP_SPEC"
-        );
+        assert_eq!(EventExpr::diff(0x1B, 0x73).mnemonic(), "INST_SPEC-DP_SPEC");
     }
 
     #[test]

@@ -139,9 +139,9 @@ impl RuntimePowerMonitor {
         let mut total_time = 0.0;
 
         let flush = |engine: &mut Engine,
-                         last_counts: &mut BTreeMap<EventCode, f64>,
-                         last_t: &mut f64,
-                         samples: &mut Vec<PowerSample>|
+                     last_counts: &mut BTreeMap<EventCode, f64>,
+                     last_t: &mut f64,
+                     samples: &mut Vec<PowerSample>|
          -> Result<()> {
             let snap = engine.finish();
             let now = snap.seconds;
@@ -240,7 +240,11 @@ mod tests {
         let trace = monitor
             .run(cortex_a15_hw(), spec.threads, StreamGen::new(&spec))
             .unwrap();
-        assert!(trace.samples.len() >= 5, "samples = {}", trace.samples.len());
+        assert!(
+            trace.samples.len() >= 5,
+            "samples = {}",
+            trace.samples.len()
+        );
         // Windows tile the run.
         for w in trace.samples.windows(2) {
             assert!((w[0].t_end_s - w[1].t_start_s).abs() < 1e-12);
@@ -273,9 +277,15 @@ mod tests {
             .run(cortex_a15_hw(), 1, StreamGen::new(&spec))
             .unwrap();
         let n = trace.samples.len();
-        let first: f64 =
-            trace.samples[..n / 2].iter().map(|s| s.power_w).sum::<f64>() / (n / 2) as f64;
-        let second: f64 = trace.samples[n / 2..].iter().map(|s| s.power_w).sum::<f64>()
+        let first: f64 = trace.samples[..n / 2]
+            .iter()
+            .map(|s| s.power_w)
+            .sum::<f64>()
+            / (n / 2) as f64;
+        let second: f64 = trace.samples[n / 2..]
+            .iter()
+            .map(|s| s.power_w)
+            .sum::<f64>()
             / (n - n / 2) as f64;
         assert!(
             (first - second).abs() / first > 0.02,

@@ -117,15 +117,14 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
         .common_events()
         .into_iter()
         .filter(|e| {
-            opts.restricted_pool
-                .as_ref()
-                .is_none_or(|p| p.contains(e))
+            opts.restricted_pool.as_ref().is_none_or(|p| p.contains(e))
                 && !opts.excluded.contains(e)
         })
         .filter(|&e| {
             let col: Vec<f64> = ds.observations.iter().map(|o| o.rate(e)).collect();
             let mean = col.iter().sum::<f64>() / col.len() as f64;
-            col.iter().any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+            col.iter()
+                .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
         })
         .collect();
     if candidates.is_empty() {
@@ -134,9 +133,8 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
         ));
     }
 
-    let col = |expr: &EventExpr| -> Vec<f64> {
-        ds.observations.iter().map(|o| expr.rate(o)).collect()
-    };
+    let col =
+        |expr: &EventExpr| -> Vec<f64> { ds.observations.iter().map(|o| expr.rate(o)).collect() };
 
     let mut selected: Vec<EventExpr> = Vec::new();
     if opts.seed_with_cycles && candidates.contains(&pmu::CPU_CYCLES) {
@@ -212,9 +210,7 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
     }
 
     if selected.is_empty() {
-        return Err(StatsError::InvalidArgument(
-            "selection accepted no events",
-        ));
+        return Err(StatsError::InvalidArgument("selection accepted no events"));
     }
     Ok(Selection {
         terms: selected,
@@ -302,10 +298,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_is_error() {
-        let ds = PowerDataset {
-            cluster: Cluster::BigA15,
-            observations: Vec::new(),
-        };
+        let ds = PowerDataset::new(Cluster::BigA15, Vec::new());
         assert!(select_events(&ds, &SelectionOptions::default()).is_err());
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for the power-modelling toolkit.
 
+use gemstone_platform::dvfs::Cluster;
 use gemstone_powmon::dataset::{PowerDataset, PowerObservation};
 use gemstone_powmon::model::{EventExpr, PowerModel};
-use gemstone_platform::dvfs::Cluster;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -32,10 +32,7 @@ fn synthetic_dataset(
             }
         })
         .collect();
-    PowerDataset {
-        cluster: Cluster::BigA15,
-        observations,
-    }
+    PowerDataset::new(Cluster::BigA15, observations)
 }
 
 proptest! {

@@ -107,7 +107,11 @@ pub fn standardize(rows: &mut [Vec<f64>]) -> Result<()> {
     }
     for j in 0..k {
         let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n as f64;
-        let var = rows.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n as f64;
+        let var = rows
+            .iter()
+            .map(|r| (r[j] - mean) * (r[j] - mean))
+            .sum::<f64>()
+            / n as f64;
         let sd = var.sqrt();
         for r in rows.iter_mut() {
             r[j] = if sd > 0.0 { (r[j] - mean) / sd } else { 0.0 };

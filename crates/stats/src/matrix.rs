@@ -497,13 +497,11 @@ mod tests {
     #[test]
     fn lstsq_detects_singular() {
         // Second column is a multiple of the first.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
-        assert_eq!(lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err(), StatsError::Singular);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(
+            lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err(),
+            StatsError::Singular
+        );
     }
 
     #[test]

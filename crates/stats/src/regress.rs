@@ -160,7 +160,11 @@ impl Ols {
         for j in 0..=k {
             let var = sigma2 * xtx_inv.get(j, j);
             let se = var.max(0.0).sqrt();
-            let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+            let t = if se > 0.0 {
+                beta[j] / se
+            } else {
+                f64::INFINITY
+            };
             let p = student_t_sf2(t, df_res).unwrap_or(f64::NAN);
             terms.push(Term {
                 name: if j == 0 {
@@ -327,7 +331,9 @@ mod tests {
 
     #[test]
     fn noisy_fit_statistics_sane() {
-        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, noise(i + 1000) * 10.0]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, noise(i + 1000) * 10.0])
+            .collect();
         let y: Vec<f64> = (0..100)
             .map(|i| 1.0 + 0.5 * i as f64 + noise(i) * 2.0)
             .collect();
@@ -375,9 +381,7 @@ mod tests {
 
     #[test]
     fn detects_collinearity() {
-        let x: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
         assert_eq!(
             Ols::fit(&x, &y, &["a".into(), "b".into()]).unwrap_err(),
@@ -421,9 +425,7 @@ mod tests {
 
     #[test]
     fn vif_near_one_for_independent() {
-        let x: Vec<Vec<f64>> = (0..60)
-            .map(|i| vec![noise(i), noise(i + 10_000)])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![noise(i), noise(i + 10_000)]).collect();
         let v = vif(&x).unwrap();
         for f in v {
             assert!(f < 1.5);

@@ -302,7 +302,12 @@ mod tests {
         let n = 60;
         let y: Vec<f64> = (0..n).map(|i| noise(i + 9_999)).collect();
         let cands: Vec<Candidate> = (0..5)
-            .map(|c| Candidate::new(format!("junk{c}"), (0..n).map(|i| noise(i + c * 500)).collect()))
+            .map(|c| {
+                Candidate::new(
+                    format!("junk{c}"),
+                    (0..n).map(|i| noise(i + c * 500)).collect(),
+                )
+            })
             .collect();
         let sel = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
         // With p = 0.05 an occasional false positive is possible but the

@@ -219,7 +219,8 @@ impl TournamentPredictor {
     fn local_indices(&self, static_id: u32) -> (usize, usize) {
         let h_idx = (mix(static_id) as usize) & (self.local_history.len() - 1);
         let hist = self.local_history[h_idx] as usize & ((1 << self.local_bits) - 1);
-        let p_idx = (hist ^ (mix(static_id) as usize).rotate_left(3)) & (self.local_pattern.len() - 1);
+        let p_idx =
+            (hist ^ (mix(static_id) as usize).rotate_left(3)) & (self.local_pattern.len() - 1);
         (h_idx, p_idx)
     }
 
@@ -258,7 +259,10 @@ impl DirectionPredictor for TournamentPredictor {
         // Chooser trains towards whichever component was right (when they
         // disagree).
         if last.local_pred != last.global_pred {
-            ctr_update(&mut self.chooser[last.chooser_idx], last.global_pred == taken);
+            ctr_update(
+                &mut self.chooser[last.chooser_idx],
+                last.global_pred == taken,
+            );
         }
         ctr_update(&mut self.local_pattern[last.local_idx], taken);
         ctr_update(&mut self.global[last.global_idx], taken);
@@ -691,7 +695,12 @@ mod tests {
 
     #[test]
     fn branch_unit_counts_conditionals() {
-        let mut bu = BranchUnit::new(Box::new(TournamentPredictor::new(1024, 4096, 12)), 256, 8, 64);
+        let mut bu = BranchUnit::new(
+            Box::new(TournamentPredictor::new(1024, 4096, 12)),
+            256,
+            8,
+            64,
+        );
         for i in 0..100 {
             bu.process(&cond(3, i % 2 == 0));
         }

@@ -205,8 +205,7 @@ impl Cache {
             if is_write {
                 self.counters.write_misses += 1;
                 self.counters.refill_writes += 1;
-                self.counters.refill_writes_reported +=
-                    u64::from(self.cfg.refill_write_overcount);
+                self.counters.refill_writes_reported += u64::from(self.cfg.refill_write_overcount);
             } else {
                 self.counters.read_misses += 1;
                 self.counters.refill_reads += 1;
@@ -320,8 +319,8 @@ mod tests {
 
     #[test]
     fn per_word_accounting_inflates_writebacks() {
-        let cfg = CacheConfig::new(64, 1, 64, 1)
-            .with_writeback_accounting(WritebackAccounting::PerWord);
+        let cfg =
+            CacheConfig::new(64, 1, 64, 1).with_writeback_accounting(WritebackAccounting::PerWord);
         let mut c = Cache::new(cfg);
         c.access(1, true);
         c.access(2, false);

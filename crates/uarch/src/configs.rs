@@ -27,7 +27,9 @@
 //! ```
 
 use crate::cache::{CacheConfig, PrefetcherConfig, WritebackAccounting};
-use crate::core::{BranchPredictorKind, CoreConfig, CoreKind, L2TlbKind, OpLatencies, StallFactors};
+use crate::core::{
+    BranchPredictorKind, CoreConfig, CoreKind, L2TlbKind, OpLatencies, StallFactors,
+};
 use crate::memory::DramConfig;
 use crate::tlb::TlbConfig;
 
@@ -306,7 +308,9 @@ pub struct SpecError {
 
 impl std::fmt::Debug for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpecError").field("name", &self.name).finish()
+        f.debug_struct("SpecError")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -429,10 +433,7 @@ mod tests {
         assert!(matches!(old.l2tlb, L2TlbKind::Split { latency: 4, .. }));
         assert!(old.dram.latency_ns < hw.dram.latency_ns);
         assert!(old.prefetch.degree > hw.prefetch.degree);
-        assert_eq!(
-            old.l1d.writeback_accounting,
-            WritebackAccounting::PerWord
-        );
+        assert_eq!(old.l1d.writeback_accounting, WritebackAccounting::PerWord);
         assert_eq!(hw.l1d.writeback_accounting, WritebackAccounting::PerLine);
         assert!(old.fp_counted_as_simd);
         assert!(!hw.fp_counted_as_simd);

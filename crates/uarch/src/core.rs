@@ -83,7 +83,11 @@ impl BranchPredictorKind {
                 entries,
                 history_bits,
                 stale_history_bug,
-            } => Box::new(GsharePredictor::new(entries, history_bits, stale_history_bug)),
+            } => Box::new(GsharePredictor::new(
+                entries,
+                history_bits,
+                stale_history_bug,
+            )),
             BranchPredictorKind::Tournament {
                 local_entries,
                 global_entries,
@@ -488,8 +492,7 @@ impl Engine {
             self.l2.access(victim, true);
         }
         // Coherence for shared data in multi-threaded runs.
-        if mem.shared && self.threads > 1 && self.rng.gen::<f64>() < self.cfg.coherence_miss_prob
-        {
+        if mem.shared && self.threads > 1 && self.rng.gen::<f64>() < self.cfg.coherence_miss_prob {
             self.snoops += 1;
             cost += self.cfg.snoop_cost;
         }
@@ -662,7 +665,8 @@ impl Engine {
         stats.l1d = self.l1d.counters();
         stats.l2 = self.l2.counters();
         let l2c = self.l2.counters();
-        stats.dram_reads = l2c.refill_reads + self.tlbs.instruction_counters().walks / 4
+        stats.dram_reads = l2c.refill_reads
+            + self.tlbs.instruction_counters().walks / 4
             + self.tlbs.data_counters().walks / 4;
         stats.dram_writes = l2c.refill_writes + l2c.writeback_lines;
         stats.dram_accesses = stats.dram_reads + stats.dram_writes;
@@ -838,8 +842,9 @@ mod tests {
 
     #[test]
     fn l1i_accounting_modes_differ() {
-        let stream: Vec<Instr> =
-            (0..10_000).map(|i| Instr::alu(InstrClass::IntAlu, (i as u64 % 4096) * 4)).collect();
+        let stream: Vec<Instr> = (0..10_000)
+            .map(|i| Instr::alu(InstrClass::IntAlu, (i as u64 % 4096) * 4))
+            .collect();
         let mut hw = Engine::new(cortex_a15_hw(), 1.0e9, 1);
         let r_hw = hw.run(stream.clone().into_iter());
         let mut g = Engine::new(ex5_big(Ex5Variant::Old), 1.0e9, 1);
@@ -910,7 +915,11 @@ mod tests {
         assert_eq!(r1.stats.strex_fails, 0, "no contention single-threaded");
         let mut contended = Engine::new(cortex_a15_hw(), 1.0e9, 4);
         let r4 = contended.run(stream.into_iter());
-        assert!(r4.stats.strex_fails > 50, "fails = {}", r4.stats.strex_fails);
+        assert!(
+            r4.stats.strex_fails > 50,
+            "fails = {}",
+            r4.stats.strex_fails
+        );
         assert!(r4.cycles > r1.cycles);
     }
 

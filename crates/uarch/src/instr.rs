@@ -247,7 +247,9 @@ mod tests {
 
     #[test]
     fn memref_builders() {
-        let m = MemRef::load(0x1234, 8).with_unaligned(true).with_shared(true);
+        let m = MemRef::load(0x1234, 8)
+            .with_unaligned(true)
+            .with_shared(true);
         assert!(!m.is_store);
         assert!(m.unaligned);
         assert!(m.shared);

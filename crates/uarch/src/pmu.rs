@@ -165,20 +165,14 @@ pub fn event_counts(stats: &SimStats) -> BTreeMap<EventCode, f64> {
     put(L2D_CACHE, stats.l2.accesses as f64);
     put(L2D_CACHE_REFILL, stats.l2.misses as f64);
     put(L2D_CACHE_WB, stats.l2.writebacks_reported as f64);
-    put(
-        BUS_ACCESS,
-        (stats.dram_accesses + stats.snoops) as f64,
-    );
+    put(BUS_ACCESS, (stats.dram_accesses + stats.snoops) as f64);
     put(INST_SPEC, stats.speculative_instructions as f64);
     put(TTBR_WRITE_RETIRED, 0.0);
     put(BUS_CYCLES, stats.cycles / 2.0);
     put(L1D_CACHE_LD, stats.l1d.read_accesses as f64);
     put(L1D_CACHE_ST, stats.l1d.write_accesses as f64);
     put(L1D_CACHE_REFILL_LD, stats.l1d.refill_reads as f64);
-    put(
-        L1D_CACHE_REFILL_ST,
-        stats.l1d.refill_writes_reported as f64,
-    );
+    put(L1D_CACHE_REFILL_ST, stats.l1d.refill_writes_reported as f64);
     put(L1D_CACHE_WB_VICTIM, stats.l1d.writebacks_reported as f64);
     put(
         L1D_CACHE_WB_CLEAN,
@@ -201,14 +195,8 @@ pub fn event_counts(stats: &SimStats) -> BTreeMap<EventCode, f64> {
         stats.dram_accesses.saturating_sub(stats.snoops) as f64,
     );
     put(BUS_ACCESS_NORMAL, stats.dram_accesses as f64);
-    put(
-        MEM_ACCESS_LD,
-        (s.loads + s.load_exclusives) as f64,
-    );
-    put(
-        MEM_ACCESS_ST,
-        (s.stores + s.store_exclusives) as f64,
-    );
+    put(MEM_ACCESS_LD, (s.loads + s.load_exclusives) as f64);
+    put(MEM_ACCESS_ST, (s.stores + s.store_exclusives) as f64);
     // Speculative unaligned counts scale committed unaligned by the
     // speculative expansion of memory ops.
     let spec_scale = if c.loads + c.stores > 0 {
@@ -216,10 +204,7 @@ pub fn event_counts(stats: &SimStats) -> BTreeMap<EventCode, f64> {
     } else {
         1.0
     };
-    put(
-        UNALIGNED_LD_SPEC,
-        stats.unaligned_loads as f64 * spec_scale,
-    );
+    put(UNALIGNED_LD_SPEC, stats.unaligned_loads as f64 * spec_scale);
     put(
         UNALIGNED_ST_SPEC,
         stats.unaligned_stores as f64 * spec_scale,

@@ -231,7 +231,10 @@ impl SimStats {
             "system.cpu.committedInsts",
             self.committed_instructions as f64,
         );
-        put("system.cpu.commit.committedInsts", self.committed_instructions as f64);
+        put(
+            "system.cpu.commit.committedInsts",
+            self.committed_instructions as f64,
+        );
         put(
             "system.cpu.commit.branches",
             self.committed.all_branches() as f64,
@@ -245,10 +248,7 @@ impl SimStats {
             self.nonspec_stalls as f64,
         );
         put("system.cpu.commit.loads", self.committed.loads as f64);
-        put(
-            "system.cpu.commit.membars",
-            self.committed.barriers as f64,
-        );
+        put("system.cpu.commit.membars", self.committed.barriers as f64);
 
         // Branch predictor.
         put("system.cpu.branchPred.lookups", self.branch.lookups as f64);
@@ -319,7 +319,10 @@ impl SimStats {
         );
 
         // Instruction classes (speculative, matching gem5's op-class stats).
-        put("system.cpu.intAluAccesses", self.speculative.int_dp() as f64);
+        put(
+            "system.cpu.intAluAccesses",
+            self.speculative.int_dp() as f64,
+        );
         put(
             "system.cpu.fpAluAccesses",
             (self.speculative.fp() + self.speculative.simd) as f64,
@@ -454,10 +457,7 @@ impl SimStats {
         put("system.l2.overall_accesses", self.l2.accesses as f64);
         put("system.l2.overall_misses", self.l2.misses as f64);
         put("system.l2.overall_hits", self.l2.hits as f64);
-        put(
-            "system.l2.overall_miss_rate",
-            self.l2.miss_rate(),
-        );
+        put("system.l2.overall_miss_rate", self.l2.miss_rate());
         put(
             "system.l2.ReadExReq_accesses",
             self.l2.write_accesses as f64,
@@ -466,16 +466,12 @@ impl SimStats {
             "system.l2.ReadExReq_hits",
             (self.l2.write_accesses - self.l2.write_misses) as f64,
         );
-        put(
-            "system.l2.ReadExReq_misses",
-            self.l2.write_misses as f64,
-        );
+        put("system.l2.ReadExReq_misses", self.l2.write_misses as f64);
         put("system.l2.writebacks", self.l2.writebacks_reported as f64);
         put("system.l2.prefetches", self.l2.prefetch_fills as f64);
         put(
             "system.l2.overall_miss_latency",
-            self.l2.misses as f64 * self.stalls.memory.max(1.0)
-                / (self.l1d.misses.max(1)) as f64,
+            self.l2.misses as f64 * self.stalls.memory.max(1.0) / (self.l1d.misses.max(1)) as f64,
         );
         put(
             "system.l2.UncacheableLatency::cpu.data",
@@ -485,10 +481,7 @@ impl SimStats {
         // Memory system.
         put("system.mem_ctrls.num_reads", self.dram_reads as f64);
         put("system.mem_ctrls.num_writes", self.dram_writes as f64);
-        put(
-            "system.mem_ctrls.bytes_read",
-            self.dram_reads as f64 * 64.0,
-        );
+        put("system.mem_ctrls.bytes_read", self.dram_reads as f64 * 64.0);
         put("system.membus.snoops", self.snoops as f64);
 
         // Stall decomposition.
@@ -507,9 +500,7 @@ impl SimStats {
     /// Renders the statistics in gem5's `stats.txt` format:
     /// `name  value  # description`-style lines between begin/end markers.
     pub fn to_stats_txt(&self) -> String {
-        let mut out = String::from(
-            "---------- Begin Simulation Statistics ----------\n",
-        );
+        let mut out = String::from("---------- Begin Simulation Statistics ----------\n");
         for (name, value) in self.gem5_stats_map() {
             // gem5 prints integers without a fraction and floats with six
             // significant digits.
@@ -535,14 +526,13 @@ mod tests {
         s.cycles = 67890.5;
         let txt = s.to_stats_txt();
         assert!(txt.starts_with("---------- Begin Simulation Statistics"));
-        assert!(txt.trim_end().ends_with("End Simulation Statistics   ----------"));
+        assert!(txt
+            .trim_end()
+            .ends_with("End Simulation Statistics   ----------"));
         assert!(txt.contains("sim_insts"));
         assert!(txt.contains("12345"));
         // One line per stat plus the two markers.
-        assert_eq!(
-            txt.lines().count(),
-            s.gem5_stats_map().len() + 2
-        );
+        assert_eq!(txt.lines().count(), s.gem5_stats_map().len() + 2);
     }
 
     #[test]
@@ -594,12 +584,16 @@ mod tests {
         assert!(!s
             .gem5_stats_map()
             .contains_key("system.cpu.itb_walker_cache.overall_accesses"));
-        assert!(s.gem5_stats_map().contains_key("system.cpu.l2tlb.overall_accesses"));
+        assert!(s
+            .gem5_stats_map()
+            .contains_key("system.cpu.l2tlb.overall_accesses"));
         s.split_l2_tlb = true;
         assert!(s
             .gem5_stats_map()
             .contains_key("system.cpu.itb_walker_cache.overall_accesses"));
-        assert!(!s.gem5_stats_map().contains_key("system.cpu.l2tlb.overall_accesses"));
+        assert!(!s
+            .gem5_stats_map()
+            .contains_key("system.cpu.l2tlb.overall_accesses"));
     }
 
     #[test]

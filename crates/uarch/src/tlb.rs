@@ -239,7 +239,10 @@ mod tests {
     use super::*;
 
     fn small_hierarchy(unified: bool) -> TlbHierarchy {
-        let l1 = TlbConfig { entries: 4, ways: 4 };
+        let l1 = TlbConfig {
+            entries: 4,
+            ways: 4,
+        };
         let l2cfg = TlbConfig {
             entries: 16,
             ways: 4,
@@ -322,8 +325,14 @@ mod tests {
     fn bigger_l1_fewer_misses() {
         let walk = |entries: usize| {
             let mut h = TlbHierarchy::new(
-                TlbConfig { entries, ways: entries },
-                TlbConfig { entries: 4, ways: 4 },
+                TlbConfig {
+                    entries,
+                    ways: entries,
+                },
+                TlbConfig {
+                    entries: 4,
+                    ways: 4,
+                },
                 SecondLevelTlb::unified(
                     TlbConfig {
                         entries: 64,

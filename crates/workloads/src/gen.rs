@@ -235,9 +235,8 @@ impl StreamGen {
             DATA_BASE + self.seq_ptr
         };
         let unaligned = self.rng.gen::<f64>() < pat.unaligned_frac;
-        let shared = self.shared_threads
-            && pat.shared_frac > 0.0
-            && self.rng.gen::<f64>() < pat.shared_frac;
+        let shared =
+            self.shared_threads && pat.shared_frac > 0.0 && self.rng.gen::<f64>() < pat.shared_frac;
         let m = if is_store {
             MemRef::store(addr, 4)
         } else {
@@ -450,7 +449,10 @@ mod tests {
     fn mix_shares_are_respected() {
         let spec = basic_spec(100_000);
         let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
-        let loads = instrs.iter().filter(|i| i.class == InstrClass::Load).count() as f64;
+        let loads = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Load)
+            .count() as f64;
         let branches = instrs
             .iter()
             .filter(|i| i.class == InstrClass::Branch)
@@ -478,7 +480,9 @@ mod tests {
         let pages: std::collections::HashSet<u64> =
             StreamGen::new(&spec).map(|i| i.page()).collect();
         assert!(pages.len() <= 5, "pages = {}", pages.len());
-        assert!(pages.iter().all(|&p| (CODE_BASE_PAGE..CODE_BASE_PAGE + 5).contains(&p)));
+        assert!(pages
+            .iter()
+            .all(|&p| (CODE_BASE_PAGE..CODE_BASE_PAGE + 5).contains(&p)));
     }
 
     #[test]
@@ -524,13 +528,19 @@ mod tests {
             .tweak(|p| p.mix.call = 0.05)
             .build();
         let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
-        let calls = instrs.iter().filter(|i| i.class == InstrClass::Call).count() as f64;
+        let calls = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Call)
+            .count() as f64;
         let rets = instrs
             .iter()
             .filter(|i| i.class == InstrClass::Return)
             .count() as f64;
         assert!(calls > 0.0 && rets > 0.0);
-        assert!((calls / rets) < 1.6 && (calls / rets) > 0.6, "{calls}/{rets}");
+        assert!(
+            (calls / rets) < 1.6 && (calls / rets) > 0.6,
+            "{calls}/{rets}"
+        );
     }
 
     #[test]
@@ -597,9 +607,16 @@ mod tests {
             .build();
         let instrs: Vec<Instr> = StreamGen::new(&spec).collect();
         assert_eq!(instrs.len(), 40_000);
-        let fp = instrs.iter().filter(|i| i.class == InstrClass::FpAlu).count() as f64;
+        let fp = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::FpAlu)
+            .count() as f64;
         // Phase 2 is 25 % of the run at fp_alu 0.30 → ~7.5 % overall.
-        assert!(fp / 40_000.0 > 0.04 && fp / 40_000.0 < 0.12, "fp share {}", fp / 40_000.0);
+        assert!(
+            fp / 40_000.0 > 0.04 && fp / 40_000.0 < 0.12,
+            "fp share {}",
+            fp / 40_000.0
+        );
     }
 
     #[test]

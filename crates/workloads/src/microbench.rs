@@ -75,7 +75,11 @@ pub fn bw_mem(size_bytes: u64, write: bool, accesses: u64) -> Vec<Instr> {
             MemRef::load(ARRAY_BASE + offset, 4)
         };
         out.push(Instr::mem(
-            if write { InstrClass::Store } else { InstrClass::Load },
+            if write {
+                InstrClass::Store
+            } else {
+                InstrClass::Load
+            },
             LOOP_PC,
             m,
         ));

@@ -32,9 +32,7 @@
 //! assert_eq!(validation_suite().len(), 45);
 //! ```
 
-use crate::spec::{
-    BranchBehavior, BranchSite, InstrMix, MemPattern, Suite, WorkloadSpec,
-};
+use crate::spec::{BranchBehavior, BranchSite, InstrMix, MemPattern, Suite, WorkloadSpec};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
@@ -104,7 +102,11 @@ fn mibench() -> Vec<WorkloadSpec> {
             p.mix.load = 0.28;
             p.mix.branch = 0.10;
             p.mem = MemPattern::streaming(2 * MB, 4);
-            p.branches = vec![biased(0.99, 0.5), pattern(0b00_1101, 6, 0.53), looped(32, 0.2)];
+            p.branches = vec![
+                biased(0.99, 0.5),
+                pattern(0b00_1101, 6, 0.53),
+                looped(32, 0.2),
+            ];
             p.code_pages = 26;
         }),
         wl("mi-susan-corners", Suite::MiBench, 1, |p| {
@@ -146,14 +148,22 @@ fn mibench() -> Vec<WorkloadSpec> {
                 shared_frac: 0.0,
                 dependent: false,
             };
-            p.branches = vec![pattern(0b0110, 4, 0.75), biased(0.99, 0.45), random(0.55, 0.02)];
+            p.branches = vec![
+                pattern(0b0110, 4, 0.75),
+                biased(0.99, 0.45),
+                random(0.55, 0.02),
+            ];
             p.code_pages = 72;
         }),
         wl("mi-dijkstra", Suite::MiBench, 1, |p| {
             p.mix.load = 0.30;
             p.mix.branch = 0.17;
             p.mem = MemPattern::pointer_chase(4 * MB);
-            p.branches = vec![biased(0.99, 0.4), pattern(0b0101_1010, 8, 0.75), random(0.6, 0.02)];
+            p.branches = vec![
+                biased(0.99, 0.4),
+                pattern(0b0101_1010, 8, 0.75),
+                random(0.6, 0.02),
+            ];
             p.code_pages = 20;
         }),
         wl("mi-patricia", Suite::MiBench, 1, |p| {
@@ -161,14 +171,22 @@ fn mibench() -> Vec<WorkloadSpec> {
             p.mix.branch = 0.18;
             p.mix.indirect = 0.015;
             p.mem = MemPattern::pointer_chase(8 * MB);
-            p.branches = vec![pattern(0b01_1011, 6, 0.75), biased(0.99, 0.4), random(0.5, 0.02)];
+            p.branches = vec![
+                pattern(0b01_1011, 6, 0.75),
+                biased(0.99, 0.4),
+                random(0.5, 0.02),
+            ];
             p.code_pages = 36;
         }),
         wl("mi-stringsearch", Suite::MiBench, 1, |p| {
             p.mix.branch = 0.22;
             p.mix.load = 0.30;
             p.mem = MemPattern::streaming(512 * KB, 1);
-            p.branches = vec![pattern(0b0011, 4, 0.75), biased(0.99, 0.35), random(0.5, 0.02)];
+            p.branches = vec![
+                pattern(0b0011, 4, 0.75),
+                biased(0.99, 0.35),
+                random(0.5, 0.02),
+            ];
             p.code_pages = 18;
         }),
         wl("mi-blowfish-enc", Suite::MiBench, 1, |p| {
@@ -213,7 +231,11 @@ fn mibench() -> Vec<WorkloadSpec> {
             p.mix.int_mul = 0.08;
             p.mix.load = 0.22;
             p.mem = MemPattern::streaming(256 * KB, 4);
-            p.branches = vec![looped(40, 0.5), pattern(0b0011, 4, 0.44), biased(0.99, 0.25)];
+            p.branches = vec![
+                looped(40, 0.5),
+                pattern(0b0011, 4, 0.44),
+                biased(0.99, 0.25),
+            ];
             p.code_pages = 22;
         }),
         wl("mi-bitcount", Suite::MiBench, 1, |p| {
@@ -221,7 +243,11 @@ fn mibench() -> Vec<WorkloadSpec> {
             p.mix.branch = 0.16;
             p.mix.load = 0.12;
             p.mem = MemPattern::streaming(8 * KB, 4);
-            p.branches = vec![pattern(0b0110_1001, 8, 0.75), looped(8, 0.35), biased(0.99, 0.1)];
+            p.branches = vec![
+                pattern(0b0110_1001, 8, 0.75),
+                looped(8, 0.35),
+                biased(0.99, 0.1),
+            ];
             p.code_pages = 2;
         }),
         wl("mi-basicmath", Suite::MiBench, 1, |p| {
@@ -266,7 +292,11 @@ fn parmibench() -> Vec<WorkloadSpec> {
             p.mix.int_alu = 0.55;
             p.mix.branch = 0.16;
             p.mem = MemPattern::streaming(8 * KB, 4);
-            p.branches = vec![pattern(0b0110_1001, 8, 0.75), looped(8, 0.4), biased(0.99, 0.1)];
+            p.branches = vec![
+                pattern(0b0110_1001, 8, 0.75),
+                looped(8, 0.4),
+                biased(0.99, 0.1),
+            ];
             p.code_pages = 2;
             concurrent(p);
         }),
@@ -274,7 +304,11 @@ fn parmibench() -> Vec<WorkloadSpec> {
             p.mix.int_mul = 0.10;
             p.mix.load = 0.28;
             p.mem = MemPattern::streaming(2 * MB, 4);
-            p.branches = vec![biased(0.99, 0.5), pattern(0b00_1101, 6, 0.53), looped(32, 0.2)];
+            p.branches = vec![
+                biased(0.99, 0.5),
+                pattern(0b00_1101, 6, 0.53),
+                looped(32, 0.2),
+            ];
             p.code_pages = 26;
             concurrent(p);
         }),
@@ -282,7 +316,11 @@ fn parmibench() -> Vec<WorkloadSpec> {
             p.mix.load = 0.30;
             p.mix.branch = 0.17;
             p.mem = MemPattern::pointer_chase(4 * MB);
-            p.branches = vec![biased(0.99, 0.4), pattern(0b0101_1010, 8, 0.75), random(0.6, 0.02)];
+            p.branches = vec![
+                biased(0.99, 0.4),
+                pattern(0b0101_1010, 8, 0.75),
+                random(0.6, 0.02),
+            ];
             p.code_pages = 20;
             concurrent(p);
         }),
@@ -290,7 +328,11 @@ fn parmibench() -> Vec<WorkloadSpec> {
             p.mix.load = 0.32;
             p.mix.branch = 0.18;
             p.mem = MemPattern::pointer_chase(8 * MB);
-            p.branches = vec![pattern(0b01_1011, 6, 0.75), biased(0.99, 0.4), random(0.5, 0.02)];
+            p.branches = vec![
+                pattern(0b01_1011, 6, 0.75),
+                biased(0.99, 0.4),
+                random(0.5, 0.02),
+            ];
             p.code_pages = 36;
             concurrent(p);
         }),
@@ -298,7 +340,11 @@ fn parmibench() -> Vec<WorkloadSpec> {
             p.mix.branch = 0.22;
             p.mix.load = 0.30;
             p.mem = MemPattern::streaming(512 * KB, 1);
-            p.branches = vec![pattern(0b0011, 4, 0.75), biased(0.99, 0.35), random(0.5, 0.02)];
+            p.branches = vec![
+                pattern(0b0011, 4, 0.75),
+                biased(0.99, 0.35),
+                random(0.5, 0.02),
+            ];
             p.code_pages = 18;
             concurrent(p);
         }),
@@ -340,14 +386,23 @@ fn parsec_app(name: &str, threads: u32) -> WorkloadSpec {
                     shared_frac: 0.0,
                     dependent: false,
                 };
-                p.branches = vec![pattern(0b0110_0101, 8, 0.7), looped(20, 0.3), biased(0.99, 0.2), random(0.6, 0.02)];
+                p.branches = vec![
+                    pattern(0b0110_0101, 8, 0.7),
+                    looped(20, 0.3),
+                    biased(0.99, 0.2),
+                    random(0.6, 0.02),
+                ];
                 p.code_pages = 44;
             }
             "canneal" => {
                 p.mix.load = 0.34;
                 p.mix.branch = 0.14;
                 p.mem = MemPattern::pointer_chase(48 * MB);
-                p.branches = vec![random(0.5, 0.04), pattern(0b0011, 4, 0.7), biased(0.99, 0.45)];
+                p.branches = vec![
+                    random(0.5, 0.04),
+                    pattern(0b0011, 4, 0.7),
+                    biased(0.99, 0.45),
+                ];
                 p.code_pages = 38;
             }
             "dedup" => {
@@ -363,7 +418,11 @@ fn parsec_app(name: &str, threads: u32) -> WorkloadSpec {
                     shared_frac: 0.0,
                     dependent: false,
                 };
-                p.branches = vec![pattern(0b0100_1101, 8, 0.7), biased(0.99, 0.5), random(0.55, 0.02)];
+                p.branches = vec![
+                    pattern(0b0100_1101, 8, 0.7),
+                    biased(0.99, 0.5),
+                    random(0.55, 0.02),
+                ];
                 p.code_pages = 40;
             }
             "ferret" => {
@@ -379,7 +438,12 @@ fn parsec_app(name: &str, threads: u32) -> WorkloadSpec {
                     shared_frac: 0.0,
                     dependent: false,
                 };
-                p.branches = vec![pattern(0b0101_0110, 8, 0.61), biased(0.99, 0.4), looped(12, 0.15), random(0.6, 0.02)];
+                p.branches = vec![
+                    pattern(0b0101_0110, 8, 0.61),
+                    biased(0.99, 0.4),
+                    looped(12, 0.15),
+                    random(0.6, 0.02),
+                ];
                 p.code_pages = 56;
             }
             "fluidanimate" => {
@@ -401,7 +465,11 @@ fn parsec_app(name: &str, threads: u32) -> WorkloadSpec {
                     shared_frac: 0.0,
                     dependent: true,
                 };
-                p.branches = vec![pattern(0b0101_0011, 8, 0.75), biased(0.99, 0.4), random(0.5, 0.02)];
+                p.branches = vec![
+                    pattern(0b0101_0011, 8, 0.75),
+                    biased(0.99, 0.4),
+                    random(0.5, 0.02),
+                ];
                 p.code_pages = 44;
             }
             "streamcluster" => {

@@ -31,8 +31,7 @@ fn arb_branches() -> impl Strategy<Value = Vec<BranchSite>> {
         prop_oneof![
             (0.5f64..1.0).prop_map(|p| BranchBehavior::Biased { taken_prob: p }),
             (0.0f64..1.0).prop_map(|p| BranchBehavior::Random { taken_prob: p }),
-            (1u32..256, 2u8..16)
-                .prop_map(|(bits, len)| BranchBehavior::Pattern { bits, len }),
+            (1u32..256, 2u8..16).prop_map(|(bits, len)| BranchBehavior::Pattern { bits, len }),
             (2u16..128).prop_map(|body| BranchBehavior::Loop { body }),
         ]
         .prop_flat_map(|behavior| {

@@ -16,13 +16,21 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
     let board = OdroidXu3::new();
-    let specs: Vec<_> = suites::power_suite().iter().map(|w| w.scaled(scale)).collect();
+    let specs: Vec<_> = suites::power_suite()
+        .iter()
+        .map(|w| w.scaled(scale))
+        .collect();
     println!(
         "characterising {} workloads on the Cortex-A15 at {} DVFS points …",
         specs.len(),
         Cluster::BigA15.frequencies().len()
     );
-    let ds = dataset::collect(&board, Cluster::BigA15, &specs, Cluster::BigA15.frequencies());
+    let ds = dataset::collect(
+        &board,
+        Cluster::BigA15,
+        &specs,
+        Cluster::BigA15.frequencies(),
+    );
     println!("{} power observations collected\n", ds.observations.len());
 
     // Event selection restricted to events with reliable gem5 equivalents

@@ -18,7 +18,10 @@ fn main() {
     let board = OdroidXu3::new();
 
     // Power models for both clusters (restricted selection).
-    let model_specs: Vec<_> = suites::power_suite().iter().map(|w| w.scaled(scale)).collect();
+    let model_specs: Vec<_> = suites::power_suite()
+        .iter()
+        .map(|w| w.scaled(scale))
+        .collect();
     let mut models = Vec::new();
     for cluster in [Cluster::LittleA7, Cluster::BigA15] {
         let ds = dataset::collect(&board, cluster, &model_specs, cluster.frequencies());
@@ -31,7 +34,13 @@ fn main() {
         models.push((cluster, PowerModel::fit(&ds, &sel.terms).expect("fit")));
     }
 
-    let study = ["mi-sha", "mi-fft", "parsec-canneal-1", "lm-bw-mem-rd", "mi-bitcount"];
+    let study = [
+        "mi-sha",
+        "mi-fft",
+        "parsec-canneal-1",
+        "lm-bw-mem-rd",
+        "mi-bitcount",
+    ];
     println!(
         "{:<20} {:>22} {:>12} {:>10} {:>10}",
         "workload", "best point (≤2x slow)", "energy (mJ)", "time (ms)", "power (W)"
@@ -50,11 +59,8 @@ fn main() {
                 if run.time_s > budget {
                     continue;
                 }
-                let rates: std::collections::BTreeMap<u16, f64> = run
-                    .pmc
-                    .iter()
-                    .map(|(&c, &v)| (c, v / run.time_s))
-                    .collect();
+                let rates: std::collections::BTreeMap<u16, f64> =
+                    run.pmc.iter().map(|(&c, &v)| (c, v / run.time_s)).collect();
                 let p = model.predict(f, &rates).expect("prediction");
                 let energy = p * run.time_s;
                 let label = format!("{} @{:.0} MHz", cluster.name(), f / 1e6);

@@ -13,12 +13,19 @@ fn main() {
     let spec = suites::by_name("mi-bitcount")
         .expect("known workload")
         .scaled(0.5);
-    println!("workload: {} ({} instructions)\n", spec.name, spec.instructions);
+    println!(
+        "workload: {} ({} instructions)\n",
+        spec.name, spec.instructions
+    );
 
     // 1. "Hardware": the simulated ODROID-XU3 Cortex-A15 at 1 GHz.
     let board = OdroidXu3::new();
     let hw = board.run(&spec, Cluster::BigA15, 1.0e9);
-    println!("hardware:  time {:.4} ms, power {:.2} W", hw.time_s * 1e3, hw.power_w);
+    println!(
+        "hardware:  time {:.4} ms, power {:.2} W",
+        hw.time_s * 1e3,
+        hw.power_w
+    );
 
     // 2. The gem5 ex5_big model (old revision, with the BP bug).
     let g5 = Gem5Sim::run(&spec, Gem5Model::Ex5BigOld, 1.0e9);
@@ -47,6 +54,9 @@ fn main() {
     // 5. The fixed model tells a different story (§VII).
     let fixed = Gem5Sim::run(&spec, Gem5Model::Ex5BigFixed, 1.0e9);
     let mpe_fixed = (hw.time_s - fixed.time_s) / hw.time_s * 100.0;
-    println!("\ngem5 fixed: time {:.4} ms → MPE {mpe_fixed:+.1} %", fixed.time_s * 1e3);
+    println!(
+        "\ngem5 fixed: time {:.4} ms → MPE {mpe_fixed:+.1} %",
+        fixed.time_s * 1e3
+    );
     println!("the BP fix swings the error from {mpe:+.0} % to {mpe_fixed:+.0} % on this workload.");
 }

@@ -75,7 +75,10 @@ fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
     let mut opts = PipelineOptions::default();
     opts.experiment.workload_scale = args.scale();
     opts.with_power = with_power;
-    opts.clusters_k = args.get("clusters").and_then(|v| v.parse().ok()).or(Some(16));
+    opts.clusters_k = args
+        .get("clusters")
+        .and_then(|v| v.parse().ok())
+        .or(Some(16));
     match GemStone::new(opts).run() {
         Ok(report) => {
             println!("{}", report.render());
@@ -205,7 +208,11 @@ fn run_suitability(args: &Args) -> ExitCode {
             .with_workloads(&["mi-bitcount", "mi-stringsearch", "par-"]),
     ];
     let mut t = Table::new(vec!["model", "use-case", "n", "MAPE %", "verdict"]);
-    for model in [Gem5Model::Ex5BigOld, Gem5Model::Ex5BigFixed, Gem5Model::Ex5Little] {
+    for model in [
+        Gem5Model::Ex5BigOld,
+        Gem5Model::Ex5BigFixed,
+        Gem5Model::Ex5Little,
+    ] {
         match suitability::assess(&collated, model, 1.0e9, &cases) {
             Ok(verdicts) => {
                 for v in verdicts {

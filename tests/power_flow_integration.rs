@@ -72,7 +72,11 @@ fn power_model_flow_end_to_end() {
     // The equations render and mention each selected term.
     let eq = model.equations();
     for t in &sel.terms {
-        assert!(eq.contains(&t.mnemonic()), "equation missing {}", t.mnemonic());
+        assert!(
+            eq.contains(&t.mnemonic()),
+            "equation missing {}",
+            t.mnemonic()
+        );
     }
 }
 

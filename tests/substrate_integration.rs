@@ -8,7 +8,9 @@ use gemstone::uarch::pmu;
 #[test]
 fn hardware_and_model_agree_on_architecture_disagree_on_microarchitecture() {
     let board = OdroidXu3::new();
-    let spec = suites::by_name("mi-bitcount").expect("workload").scaled(0.2);
+    let spec = suites::by_name("mi-bitcount")
+        .expect("workload")
+        .scaled(0.2);
     let hw = board.run(&spec, Cluster::BigA15, 1.0e9);
     let g5 = Gem5Sim::run(&spec, Gem5Model::Ex5BigOld, 1.0e9);
 
@@ -22,7 +24,10 @@ fn hardware_and_model_agree_on_architecture_disagree_on_microarchitecture() {
 
     // Micro-architectural counts diverge in the documented directions.
     let ratio = |e: u16| g5.pmu_equiv[&e] / hw.pmc[&e].max(1.0);
-    assert!(ratio(pmu::BR_MIS_PRED) > 2.0, "mispredicts should be inflated");
+    assert!(
+        ratio(pmu::BR_MIS_PRED) > 2.0,
+        "mispredicts should be inflated"
+    );
     assert!(
         ratio(pmu::L1D_CACHE_REFILL_ST) > 5.0,
         "write refills over-reported"
@@ -66,15 +71,22 @@ fn multiplexed_capture_covers_the_event_list() {
     // All 68-ish events captured (the paper's multi-pass capture).
     assert!(run.pmc.len() >= 60);
     let passes = board.pmu.passes_for(run.pmc.len());
-    assert!(passes >= 10, "capture should take many passes, got {passes}");
+    assert!(
+        passes >= 10,
+        "capture should take many passes, got {passes}"
+    );
 }
 
 #[test]
 fn four_thread_workloads_cost_more_on_hardware_than_the_model_thinks() {
     // §IV-B: "the cost of inter-process communication could be too low".
     let board = OdroidXu3::new();
-    let one = suites::by_name("parsec-swaptions-1").expect("wl").scaled(0.1);
-    let four = suites::by_name("parsec-swaptions-4").expect("wl").scaled(0.1);
+    let one = suites::by_name("parsec-swaptions-1")
+        .expect("wl")
+        .scaled(0.1);
+    let four = suites::by_name("parsec-swaptions-4")
+        .expect("wl")
+        .scaled(0.1);
     let hw_1 = board.run(&one, Cluster::BigA15, 1.0e9);
     let hw_4 = board.run(&four, Cluster::BigA15, 1.0e9);
     let g5_1 = Gem5Sim::run(&one, Gem5Model::Ex5BigFixed, 1.0e9);
@@ -90,7 +102,9 @@ fn four_thread_workloads_cost_more_on_hardware_than_the_model_thinks() {
 #[test]
 fn engine_determinism_across_platform_layers() {
     let board = OdroidXu3::new();
-    let spec = suites::by_name("parsec-dedup-4").expect("workload").scaled(0.05);
+    let spec = suites::by_name("parsec-dedup-4")
+        .expect("workload")
+        .scaled(0.05);
     let a = board.run(&spec, Cluster::BigA15, 1.4e9);
     let b = board.run(&spec, Cluster::BigA15, 1.4e9);
     assert_eq!(a.time_s, b.time_s);
