@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the shared packed-trace layer.
+//!
+//! Two questions, mirroring the layer's design goals:
+//!
+//! 1. `generate_vs_replay` — how much cheaper is replaying a packed trace
+//!    than re-running the stream generator?
+//! 2. `cold_grid` — headline-experiment-scale grid (several workloads ×
+//!    five core configurations × four frequencies) with the trace layer
+//!    enabled vs disabled, every simulation a cache miss. The acceptance
+//!    target is ≥ 1.3× lower wall-time with traces on: each workload's
+//!    stream is generated once and replayed for the remaining
+//!    (configuration, frequency) tuples.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gemstone_platform::simcache::SimCache;
+use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, ex5_little, Ex5Variant};
+use gemstone_uarch::core::CoreConfig;
+use gemstone_workloads::gen::StreamGen;
+use gemstone_workloads::spec::WorkloadSpec;
+use gemstone_workloads::suites;
+use gemstone_workloads::trace::{PackedTrace, TraceCache};
+use std::hint::black_box;
+
+fn grid_specs() -> Vec<WorkloadSpec> {
+    [
+        "mi-sha",
+        "mi-fft",
+        "mi-bitcount",
+        "par-basicmath-rad2deg",
+        "parsec-ferret-4",
+        "lm-bw-mem-rd",
+    ]
+    .iter()
+    .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+    .collect()
+}
+
+fn grid_configs() -> Vec<CoreConfig> {
+    vec![
+        cortex_a15_hw(),
+        cortex_a7_hw(),
+        ex5_big(Ex5Variant::Old),
+        ex5_big(Ex5Variant::Fixed),
+        ex5_little(),
+    ]
+}
+
+const FREQS: [f64; 4] = [600.0e6, 1.0e9, 1.4e9, 1.8e9];
+
+/// Runs the whole grid against `traces`, every simulation executed (no
+/// `SimCache` in front), so the only variable is the stream source.
+fn run_grid(traces: &TraceCache, specs: &[WorkloadSpec], configs: &[CoreConfig]) {
+    for spec in specs {
+        for cfg in configs {
+            for &freq in &FREQS {
+                black_box(SimCache::execute_with(traces, cfg, spec, freq));
+            }
+        }
+    }
+}
+
+fn trace_benches(c: &mut Criterion) {
+    let spec = suites::by_name("mi-sha").unwrap().scaled(0.5);
+
+    let mut g = c.benchmark_group("generate_vs_replay");
+    g.sample_size(20);
+    g.bench_function("generate_stream", |b| {
+        b.iter(|| StreamGen::new(black_box(&spec)).count());
+    });
+    let trace = PackedTrace::from_spec(&spec);
+    g.bench_function("replay_trace", |b| {
+        b.iter(|| black_box(&trace).iter().count());
+    });
+    g.finish();
+
+    let specs = grid_specs();
+    let configs = grid_configs();
+    let mut g = c.benchmark_group("cold_grid");
+    g.sample_size(10);
+    g.bench_function("traces_on", |b| {
+        b.iter_batched(
+            TraceCache::new,
+            |traces| run_grid(&traces, &specs, &configs),
+            BatchSize::PerIteration,
+        );
+    });
+    g.bench_function("traces_off", |b| {
+        b.iter_batched(
+            || TraceCache::with_budget(0),
+            |traces| run_grid(&traces, &specs, &configs),
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = trace_benches
+}
+criterion_main!(benches);

@@ -62,6 +62,29 @@ impl Default for PipelineOptions {
     }
 }
 
+/// Execution-layer cache counters, captured from the board's
+/// [`gemstone_platform::simcache::SimCache`] (and the trace cache it
+/// consults) at the end of a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionStats {
+    /// Simulation-memo hits (engine runs avoided entirely).
+    pub sim_hits: u64,
+    /// Simulation-memo misses (engine runs actually executed).
+    pub sim_misses: u64,
+    /// Resident simulation-memo entries.
+    pub sim_entries: usize,
+    /// Packed-trace cache hits (stream generations avoided).
+    pub trace_hits: u64,
+    /// Packed-trace cache misses (streams generated and packed).
+    pub trace_misses: u64,
+    /// Packed traces evicted to stay under the byte budget.
+    pub trace_evictions: u64,
+    /// Bytes currently held by resident packed traces.
+    pub trace_bytes: usize,
+    /// The trace cache's byte budget (0 = trace layer disabled).
+    pub trace_budget: usize,
+}
+
 /// The assembled results of a pipeline run.
 #[derive(Debug)]
 pub struct GemStoneReport {
@@ -94,6 +117,8 @@ pub struct GemStoneReport {
     pub scaling: Option<scaling::Scaling>,
     /// Old-vs-fixed model comparison (§VII).
     pub improvement: improvement::Improvement,
+    /// Execution-layer cache counters for this run's board cache.
+    pub execution: ExecutionStats,
 }
 
 /// The pipeline runner.
@@ -231,6 +256,21 @@ impl GemStone {
             },
         )?;
 
+        // Execution-layer counters: how much work the memo + trace layers
+        // absorbed over the whole methodology.
+        let cache = &o.experiment.board.cache;
+        let traces = cache.trace_cache();
+        let execution = ExecutionStats {
+            sim_hits: cache.hits(),
+            sim_misses: cache.misses(),
+            sim_entries: cache.len(),
+            trace_hits: traces.hits(),
+            trace_misses: traces.misses(),
+            trace_evictions: traces.evictions(),
+            trace_bytes: traces.bytes(),
+            trace_budget: traces.budget(),
+        };
+
         Ok(GemStoneReport {
             summary,
             clusters,
@@ -246,6 +286,7 @@ impl GemStone {
             power_energy: pe,
             scaling: sc,
             improvement: imp,
+            execution,
         })
     }
 }
@@ -442,6 +483,22 @@ impl GemStoneReport {
         if let (Some(oe), Some(fe)) = (imp.old.energy_mape, imp.fixed.energy_mape) {
             let _ = writeln!(out, "energy MAPE: old {oe:.1}% → fixed {fe:.1}%");
         }
+
+        // Execution-layer counters.
+        let ex = &self.execution;
+        let _ = writeln!(
+            out,
+            "\nexecution layer — simcache: {} hits / {} misses ({} entries); \
+             tracecache: {} hits / {} misses / {} evictions ({:.1} MiB of {:.0} MiB)",
+            ex.sim_hits,
+            ex.sim_misses,
+            ex.sim_entries,
+            ex.trace_hits,
+            ex.trace_misses,
+            ex.trace_evictions,
+            ex.trace_bytes as f64 / (1 << 20) as f64,
+            ex.trace_budget as f64 / (1 << 20) as f64,
+        );
         out
     }
 }
@@ -471,6 +528,9 @@ mod tests {
         assert_eq!(report.power_models.len(), 2);
         assert_eq!(cache.misses(), cache.len() as u64, "duplicate engine run");
         assert!(cache.hits() > 0, "power sweep should reuse validation runs");
+        // The report captured the same counters it rendered.
+        assert_eq!(report.execution.sim_hits, cache.hits());
+        assert_eq!(report.execution.sim_misses, cache.misses());
     }
 
     #[test]
@@ -489,5 +549,6 @@ mod tests {
         assert!(text.contains("Fig. 3"));
         assert!(text.contains("Fig. 6"));
         assert!(text.contains("§VII"));
+        assert!(text.contains("execution layer"));
     }
 }

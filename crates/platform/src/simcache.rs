@@ -23,6 +23,14 @@
 //! several worker threads request it simultaneously — the losers of the
 //! race block on the winner's result instead of re-running the engine.
 //!
+//! Cold runs consult the process-wide
+//! [`TraceCache`](gemstone_workloads::trace::TraceCache): a workload's
+//! instruction stream depends only on its spec, so one packed trace is
+//! generated per spec and replayed for every (configuration, frequency)
+//! tuple and thread. Replay is bit-identical to direct generation (see the
+//! determinism contract in [`gemstone_workloads::trace`]), so results stay
+//! unchanged whether the trace cache is enabled, cold, warm, or disabled.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +50,7 @@ use gemstone_uarch::core::{CoreConfig, Engine};
 use gemstone_uarch::stats::SimStats;
 use gemstone_workloads::gen::StreamGen;
 use gemstone_workloads::spec::WorkloadSpec;
+use gemstone_workloads::trace::TraceCache;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -85,6 +94,7 @@ pub struct SimCache {
     hits: AtomicU64,
     misses: AtomicU64,
     enabled: AtomicBool,
+    traces: Arc<TraceCache>,
 }
 
 static GLOBAL: OnceLock<Arc<SimCache>> = OnceLock::new();
@@ -110,7 +120,23 @@ impl SimCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             enabled: AtomicBool::new(enabled),
+            traces: TraceCache::global(),
         }
+    }
+
+    /// Creates an enabled cache drawing packed traces from `traces`
+    /// instead of the process-wide [`TraceCache::global`]. Pass a
+    /// `TraceCache::with_budget(0)` to force direct stream generation
+    /// (cold benchmarks, bypass tests).
+    pub fn with_trace_cache(traces: Arc<TraceCache>) -> Self {
+        let mut cache = Self::with_enabled(true);
+        cache.traces = traces;
+        cache
+    }
+
+    /// The trace cache consulted by this simulation cache.
+    pub fn trace_cache(&self) -> &Arc<TraceCache> {
+        &self.traces
     }
 
     /// The process-wide shared cache. The board and the gem5 driver use
@@ -145,7 +171,7 @@ impl SimCache {
     /// it. When the cache is disabled the engine always runs.
     pub fn run(&self, cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
         if !self.enabled.load(Ordering::Relaxed) {
-            return Self::execute(cfg, spec, freq_hz);
+            return Self::execute_with(&self.traces, cfg, spec, freq_hz);
         }
         let key = Self::fingerprint(spec, cfg, freq_hz);
         let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
@@ -162,7 +188,7 @@ impl SimCache {
             .cell
             .get_or_init(|| {
                 computed = true;
-                Self::execute(cfg, spec, freq_hz)
+                Self::execute_with(&self.traces, cfg, spec, freq_hz)
             })
             .clone();
         if computed {
@@ -173,10 +199,26 @@ impl SimCache {
         out
     }
 
-    /// Executes the engine directly, bypassing any cache.
+    /// Executes the engine directly, bypassing the result memo (the
+    /// process-wide trace cache still serves the instruction stream).
     pub fn execute(cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
+        Self::execute_with(&TraceCache::global(), cfg, spec, freq_hz)
+    }
+
+    /// Executes the engine directly, replaying the packed trace from
+    /// `traces` when available and generating the stream otherwise (the
+    /// two paths are bit-identical).
+    pub fn execute_with(
+        traces: &TraceCache,
+        cfg: &CoreConfig,
+        spec: &WorkloadSpec,
+        freq_hz: f64,
+    ) -> SimOutcome {
         let mut engine = Engine::with_seed(cfg.clone(), freq_hz, spec.threads, spec.derived_seed());
-        let result = engine.run(StreamGen::new(spec));
+        let result = match traces.get(spec) {
+            Some(trace) => engine.run(trace.iter()),
+            None => engine.run(StreamGen::new(spec)),
+        };
         SimOutcome {
             seconds: result.seconds,
             stats: result.stats,
@@ -342,5 +384,31 @@ mod tests {
         let a = SimCache::global();
         let b = SimCache::global();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical_to_direct_generation() {
+        let s = spec("mi-fft");
+        let cfg = cortex_a15_hw();
+        let traced = SimCache::execute_with(&TraceCache::new(), &cfg, &s, 1.0e9);
+        let direct = SimCache::execute_with(&TraceCache::with_budget(0), &cfg, &s, 1.0e9);
+        assert_eq!(traced.seconds, direct.seconds);
+        assert_eq!(traced.stats.cycles, direct.stats.cycles);
+        assert_eq!(traced.stats.gem5_stats_map(), direct.stats.gem5_stats_map());
+    }
+
+    #[test]
+    fn run_fills_the_trace_cache_once_per_spec() {
+        let traces = Arc::new(TraceCache::new());
+        let cache = SimCache::with_trace_cache(traces.clone());
+        let s = spec("mi-sha");
+        for &f in &[600.0e6, 1.0e9] {
+            cache.run(&cortex_a15_hw(), &s, f);
+            cache.run(&cortex_a7_hw(), &s, f);
+        }
+        // Four (config, freq) tuples, one generation; the rest replayed.
+        assert_eq!(traces.misses(), 1);
+        assert_eq!(traces.hits(), 3);
+        assert!(Arc::ptr_eq(cache.trace_cache(), &traces));
     }
 }

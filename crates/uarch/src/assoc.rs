@@ -1,19 +1,32 @@
 //! Internal set-associative array with true-LRU replacement, shared by the
 //! TLB and cache models.
+//!
+//! The tag store is a single flat allocation (`sets × ways` entries) indexed
+//! by shift/mask arithmetic — no per-access heap traffic and no nested-`Vec`
+//! pointer chasing on the hot path. Each way packs its LRU tick, valid bit
+//! and dirty bit into one `u64` stamp so victim selection is a branchless
+//! scan over two machine words per way.
 
-/// One way of a set: a tag plus an LRU timestamp and a dirty bit.
+/// Bit 1 of a [`Way`] stamp: the entry holds a valid tag.
+const VALID: u64 = 1 << 1;
+/// Bit 0 of a [`Way`] stamp: the entry has been written since fill.
+const DIRTY: u64 = 1;
+
+/// One way of a set: a tag plus a packed stamp.
+///
+/// Stamp layout: bits 2.. = LRU tick of the last access, bit 1 = valid,
+/// bit 0 = dirty.
 #[derive(Debug, Clone, Copy)]
 struct Way {
     tag: u64,
-    lru: u64,
-    valid: bool,
-    dirty: bool,
+    stamp: u64,
 }
 
 /// A set-associative tag array with true-LRU replacement.
 #[derive(Debug, Clone)]
 pub(crate) struct LruSets {
-    sets: Vec<Vec<Way>>,
+    ways: Box<[Way]>,
+    assoc: usize,
     set_mask: u64,
     tick: u64,
 }
@@ -31,25 +44,19 @@ pub(crate) struct AccessResult {
 }
 
 impl LruSets {
-    /// Creates `num_sets × ways` storage. `num_sets` is rounded up to a
-    /// power of two; both arguments have a minimum of 1.
+    /// Creates `num_sets × ways` storage. `num_sets` must be a power of two
+    /// and `ways` at least 1 — callers ([`crate::cache::CacheConfig`],
+    /// [`crate::tlb::TlbConfig`]) validate geometry before construction.
     pub fn new(num_sets: usize, ways: usize) -> Self {
-        let n = num_sets.next_power_of_two().max(1);
-        let w = ways.max(1);
+        assert!(
+            num_sets.is_power_of_two(),
+            "LruSets: num_sets {num_sets} must be a power of two"
+        );
+        assert!(ways >= 1, "LruSets: ways must be at least 1");
         LruSets {
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        lru: 0,
-                        valid: false,
-                        dirty: false,
-                    };
-                    w
-                ];
-                n
-            ],
-            set_mask: (n - 1) as u64,
+            ways: vec![Way { tag: 0, stamp: 0 }; num_sets * ways].into_boxed_slice(),
+            assoc: ways,
+            set_mask: (num_sets - 1) as u64,
             tick: 0,
         }
     }
@@ -63,15 +70,15 @@ impl LruSets {
 
     /// Probes for `key`; on hit refreshes LRU (and ORs in `dirty`); on miss
     /// fills `key`, evicting the LRU way.
+    #[inline]
     pub fn access(&mut self, key: u64, dirty: bool) -> AccessResult {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
+        let base = self.set_index(key) * self.assoc;
+        let set = &mut self.ways[base..base + self.assoc];
         for way in set.iter_mut() {
-            if way.valid && way.tag == key {
-                way.lru = tick;
-                way.dirty |= dirty;
+            if way.tag == key && way.stamp & VALID != 0 {
+                way.stamp = (tick << 2) | VALID | (way.stamp & DIRTY) | dirty as u64;
                 return AccessResult {
                     hit: true,
                     victim_dirty: false,
@@ -80,19 +87,26 @@ impl LruSets {
                 };
             }
         }
-        // Miss: pick invalid way or LRU victim.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
-            .expect("set has at least one way");
-        let evicted = victim.valid;
-        let victim_dirty = victim.valid && victim.dirty;
+        // Miss: pick an invalid way, else the least-recently-used one.
+        // Ranking key: 0 for invalid ways, last-tick + 1 for valid ones —
+        // computed branchlessly from the stamp; the strict `<` keeps the
+        // first minimum, matching `Iterator::min_by_key` tie-breaking.
+        let mut victim_idx = 0;
+        let mut best = u64::MAX;
+        for (i, way) in set.iter().enumerate() {
+            let rank = ((way.stamp >> 2) + 1) * ((way.stamp >> 1) & 1);
+            if rank < best {
+                best = rank;
+                victim_idx = i;
+            }
+        }
+        let victim = &mut set[victim_idx];
+        let evicted = victim.stamp & VALID != 0;
+        let victim_dirty = evicted && victim.stamp & DIRTY != 0;
         let victim_tag = if evicted { Some(victim.tag) } else { None };
         *victim = Way {
             tag: key,
-            lru: tick,
-            valid: true,
-            dirty,
+            stamp: (tick << 2) | VALID | dirty as u64,
         };
         AccessResult {
             hit: false,
@@ -103,18 +117,21 @@ impl LruSets {
     }
 
     /// Probes without filling or LRU update. Used for snoop-style checks.
+    #[inline]
     pub fn probe(&self, key: u64) -> bool {
-        let idx = self.set_index(key);
-        self.sets[idx].iter().any(|w| w.valid && w.tag == key)
+        let base = self.set_index(key) * self.assoc;
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.stamp & VALID != 0 && w.tag == key)
     }
 
     /// Invalidates `key` if present; returns whether the line was dirty.
     pub fn invalidate(&mut self, key: u64) -> Option<bool> {
-        let idx = self.set_index(key);
-        for way in self.sets[idx].iter_mut() {
-            if way.valid && way.tag == key {
-                way.valid = false;
-                return Some(way.dirty);
+        let base = self.set_index(key) * self.assoc;
+        for way in self.ways[base..base + self.assoc].iter_mut() {
+            if way.stamp & VALID != 0 && way.tag == key {
+                way.stamp &= !VALID;
+                return Some(way.stamp & DIRTY != 0);
             }
         }
         None
@@ -122,17 +139,15 @@ impl LruSets {
 
     /// Invalidates every entry.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                way.valid = false;
-            }
+        for way in self.ways.iter_mut() {
+            way.stamp &= !VALID;
         }
     }
 
     /// Total capacity in entries.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.sets[0].len()
+        self.ways.len()
     }
 }
 
@@ -202,5 +217,40 @@ mod tests {
         assert!(m_large <= m_small);
         assert_eq!(m_large, 64); // compulsory only: 128 entries hold 64 keys
         assert_eq!(large.capacity(), 128);
+    }
+
+    #[test]
+    fn invalid_way_preferred_over_lru_victim() {
+        // 1 set, 2 ways: invalidate one way, then a miss must fill the
+        // invalid slot rather than evict the surviving (older) line.
+        let mut s = LruSets::new(1, 2);
+        s.access(1, false);
+        s.access(2, false);
+        s.invalidate(2);
+        let r = s.access(3, false);
+        assert!(!r.hit);
+        assert!(!r.evicted);
+        assert!(s.access(1, false).hit);
+    }
+
+    #[test]
+    fn flush_clears_everything_but_keeps_geometry() {
+        let mut s = LruSets::new(4, 2);
+        for k in 0..8 {
+            s.access(k, true);
+        }
+        s.flush();
+        for k in 0..8 {
+            assert!(!s.probe(k));
+        }
+        assert_eq!(s.capacity(), 8);
+        // A refill after flush does not report a (stale) dirty victim.
+        assert!(!s.access(0, false).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        LruSets::new(3, 2);
     }
 }

@@ -57,8 +57,12 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// A write-back, write-allocate cache with faithful accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is invalid — see [`CacheConfig::validate`].
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize, latency: u32) -> Self {
-        CacheConfig {
+        let cfg = CacheConfig {
             size_bytes,
             ways,
             line_bytes,
@@ -66,7 +70,47 @@ impl CacheConfig {
             write_allocate: true,
             writeback_accounting: WritebackAccounting::PerLine,
             refill_write_overcount: 1,
-        }
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Checks the geometry the tag array and the engine's shift/mask
+    /// index arithmetic rely on: a power-of-two line size, at least one way,
+    /// a whole power-of-two number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the offending parameter when the
+    /// geometry is invalid.
+    pub fn validate(&self) {
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "cache geometry: line_bytes {} must be a power of two",
+            self.line_bytes
+        );
+        assert!(self.ways >= 1, "cache geometry: ways must be at least 1");
+        assert!(
+            self.size_bytes >= self.line_bytes && self.size_bytes % self.line_bytes == 0,
+            "cache geometry: size_bytes {} must be a positive multiple of line_bytes {}",
+            self.size_bytes,
+            self.line_bytes
+        );
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines % self.ways == 0,
+            "cache geometry: {} lines must divide evenly into {} ways",
+            lines,
+            self.ways
+        );
+        let sets = lines / self.ways;
+        assert!(
+            sets.is_power_of_two(),
+            "cache geometry: {} lines / {} ways gives {} sets, which must be a power of two",
+            lines,
+            self.ways,
+            sets
+        );
     }
 
     /// Sets the writeback accounting mode (builder style).
@@ -84,6 +128,11 @@ impl CacheConfig {
     /// Number of lines.
     pub fn lines(&self) -> usize {
         (self.size_bytes / self.line_bytes).max(1)
+    }
+
+    /// `log2(line_bytes)`: byte address → line address shift amount.
+    pub fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
     }
 }
 
@@ -152,13 +201,16 @@ pub struct Cache {
 
 impl Cache {
     /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is invalid — see [`CacheConfig::validate`].
     pub fn new(cfg: CacheConfig) -> Self {
-        let lines = cfg.lines();
-        let ways = cfg.ways.clamp(1, lines);
-        let sets = (lines / ways).max(1);
+        cfg.validate();
+        let sets = cfg.lines() / cfg.ways;
         Cache {
             cfg,
-            sets: LruSets::new(sets, ways),
+            sets: LruSets::new(sets, cfg.ways),
             counters: CacheCounters::default(),
         }
     }
@@ -175,6 +227,7 @@ impl Cache {
 
     /// Performs a demand access for the line address `line`
     /// (byte address divided by the line size).
+    #[inline]
     pub fn access(&mut self, line: u64, is_write: bool) -> CacheAccess {
         self.counters.accesses += 1;
         if is_write {
@@ -230,6 +283,7 @@ impl Cache {
 
     /// Inserts a line as a prefetch (no demand counters; may write back a
     /// dirty victim, which is reported like any other writeback).
+    #[inline]
     pub fn prefetch_fill(&mut self, line: u64) -> bool {
         if self.sets.probe(line) {
             return false;
@@ -401,6 +455,34 @@ mod tests {
             c.counters().prefetch_fills
         };
         assert!(run(4) > run(1) * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        // 96 lines / 2 ways = 48 sets: not a power of two.
+        CacheConfig::new(96 * 64, 2, 64, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be at least 1")]
+    fn zero_ways_rejected() {
+        CacheConfig::new(1024, 0, 64, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "line_bytes")]
+    fn non_pow2_line_rejected() {
+        CacheConfig::new(1024, 2, 48, 2);
+    }
+
+    #[test]
+    fn line_shift_matches_division() {
+        let cfg = CacheConfig::new(32 * 1024, 4, 64, 2);
+        assert_eq!(cfg.line_shift(), 6);
+        for addr in [0u64, 63, 64, 0xFFFF_FFFF, u64::MAX] {
+            assert_eq!(addr >> cfg.line_shift(), addr / 64);
+        }
     }
 
     #[test]

@@ -288,6 +288,11 @@ pub struct Engine {
     instr_since_flush: u64,
     group_fill: u32,
     dram_cycles: f64,
+    // Hot-path precomputation: the per-instruction issue cost
+    // (1 / effective width) and the L1D byte→line shift, so the
+    // per-instruction path never divides.
+    issue_cost: f64,
+    l1d_line_shift: u32,
 }
 
 impl Engine {
@@ -324,6 +329,9 @@ impl Engine {
         let l1d = Cache::new(cfg.l1d);
         let l2 = Cache::new(cfg.l2);
         let dram_cycles = cfg.dram.access_cycles(freq_hz);
+        let eff_width = f64::from(cfg.width) * cfg.issue_efficiency;
+        let issue_cost = 1.0 / eff_width.max(0.25);
+        let l1d_line_shift = cfg.l1d.line_shift();
         Engine {
             cfg,
             freq_hz,
@@ -351,6 +359,8 @@ impl Engine {
             instr_since_flush: 0,
             group_fill: 0,
             dram_cycles,
+            issue_cost,
+            l1d_line_shift,
         }
     }
 
@@ -368,6 +378,7 @@ impl Engine {
     }
 
     /// Processes a single instruction.
+    #[inline]
     pub fn step(&mut self, instr: &Instr) {
         self.fetch(instr);
         self.issue(instr);
@@ -380,6 +391,7 @@ impl Engine {
         self.count_committed(instr.class);
     }
 
+    #[inline]
     fn fetch(&mut self, instr: &Instr) {
         if let Some(interval) = self.cfg.itlb_flush_interval {
             self.instr_since_flush += 1;
@@ -430,9 +442,9 @@ impl Engine {
         cost
     }
 
+    #[inline]
     fn issue(&mut self, instr: &Instr) {
-        let eff_width = f64::from(self.cfg.width) * self.cfg.issue_efficiency;
-        self.cycles += 1.0 / eff_width.max(0.25);
+        self.cycles += self.issue_cost;
         // Long-latency classes.
         let extra = match instr.class {
             InstrClass::IntMul => self.cfg.op_extra.int_mul,
@@ -449,6 +461,7 @@ impl Engine {
         }
     }
 
+    #[inline]
     fn memory(&mut self, instr: &Instr) {
         let mem = match instr.mem {
             Some(m) => m,
@@ -471,7 +484,7 @@ impl Engine {
             self.cycles += exposed;
         }
         // Unaligned accesses cost an extra L1D access.
-        let line = mem.vaddr / self.cfg.l1d.line_bytes as u64;
+        let line = mem.vaddr >> self.l1d_line_shift;
         if mem.unaligned {
             if is_store {
                 self.unaligned_stores += 1;
@@ -531,6 +544,7 @@ impl Engine {
         }
     }
 
+    #[inline]
     fn branch(&mut self, instr: &Instr) {
         let outcome = self.bu.process(instr);
         if !outcome.mispredicted {
@@ -608,6 +622,7 @@ impl Engine {
         self.cycles += c;
     }
 
+    #[inline]
     fn count_committed(&mut self, class: InstrClass) {
         let c = &mut self.committed;
         match class {

@@ -85,6 +85,56 @@ impl InstrClass {
     pub fn is_store(self) -> bool {
         matches!(self, InstrClass::Store | InstrClass::StoreExclusive)
     }
+
+    /// Number of instruction classes (= the exclusive upper bound of
+    /// [`InstrClass::index`]).
+    pub const COUNT: usize = 16;
+
+    /// A stable dense index in `0..InstrClass::COUNT`, used by compact trace
+    /// encodings ([`InstrClass::from_index`] is its exact inverse).
+    pub fn index(self) -> u8 {
+        match self {
+            InstrClass::IntAlu => 0,
+            InstrClass::IntMul => 1,
+            InstrClass::IntDiv => 2,
+            InstrClass::FpAlu => 3,
+            InstrClass::FpDiv => 4,
+            InstrClass::Simd => 5,
+            InstrClass::Load => 6,
+            InstrClass::Store => 7,
+            InstrClass::Branch => 8,
+            InstrClass::IndirectBranch => 9,
+            InstrClass::Call => 10,
+            InstrClass::Return => 11,
+            InstrClass::LoadExclusive => 12,
+            InstrClass::StoreExclusive => 13,
+            InstrClass::Barrier => 14,
+            InstrClass::Nop => 15,
+        }
+    }
+
+    /// Inverse of [`InstrClass::index`]; `None` for out-of-range values.
+    pub fn from_index(index: u8) -> Option<InstrClass> {
+        Some(match index {
+            0 => InstrClass::IntAlu,
+            1 => InstrClass::IntMul,
+            2 => InstrClass::IntDiv,
+            3 => InstrClass::FpAlu,
+            4 => InstrClass::FpDiv,
+            5 => InstrClass::Simd,
+            6 => InstrClass::Load,
+            7 => InstrClass::Store,
+            8 => InstrClass::Branch,
+            9 => InstrClass::IndirectBranch,
+            10 => InstrClass::Call,
+            11 => InstrClass::Return,
+            12 => InstrClass::LoadExclusive,
+            13 => InstrClass::StoreExclusive,
+            14 => InstrClass::Barrier,
+            15 => InstrClass::Nop,
+            _ => return None,
+        })
+    }
 }
 
 /// A data-memory reference.

@@ -40,10 +40,40 @@ pub struct TlbConfig {
 }
 
 impl TlbConfig {
+    /// Checks the geometry the tag array's shift/mask index arithmetic
+    /// relies on: at least one way, ways dividing the entry count into a
+    /// power-of-two number of sets (`ways == entries` — fully associative —
+    /// always qualifies with a single set).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the offending parameter when the
+    /// geometry is invalid.
+    pub fn validate(&self) {
+        assert!(
+            self.entries >= 1,
+            "TLB geometry: entries must be at least 1"
+        );
+        assert!(self.ways >= 1, "TLB geometry: ways must be at least 1");
+        assert!(
+            self.entries % self.ways == 0,
+            "TLB geometry: {} entries must divide evenly into {} ways",
+            self.entries,
+            self.ways
+        );
+        let sets = self.entries / self.ways;
+        assert!(
+            sets.is_power_of_two(),
+            "TLB geometry: {} entries / {} ways gives {} sets, which must be a power of two",
+            self.entries,
+            self.ways,
+            sets
+        );
+    }
+
     fn build(self) -> LruSets {
-        let ways = self.ways.clamp(1, self.entries.max(1));
-        let sets = (self.entries.max(1) / ways).max(1);
-        LruSets::new(sets, ways)
+        self.validate();
+        LruSets::new(self.entries / self.ways, self.ways)
     }
 }
 
@@ -161,6 +191,7 @@ impl TlbHierarchy {
 
     /// Translates a virtual page, updating TLB state and counters, and
     /// returns hit/miss information plus the stall cycles to charge.
+    #[inline]
     pub fn translate(&mut self, kind: TlbKind, page: u64) -> TranslateResult {
         let (l1, counters) = match kind {
             TlbKind::Instruction => (&mut self.l1i, &mut self.icounters),
@@ -319,6 +350,37 @@ mod tests {
         let r = h.translate(TlbKind::Instruction, 42);
         assert!(!r.l1_hit);
         assert!(r.l2_hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        // 24 entries / 2 ways = 12 sets: not a power of two.
+        TlbConfig {
+            entries: 24,
+            ways: 2,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be at least 1")]
+    fn zero_ways_rejected() {
+        TlbConfig {
+            entries: 16,
+            ways: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn fully_associative_geometry_is_valid() {
+        // ways == entries (single set) is the common micro-TLB shape.
+        TlbConfig {
+            entries: 10,
+            ways: 10,
+        }
+        .validate();
     }
 
     #[test]

@@ -408,7 +408,17 @@ impl Iterator for StreamGen {
             _ => Instr::alu(InstrClass::Nop, self.advance_pc()),
         })
     }
+
+    /// Exact: every emitted instruction either decrements `remaining` at
+    /// emission or (the store half of an exclusive pair) was pre-counted
+    /// when queued into `pending`, so consumers can preallocate.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize + self.pending.len();
+        (n, Some(n))
+    }
 }
+
+impl ExactSizeIterator for StreamGen {}
 
 #[cfg(test)]
 mod tests {
@@ -425,6 +435,29 @@ mod tests {
     fn generates_exact_count() {
         let spec = basic_spec(12_345);
         assert_eq!(StreamGen::new(&spec).count(), 12_345);
+    }
+
+    #[test]
+    fn size_hint_is_exact_throughout_iteration() {
+        let spec = WorkloadSpec::builder("hint", Suite::Parsec)
+            .threads(4)
+            .instructions(5_000)
+            .tweak(|p| p.mix.exclusive = 0.05) // forces pending-queue pairs
+            .build();
+        let mut gen = StreamGen::new(&spec);
+        assert_eq!(gen.len(), 5_000);
+        let mut produced = 0usize;
+        loop {
+            let (lo, hi) = gen.size_hint();
+            assert_eq!(Some(lo), hi);
+            assert_eq!(lo, 5_000 - produced);
+            if gen.next().is_none() {
+                break;
+            }
+            produced += 1;
+        }
+        assert_eq!(produced, 5_000);
+        assert_eq!(gen.len(), 0);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! [`microbench`] provides an `lat_mem_rd`-style pointer-chase generator
 //! for the Fig. 4 memory-latency experiment.
 //!
+//! [`trace`] provides a compact packed-trace encoding of generated streams
+//! plus a process-wide, byte-budgeted trace cache, so the simulation grid
+//! generates each workload's stream once and replays it for every
+//! (configuration, frequency) tuple.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,3 +42,4 @@ pub mod gen;
 pub mod microbench;
 pub mod spec;
 pub mod suites;
+pub mod trace;

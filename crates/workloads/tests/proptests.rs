@@ -5,6 +5,7 @@ use gemstone_workloads::microbench::{bw_mem, lat_mem_rd};
 use gemstone_workloads::spec::{
     BranchBehavior, BranchSite, MemPattern, PhaseSpec, Suite, WorkloadSpec,
 };
+use gemstone_workloads::trace::PackedTrace;
 use proptest::prelude::*;
 
 fn arb_mem_pattern() -> impl Strategy<Value = MemPattern> {
@@ -75,6 +76,26 @@ proptest! {
         // Exact count, possibly ± the trailing half of an exclusive pair.
         prop_assert!(a.len() as u64 >= spec.instructions);
         prop_assert!(a.len() as u64 <= spec.instructions + 1);
+    }
+
+    #[test]
+    fn size_hint_stays_exact(spec in arb_spec()) {
+        let mut gen = StreamGen::new(&spec);
+        let mut expected = gen.len();
+        while gen.next().is_some() {
+            expected -= 1;
+            prop_assert_eq!(gen.size_hint(), (expected, Some(expected)));
+        }
+        prop_assert_eq!(expected, 0);
+    }
+
+    #[test]
+    fn packed_trace_round_trips_exactly(spec in arb_spec()) {
+        let generated: Vec<_> = StreamGen::new(&spec).collect();
+        let trace = PackedTrace::from_spec(&spec);
+        prop_assert_eq!(trace.len(), generated.len());
+        let replayed: Vec<_> = trace.iter().collect();
+        prop_assert_eq!(replayed, generated);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use gemstone::core::analysis::{ablation, improve, suitability};
 use gemstone::core::pipeline::{GemStone, PipelineOptions};
 use gemstone::core::{collate::Collated, experiment, persist, report::Table};
+use gemstone::platform::simcache::SimCache;
 use gemstone::powmon::{dataset, model::PowerModel, selection};
 use gemstone::prelude::*;
 use std::collections::BTreeMap;
@@ -283,6 +284,22 @@ fn run_stats(args: &Args) -> ExitCode {
     };
     let run = Gem5Sim::run(&spec.scaled(args.scale()), model, 1.0e9);
     print!("{}", run.stats.to_stats_txt());
+    // Execution-layer counters, in the same aligned `name value` style.
+    // `Gem5Sim::run` consults the process-wide caches, so these reflect
+    // whether this invocation hit the memo / replayed a packed trace.
+    let cache = SimCache::global();
+    let traces = cache.trace_cache();
+    for (name, value) in [
+        ("gemstone.simcache.hits", cache.hits()),
+        ("gemstone.simcache.misses", cache.misses()),
+        ("gemstone.simcache.entries", cache.len() as u64),
+        ("gemstone.tracecache.hits", traces.hits()),
+        ("gemstone.tracecache.misses", traces.misses()),
+        ("gemstone.tracecache.evictions", traces.evictions()),
+        ("gemstone.tracecache.bytes", traces.bytes() as u64),
+    ] {
+        println!("{name:<60} {value:>20}");
+    }
     ExitCode::SUCCESS
 }
 
