@@ -1,0 +1,94 @@
+//! Fast-vs-reference benchmarks for the analysis-layer hot paths: the
+//! Gram-matrix stepwise scan, the parallel correlation sweep, and the
+//! nearest-neighbour-chain HCA — each against the retained naive
+//! implementation it replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_stats::cluster::{Hca, Linkage, Metric};
+use gemstone_stats::corr::{spearman, spearman_sweep};
+use gemstone_stats::stepwise::{
+    forward_select, forward_select_reference, Candidate, StepwiseOptions,
+};
+use gemstone_stats::threads::set_worker_threads;
+
+fn pseudo(i: usize, j: usize) -> f64 {
+    let h = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// §IV-D at gem5-statistic scale: ~2000 candidate columns, few informative.
+fn stepwise_benchmark(c: &mut Criterion) {
+    let n = 64;
+    let p = 2000;
+    let cands: Vec<Candidate> = (0..p)
+        .map(|j| Candidate::new(format!("c{j}"), (0..n).map(|i| pseudo(i, j)).collect()))
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| 3.0 * pseudo(i, 0) - 2.0 * pseudo(i, 1) + pseudo(i, 2) + 0.05 * pseudo(i, 7777))
+        .collect();
+    let opts = StepwiseOptions::default();
+
+    let mut group = c.benchmark_group("stepwise_2000x64");
+    group.sample_size(10);
+    group.bench_function("gram_fast", |b| {
+        b.iter(|| forward_select(&cands, &y, &opts).unwrap());
+    });
+    group.bench_function("qr_reference", |b| {
+        b.iter(|| forward_select_reference(&cands, &y, &opts).unwrap());
+    });
+    group.finish();
+}
+
+/// Fig. 5-style rank-correlation of many columns against one error vector.
+fn sweep_benchmark(c: &mut Criterion) {
+    let n = 64;
+    let p = 4000;
+    let cols: Vec<Vec<f64>> = (0..p)
+        .map(|j| (0..n).map(|i| pseudo(i, j)).collect())
+        .collect();
+    let y: Vec<f64> = (0..n).map(|i| pseudo(i, 9999)).collect();
+
+    let mut group = c.benchmark_group("spearman_4000x64");
+    group.bench_function("pairwise", |b| {
+        b.iter(|| {
+            cols.iter()
+                .map(|col| spearman(col, &y).unwrap())
+                .collect::<Vec<f64>>()
+        });
+    });
+    group.bench_function("sweep_serial", |b| {
+        set_worker_threads(1);
+        b.iter(|| spearman_sweep(&cols, &y).unwrap());
+        set_worker_threads(0);
+    });
+    group.bench_function("sweep_parallel", |b| {
+        b.iter(|| spearman_sweep(&cols, &y).unwrap());
+    });
+    group.finish();
+}
+
+/// Workload/event clustering: NN-chain vs the retained O(n³) reference.
+fn hca_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hca_ward");
+    for &n in &[64usize, 256] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..32).map(|j| pseudo(i, j)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("nn_chain", n), &rows, |b, rows| {
+            b.iter(|| Hca::new(rows, Metric::Euclidean, Linkage::Ward).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &rows, |b, rows| {
+            b.iter(|| Hca::new_reference(rows, Metric::Euclidean, Linkage::Ward).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = stepwise_benchmark, sweep_benchmark, hca_benchmark
+}
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::collate::Collated;
 use crate::{GemStoneError, Result};
 use gemstone_platform::gem5sim::Gem5Model;
 use gemstone_stats::cluster::{Hca, Linkage, Metric};
-use gemstone_stats::corr::pearson;
+use gemstone_stats::corr::pearson_sweep;
 
 /// One retained gem5 statistic.
 #[derive(Debug, Clone)]
@@ -77,25 +77,32 @@ pub fn analyse(
         .cloned()
         .collect();
 
-    // Rate form: stat / simulated seconds.
-    let mut kept: Vec<(String, Vec<f64>, f64)> = Vec::new();
+    // Rate form: stat / simulated seconds. Varying columns are collected
+    // first so their correlations run as one parallel sweep.
+    let mut names: Vec<String> = Vec::new();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
     for name in stat_names {
         let col: Vec<f64> = records
             .iter()
             .map(|r| r.gem5_stats[&name] / r.gem5_time_s)
             .collect();
         let mean = col.iter().sum::<f64>() / col.len() as f64;
-        if !col
+        if col
             .iter()
             .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
         {
-            continue;
-        }
-        let r = pearson(&col, &mpe)?;
-        if r.abs() >= threshold {
-            kept.push((name, col, r));
+            names.push(name);
+            cols.push(col);
         }
     }
+    let rs = pearson_sweep(&cols, &mpe)?;
+    let kept: Vec<(String, Vec<f64>, f64)> = names
+        .into_iter()
+        .zip(cols)
+        .zip(rs)
+        .filter(|(_, r)| r.abs() >= threshold)
+        .map(|((name, col), r)| (name, col, r))
+        .collect();
     if kept.is_empty() {
         return Err(GemStoneError::MissingData(
             "no gem5 statistic clears the correlation threshold".into(),

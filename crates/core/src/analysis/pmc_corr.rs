@@ -8,7 +8,7 @@ use crate::collate::{Collated, WorkloadRecord};
 use crate::{GemStoneError, Result};
 use gemstone_platform::gem5sim::Gem5Model;
 use gemstone_stats::cluster::{Hca, Linkage, Metric};
-use gemstone_stats::corr::pearson;
+use gemstone_stats::corr::pearson_sweep;
 use gemstone_uarch::pmu::{self, EventCode};
 
 /// One event's correlation entry.
@@ -55,35 +55,30 @@ pub fn analyse(
     }
     let mpe: Vec<f64> = records.iter().map(|r| r.time_pe).collect();
 
-    // Events with variance.
-    let events: Vec<EventCode> = pmu::events()
-        .iter()
-        .copied()
-        .filter(|&e| {
-            let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
-            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-            rates
-                .iter()
-                .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
-        })
-        .collect();
+    // Events with variance; their rate columns are materialised once and
+    // shared by the correlation sweep and the HCA below.
+    let mut events: Vec<EventCode> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for &e in pmu::events() {
+        let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        if rates
+            .iter()
+            .any(|v| (v - mean).abs() > 1e-9 * mean.abs().max(1.0))
+        {
+            events.push(e);
+            rows.push(rates);
+        }
+    }
     if events.is_empty() {
         return Err(GemStoneError::MissingData("no varying PMC events".into()));
     }
 
-    // Correlation with the MPE.
-    let mut corrs = Vec::with_capacity(events.len());
-    for &e in &events {
-        let rates: Vec<f64> = records.iter().map(|r| r.hw_rate(e)).collect();
-        corrs.push(pearson(&rates, &mpe)?);
-    }
+    // Correlation with the MPE: one parallel sweep over all event columns.
+    let corrs = pearson_sweep(&rows, &mpe)?;
 
     // Cluster events by behavioural similarity (|r| distance over their
     // rate vectors across workloads).
-    let rows: Vec<Vec<f64>> = events
-        .iter()
-        .map(|&e| records.iter().map(|r| r.hw_rate(e)).collect())
-        .collect();
     let hca = Hca::new(&rows, Metric::AbsCorrelation, Linkage::Average)?;
     let k = match k {
         Some(k) => k.min(events.len()),

@@ -33,7 +33,8 @@ pub struct ExperimentConfig {
     pub clusters: Vec<Cluster>,
     /// gem5 models to simulate.
     pub models: Vec<Gem5Model>,
-    /// Worker threads for the parallel sweep.
+    /// Worker threads for the parallel sweep. Defaults to the shared
+    /// [`gemstone_stats::threads::worker_threads`] knob (`GEMSTONE_THREADS`).
     pub threads: usize,
 }
 
@@ -48,7 +49,7 @@ impl Default for ExperimentConfig {
                 Gem5Model::Ex5BigOld,
                 Gem5Model::Ex5BigFixed,
             ],
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: gemstone_stats::threads::worker_threads(),
         }
     }
 }

@@ -29,9 +29,11 @@ use gemstone_platform::dvfs::Cluster;
 use gemstone_platform::gem5sim::Gem5Model;
 use gemstone_powmon::model::{ModelQuality, PowerModel};
 use gemstone_powmon::{dataset, selection};
+use gemstone_stats::threads::worker_threads;
 use gemstone_workloads::suites;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 /// Options for a pipeline run.
 #[derive(Debug, Clone)]
@@ -85,6 +87,41 @@ pub struct ExecutionStats {
     pub trace_budget: usize,
 }
 
+/// Per-stage wall-clock timings of a pipeline run, in a fixed stage order
+/// (independent of how the concurrent stages were actually scheduled).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// `(stage name, wall-clock duration)` pairs.
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+impl StageTimings {
+    fn push(&mut self, name: &'static str, d: Duration) {
+        self.stages.push((name, d));
+    }
+
+    /// Duration of one stage, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, d)| d)
+    }
+
+    /// Sum of all recorded stage durations (CPU-side wall clock; concurrent
+    /// stages overlap, so this exceeds the pipeline's elapsed time).
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|&(_, d)| d).sum()
+    }
+}
+
+/// Runs a closure and pairs its result with the elapsed wall-clock time.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
 /// The assembled results of a pipeline run.
 #[derive(Debug)]
 pub struct GemStoneReport {
@@ -119,6 +156,8 @@ pub struct GemStoneReport {
     pub improvement: improvement::Improvement,
     /// Execution-layer cache counters for this run's board cache.
     pub execution: ExecutionStats,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
 }
 
 /// The pipeline runner.
@@ -141,44 +180,114 @@ impl GemStone {
     /// when a requested slice produced no data.
     pub fn run(&self) -> Result<GemStoneReport> {
         let o = &self.opts;
+        let mut timings = StageTimings::default();
         // Boxes (a) and (b): characterise hardware, simulate gem5.
-        let data = run_validation(&o.experiment);
+        let (data, d) = timed(|| run_validation(&o.experiment));
+        timings.push("experiment", d);
         // Box (f): collate.
-        let collated = Collated::build(&data);
+        let (collated, d) = timed(|| Collated::build(&data));
+        timings.push("collate", d);
+        let collated = &collated;
 
-        // §IV analyses.
-        let summary = summary::analyse(&collated)?;
-        let clusters = hca_workloads::analyse(
-            &collated,
-            o.analysis_model,
-            o.analysis_freq_hz,
-            o.clusters_k,
-        )?;
-        let pmc = pmc_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, None)?;
-        let g5corr = gem5_corr::analyse(&collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok();
-        let reg_hw = error_regression::analyse(
-            &collated,
-            o.analysis_model,
-            o.analysis_freq_hz,
-            error_regression::Side::HwPmc,
-        )?;
-        let reg_g5 = error_regression::analyse(
-            &collated,
-            o.analysis_model,
-            o.analysis_freq_hz,
-            error_regression::Side::Gem5Stats,
-        )?;
-        let cmp = event_compare::analyse(
-            &collated,
-            &clusters,
-            o.analysis_model,
-            o.analysis_freq_hz,
-            true,
-        )?;
-        // Fig. 4 micro-benchmarks + automated diagnosis.
+        // §IV analyses. The seven stages below consume only the collated
+        // data, so they run concurrently; results are joined — and errors
+        // surfaced — in the fixed order of the serial pipeline, keeping
+        // output and error behaviour deterministic.
         let accesses = ((40_000.0 * o.experiment.workload_scale) as u64).max(5_000);
-        let latency = microbench::analyse(o.analysis_freq_hz, accesses);
-        let diag = diagnose::diagnose(&cmp, Some(&latency));
+        let run_summary = || timed(|| summary::analyse(collated));
+        let run_clusters = || {
+            timed(|| {
+                hca_workloads::analyse(collated, o.analysis_model, o.analysis_freq_hz, o.clusters_k)
+            })
+        };
+        let run_pmc =
+            || timed(|| pmc_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, None));
+        let run_g5corr = || {
+            timed(|| gem5_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok())
+        };
+        let run_reg_hw = || {
+            timed(|| {
+                error_regression::analyse(
+                    collated,
+                    o.analysis_model,
+                    o.analysis_freq_hz,
+                    error_regression::Side::HwPmc,
+                )
+            })
+        };
+        let run_reg_g5 = || {
+            timed(|| {
+                error_regression::analyse(
+                    collated,
+                    o.analysis_model,
+                    o.analysis_freq_hz,
+                    error_regression::Side::Gem5Stats,
+                )
+            })
+        };
+        // Fig. 4 micro-benchmarks (independent of the collated data).
+        let run_latency = || timed(|| microbench::analyse(o.analysis_freq_hz, accesses));
+
+        let (summary_t, clusters_t, pmc_t, g5corr_t, reg_hw_t, reg_g5_t, latency_t) =
+            if worker_threads() > 1 {
+                std::thread::scope(|s| {
+                    let summary = s.spawn(run_summary);
+                    let clusters = s.spawn(run_clusters);
+                    let pmc = s.spawn(run_pmc);
+                    let g5corr = s.spawn(run_g5corr);
+                    let reg_hw = s.spawn(run_reg_hw);
+                    let reg_g5 = s.spawn(run_reg_g5);
+                    let latency = s.spawn(run_latency);
+                    let join = "analysis worker panicked";
+                    (
+                        summary.join().expect(join),
+                        clusters.join().expect(join),
+                        pmc.join().expect(join),
+                        g5corr.join().expect(join),
+                        reg_hw.join().expect(join),
+                        reg_g5.join().expect(join),
+                        latency.join().expect(join),
+                    )
+                })
+            } else {
+                (
+                    run_summary(),
+                    run_clusters(),
+                    run_pmc(),
+                    run_g5corr(),
+                    run_reg_hw(),
+                    run_reg_g5(),
+                    run_latency(),
+                )
+            };
+        timings.push("summary", summary_t.1);
+        timings.push("hca_workloads", clusters_t.1);
+        timings.push("pmc_corr", pmc_t.1);
+        timings.push("gem5_corr", g5corr_t.1);
+        timings.push("error_reg_hw", reg_hw_t.1);
+        timings.push("error_reg_gem5", reg_g5_t.1);
+        timings.push("microbench", latency_t.1);
+        let summary = summary_t.0?;
+        let clusters = clusters_t.0?;
+        let pmc = pmc_t.0?;
+        let g5corr = g5corr_t.0;
+        let reg_hw = reg_hw_t.0?;
+        let reg_g5 = reg_g5_t.0?;
+        let latency = latency_t.0;
+
+        let (cmp, d) = timed(|| {
+            event_compare::analyse(
+                collated,
+                &clusters,
+                o.analysis_model,
+                o.analysis_freq_hz,
+                true,
+            )
+        });
+        timings.push("event_compare", d);
+        let cmp = cmp?;
+        let (diag, d) = timed(|| diagnose::diagnose(&cmp, Some(&latency)));
+        timings.push("diagnose", d);
 
         // §V: power models on the 65-workload set.
         let mut power_models = BTreeMap::new();
@@ -186,6 +295,7 @@ impl GemStone {
         let mut pe = None;
         let mut sc = None;
         if o.with_power {
+            let power_t0 = Instant::now();
             let specs: Vec<_> = suites::power_suite()
                 .iter()
                 .map(|w| w.scaled(o.experiment.workload_scale))
@@ -224,15 +334,20 @@ impl GemStone {
                 power_quality.insert(name, q);
                 power_models.insert(name, pm);
             }
+            timings.push("power_models", power_t0.elapsed());
             // §VI / Fig. 7.
             let a15_pm = &power_models[Cluster::BigA15.name()];
-            pe = Some(power_energy::analyse(
-                &collated,
-                &clusters,
-                a15_pm,
-                o.analysis_model,
-                o.analysis_freq_hz,
-            )?);
+            let (pe_r, d) = timed(|| {
+                power_energy::analyse(
+                    collated,
+                    &clusters,
+                    a15_pm,
+                    o.analysis_model,
+                    o.analysis_freq_hz,
+                )
+            });
+            timings.push("power_energy", d);
+            pe = Some(pe_r?);
             // Fig. 8.
             let scale_models: Vec<Gem5Model> = o
                 .experiment
@@ -242,19 +357,25 @@ impl GemStone {
                 .filter(|m| *m != Gem5Model::Ex5BigOld)
                 .collect();
             if !scale_models.is_empty() {
-                sc = Some(scaling::analyse(&collated, &power_models, &scale_models)?);
+                let (sc_r, d) = timed(|| scaling::analyse(collated, &power_models, &scale_models));
+                timings.push("scaling", d);
+                sc = Some(sc_r?);
             }
         }
 
         // §VII.
-        let imp = improvement::analyse(
-            &collated,
-            o.analysis_freq_hz,
-            match (&power_models.get(Cluster::BigA15.name()), &clusters) {
-                (Some(pm), wc) if o.with_power => Some((*pm, wc)),
-                _ => None,
-            },
-        )?;
+        let (imp, d) = timed(|| {
+            improvement::analyse(
+                collated,
+                o.analysis_freq_hz,
+                match (&power_models.get(Cluster::BigA15.name()), &clusters) {
+                    (Some(pm), wc) if o.with_power => Some((*pm, wc)),
+                    _ => None,
+                },
+            )
+        });
+        timings.push("improvement", d);
+        let imp = imp?;
 
         // Execution-layer counters: how much work the memo + trace layers
         // absorbed over the whole methodology.
@@ -287,6 +408,7 @@ impl GemStone {
             scaling: sc,
             improvement: imp,
             execution,
+            timings,
         })
     }
 }
@@ -499,6 +621,18 @@ impl GemStoneReport {
             ex.trace_bytes as f64 / (1 << 20) as f64,
             ex.trace_budget as f64 / (1 << 20) as f64,
         );
+
+        // Per-stage wall-clock timings.
+        let _ = writeln!(out, "\nstage timings (wall clock):");
+        for &(name, d) in &self.timings.stages {
+            let _ = writeln!(out, "  {:<16} {:>10.3} ms", name, d.as_secs_f64() * 1e3);
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10.3} ms (stages overlap; elapsed time is lower)",
+            "total",
+            self.timings.total().as_secs_f64() * 1e3
+        );
         out
     }
 }
@@ -550,5 +684,26 @@ mod tests {
         assert!(text.contains("Fig. 6"));
         assert!(text.contains("§VII"));
         assert!(text.contains("execution layer"));
+        // Every analysis stage reported a timing, in the fixed order.
+        assert!(text.contains("stage timings"));
+        let names: Vec<&str> = report.timings.stages.iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "experiment",
+                "collate",
+                "summary",
+                "hca_workloads",
+                "pmc_corr",
+                "gem5_corr",
+                "error_reg_hw",
+                "error_reg_gem5",
+                "microbench",
+                "event_compare",
+                "diagnose",
+                "improvement",
+            ]
+        );
+        assert!(report.timings.get("experiment").unwrap() > Duration::ZERO);
     }
 }

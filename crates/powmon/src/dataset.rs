@@ -134,15 +134,21 @@ impl PowerDataset {
 
 /// Runs the power-characterisation experiment (boxes *c*/*d* of the paper's
 /// Fig. 1): every workload at every frequency on one cluster, in parallel
-/// over all available cores.
+/// over the shared [`gemstone_stats::threads::worker_threads`] pool size
+/// (`GEMSTONE_THREADS` overrides it).
 pub fn collect(
     board: &OdroidXu3,
     cluster: Cluster,
     workloads: &[WorkloadSpec],
     freqs: &[f64],
 ) -> PowerDataset {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    collect_with_threads(board, cluster, workloads, freqs, threads)
+    collect_with_threads(
+        board,
+        cluster,
+        workloads,
+        freqs,
+        gemstone_stats::threads::worker_threads(),
+    )
 }
 
 /// [`collect`] with an explicit worker-thread count (`1` = serial). The

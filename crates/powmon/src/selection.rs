@@ -153,6 +153,10 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
         if selected.len() >= opts.max_terms {
             break;
         }
+        // Columns of the selected terms, materialised once per step — they
+        // only change when a term is accepted, so rebuilding them for every
+        // (candidate, form) pair in the guard below would be pure churn.
+        let sel_cols: Vec<Vec<f64>> = selected.iter().map(|s| col(s)).collect();
         let mut best: Option<(EventExpr, f64)> = None;
         'cand: for &e in &candidates {
             if selected.iter().any(|t| t.event == e && t.minus.is_none()) {
@@ -170,9 +174,8 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
                 // Multicollinearity guard.
                 let c = col(&form);
                 let mut ok = true;
-                for s in &selected {
-                    let sc = col(s);
-                    if let Ok(r) = pearson(&c, &sc) {
+                for sc in &sel_cols {
+                    if let Ok(r) = pearson(&c, sc) {
                         if r.abs() > opts.max_intercorrelation {
                             ok = false;
                             break;

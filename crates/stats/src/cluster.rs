@@ -133,8 +133,183 @@ fn distance(a: &[f64], b: &[f64], metric: Metric) -> Result<f64> {
     }
 }
 
+/// Validates the feature matrix and returns `n`.
+fn validate_rows(rows: &[Vec<f64>]) -> Result<usize> {
+    let n = rows.len();
+    if n < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            available: n,
+        });
+    }
+    let width = rows[0].len();
+    for r in rows {
+        if r.len() != width {
+            return Err(StatsError::DimensionMismatch {
+                context: "Hca::new",
+                expected: width,
+                actual: r.len(),
+            });
+        }
+        if r.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidArgument("Hca::new: non-finite feature"));
+        }
+    }
+    Ok(n)
+}
+
+/// Index of the `(i, j)` pair (`i < j`) in a condensed upper-triangle
+/// distance array of `n` observations.
+#[inline]
+fn cidx(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Lance–Williams distance update for merging clusters of sizes `si`/`sj`
+/// (at mutual distance `dij`) against an outside cluster of size `sk`.
+#[inline]
+fn lance_williams(
+    linkage: Linkage,
+    dik: f64,
+    djk: f64,
+    dij: f64,
+    si: usize,
+    sj: usize,
+    sk: usize,
+) -> f64 {
+    match linkage {
+        Linkage::Single => dik.min(djk),
+        Linkage::Complete => dik.max(djk),
+        Linkage::Average => {
+            let (si, sj) = (si as f64, sj as f64);
+            (si * dik + sj * djk) / (si + sj)
+        }
+        Linkage::Ward => {
+            let (si, sj, sk) = (si as f64, sj as f64, sk as f64);
+            ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk)
+        }
+    }
+}
+
+/// Nearest-neighbour-chain agglomeration over a condensed distance array.
+///
+/// Grows a chain of successive nearest neighbours until a mutual pair is
+/// found, merges it, and continues from the surviving chain prefix —
+/// reducibility of the four supported linkages guarantees the prefix stays
+/// valid, giving O(n²) total work. Because every cluster always merges into
+/// the slot with the smaller index, a slot index is exactly the minimum
+/// original observation index of its cluster; merges are recorded as slot
+/// pairs, sorted by height and relabelled so the output follows the same
+/// convention as the greedy reference: `a` is the cluster containing the
+/// smaller minimum original index, and step `t` creates node `n + t`.
+fn nn_chain(n: usize, d: &mut [f64], linkage: Linkage, ward: bool) -> Vec<Merge> {
+    let mut size = vec![1usize; n];
+    let mut active = vec![true; n];
+    // (slot_a < slot_b, metric-space height, merged size)
+    let mut raw: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    for _ in 0..(n - 1) {
+        if chain.is_empty() {
+            // Slot 0 is never deactivated (merges keep the smaller slot), so
+            // it is always a valid seed.
+            chain.push(0);
+        }
+        loop {
+            let x = *chain.last().expect("chain is non-empty");
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            // Nearest active neighbour of x, preferring the previous chain
+            // element on ties (strict `<` below) so mutual pairs terminate.
+            let (mut best, mut best_d) = match prev {
+                Some(p) => (p, d[cidx(n, x.min(p), x.max(p))]),
+                None => (usize::MAX, f64::INFINITY),
+            };
+            for y in 0..n {
+                if !active[y] || y == x || Some(y) == prev {
+                    continue;
+                }
+                let dxy = d[cidx(n, x.min(y), x.max(y))];
+                if dxy < best_d {
+                    best_d = dxy;
+                    best = y;
+                }
+            }
+            if prev != Some(best) {
+                chain.push(best);
+                continue;
+            }
+            // x and best are mutual nearest neighbours: merge into the
+            // smaller slot, drop the pair from the chain.
+            chain.pop();
+            chain.pop();
+            let (lo, hi) = (x.min(best), x.max(best));
+            let dij = best_d;
+            let height = if ward { dij.max(0.0).sqrt() } else { dij };
+            let new_size = size[lo] + size[hi];
+            raw.push((lo, hi, height, new_size));
+            for k in 0..n {
+                if !active[k] || k == lo || k == hi {
+                    continue;
+                }
+                let dik = d[cidx(n, lo.min(k), lo.max(k))];
+                let djk = d[cidx(n, hi.min(k), hi.max(k))];
+                d[cidx(n, lo.min(k), lo.max(k))] =
+                    lance_williams(linkage, dik, djk, dij, size[lo], size[hi], size[k]);
+            }
+            active[hi] = false;
+            size[lo] = new_size;
+            break;
+        }
+    }
+
+    // Chain discovery order is not merge order; sort by height (stable, so
+    // children still precede parents at tied heights) and assign node ids.
+    raw.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    // Union-by-min keeps each root equal to the cluster's minimum original
+    // index, which is how the reference orders (a, b) within a merge.
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut node_of: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    for (t, &(a_slot, b_slot, height, sz)) in raw.iter().enumerate() {
+        let ra = find(&mut parent, a_slot);
+        let rb = find(&mut parent, b_slot);
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        merges.push(Merge {
+            a: node_of[lo],
+            b: node_of[hi],
+            height,
+            size: sz,
+        });
+        parent[hi] = lo;
+        node_of[lo] = n + t;
+    }
+    merges
+}
+
 impl Hca {
-    /// Clusters the observation rows.
+    /// Clusters the observation rows with the O(n²) nearest-neighbour-chain
+    /// algorithm.
+    ///
+    /// All four linkages are *reducible*, so the chain algorithm produces
+    /// exactly the dendrogram of the greedy closest-pair reference
+    /// ([`Hca::new_reference`]); merges are reported in ascending height
+    /// order with the same node-labelling convention. When two distinct
+    /// merges happen at exactly equal heights their relative order may
+    /// differ from the reference (heights themselves can also differ in the
+    /// last few ulps because the Lance–Williams recurrence is evaluated in a
+    /// different order).
     ///
     /// # Errors
     ///
@@ -143,28 +318,36 @@ impl Hca {
     /// * [`StatsError::InvalidArgument`] — non-finite features (via the
     ///   correlation metrics).
     pub fn new(rows: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Result<Hca> {
-        let n = rows.len();
-        if n < 2 {
-            return Err(StatsError::NotEnoughData {
-                needed: 2,
-                available: n,
-            });
-        }
-        let width = rows[0].len();
-        for r in rows {
-            if r.len() != width {
-                return Err(StatsError::DimensionMismatch {
-                    context: "Hca::new",
-                    expected: width,
-                    actual: r.len(),
-                });
-            }
-            if r.iter().any(|v| !v.is_finite()) {
-                return Err(StatsError::InvalidArgument("Hca::new: non-finite feature"));
+        let n = validate_rows(rows)?;
+        // Condensed pairwise distances. Ward operates on squared distances
+        // internally and reports sqrt at merge time.
+        let ward = linkage == Linkage::Ward;
+        let mut d = vec![0.0_f64; n * (n - 1) / 2];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut dist = distance(&rows[i], &rows[j], metric)?;
+                if ward {
+                    dist *= dist;
+                }
+                d[cidx(n, i, j)] = dist;
             }
         }
+        Ok(Hca {
+            n,
+            merges: nn_chain(n, &mut d, linkage, ward),
+        })
+    }
 
-        // Pairwise distance matrix. Ward operates on squared distances
+    /// Greedy closest-pair agglomeration — the original O(n³) implementation,
+    /// retained as the reference for the chain algorithm (property tests and
+    /// benchmarks compare against it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hca::new`].
+    pub fn new_reference(rows: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Result<Hca> {
+        let n = validate_rows(rows)?;
+        // Full pairwise distance matrix. Ward operates on squared distances
         // internally and reports sqrt at merge time.
         let ward = linkage == Linkage::Ward;
         let mut d = vec![vec![0.0_f64; n]; n];
@@ -218,20 +401,7 @@ impl Hca {
                 if !active[k] || k == i || k == j {
                     continue;
                 }
-                let dik = d[i][k];
-                let djk = d[j][k];
-                let new_d = match linkage {
-                    Linkage::Single => dik.min(djk),
-                    Linkage::Complete => dik.max(djk),
-                    Linkage::Average => {
-                        let (si, sj) = (size[i] as f64, size[j] as f64);
-                        (si * dik + sj * djk) / (si + sj)
-                    }
-                    Linkage::Ward => {
-                        let (si, sj, sk) = (size[i] as f64, size[j] as f64, size[k] as f64);
-                        ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk)
-                    }
-                };
+                let new_d = lance_williams(linkage, d[i][k], d[j][k], dij, size[i], size[j], size[k]);
                 d[i][k] = new_d;
                 d[k][i] = new_d;
             }
@@ -487,6 +657,70 @@ mod tests {
         assert!(Hca::new(&ragged, Metric::Euclidean, Linkage::Single).is_err());
         let nan = vec![vec![f64::NAN], vec![1.0]];
         assert!(Hca::new(&nan, Metric::Euclidean, Linkage::Single).is_err());
+    }
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5) — generic positions give
+    /// tie-free pairwise distances, where chain and reference dendrograms
+    /// must agree exactly.
+    fn hash_noise(i: usize) -> f64 {
+        let h = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        let h = (h ^ (h >> 33)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn chain_matches_reference_on_generic_data() {
+        let rows: Vec<Vec<f64>> = (0..26)
+            .map(|i| (0..5).map(|j| hash_noise(i * 31 + j) * 8.0).collect())
+            .collect();
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            for metric in [Metric::Euclidean, Metric::Correlation, Metric::AbsCorrelation] {
+                let fast = Hca::new(&rows, metric, linkage).unwrap();
+                let slow = Hca::new_reference(&rows, metric, linkage).unwrap();
+                for (step, (f, s)) in fast.merges().iter().zip(slow.merges()).enumerate() {
+                    assert_eq!(
+                        (f.a, f.b, f.size),
+                        (s.a, s.b, s.size),
+                        "{linkage:?}/{metric:?} step {step}"
+                    );
+                    assert!(
+                        (f.height - s.height).abs() <= 1e-9 * s.height.abs().max(1.0),
+                        "{linkage:?}/{metric:?} step {step}: {} vs {}",
+                        f.height,
+                        s.height
+                    );
+                }
+                for k in 1..=rows.len() {
+                    assert_eq!(
+                        fast.cut_k(k).unwrap(),
+                        slow.cut_k(k).unwrap(),
+                        "{linkage:?}/{metric:?} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_matches_reference_two_observations() {
+        let rows = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let fast = Hca::new(&rows, Metric::Euclidean, Linkage::Ward).unwrap();
+        let slow = Hca::new_reference(&rows, Metric::Euclidean, Linkage::Ward).unwrap();
+        assert_eq!(fast.merges(), slow.merges());
+    }
+
+    #[test]
+    fn reference_rejects_degenerate_inputs_too() {
+        assert!(Hca::new_reference(&[vec![1.0]], Metric::Euclidean, Linkage::Single).is_err());
+        let nan = vec![vec![f64::NAN], vec![1.0]];
+        assert!(Hca::new_reference(&nan, Metric::Euclidean, Linkage::Single).is_err());
     }
 
     #[test]

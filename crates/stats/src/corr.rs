@@ -14,6 +14,7 @@
 //! assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
 //! ```
 
+use crate::threads::parallel_map;
 use crate::{Result, StatsError};
 
 /// Pearson product-moment correlation coefficient of `x` and `y`.
@@ -43,23 +44,120 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
     if x.iter().chain(y).any(|v| !v.is_finite()) {
         return Err(StatsError::InvalidArgument("pearson: non-finite input"));
     }
+    let (my, syy) = target_stats(y);
+    Ok(pearson_against(x, y, my, syy))
+}
+
+/// Mean and centred sum of squares of a sweep target, computed once and
+/// shared across every column of a sweep. The accumulation order matches the
+/// single-pass loop in [`pearson`] exactly, so sweep results are
+/// bit-identical to pairwise calls.
+fn target_stats(y: &[f64]) -> (f64, f64) {
+    let my = y.iter().sum::<f64>() / y.len() as f64;
+    let mut syy = 0.0;
+    for b in y {
+        let dy = b - my;
+        syy += dy * dy;
+    }
+    (my, syy)
+}
+
+/// Pearson correlation of `x` against a target with precomputed stats.
+/// Inputs are assumed validated (equal lengths ≥ 2, all finite).
+fn pearson_against(x: &[f64], y: &[f64], my: f64, syy: f64) -> f64 {
     let n = x.len() as f64;
     let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
     let mut sxy = 0.0;
     let mut sxx = 0.0;
-    let mut syy = 0.0;
     for (a, b) in x.iter().zip(y) {
         let dx = a - mx;
         let dy = b - my;
         sxy += dx * dy;
         sxx += dx * dx;
-        syy += dy * dy;
     }
     if sxx == 0.0 || syy == 0.0 {
-        return Ok(0.0);
+        return 0.0;
     }
-    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+fn validate_sweep_column(
+    x: &[f64],
+    y: &[f64],
+    mismatch_context: &'static str,
+    nonfinite: &'static str,
+) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: mismatch_context,
+            expected: x.len(),
+            actual: y.len(),
+        });
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument(nonfinite));
+    }
+    Ok(())
+}
+
+/// Pearson correlation of every column against one shared target, as in the
+/// Fig. 5 / §IV-C sweeps where thousands of event rates are correlated with
+/// the MPE.
+///
+/// The target's mean and centred sum of squares are computed once, and the
+/// per-column work is fanned across [`crate::threads::worker_threads`]
+/// scoped workers with pre-assigned output slots. Result `j` is bit-identical
+/// to `pearson(&columns[j], y)` regardless of the worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`], applied per column; the first failing
+/// column (in index order) determines the error.
+pub fn pearson_sweep(columns: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>> {
+    if y.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            available: y.len(),
+        });
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument("pearson: non-finite input"));
+    }
+    let (my, syy) = target_stats(y);
+    let per_col = parallel_map(columns, |_, x| -> Result<f64> {
+        validate_sweep_column(x, y, "pearson", "pearson: non-finite input")?;
+        Ok(pearson_against(x, y, my, syy))
+    });
+    per_col.into_iter().collect()
+}
+
+/// Spearman rank correlation of every column against one shared target.
+///
+/// The target is ranked once (the pairwise [`spearman`] re-ranks it per
+/// call), and columns are processed in parallel as in [`pearson_sweep`].
+/// Result `j` is bit-identical to `spearman(&columns[j], y)`.
+///
+/// # Errors
+///
+/// Same conditions as [`spearman`], applied per column; the first failing
+/// column (in index order) determines the error.
+pub fn spearman_sweep(columns: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>> {
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidArgument("spearman: non-finite input"));
+    }
+    if y.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            available: y.len(),
+        });
+    }
+    let ry = ranks(y);
+    let (my, syy) = target_stats(&ry);
+    let per_col = parallel_map(columns, |_, x| -> Result<f64> {
+        validate_sweep_column(x, y, "spearman", "spearman: non-finite input")?;
+        Ok(pearson_against(&ranks(x), &ry, my, syy))
+    });
+    per_col.into_iter().collect()
 }
 
 /// Assigns fractional ranks (average rank for ties), 1-based.
@@ -105,16 +203,23 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
 /// Pairwise Pearson correlation matrix of the given columns
 /// (`columns[j]` is variable *j* observed over the same n rows).
 ///
+/// Rows of the upper triangle are computed on
+/// [`crate::threads::worker_threads`] scoped workers; each pair still goes
+/// through [`pearson`], so every entry is identical to a serial computation.
+///
 /// # Errors
 ///
 /// Same conditions as [`pearson`], applied pairwise.
 pub fn correlation_matrix(columns: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
     let k = columns.len();
+    let upper = parallel_map(columns, |i, ci| -> Result<Vec<f64>> {
+        ((i + 1)..k).map(|j| pearson(ci, &columns[j])).collect()
+    });
     let mut m = vec![vec![0.0; k]; k];
-    for i in 0..k {
+    for (i, row) in upper.into_iter().enumerate() {
         m[i][i] = 1.0;
-        for j in (i + 1)..k {
-            let r = pearson(&columns[i], &columns[j])?;
+        for (off, r) in row?.into_iter().enumerate() {
+            let j = i + 1 + off;
             m[i][j] = r;
             m[j][i] = r;
         }
@@ -180,6 +285,49 @@ mod tests {
     fn ranks_average_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 5.0]);
         assert_eq!(r, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5).
+    fn hash_noise(i: usize) -> f64 {
+        let h = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        let h = (h ^ (h >> 31)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn sweeps_are_bit_identical_to_pairwise() {
+        let n = 23;
+        let y: Vec<f64> = (0..n).map(|i| hash_noise(i + 7_000) * 4.0).collect();
+        let cols: Vec<Vec<f64>> = (0..37)
+            .map(|c| {
+                (0..n)
+                    .map(|i| hash_noise(i + c * 997) * 3.0 + if c % 5 == 0 { y[i] } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let ps = pearson_sweep(&cols, &y).unwrap();
+        let ss = spearman_sweep(&cols, &y).unwrap();
+        for (j, col) in cols.iter().enumerate() {
+            // Exact equality on purpose: the sweeps promise bit-identical
+            // results to the pairwise functions.
+            assert_eq!(ps[j], pearson(col, &y).unwrap(), "pearson col {j}");
+            assert_eq!(ss[j], spearman(col, &y).unwrap(), "spearman col {j}");
+        }
+    }
+
+    #[test]
+    fn sweep_errors_match_pairwise_conditions() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(pearson_sweep(&[vec![1.0, 2.0]], &y).is_err());
+        assert!(pearson_sweep(&[vec![1.0, f64::NAN, 2.0]], &y).is_err());
+        assert!(pearson_sweep(&[], &[1.0]).is_err());
+        assert!(spearman_sweep(&[vec![1.0, 2.0]], &y).is_err());
+        assert!(spearman_sweep(&[vec![1.0, 2.0, 3.0]], &[1.0, f64::NAN, 2.0]).is_err());
+        // Empty column set over a valid target is fine.
+        assert_eq!(pearson_sweep(&[], &y).unwrap(), Vec::<f64>::new());
+        assert_eq!(spearman_sweep(&[], &y).unwrap(), Vec::<f64>::new());
     }
 
     #[test]

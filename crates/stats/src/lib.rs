@@ -21,8 +21,10 @@
 //!   to group workloads (Fig. 3) and events (Fig. 5, §IV-C).
 //!
 //! Supporting these are a dense [`matrix`] module with Householder QR, the
-//! special functions needed for *t*/*F* inference ([`dist`]) and the error
-//! metrics used throughout the paper ([`metrics`]).
+//! special functions needed for *t*/*F* inference ([`dist`]), the error
+//! metrics used throughout the paper ([`metrics`]) and the shared
+//! worker-thread knob ([`threads`]) that every parallel analysis path
+//! consults.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod regress;
 pub mod stepwise;
+pub mod threads;
 
 use std::fmt;
 

@@ -140,26 +140,48 @@ impl Matrix {
 
     /// Returns column `c` as an owned vector.
     ///
+    /// Prefer [`Matrix::col_iter`] in hot paths — it walks the column without
+    /// allocating.
+    ///
     /// # Panics
     ///
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.col_iter(c).collect()
     }
 
-    /// Returns the transpose.
+    /// Iterates over column `c` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_iter(&self, c: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(move |r| self.data[r * self.cols + c])
+    }
+
+    /// Cache-block edge for [`Matrix::transpose`] and [`Matrix::matmul`]:
+    /// 32×32 `f64` tiles (8 KiB) sit comfortably in L1.
+    const BLOCK: usize = 32;
+
+    /// Returns the transpose (cache-blocked).
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.set(c, r, self.get(r, c));
+        for rb in (0..self.rows).step_by(Self::BLOCK) {
+            for cb in (0..self.cols).step_by(Self::BLOCK) {
+                for r in rb..(rb + Self::BLOCK).min(self.rows) {
+                    for c in cb..(cb + Self::BLOCK).min(self.cols) {
+                        t.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         t
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` (cache-blocked i-k-j loop; for each
+    /// output element the k-accumulation order matches the naive loop, so
+    /// results are bit-identical to an unblocked multiply).
     ///
     /// # Errors
     ///
@@ -174,16 +196,73 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
+        let (n, k_dim, m) = (self.rows, self.cols, other.cols);
+        for kb in (0..k_dim).step_by(Self::BLOCK) {
+            let kend = (kb + Self::BLOCK).min(k_dim);
+            for r in 0..n {
+                let arow = &self.data[r * k_dim..(r + 1) * k_dim];
+                let orow = &mut out.data[r * m..(r + 1) * m];
+                for (k, &a) in arow[kb..kend].iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[(kb + k) * m..(kb + k + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ · self` directly, without materialising the transpose.
+    /// Exploits symmetry: only the upper triangle is accumulated.
+    pub fn xtx(&self) -> Matrix {
+        let (n, k) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(k, k);
+        for r in 0..n {
+            let row = &self.data[r * k..(r + 1) * k];
+            for i in 0..k {
+                let a = row[i];
                 if a == 0.0 {
                     continue;
                 }
-                for c in 0..other.cols {
-                    let v = out.get(r, c) + a * other.get(k, c);
-                    out.set(r, c, v);
+                for j in i..k {
+                    out.data[i * k + j] += a * row[j];
                 }
+            }
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                out.data[j * k + i] = out.data[i * k + j];
+            }
+        }
+        out
+    }
+
+    /// Computes `selfᵀ · y` directly, without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `y.len() != rows`.
+    pub fn xty(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: "Matrix::xty",
+                expected: self.rows,
+                actual: y.len(),
+            });
+        }
+        let k = self.cols;
+        let mut out = vec![0.0; k];
+        for (r, &v) in y.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * k..(r + 1) * k];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += v * a;
             }
         }
         Ok(out)
@@ -310,23 +389,48 @@ impl Qr {
                 actual: b.len(),
             });
         }
-        let mut y = b.to_vec();
-        self.apply_qt(&mut y);
-        // Back substitution on R x = y[..k].
-        let tol = self.singularity_tolerance();
         let mut x = vec![0.0; k];
+        let mut work = Vec::new();
+        self.solve_into(b, &mut work, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Qr::solve`] with caller-provided scratch (`work`) and output (`x`)
+    /// buffers, for repeated solves against one factorisation without
+    /// per-call allocation. Both buffers are resized as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qr::solve`].
+    #[allow(clippy::needless_range_loop)] // indexing mirrors the maths
+    pub fn solve_into(&self, b: &[f64], work: &mut Vec<f64>, x: &mut Vec<f64>) -> Result<()> {
+        let (n, k) = (self.packed.rows(), self.packed.cols());
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "Qr::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        work.clear();
+        work.extend_from_slice(b);
+        self.apply_qt(work);
+        // Back substitution on R x = work[..k].
+        let tol = self.singularity_tolerance();
+        x.clear();
+        x.resize(k, 0.0);
         for j in (0..k).rev() {
             let d = self.packed.get(j, j);
             if d.abs() <= tol {
                 return Err(StatsError::Singular);
             }
-            let mut s = y[j];
+            let mut s = work[j];
             for c in (j + 1)..k {
                 s -= self.packed.get(j, c) * x[c];
             }
             x[j] = s / d;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Computes `(XᵀX)⁻¹ = R⁻¹ R⁻ᵀ` — the unscaled covariance of OLS
@@ -355,7 +459,21 @@ impl Qr {
                 rinv.set(i, j, -s / self.packed.get(i, i));
             }
         }
-        rinv.matmul(&rinv.transpose())
+        // R⁻¹ R⁻ᵀ without materialising the transpose: the (i, j) entry is
+        // the dot product of rows i and j of R⁻¹, which are zero below the
+        // diagonal.
+        let mut out = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in i..k {
+                let mut s = 0.0;
+                for l in j..k {
+                    s += rinv.get(i, l) * rinv.get(j, l);
+                }
+                out.set(i, j, s);
+                out.set(j, i, s);
+            }
+        }
+        Ok(out)
     }
 
     fn singularity_tolerance(&self) -> f64 {
@@ -541,6 +659,80 @@ mod tests {
         for d in qr.r_diag() {
             assert!(d.abs() > 1e-9);
         }
+    }
+
+    fn counting_matrix(rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, (r * cols + c) as f64 * 0.37 - 3.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = counting_matrix(5, 3);
+        for c in 0..3 {
+            assert_eq!(m.col_iter(c).collect::<Vec<_>>(), m.col(c));
+            assert_eq!(m.col_iter(c).len(), 5);
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_and_matmul_beyond_block_size() {
+        // 70 > BLOCK exercises partial edge tiles.
+        let a = counting_matrix(70, 41);
+        let t = a.transpose();
+        for r in 0..70 {
+            for c in 0..41 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+        let b = counting_matrix(41, 35);
+        let fast = a.matmul(&b).unwrap();
+        // Naive reference product.
+        for r in (0..70).step_by(13) {
+            for c in (0..35).step_by(7) {
+                let want: f64 = (0..41).map(|k| a.get(r, k) * b.get(k, c)).sum();
+                assert!(approx(fast.get(r, c), want, 1e-9 * want.abs().max(1.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn xtx_xty_match_explicit_transpose_products() {
+        let a = counting_matrix(40, 7);
+        let xtx = a.xtx();
+        let want = a.transpose().matmul(&a).unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert!(approx(xtx.get(i, j), want.get(i, j), 1e-9));
+            }
+        }
+        let y: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let xty = a.xty(&y).unwrap();
+        let want = a.transpose().matvec(&y).unwrap();
+        for (got, want) in xty.iter().zip(&want) {
+            assert!(approx(*got, *want, 1e-9));
+        }
+        assert!(a.xty(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let mut work = Vec::new();
+        let mut x = Vec::new();
+        qr.solve_into(&[1.0, 2.0, 3.0], &mut work, &mut x).unwrap();
+        assert!(approx(x[0], 1.0, 1e-9));
+        assert!(approx(x[1], 2.0, 1e-9));
+        qr.solve_into(&[2.0, 4.0, 6.0], &mut work, &mut x).unwrap();
+        assert!(approx(x[0], 2.0, 1e-9));
+        assert!(approx(x[1], 4.0, 1e-9));
+        assert!(qr.solve_into(&[1.0], &mut work, &mut x).is_err());
     }
 
     #[test]

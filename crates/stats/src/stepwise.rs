@@ -10,6 +10,23 @@
 //! candidates to the selection process" — callers provide one
 //! [`Candidate`] per variant.
 //!
+//! # Performance model
+//!
+//! The paper's error regression scans thousands of candidates (every PMC
+//! event and gem5 statistic, as totals and rates). [`forward_select`]
+//! therefore evaluates candidates against a shared **Gram matrix**: every
+//! candidate column is centred and unit-normalised once (the intercept is
+//! projected out analytically), cross-products with the already-selected
+//! columns are maintained incrementally, and each candidate is scored by a
+//! bordered-Cholesky solve of its (s+1)×(s+1) correlation Gram — O(s³) per
+//! candidate instead of a fresh O(n·s²) QR factorisation. The scan is fanned
+//! across [`crate::threads::worker_threads`] workers with deterministic
+//! reduction order. Each step's *winner* is then refitted through the full
+//! QR path ([`Ols::fit`]), so the returned model, R² trajectory and
+//! stopping decisions are computed exactly as in the reference
+//! implementation; debug builds additionally assert each step's choice
+//! against [`forward_select_reference`].
+//!
 //! # Examples
 //!
 //! ```
@@ -25,7 +42,9 @@
 //! assert_eq!(sel.selected_names(), vec!["signal"]);
 //! ```
 
+use crate::dist::student_t_sf2;
 use crate::regress::Ols;
+use crate::threads::parallel_map;
 use crate::{Result, StatsError};
 
 /// A named candidate predictor column.
@@ -90,21 +109,8 @@ impl Selection {
     }
 }
 
-/// Runs forward selection of `candidates` against the response `y`.
-///
-/// # Errors
-///
-/// * [`StatsError::InvalidArgument`] — no candidates, or candidate columns of
-///   the wrong length.
-/// * [`StatsError::NotEnoughData`] — fewer than 4 observations.
-/// * Errors from the underlying OLS fits are skipped per-candidate
-///   (a collinear candidate simply cannot be selected); if *no* candidate can
-///   be fitted on the first step the last error is returned.
-pub fn forward_select(
-    candidates: &[Candidate],
-    y: &[f64],
-    opts: &StepwiseOptions,
-) -> Result<Selection> {
+/// Shared input validation for both selection paths.
+fn validate_inputs(candidates: &[Candidate], y: &[f64]) -> Result<usize> {
     if candidates.is_empty() {
         return Err(StatsError::InvalidArgument(
             "forward_select: no candidates supplied",
@@ -126,11 +132,339 @@ pub fn forward_select(
             });
         }
     }
+    Ok(n)
+}
 
+/// One reference scan step: fit every unselected candidate on top of the
+/// current selection with a fresh QR and pick the best significant R².
+fn scan_step_qr(
+    candidates: &[Candidate],
+    y: &[f64],
+    selected: &[usize],
+    opts: &StepwiseOptions,
+) -> (Option<(usize, Ols)>, bool, Option<StatsError>) {
+    let n = y.len();
+    let mut best_step: Option<(usize, Ols)> = None;
+    let mut any_fit = false;
+    let mut last_err: Option<StatsError> = None;
+    for ci in 0..candidates.len() {
+        if selected.contains(&ci) {
+            continue;
+        }
+        let cols: Vec<usize> = selected.iter().copied().chain([ci]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|row| cols.iter().map(|&c| candidates[c].values[row]).collect())
+            .collect();
+        let names: Vec<String> = cols.iter().map(|&c| candidates[c].name.clone()).collect();
+        match Ols::fit(&x, y, &names) {
+            Ok(fit) => {
+                any_fit = true;
+                if let Some(pmax) = fit.max_predictor_p_value() {
+                    if pmax > opts.p_threshold {
+                        continue;
+                    }
+                }
+                let better = match &best_step {
+                    None => true,
+                    Some((_, b)) => fit.r_squared > b.r_squared,
+                };
+                if better {
+                    best_step = Some((ci, fit));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    (best_step, any_fit, last_err)
+}
+
+/// Refits the current selection plus candidate `ci` through the full QR
+/// path.
+fn fit_subset(candidates: &[Candidate], y: &[f64], selected: &[usize], ci: usize) -> Result<Ols> {
+    let n = y.len();
+    let cols: Vec<usize> = selected.iter().copied().chain([ci]).collect();
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|row| cols.iter().map(|&c| candidates[c].values[row]).collect())
+        .collect();
+    let names: Vec<String> = cols.iter().map(|&c| candidates[c].name.clone()).collect();
+    Ols::fit(&x, y, &names)
+}
+
+/// Per-candidate state shared across every step of the fast scan.
+enum CandState {
+    /// Centred, unit-normalised column and its correlation with centred y.
+    Usable { u: Vec<f64>, ry: f64 },
+    /// Zero variance: collinear with the intercept.
+    Constant,
+    /// Contains NaN/±inf.
+    NonFinite,
+}
+
+/// Outcome of scoring one candidate against the Gram state.
+struct StepEval {
+    r2: f64,
+    max_p: f64,
+}
+
+/// A Cholesky pivot at or below this value (on the unit-diagonal correlation
+/// Gram, so pivots live in [0, 1]) marks the candidate as numerically
+/// collinear with the selected set.
+const GRAM_PIVOT_TOL: f64 = 1e-12;
+
+/// Below this many candidates the scan/update loops run serially — thread
+/// fan-out costs more than the work itself.
+const PAR_MIN_CANDIDATES: usize = 64;
+
+/// `parallel_map` with a small-problem serial shortcut.
+fn map_candidates<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
+    if items.len() < PAR_MIN_CANDIDATES {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    } else {
+        parallel_map(items, f)
+    }
+}
+
+/// Incrementally-maintained Gram state of the fast scan.
+struct GramScan {
+    /// Per-candidate standardised columns (index-aligned with `candidates`).
+    cand: Vec<CandState>,
+    /// Centred sum of squares of y.
+    syy: f64,
+    /// Gram matrix of the selected standardised columns, in selection order.
+    sel_gram: Vec<Vec<f64>>,
+    /// `uᵀ·yc` of the selected columns, in selection order.
+    sel_ry: Vec<f64>,
+    /// `crosses[j][p]` = dot of candidate j with the p-th selected column.
+    crosses: Vec<Vec<f64>>,
+}
+
+impl GramScan {
+    fn new(candidates: &[Candidate], y: &[f64]) -> GramScan {
+        let n = y.len();
+        let ybar = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - ybar).collect();
+        let mut syy = 0.0;
+        for v in &yc {
+            syy += v * v;
+        }
+        let cand = map_candidates(candidates, |_, c| {
+            if c.values.iter().any(|v| !v.is_finite()) {
+                return CandState::NonFinite;
+            }
+            let mean = c.values.iter().sum::<f64>() / n as f64;
+            let mut ss = 0.0;
+            for v in &c.values {
+                let d = v - mean;
+                ss += d * d;
+            }
+            if ss <= 0.0 {
+                return CandState::Constant;
+            }
+            let norm = ss.sqrt();
+            let u: Vec<f64> = c.values.iter().map(|v| (v - mean) / norm).collect();
+            let mut ry = 0.0;
+            for (uv, yv) in u.iter().zip(&yc) {
+                ry += uv * yv;
+            }
+            CandState::Usable { u, ry }
+        });
+        GramScan {
+            crosses: vec![Vec::new(); cand.len()],
+            cand,
+            syy,
+            sel_gram: Vec::new(),
+            sel_ry: Vec::new(),
+        }
+    }
+
+    /// Scores candidate `j` on top of the current selection: R² and the
+    /// largest predictor *p*-value of the would-be model, computed from the
+    /// Gram state alone (no O(n) work).
+    ///
+    /// Centring removes the intercept and unit-normalising every column
+    /// makes the Gram a correlation matrix, whose conditioning matches the
+    /// QR reference closely; predictor *t*/*p*-values are scale-invariant,
+    /// so they equal the reference values up to rounding.
+    fn eval(&self, j: usize, n: usize) -> Result<StepEval> {
+        let (ry_j, cross_j) = match &self.cand[j] {
+            CandState::Usable { ry, .. } => (*ry, &self.crosses[j]),
+            CandState::Constant => return Err(StatsError::Singular),
+            CandState::NonFinite => {
+                return Err(StatsError::InvalidArgument(
+                    "Ols::fit: non-finite predictor value",
+                ))
+            }
+        };
+        let s = self.sel_ry.len();
+        let m = s + 1;
+        // Bordered correlation Gram of [selected..., candidate j] and the
+        // matching right-hand side uᵀ·yc.
+        let mut a = vec![0.0; m * m];
+        for p in 0..s {
+            for q in 0..s {
+                a[p * m + q] = self.sel_gram[p][q];
+            }
+            a[p * m + s] = cross_j[p];
+            a[s * m + p] = cross_j[p];
+        }
+        a[s * m + s] = 1.0;
+        let mut b = Vec::with_capacity(m);
+        b.extend_from_slice(&self.sel_ry);
+        b.push(ry_j);
+
+        // In-place Cholesky A = L·Lᵀ (lower triangle of `a`).
+        for i in 0..m {
+            for k in 0..i {
+                let mut sum = a[i * m + k];
+                for t in 0..k {
+                    sum -= a[i * m + t] * a[k * m + t];
+                }
+                a[i * m + k] = sum / a[k * m + k];
+            }
+            let mut piv = a[i * m + i];
+            for t in 0..i {
+                piv -= a[i * m + t] * a[i * m + t];
+            }
+            if piv <= GRAM_PIVOT_TOL {
+                return Err(StatsError::Singular);
+            }
+            a[i * m + i] = piv.sqrt();
+        }
+        // Forward solve L·z = b; the explained sum of squares is ‖z‖².
+        let mut z = b;
+        for i in 0..m {
+            let mut sum = z[i];
+            for t in 0..i {
+                sum -= a[i * m + t] * z[t];
+            }
+            z[i] = sum / a[i * m + i];
+        }
+        let explained: f64 = z.iter().map(|v| v * v).sum();
+        // Back solve Lᵀ·beta = z → standardised coefficients.
+        let mut beta = z;
+        for i in (0..m).rev() {
+            let mut sum = beta[i];
+            for t in (i + 1)..m {
+                sum -= a[t * m + i] * beta[t];
+            }
+            beta[i] = sum / a[i * m + i];
+        }
+        // diag(A⁻¹) via the columns of L⁻¹.
+        let mut diag = vec![0.0; m];
+        let mut col = vec![0.0; m];
+        for (w, d) in diag.iter_mut().enumerate() {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = if i == w { 1.0 } else { 0.0 };
+            }
+            for i in w..m {
+                let mut sum = col[i];
+                for t in w..i {
+                    sum -= a[i * m + t] * col[t];
+                }
+                col[i] = sum / a[i * m + i];
+            }
+            *d = col[w..].iter().map(|v| v * v).sum();
+        }
+
+        let rss = (self.syy - explained).max(0.0);
+        let r2 = if self.syy > 0.0 {
+            (1.0 - rss / self.syy).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let df = (n - m - 1) as f64;
+        let sigma2 = rss / df;
+        // Predictor t/p-values exactly as Ols computes them (they are
+        // invariant under the centring/scaling applied here).
+        let mut max_p = f64::NEG_INFINITY;
+        for w in 0..m {
+            let se = (sigma2 * diag[w]).max(0.0).sqrt();
+            let t = if se > 0.0 { beta[w] / se } else { f64::INFINITY };
+            let p = student_t_sf2(t, df).unwrap_or(f64::NAN);
+            max_p = max_p.max(p);
+        }
+        Ok(StepEval { r2, max_p })
+    }
+
+    /// Folds the accepted candidate `w` into the selected-set Gram state and
+    /// extends every candidate's cross-product vector — the only O(n·p)
+    /// work per accepted step.
+    fn accept(&mut self, w: usize) {
+        let uw = match &self.cand[w] {
+            CandState::Usable { u, .. } => u.clone(),
+            _ => unreachable!("accepted candidate must be usable"),
+        };
+        let dots = map_candidates(&self.cand, |_, st| match st {
+            CandState::Usable { u, .. } => u.iter().zip(&uw).map(|(a, b)| a * b).sum(),
+            _ => 0.0,
+        });
+        let s = self.sel_ry.len();
+        let mut new_row = Vec::with_capacity(s + 1);
+        for (p, row) in self.sel_gram.iter_mut().enumerate() {
+            row.push(self.crosses[w][p]);
+            new_row.push(self.crosses[w][p]);
+        }
+        new_row.push(1.0);
+        self.sel_gram.push(new_row);
+        if let CandState::Usable { ry, .. } = &self.cand[w] {
+            self.sel_ry.push(*ry);
+        }
+        for (j, d) in dots.into_iter().enumerate() {
+            self.crosses[j].push(d);
+        }
+    }
+}
+
+/// Runs forward selection of `candidates` against the response `y`.
+///
+/// Candidates are scored through the shared Gram state (see the module
+/// docs); each accepted term is refitted through [`Ols::fit`], so the
+/// returned model and R² path match [`forward_select_reference`]
+/// bit-for-bit whenever both paths choose the same candidates (debug builds
+/// assert that they do).
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidArgument`] — no candidates, or candidate columns of
+///   the wrong length.
+/// * [`StatsError::NotEnoughData`] — fewer than 4 observations.
+/// * Errors from the underlying fits are skipped per-candidate
+///   (a collinear candidate simply cannot be selected); if *no* candidate can
+///   be fitted on the first step the last error is returned.
+pub fn forward_select(
+    candidates: &[Candidate],
+    y: &[f64],
+    opts: &StepwiseOptions,
+) -> Result<Selection> {
+    let n = validate_inputs(candidates, y)?;
+    if y.iter().any(|v| !v.is_finite()) {
+        // The reference path surfaces the error of the last candidate it
+        // tried; with a non-finite response every fit fails, on the
+        // predictor check when that candidate is itself non-finite and on
+        // the response check otherwise.
+        let last_nonfinite = candidates
+            .last()
+            .is_some_and(|c| c.values.iter().any(|v| !v.is_finite()));
+        return Err(StatsError::InvalidArgument(if last_nonfinite {
+            "Ols::fit: non-finite predictor value"
+        } else {
+            "Ols::fit: non-finite response value"
+        }));
+    }
+
+    let mut gram = GramScan::new(candidates, y);
+    if gram.syy == 0.0 {
+        // A constant response makes every fit's t statistics pure rounding
+        // noise in the QR path; the exact-zero Gram arithmetic cannot
+        // reproduce that noise, so defer the degenerate case wholesale.
+        return forward_select_reference(candidates, y, opts);
+    }
+    let mut excluded = vec![false; candidates.len()];
     let mut selected: Vec<usize> = Vec::new();
     let mut best_model: Option<Ols> = None;
     let mut r2_path = Vec::new();
     let mut last_err: Option<StatsError> = None;
+    let mut any_fit = false;
 
     loop {
         if opts.max_terms > 0 && selected.len() >= opts.max_terms {
@@ -144,36 +478,139 @@ pub fn forward_select(
 
         // Among all candidates, pick the best-R² one whose fit keeps every
         // term significant (the paper's rule: stop only when *no* addition
-        // leaves all p-values below the threshold).
-        let mut best_step: Option<(usize, Ols)> = None;
-        let mut any_fit = false;
-        for ci in 0..candidates.len() {
-            if selected.contains(&ci) {
-                continue;
+        // leaves all p-values below the threshold). The scan fans out across
+        // worker threads; the reduction below walks results in candidate
+        // order, so the outcome is identical to a serial scan.
+        let excluded_ref = &excluded;
+        let gram_ref = &gram;
+        let evals = map_candidates(candidates, |j, _| {
+            if excluded_ref[j] {
+                None
+            } else {
+                Some(gram_ref.eval(j, n))
             }
-            let cols: Vec<usize> = selected.iter().copied().chain([ci]).collect();
-            let x: Vec<Vec<f64>> = (0..n)
-                .map(|row| cols.iter().map(|&c| candidates[c].values[row]).collect())
-                .collect();
-            let names: Vec<String> = cols.iter().map(|&c| candidates[c].name.clone()).collect();
-            match Ols::fit(&x, y, &names) {
-                Ok(fit) => {
+        });
+        let mut best_step: Option<(usize, f64)> = None;
+        for (j, ev) in evals.into_iter().enumerate() {
+            match ev {
+                None => {}
+                Some(Err(e)) => last_err = Some(e),
+                Some(Ok(ev)) => {
                     any_fit = true;
-                    if let Some(pmax) = fit.max_predictor_p_value() {
-                        if pmax > opts.p_threshold {
-                            continue;
-                        }
+                    if ev.max_p > opts.p_threshold {
+                        continue;
                     }
-                    let better = match &best_step {
+                    let better = match best_step {
                         None => true,
-                        Some((_, b)) => fit.r_squared > b.r_squared,
+                        Some((_, best_r2)) => ev.r2 > best_r2,
                     };
                     if better {
-                        best_step = Some((ci, fit));
+                        best_step = Some((j, ev.r2));
                     }
                 }
-                Err(e) => last_err = Some(e),
             }
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let (ref_best, _, _) = scan_step_qr(candidates, y, &selected, opts);
+            debug_assert_eq!(
+                best_step.map(|(ci, _)| ci),
+                ref_best.map(|(ci, _)| ci),
+                "Gram scan disagrees with the QR reference at step {}",
+                selected.len()
+            );
+        }
+
+        let Some((ci, _)) = best_step else {
+            if best_model.is_none() && !any_fit {
+                return Err(last_err.unwrap_or(StatsError::Singular));
+            }
+            break;
+        };
+
+        // Refit the winner through the full QR path: the recorded model and
+        // R² trajectory are exactly the reference implementation's values.
+        let fit = match fit_subset(candidates, y, &selected, ci) {
+            Ok(fit) => fit,
+            Err(e) => {
+                // Numerical disagreement between the Gram score and the QR
+                // refit (borderline collinearity): drop the candidate, as
+                // the reference scan would have.
+                last_err = Some(e);
+                excluded[ci] = true;
+                continue;
+            }
+        };
+
+        // Acceptance rule: meaningful R² gain.
+        if fit.r_squared - current_r2 < opts.min_r2_gain {
+            break;
+        }
+        selected.push(ci);
+        excluded[ci] = true;
+        r2_path.push(fit.r_squared);
+        best_model = Some(fit);
+        gram.accept(ci);
+        if selected.len() == candidates.len() {
+            break;
+        }
+    }
+
+    let model = match best_model {
+        Some(m) => m,
+        // Nothing selected: fall back to the intercept-only model.
+        None => Ols::fit(&vec![vec![]; n], y, &[])?,
+    };
+    let names = selected
+        .iter()
+        .map(|&i| candidates[i].name.clone())
+        .collect();
+    Ok(Selection {
+        selected,
+        names,
+        model,
+        r2_path,
+    })
+}
+
+/// The from-scratch reference implementation of forward selection: every
+/// candidate at every step is evaluated with a fresh full QR fit.
+///
+/// Retained for property tests, benchmarks and the per-step debug
+/// assertion inside [`forward_select`]; both functions implement the same
+/// selection rule and agree exactly on tie-free data.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_select`].
+pub fn forward_select_reference(
+    candidates: &[Candidate],
+    y: &[f64],
+    opts: &StepwiseOptions,
+) -> Result<Selection> {
+    let n = validate_inputs(candidates, y)?;
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_model: Option<Ols> = None;
+    let mut r2_path = Vec::new();
+    let mut last_err: Option<StatsError> = None;
+    let mut any_fit = false;
+
+    loop {
+        if opts.max_terms > 0 && selected.len() >= opts.max_terms {
+            break;
+        }
+        // Out of residual degrees of freedom?
+        if n < selected.len() + 3 {
+            break;
+        }
+        let current_r2 = best_model.as_ref().map_or(0.0, |m| m.r_squared);
+
+        let (best_step, step_any_fit, step_err) = scan_step_qr(candidates, y, &selected, opts);
+        any_fit |= step_any_fit;
+        if let Some(e) = step_err {
+            last_err = Some(e);
         }
 
         let Some((ci, fit)) = best_step else {
@@ -334,5 +771,68 @@ mod tests {
         // None path, which errors because no candidate ever fit.
         let r = forward_select(&c, &y, &StepwiseOptions::default());
         assert!(r.is_err());
+        assert!(forward_select_reference(&c, &y, &StepwiseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nonfinite_inputs_error_like_reference() {
+        let y = vec![1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let c = vec![Candidate::new("x", vec![1.0, 2.0, 3.0, 4.0, 5.0])];
+        assert_eq!(
+            forward_select(&c, &y, &StepwiseOptions::default()).unwrap_err(),
+            forward_select_reference(&c, &y, &StepwiseOptions::default()).unwrap_err()
+        );
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let c = vec![Candidate::new("x", vec![1.0, f64::INFINITY, 3.0, 4.0, 5.0])];
+        assert_eq!(
+            forward_select(&c, &y, &StepwiseOptions::default()).unwrap_err(),
+            forward_select_reference(&c, &y, &StepwiseOptions::default()).unwrap_err()
+        );
+    }
+
+    /// The structural equivalence check behind the whole fast path: same
+    /// selection, same order, same (bit-identical) model.
+    #[test]
+    fn fast_path_matches_reference_selection_and_model() {
+        for (extra, max_terms) in [(0usize, 0usize), (7, 0), (7, 1), (19, 3)] {
+            let (mut cands, y) = dataset();
+            let n = y.len();
+            for e in 0..extra {
+                cands.push(Candidate::new(
+                    format!("extra{e}"),
+                    (0..n).map(|i| noise(i + 10_000 + e * 777) * 6.0).collect(),
+                ));
+            }
+            let opts = StepwiseOptions {
+                max_terms,
+                ..StepwiseOptions::default()
+            };
+            let fast = forward_select(&cands, &y, &opts).unwrap();
+            let slow = forward_select_reference(&cands, &y, &opts).unwrap();
+            assert_eq!(fast.selected, slow.selected, "extra={extra}");
+            assert_eq!(fast.selected_names(), slow.selected_names());
+            assert_eq!(fast.r2_path, slow.r2_path);
+            assert_eq!(fast.model.coefficients, slow.model.coefficients);
+            assert_eq!(fast.model.r_squared, slow.model.r_squared);
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_constant_response() {
+        // Constant y: every candidate fits perfectly (r² = 1 by convention),
+        // both paths must agree.
+        let y = vec![5.0; 12];
+        let cands: Vec<Candidate> = (0..3)
+            .map(|c| {
+                Candidate::new(
+                    format!("x{c}"),
+                    (0..12).map(|i| noise(i + c * 97)).collect(),
+                )
+            })
+            .collect();
+        let fast = forward_select(&cands, &y, &StepwiseOptions::default()).unwrap();
+        let slow = forward_select_reference(&cands, &y, &StepwiseOptions::default()).unwrap();
+        assert_eq!(fast.selected, slow.selected);
+        assert_eq!(fast.model.coefficients, slow.model.coefficients);
     }
 }

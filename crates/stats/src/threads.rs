@@ -1,0 +1,125 @@
+//! The shared worker-thread knob used by every parallel layer in GemStone.
+//!
+//! All fan-out sites — `powmon::dataset::collect`, the correlation sweeps,
+//! the stepwise candidate scan and the concurrent pipeline stages — consult
+//! one resolver so a single setting controls parallelism everywhere:
+//!
+//! 1. a programmatic override installed with [`set_worker_threads`];
+//! 2. the `GEMSTONE_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`] (fallback: 4).
+//!
+//! Thread count never changes results: every parallel helper in this crate
+//! partitions work deterministically and writes into pre-assigned slots, so
+//! output is identical for any worker count (including 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_stats::threads::{parallel_map, worker_threads};
+//!
+//! assert!(worker_threads() >= 1);
+//! let squares = parallel_map(&[1, 2, 3], |_, v| v * v);
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `GEMSTONE_THREADS` parse (the environment is read once).
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("GEMSTONE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Resolves the worker-thread count: override > `GEMSTONE_THREADS` > number
+/// of available cores (4 when that cannot be determined). Always ≥ 1.
+pub fn worker_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Installs (or, with `n = 0`, clears) a process-wide thread-count override
+/// that takes precedence over `GEMSTONE_THREADS`.
+pub fn set_worker_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Applies `f(index, item)` to every item, fanning the work across
+/// [`worker_threads`] scoped threads. Items are split into contiguous chunks
+/// with one pre-assigned output slot each, so the result order (and every
+/// value in it) is independent of the worker count.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = worker_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                for (k, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + k, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("parallel_map: worker left a slot unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The override is process-global, so every assertion that touches it
+    // lives in this single test to avoid races with the parallel test
+    // runner.
+    #[test]
+    fn override_and_resolution() {
+        assert!(worker_threads() >= 1);
+        set_worker_threads(3);
+        assert_eq!(worker_threads(), 3);
+        set_worker_threads(0);
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_in_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let serial: Vec<usize> = items.iter().enumerate().map(|(i, v)| i * 7 + v).collect();
+        assert_eq!(parallel_map(&items, |i, v| i * 7 + v), serial);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, |_, v| *v).is_empty());
+        assert_eq!(parallel_map(&[5], |i, v| i as i32 + v), vec![5]);
+    }
+}

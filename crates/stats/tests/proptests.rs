@@ -1,12 +1,25 @@
 //! Property-based tests for the statistics toolkit.
 
 use gemstone_stats::cluster::{standardize, Hca, Linkage, Metric};
-use gemstone_stats::corr::{pearson, spearman};
+use gemstone_stats::corr::{pearson, pearson_sweep, spearman, spearman_sweep};
 use gemstone_stats::dist::{inc_beta, student_t_cdf, student_t_sf2};
 use gemstone_stats::matrix::{lstsq, Matrix};
 use gemstone_stats::metrics::{mae, mape, mpe, rmse};
 use gemstone_stats::regress::Ols;
+use gemstone_stats::stepwise::{
+    forward_select, forward_select_reference, Candidate, StepwiseOptions,
+};
 use proptest::prelude::*;
+
+/// Deterministic hash noise in (−0.5, 0.5), used to jitter generated inputs
+/// away from exact ties without hiding structural disagreements.
+fn hash_noise(i: usize, j: usize) -> f64 {
+    let h = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let h = (h ^ (h >> 31)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    ((h >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+}
 
 /// A strategy for "nice" finite floats that keep the numerics well away from
 /// overflow while still exercising sign and magnitude variation.
@@ -199,6 +212,101 @@ proptest! {
             let hca = Hca::new(&rows, Metric::Euclidean, linkage).unwrap();
             prop_assert_eq!(hca.merges().len(), rows.len() - 1);
             prop_assert_eq!(hca.merges().last().unwrap().size, rows.len());
+        }
+    }
+
+    #[test]
+    fn stepwise_fast_matches_reference(
+        seed_rows in prop::collection::vec(prop::collection::vec(-10.0_f64..10.0, 6), 12..32),
+        c0 in -5.0_f64..5.0,
+        c1 in -5.0_f64..5.0,
+    ) {
+        let cands: Vec<Candidate> = (0..6)
+            .map(|j| {
+                Candidate::new(
+                    format!("c{j}"),
+                    seed_rows.iter().map(|r| r[j]).collect(),
+                )
+            })
+            .collect();
+        let y: Vec<f64> = seed_rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| c0 * r[0] + c1 * r[1] + (i % 7) as f64 * 0.3)
+            .collect();
+        let opts = StepwiseOptions::default();
+        match (
+            forward_select(&cands, &y, &opts),
+            forward_select_reference(&cands, &y, &opts),
+        ) {
+            (Ok(fast), Ok(slow)) => {
+                // Same candidates, in the same order, and the winner refit
+                // makes the recorded model/path bit-identical.
+                prop_assert_eq!(&fast.selected, &slow.selected);
+                prop_assert_eq!(&fast.r2_path, &slow.r2_path);
+                prop_assert_eq!(fast.model.coefficients.len(), slow.model.coefficients.len());
+                for (a, b) in fast.model.coefficients.iter().zip(&slow.model.coefficients) {
+                    prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "paths disagree on success: fast ok = {}, reference ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn hca_chain_matches_naive_reference(
+        rows in prop::collection::vec(prop::collection::vec(-10.0_f64..10.0, 4), 4..20),
+    ) {
+        // Jitter breaks exact distance ties — the one case where the two
+        // (both correct) agglomeration orders may legitimately differ.
+        let jittered: Vec<Vec<f64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, v)| v + 1e-6 * hash_noise(i, j))
+                    .collect()
+            })
+            .collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let fast = Hca::new(&jittered, Metric::Euclidean, linkage).unwrap();
+            let slow = Hca::new_reference(&jittered, Metric::Euclidean, linkage).unwrap();
+            prop_assert_eq!(fast.merges().len(), slow.merges().len());
+            for (a, b) in fast.merges().iter().zip(slow.merges()) {
+                prop_assert_eq!((a.a, a.b, a.size), (b.a, b.b, b.size));
+                prop_assert!(
+                    (a.height - b.height).abs() <= 1e-9 * b.height.abs().max(1.0),
+                    "height {} vs {}",
+                    a.height,
+                    b.height
+                );
+            }
+            // Every flat cut agrees too.
+            for k in 1..=jittered.len() {
+                prop_assert_eq!(fast.cut_k(k).unwrap(), slow.cut_k(k).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_sweeps_match_pairwise_bitwise(
+        cols in prop::collection::vec(prop::collection::vec(-100.0_f64..100.0, 8), 1..12),
+        y in prop::collection::vec(-100.0_f64..100.0, 8),
+    ) {
+        let ps = pearson_sweep(&cols, &y).unwrap();
+        for (c, &r) in cols.iter().zip(&ps) {
+            prop_assert_eq!(pearson(c, &y).unwrap().to_bits(), r.to_bits());
+        }
+        let ss = spearman_sweep(&cols, &y).unwrap();
+        for (c, &r) in cols.iter().zip(&ss) {
+            prop_assert_eq!(spearman(c, &y).unwrap().to_bits(), r.to_bits());
         }
     }
 

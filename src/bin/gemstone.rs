@@ -282,7 +282,9 @@ fn run_stats(args: &Args) -> ExitCode {
         "little" => Gem5Model::Ex5Little,
         _ => Gem5Model::Ex5BigOld,
     };
+    let t0 = std::time::Instant::now();
     let run = Gem5Sim::run(&spec.scaled(args.scale()), model, 1.0e9);
+    let sim_micros = t0.elapsed().as_micros() as u64;
     print!("{}", run.stats.to_stats_txt());
     // Execution-layer counters, in the same aligned `name value` style.
     // `Gem5Sim::run` consults the process-wide caches, so these reflect
@@ -297,6 +299,7 @@ fn run_stats(args: &Args) -> ExitCode {
         ("gemstone.tracecache.misses", traces.misses()),
         ("gemstone.tracecache.evictions", traces.evictions()),
         ("gemstone.tracecache.bytes", traces.bytes() as u64),
+        ("gemstone.sim.wall_micros", sim_micros),
     ] {
         println!("{name:<60} {value:>20}");
     }
