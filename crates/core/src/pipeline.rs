@@ -116,7 +116,12 @@ impl StageTimings {
 }
 
 /// Runs a closure and pairs its result with the elapsed wall-clock time.
-fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+/// When observability is enabled ([`gemstone_obs::enabled`]), the stage is
+/// also recorded as a `stage.<name>` span — nested under `pipeline.run` —
+/// so exported Chrome traces show the concurrent stages per thread. The
+/// name is only formatted when tracing is on.
+fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let _span = gemstone_obs::enabled().then(|| gemstone_obs::span::span(format!("stage.{name}")));
     let t0 = Instant::now();
     let v = f();
     (v, t0.elapsed())
@@ -179,13 +184,14 @@ impl GemStone {
     /// Propagates analysis errors; [`crate::GemStoneError::MissingData`]
     /// when a requested slice produced no data.
     pub fn run(&self) -> Result<GemStoneReport> {
+        let _run_span = gemstone_obs::span::span("pipeline.run");
         let o = &self.opts;
         let mut timings = StageTimings::default();
         // Boxes (a) and (b): characterise hardware, simulate gem5.
-        let (data, d) = timed(|| run_validation(&o.experiment));
+        let (data, d) = timed("experiment", || run_validation(&o.experiment));
         timings.push("experiment", d);
         // Box (f): collate.
-        let (collated, d) = timed(|| Collated::build(&data));
+        let (collated, d) = timed("collate", || Collated::build(&data));
         timings.push("collate", d);
         let collated = &collated;
 
@@ -194,19 +200,24 @@ impl GemStone {
         // surfaced — in the fixed order of the serial pipeline, keeping
         // output and error behaviour deterministic.
         let accesses = ((40_000.0 * o.experiment.workload_scale) as u64).max(5_000);
-        let run_summary = || timed(|| summary::analyse(collated));
+        let run_summary = || timed("summary", || summary::analyse(collated));
         let run_clusters = || {
-            timed(|| {
+            timed("hca_workloads", || {
                 hca_workloads::analyse(collated, o.analysis_model, o.analysis_freq_hz, o.clusters_k)
             })
         };
-        let run_pmc =
-            || timed(|| pmc_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, None));
+        let run_pmc = || {
+            timed("pmc_corr", || {
+                pmc_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, None)
+            })
+        };
         let run_g5corr = || {
-            timed(|| gem5_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok())
+            timed("gem5_corr", || {
+                gem5_corr::analyse(collated, o.analysis_model, o.analysis_freq_hz, 0.3).ok()
+            })
         };
         let run_reg_hw = || {
-            timed(|| {
+            timed("error_reg_hw", || {
                 error_regression::analyse(
                     collated,
                     o.analysis_model,
@@ -216,7 +227,7 @@ impl GemStone {
             })
         };
         let run_reg_g5 = || {
-            timed(|| {
+            timed("error_reg_gem5", || {
                 error_regression::analyse(
                     collated,
                     o.analysis_model,
@@ -226,7 +237,11 @@ impl GemStone {
             })
         };
         // Fig. 4 micro-benchmarks (independent of the collated data).
-        let run_latency = || timed(|| microbench::analyse(o.analysis_freq_hz, accesses));
+        let run_latency = || {
+            timed("microbench", || {
+                microbench::analyse(o.analysis_freq_hz, accesses)
+            })
+        };
 
         let (summary_t, clusters_t, pmc_t, g5corr_t, reg_hw_t, reg_g5_t, latency_t) =
             if worker_threads() > 1 {
@@ -275,7 +290,7 @@ impl GemStone {
         let reg_g5 = reg_g5_t.0?;
         let latency = latency_t.0;
 
-        let (cmp, d) = timed(|| {
+        let (cmp, d) = timed("event_compare", || {
             event_compare::analyse(
                 collated,
                 &clusters,
@@ -286,7 +301,7 @@ impl GemStone {
         });
         timings.push("event_compare", d);
         let cmp = cmp?;
-        let (diag, d) = timed(|| diagnose::diagnose(&cmp, Some(&latency)));
+        let (diag, d) = timed("diagnose", || diagnose::diagnose(&cmp, Some(&latency)));
         timings.push("diagnose", d);
 
         // §V: power models on the 65-workload set.
@@ -295,6 +310,7 @@ impl GemStone {
         let mut pe = None;
         let mut sc = None;
         if o.with_power {
+            let power_span = gemstone_obs::span::span("stage.power_models");
             let power_t0 = Instant::now();
             let specs: Vec<_> = suites::power_suite()
                 .iter()
@@ -334,10 +350,11 @@ impl GemStone {
                 power_quality.insert(name, q);
                 power_models.insert(name, pm);
             }
+            drop(power_span);
             timings.push("power_models", power_t0.elapsed());
             // §VI / Fig. 7.
             let a15_pm = &power_models[Cluster::BigA15.name()];
-            let (pe_r, d) = timed(|| {
+            let (pe_r, d) = timed("power_energy", || {
                 power_energy::analyse(
                     collated,
                     &clusters,
@@ -357,14 +374,16 @@ impl GemStone {
                 .filter(|m| *m != Gem5Model::Ex5BigOld)
                 .collect();
             if !scale_models.is_empty() {
-                let (sc_r, d) = timed(|| scaling::analyse(collated, &power_models, &scale_models));
+                let (sc_r, d) = timed("scaling", || {
+                    scaling::analyse(collated, &power_models, &scale_models)
+                });
                 timings.push("scaling", d);
                 sc = Some(sc_r?);
             }
         }
 
         // §VII.
-        let (imp, d) = timed(|| {
+        let (imp, d) = timed("improvement", || {
             improvement::analyse(
                 collated,
                 o.analysis_freq_hz,

@@ -1,0 +1,457 @@
+//! Exporters: Prometheus text format, Chrome trace-event JSON, and a
+//! JSONL stream.
+//!
+//! * [`prometheus`] renders a [`Registry`] snapshot as the Prometheus text
+//!   exposition format. Metric names are sanitised (`.` → `_`); the
+//!   canonical dotted name is preserved in the `# HELP` line.
+//! * [`chrome_trace`] renders span events as a Chrome trace-event JSON
+//!   document (`ph: "X"` complete events) loadable in `chrome://tracing`
+//!   or Perfetto; nesting falls out of per-thread timestamp containment.
+//! * [`jsonl`] renders one JSON object per line — spans first, then
+//!   metrics — for ad-hoc scripting (`jq`, pandas).
+//!
+//! The JSON is emitted by hand: this crate is deliberately
+//! dependency-free, and the two document shapes are flat enough that a
+//! serialisation framework would be the heavier option.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_obs::{export, Registry};
+//!
+//! let r = Registry::new();
+//! r.counter("simcache.hits").add(7);
+//! let text = export::prometheus(&r);
+//! assert!(text.contains("simcache_hits 7"));
+//! assert!(text.contains("simcache.hits")); // canonical name in HELP
+//! ```
+
+use crate::registry::{MetricValue, Registry};
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// Maps a dotted metric name onto the Prometheus charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes `s` as the body of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number. JSON has no Inf/NaN literal, so
+/// non-finite values (which no exported metric should produce) become
+/// `null` rather than corrupting the document.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders every metric in `registry` in the Prometheus text exposition
+/// format. Names are unique: the registry is keyed by name per kind, and
+/// histogram series get `_bucket`/`_sum`/`_count` suffixes.
+pub fn prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for sample in registry.snapshot() {
+        let name = sanitize(&sample.name);
+        match sample.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# HELP {name} {}", sample.name);
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# HELP {name} {}", sample.name);
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram {
+                bounds,
+                buckets,
+                sum,
+                count,
+            } => {
+                let _ = writeln!(out, "# HELP {name} {}", sample.name);
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (b, c) in bounds.iter().zip(&buckets) {
+                    cumulative += c;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                }
+                cumulative += buckets.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {sum}");
+                let _ = writeln!(out, "{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+fn span_json(ev: &SpanEvent) -> String {
+    let cat = ev.name.split('.').next().unwrap_or("span");
+    format!(
+        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+         \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"depth\": {}}}}}",
+        json_escape(&ev.name),
+        json_escape(cat),
+        ev.start_us,
+        ev.dur_us,
+        ev.tid,
+        ev.depth
+    )
+}
+
+/// Renders span events as a Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&span_json(ev));
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(
+        "  ],\n  \"displayTimeUnit\": \"ms\",\n  \
+         \"otherData\": {\"producer\": \"gemstone-obs\"}\n}\n",
+    );
+    out
+}
+
+/// Renders spans and metrics as one JSON object per line.
+pub fn jsonl(registry: &Registry, events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = writeln!(
+            out,
+            "{{\"type\": \"span\", \"name\": \"{}\", \"tid\": {}, \
+             \"start_us\": {}, \"dur_us\": {}, \"depth\": {}}}",
+            json_escape(&ev.name),
+            ev.tid,
+            ev.start_us,
+            ev.dur_us,
+            ev.depth
+        );
+    }
+    for sample in registry.snapshot() {
+        let name = json_escape(&sample.name);
+        let _ = match sample.value {
+            MetricValue::Counter(v) => {
+                writeln!(
+                    out,
+                    "{{\"type\": \"counter\", \"name\": \"{name}\", \"value\": {v}}}"
+                )
+            }
+            MetricValue::Gauge(v) => writeln!(
+                out,
+                "{{\"type\": \"gauge\", \"name\": \"{name}\", \"value\": {}}}",
+                json_f64(v)
+            ),
+            MetricValue::Histogram {
+                bounds,
+                buckets,
+                sum,
+                count,
+            } => {
+                let bounds: Vec<String> = bounds.iter().map(|b| json_f64(*b)).collect();
+                let buckets: Vec<String> = buckets.iter().map(|c| c.to_string()).collect();
+                writeln!(
+                    out,
+                    "{{\"type\": \"histogram\", \"name\": \"{name}\", \
+                     \"bounds\": [{}], \"buckets\": [{}], \"sum\": {}, \"count\": {count}}}",
+                    bounds.join(", "),
+                    buckets.join(", "),
+                    json_f64(sum)
+                )
+            }
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    /// Minimal recursive-descent JSON syntax checker, so the exporters can
+    /// be validated without pulling a JSON crate into the tree.
+    mod json_check {
+        pub fn validate(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0usize;
+            skip_ws(b, &mut i);
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing garbage at byte {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while matches!(b.get(*i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, "true"),
+                Some(b'f') => literal(b, i, "false"),
+                Some(b'n') => literal(b, i, "null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at byte {i}")),
+            }
+        }
+
+        fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+            if b[*i..].starts_with(lit.as_bytes()) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {i}"))
+            }
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            while matches!(b.get(*i), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|_| ())
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // opening quote
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '['
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => {
+                        *i += 1;
+                        skip_ws(b, i);
+                    }
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad array at byte {i}: {other:?}")),
+                }
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // '{'
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                if b.get(*i) != Some(&b'"') {
+                    return Err(format!("expected key at byte {i}"));
+                }
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                skip_ws(b, i);
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => {
+                        *i += 1;
+                        skip_ws(b, i);
+                    }
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad object at byte {i}: {other:?}")),
+                }
+            }
+        }
+    }
+
+    fn assert_valid_json(text: &str) {
+        if let Err(e) = json_check::validate(text) {
+            panic!("invalid JSON ({e}):\n{text}");
+        }
+    }
+
+    /// Every integer following a `"key": ` occurrence, in document order.
+    fn nums(text: &str, key: &str) -> Vec<u64> {
+        let pat = format!("\"{key}\": ");
+        text.match_indices(pat.as_str())
+            .map(|(idx, m)| {
+                let digits: String = text[idx + m.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                digits.parse().expect("integer after key")
+            })
+            .collect()
+    }
+
+    fn demo_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("simcache.hits").add(42);
+        r.counter("trace_cache.misses").add(3);
+        r.gauge("trace_cache.bytes").set(1024.0);
+        let h = r.histogram("span.experiment.seconds", &[0.01, 1.0]);
+        h.observe(0.005);
+        h.observe(0.5);
+        h.observe(5.0);
+        r
+    }
+
+    fn demo_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: Cow::Borrowed("pipeline.run"),
+                tid: 1,
+                start_us: 0,
+                dur_us: 1_000,
+                depth: 0,
+            },
+            SpanEvent {
+                name: Cow::Borrowed("stage.experiment"),
+                tid: 1,
+                start_us: 100,
+                dur_us: 500,
+                depth: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn prometheus_lines_are_parseable_and_unique() {
+        let text = prometheus(&demo_registry());
+        let mut seen = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().expect("metric name");
+            let value = parts.next().expect("metric value");
+            assert_eq!(parts.next(), None, "extra tokens on {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value {line:?}");
+            assert!(seen.insert(name.to_string()), "duplicate name {name}");
+        }
+        assert!(text.contains("simcache_hits 42"));
+        assert!(text.contains("# HELP simcache_hits simcache.hits"));
+        assert!(text.contains("trace_cache_misses 3"));
+        // Histogram buckets are cumulative and end at the total count.
+        assert!(text.contains("span_experiment_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("span_experiment_seconds_count 3"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_nested_spans() {
+        let text = chrome_trace(&demo_events());
+        assert_valid_json(&text);
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"name\": \"pipeline.run\""));
+        assert!(text.contains("\"name\": \"stage.experiment\""));
+        assert_eq!(text.matches("\"ph\": \"X\"").count(), 2);
+        // Containment on the same tid — what chrome://tracing nests by.
+        let ts = nums(&text, "ts");
+        let dur = nums(&text, "dur");
+        let tid = nums(&text, "tid");
+        assert_eq!(tid[0], tid[1]);
+        assert!(
+            ts[0] <= ts[1] && ts[1] + dur[1] <= ts[0] + dur[0],
+            "inner not contained"
+        );
+        assert_eq!(nums(&text, "depth"), vec![0, 1]);
+        // Empty logs still produce a loadable document.
+        assert_valid_json(&chrome_trace(&[]));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&demo_registry(), &demo_events());
+        let mut spans = 0;
+        let mut metrics = 0;
+        for line in text.lines() {
+            assert_valid_json(line);
+            if line.contains("\"type\": \"span\"") {
+                spans += 1;
+            } else {
+                assert!(
+                    line.contains("\"type\": \"counter\"")
+                        || line.contains("\"type\": \"gauge\"")
+                        || line.contains("\"type\": \"histogram\""),
+                    "unexpected record {line:?}"
+                );
+                metrics += 1;
+            }
+        }
+        assert_eq!(spans, 2);
+        assert_eq!(metrics, 4);
+    }
+
+    #[test]
+    fn json_escaping_round_trips_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

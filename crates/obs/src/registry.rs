@@ -1,0 +1,367 @@
+//! The process-wide metrics registry: lock-free counters, gauges and
+//! fixed-bucket histograms under canonical dotted names.
+//!
+//! Handles are `Arc`'d, so an instrumented structure keeps its own cheap
+//! handle (one relaxed atomic op per update) while the registry retains a
+//! reference for export. Structures that exist in multiple instances (the
+//! simulation and trace caches in tests) use *detached* handles
+//! ([`Counter::default`]) and only their process-wide instance registers
+//! under the canonical name — per-instance counters in tests stay
+//! isolated.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_obs::Registry;
+//!
+//! let r = Registry::new();
+//! let hits = r.counter("demo.hits");
+//! hits.inc();
+//! hits.add(2);
+//! assert_eq!(hits.get(), 3);
+//! assert!(std::sync::Arc::ptr_eq(&hits, &r.counter("demo.hits")));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-tolerant read lock: a panicked writer cannot corrupt a map of
+/// `Arc` handles badly enough to matter for metrics.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a detached (unregistered) counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (per-run deltas; see `SimCache::clear`).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Adds `v` to an `AtomicU64` holding `f64` bits.
+fn f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// A last-value-wins instantaneous measurement (resident bytes, MIPS, …).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds to the gauge (atomic read-modify-write).
+    pub fn add(&self, v: f64) {
+        f64_add(&self.0, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed upper-bound buckets used for span-duration histograms (seconds).
+pub const DEFAULT_TIME_BOUNDS: &[f64] = &[0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0];
+
+/// A fixed-bucket histogram: per-bucket counts, total count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow (+Inf) bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, as `f64` bits.
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        f64_add(&self.sum, v);
+    }
+
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, one per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// One exported metric value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
+    /// Histogram state: bounds, per-bucket counts (incl. overflow), sum,
+    /// count.
+    Histogram {
+        /// Bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (last entry is the overflow bucket).
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One named sample from a [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Canonical dotted metric name.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A registry of named metrics. Get-or-register is idempotent: the same
+/// name always yields the same handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// Creates an empty registry (isolated; for tests).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry every instrumented layer registers into.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return c.clone();
+        }
+        write(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = read(&self.gauges).get(name) {
+            return g.clone();
+        }
+        write(&self.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use (later callers get the existing buckets).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return h.clone();
+        }
+        write(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds)))
+            .clone()
+    }
+
+    /// A consistent-enough snapshot of every metric, sorted by name.
+    /// Individual values are read atomically; the set is not a global
+    /// atomic cut (adequate for reporting, as with hardware PMU reads).
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut out: Vec<Sample> = Vec::new();
+        for (name, c) in read(&self.counters).iter() {
+            out.push(Sample {
+                name: name.clone(),
+                value: MetricValue::Counter(c.get()),
+            });
+        }
+        for (name, g) in read(&self.gauges).iter() {
+            out.push(Sample {
+                name: name.clone(),
+                value: MetricValue::Gauge(g.get()),
+            });
+        }
+        for (name, h) in read(&self.histograms).iter() {
+            out.push(Sample {
+                name: name.clone(),
+                value: MetricValue::Histogram {
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                    sum: h.sum(),
+                    count: h.count(),
+                },
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Resets every counter and gauge to zero (histograms are left; used by
+    /// tests needing per-run deltas).
+    pub fn reset(&self) {
+        for c in read(&self.counters).values() {
+            c.reset();
+        }
+        for g in read(&self.gauges).values() {
+            g.set(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_identity() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let g = Gauge::default();
+        g.set(2.5);
+        g.add(0.5);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::with_bounds(&[1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0, 0.2] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 55.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = Registry::new();
+        let c = r.counter("contended");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.level").set(1.5);
+        r.histogram("c.hist", &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.level", "b.count", "c.hist"]);
+    }
+}

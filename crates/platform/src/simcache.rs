@@ -46,6 +46,7 @@
 //! assert_eq!((cache.misses(), cache.hits()), (1, 1));
 //! ```
 
+use gemstone_obs::{Counter, Registry};
 use gemstone_uarch::core::{CoreConfig, Engine};
 use gemstone_uarch::stats::SimStats;
 use gemstone_workloads::gen::StreamGen;
@@ -54,7 +55,7 @@ use gemstone_workloads::trace::TraceCache;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Number of independent shards (power of two).
@@ -91,10 +92,21 @@ struct Slot {
 /// process-wide instance used by default.
 pub struct SimCache {
     shards: Vec<RwLock<HashMap<SimKey, Arc<Slot>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
     enabled: AtomicBool,
     traces: Arc<TraceCache>,
+}
+
+/// A consistent view of one cache's counters, read as a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that executed the engine.
+    pub misses: u64,
+    /// Memoised entries at snapshot time.
+    pub entries: usize,
 }
 
 static GLOBAL: OnceLock<Arc<SimCache>> = OnceLock::new();
@@ -117,8 +129,11 @@ impl SimCache {
             shards: (0..SHARD_COUNT)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            // Detached handles: per-instance caches (tests, benches) keep
+            // isolated counts; only `global()` registers the canonical
+            // `simcache.*` names.
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
             enabled: AtomicBool::new(enabled),
             traces: TraceCache::global(),
         }
@@ -143,7 +158,15 @@ impl SimCache {
     /// this instance unless given another one, so the validation sweep,
     /// the power sweeps and ad-hoc runs all share one memo.
     pub fn global() -> Arc<SimCache> {
-        GLOBAL.get_or_init(|| Arc::new(SimCache::new())).clone()
+        GLOBAL
+            .get_or_init(|| {
+                let mut cache = SimCache::new();
+                let registry = Registry::global();
+                cache.hits = registry.counter("simcache.hits");
+                cache.misses = registry.counter("simcache.misses");
+                Arc::new(cache)
+            })
+            .clone()
     }
 
     /// Fingerprints one simulation tuple. The fingerprint covers every
@@ -192,9 +215,9 @@ impl SimCache {
             })
             .clone();
         if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         out
     }
@@ -227,12 +250,31 @@ impl SimCache {
 
     /// Number of lookups served from the memo.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Number of lookups that executed the engine (= entries created).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// Reads the hit/miss counters as a consistent pair: the pair is
+    /// re-read until two consecutive reads agree, so a snapshot taken
+    /// while other threads are completing lookups never pairs a hit count
+    /// from one instant with a miss count from another.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut prev = (self.hits(), self.misses());
+        loop {
+            let cur = (self.hits(), self.misses());
+            if cur == prev {
+                return CacheSnapshot {
+                    hits: cur.0,
+                    misses: cur.1,
+                    entries: self.len(),
+                };
+            }
+            prev = cur;
+        }
     }
 
     /// Number of memoised entries.
@@ -250,8 +292,8 @@ impl SimCache {
         for shard in &self.shards {
             shard.write().clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
     }
 }
 
@@ -318,9 +360,12 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.len(), 1);
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.entries), (2, 1, 1));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.snapshot().hits, 0);
     }
 
     #[test]

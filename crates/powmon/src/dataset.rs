@@ -33,6 +33,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// Process-wide count of characterisation grid points simulated
+/// (`powmon.collect.runs` in the metrics registry).
+fn collect_runs_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("powmon.collect.runs"))
+}
+
 /// One (workload, DVFS point) power observation.
 #[derive(Debug, Clone)]
 pub struct PowerObservation {
@@ -161,10 +168,12 @@ pub fn collect_with_threads(
     freqs: &[f64],
     threads: usize,
 ) -> PowerDataset {
+    let _span = gemstone_obs::span::span("powmon.collect");
     let grid: Vec<(&WorkloadSpec, f64)> = workloads
         .iter()
         .flat_map(|spec| freqs.iter().map(move |&f| (spec, f)))
         .collect();
+    collect_runs_counter().add(grid.len() as u64);
     let slots: Mutex<Vec<(usize, PowerObservation)>> = Mutex::new(Vec::with_capacity(grid.len()));
     let next = AtomicUsize::new(0);
 

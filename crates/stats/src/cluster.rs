@@ -32,6 +32,14 @@
 use crate::corr::pearson;
 use crate::{Result, StatsError};
 
+/// Process-wide count of dendrogram merges performed (`cluster.merges` in
+/// the metrics registry).
+fn merges_counter() -> &'static gemstone_obs::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<gemstone_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("cluster.merges"))
+}
+
 /// Distance metric between observation rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -332,10 +340,9 @@ impl Hca {
                 d[cidx(n, i, j)] = dist;
             }
         }
-        Ok(Hca {
-            n,
-            merges: nn_chain(n, &mut d, linkage, ward),
-        })
+        let merges = nn_chain(n, &mut d, linkage, ward);
+        merges_counter().add(merges.len() as u64);
+        Ok(Hca { n, merges })
     }
 
     /// Greedy closest-pair agglomeration — the original O(n³) implementation,

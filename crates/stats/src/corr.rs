@@ -17,6 +17,14 @@
 use crate::threads::parallel_map;
 use crate::{Result, StatsError};
 
+/// Process-wide count of columns pushed through the sweep fan-outs
+/// (`corr.sweep_columns` in the metrics registry).
+fn sweep_columns_counter() -> &'static gemstone_obs::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<gemstone_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("corr.sweep_columns"))
+}
+
 /// Pearson product-moment correlation coefficient of `x` and `y`.
 ///
 /// Returns `0.0` when either vector has zero variance (the convention used
@@ -123,6 +131,7 @@ pub fn pearson_sweep(columns: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>> {
     if y.iter().any(|v| !v.is_finite()) {
         return Err(StatsError::InvalidArgument("pearson: non-finite input"));
     }
+    sweep_columns_counter().add(columns.len() as u64);
     let (my, syy) = target_stats(y);
     let per_col = parallel_map(columns, |_, x| -> Result<f64> {
         validate_sweep_column(x, y, "pearson", "pearson: non-finite input")?;
@@ -151,6 +160,7 @@ pub fn spearman_sweep(columns: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>> {
             available: y.len(),
         });
     }
+    sweep_columns_counter().add(columns.len() as u64);
     let ry = ranks(y);
     let (my, syy) = target_stats(&ry);
     let per_col = parallel_map(columns, |_, x| -> Result<f64> {

@@ -215,6 +215,14 @@ const GRAM_PIVOT_TOL: f64 = 1e-12;
 /// fan-out costs more than the work itself.
 const PAR_MIN_CANDIDATES: usize = 64;
 
+/// Process-wide count of candidates scored during forward-selection scans
+/// (`stepwise.candidate_scans` in the metrics registry).
+fn candidate_scans_counter() -> &'static gemstone_obs::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<gemstone_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("stepwise.candidate_scans"))
+}
+
 /// `parallel_map` with a small-problem serial shortcut.
 fn map_candidates<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
     if items.len() < PAR_MIN_CANDIDATES {
@@ -481,6 +489,7 @@ pub fn forward_select(
         // leaves all p-values below the threshold). The scan fans out across
         // worker threads; the reduction below walks results in candidate
         // order, so the outcome is identical to a serial scan.
+        candidate_scans_counter().add(candidates.len() as u64);
         let excluded_ref = &excluded;
         let gram_ref = &gram;
         let evals = map_candidates(candidates, |j, _| {

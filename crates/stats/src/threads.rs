@@ -28,15 +28,19 @@ use std::sync::OnceLock;
 /// Programmatic override; 0 means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Cached `GEMSTONE_THREADS` parse (the environment is read once).
+/// Cached `GEMSTONE_THREADS` parse (the environment is read once). A
+/// malformed or non-positive value produces a one-time stderr warning via
+/// the shared parser and falls back to available parallelism.
 static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 
 fn env_threads() -> Option<usize> {
     *ENV_THREADS.get_or_init(|| {
-        std::env::var("GEMSTONE_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        gemstone_obs::env::parse_checked::<usize>(
+            "GEMSTONE_THREADS",
+            "a positive integer",
+            "available parallelism",
+            |&n| n > 0,
+        )
     })
 }
 

@@ -1,0 +1,39 @@
+//! Registry counters must stay exact under concurrent increments from
+//! `parallel_map` workers — the fan-out primitive every sweep uses.
+
+use gemstone_obs::Registry;
+use gemstone_stats::threads::parallel_map;
+
+#[test]
+fn counters_exact_under_parallel_map_workers() {
+    let counter = Registry::global().counter("test.stats.parallel_map_increments");
+    let items: Vec<u64> = (1..=1024).collect();
+    let doubled = parallel_map(&items, |_, &v| {
+        counter.add(v);
+        v * 2
+    });
+    assert_eq!(doubled.len(), items.len());
+    assert_eq!(doubled[10], items[10] * 2);
+    let expected: u64 = items.iter().sum();
+    assert_eq!(counter.get(), expected);
+    // A second sweep accumulates — the registry handle is process-wide.
+    parallel_map(&items, |_, &v| counter.add(v));
+    assert_eq!(counter.get(), 2 * expected);
+}
+
+#[test]
+fn counters_exact_under_scoped_thread_storm() {
+    // parallel_map sizes itself from worker_threads(), which may be 1 in a
+    // constrained environment — force real contention explicitly too.
+    let counter = Registry::global().counter("test.stats.scoped_increments");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..10_000 {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), 80_000);
+}

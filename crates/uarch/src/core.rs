@@ -36,6 +36,21 @@ use crate::tlb::{SecondLevelTlb, TlbConfig, TlbHierarchy, TlbKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Process-wide count of completed engine runs (`engine.runs`).
+fn engine_runs_counter() -> &'static gemstone_obs::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<gemstone_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.runs"))
+}
+
+/// Process-wide count of committed instructions across all engine runs
+/// (`engine.instructions`).
+fn engine_instructions_counter() -> &'static gemstone_obs::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<gemstone_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.instructions"))
+}
+
 /// Core execution style (used for reporting and defaults; the actual
 /// latency-hiding behaviour is controlled by [`StallFactors`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -371,10 +386,14 @@ impl Engine {
 
     /// Runs the engine over an instruction stream and returns the result.
     pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> SimResult {
+        let _span = gemstone_obs::span::span("engine.run");
         for instr in stream {
             self.step(&instr);
         }
-        self.finish()
+        let result = self.finish();
+        engine_runs_counter().inc();
+        engine_instructions_counter().add(result.stats.committed_instructions);
+        result
     }
 
     /// Processes a single instruction.

@@ -42,6 +42,7 @@
 
 use crate::gen::StreamGen;
 use crate::spec::WorkloadSpec;
+use gemstone_obs::{Counter, Registry};
 use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -310,9 +311,24 @@ pub struct TraceCache {
     budget: usize,
     bytes: AtomicUsize,
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+/// A consistent view of one trace cache's counters, read as a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCacheSnapshot {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that generated a trace.
+    pub misses: u64,
+    /// Traces evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Resident trace bytes at snapshot time.
+    pub bytes: usize,
+    /// Resident traces at snapshot time.
+    pub entries: usize,
 }
 
 static GLOBAL: OnceLock<Arc<TraceCache>> = OnceLock::new();
@@ -338,23 +354,34 @@ impl TraceCache {
             budget,
             bytes: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            // Detached handles: per-instance caches (tests, benches) keep
+            // isolated counts; only `global()` registers the canonical
+            // `trace_cache.*` names.
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
         }
     }
 
     /// The process-wide shared cache, budgeted from the
     /// `GEMSTONE_TRACE_BYTES` environment variable (bytes; default 512 MiB,
-    /// `0` disables).
+    /// `0` disables). A malformed value produces a one-time stderr warning
+    /// and falls back to the default instead of being silently ignored.
     pub fn global() -> Arc<TraceCache> {
         GLOBAL
             .get_or_init(|| {
-                let budget = std::env::var(TRACE_BYTES_ENV)
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(DEFAULT_TRACE_BYTES);
-                Arc::new(TraceCache::with_budget(budget))
+                let budget = gemstone_obs::env::parse::<usize>(
+                    TRACE_BYTES_ENV,
+                    "a byte count (0 disables the cache)",
+                    "the default of 512 MiB",
+                )
+                .unwrap_or(DEFAULT_TRACE_BYTES);
+                let mut cache = TraceCache::with_budget(budget);
+                let registry = Registry::global();
+                cache.hits = registry.counter("trace_cache.hits");
+                cache.misses = registry.counter("trace_cache.misses");
+                cache.evictions = registry.counter("trace_cache.evictions");
+                Arc::new(cache)
             })
             .clone()
     }
@@ -404,11 +431,11 @@ impl TraceCache {
             })
             .clone();
         if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             self.bytes.fetch_add(trace.bytes(), Ordering::Relaxed);
             self.evict_over_budget(key);
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         Some(trace)
     }
@@ -437,7 +464,7 @@ impl TraceCache {
             if let Some(slot) = self.shards[si].write().remove(&key) {
                 if let Some(trace) = slot.cell.get() {
                     self.bytes.fetch_sub(trace.bytes(), Ordering::Relaxed);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.inc();
                 }
             }
         }
@@ -445,17 +472,37 @@ impl TraceCache {
 
     /// Number of lookups served from the memo.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Number of lookups that generated a trace (= fills).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Number of traces evicted to stay within the byte budget.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
+    }
+
+    /// Reads the counters as a consistent tuple: the tuple is re-read
+    /// until two consecutive reads agree, so a snapshot taken while other
+    /// threads are completing lookups never mixes instants.
+    pub fn snapshot(&self) -> TraceCacheSnapshot {
+        let mut prev = (self.hits(), self.misses(), self.evictions());
+        loop {
+            let cur = (self.hits(), self.misses(), self.evictions());
+            if cur == prev {
+                return TraceCacheSnapshot {
+                    hits: cur.0,
+                    misses: cur.1,
+                    evictions: cur.2,
+                    bytes: self.bytes(),
+                    entries: self.len(),
+                };
+            }
+            prev = cur;
+        }
     }
 
     /// Resident trace bytes currently accounted against the budget.
@@ -484,9 +531,9 @@ impl TraceCache {
             shard.write().clear();
         }
         self.bytes.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
     }
 }
 
@@ -587,9 +634,13 @@ mod tests {
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes(), a.bytes());
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.evictions), (1, 1, 0));
+        assert_eq!((snap.bytes, snap.entries), (a.bytes(), 1));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.snapshot().misses, 0);
     }
 
     #[test]

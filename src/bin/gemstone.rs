@@ -10,7 +10,17 @@
 //! gemstone suitability [--scale S] [--max-mape PCT]             §VII use-case check
 //! gemstone improve   [--scale S] [--target-mape PCT]            guided improvement loop
 //! gemstone stats     <workload> [--model old|fixed|little]      dump gem5-style stats.txt
+//! gemstone profile   <workload> [--model M] [--freq HZ]         simulator self-profile
 //! ```
+//!
+//! `validate`, `report`, and `profile` additionally accept observability
+//! outputs: `--metrics FILE` (Prometheus text), `--trace FILE` (Chrome
+//! trace-event JSON, load via `chrome://tracing` or Perfetto), and
+//! `--jsonl FILE` (one JSON object per metric sample and span). Any of
+//! these flips the process-wide `GEMSTONE_OBS` switch on for the run.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 unknown
+//! flag for the given subcommand.
 
 use gemstone::core::analysis::{ablation, improve, suitability};
 use gemstone::core::pipeline::{GemStone, PipelineOptions};
@@ -18,6 +28,7 @@ use gemstone::core::{collate::Collated, experiment, persist, report::Table};
 use gemstone::platform::simcache::SimCache;
 use gemstone::powmon::{dataset, model::PowerModel, selection};
 use gemstone::prelude::*;
+use gemstone::workloads::spec::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -55,11 +66,20 @@ impl Args {
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
     }
+
+    /// First flag not in `allowed`, if any — callers turn this into exit
+    /// code 3 so typos don't silently become default behaviour.
+    fn unknown_flag(&self, allowed: &[&str]) -> Option<&str> {
+        self.flags
+            .keys()
+            .map(String::as_str)
+            .find(|k| !allowed.contains(k))
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemstone <validate|report|power|ablate|suitability|stats> [flags]\n\
+        "usage: gemstone <validate|report|power|ablate|suitability|improve|stats|profile> [flags]\n\
          \n\
          validate     [--scale S] [--clusters K] [--save FILE]  time-error validation pipeline\n\
          report       [--scale S] [--save FILE]                 full pipeline incl. power models\n\
@@ -67,12 +87,129 @@ fn usage() -> ExitCode {
          ablate       [--scale S]                               per-spec-error ablation study\n\
          suitability  [--scale S] [--max-mape PCT]              use-case suitability check\n\
          improve      [--scale S] [--target-mape PCT]           guided diagnose-and-fix loop\n\
-         stats <workload> [--model old|fixed|little]            gem5-style stats.txt dump"
+         stats <workload> [--model old|fixed|little]            gem5-style stats.txt dump\n\
+         profile <workload> [--model old|fixed|little] [--freq HZ]\n\
+         \u{20}                                                      simulator self-profile:\n\
+         \u{20}                                                      MIPS, event rates, instr mix\n\
+         \n\
+         validate, report and profile also accept observability outputs:\n\
+         \u{20}  --metrics FILE   Prometheus text-format metrics dump\n\
+         \u{20}  --trace FILE     Chrome trace-event JSON (chrome://tracing)\n\
+         \u{20}  --jsonl FILE     JSONL stream of metric samples and spans\n\
+         \n\
+         exit codes: 0 ok, 1 failure, 2 usage, 3 unknown flag"
     );
     ExitCode::from(2)
 }
 
+/// Observability export files requested on the command line. Requesting
+/// any of them enables the obs layer for the run (same effect as setting
+/// `GEMSTONE_OBS=1`).
+struct ObsOutputs {
+    metrics: Option<String>,
+    trace: Option<String>,
+    jsonl: Option<String>,
+}
+
+impl ObsOutputs {
+    fn from_args(args: &Args) -> ObsOutputs {
+        ObsOutputs {
+            metrics: args.get("metrics").map(String::from),
+            trace: args.get("trace").map(String::from),
+            jsonl: args.get("jsonl").map(String::from),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some() || self.jsonl.is_some()
+    }
+
+    /// Turns the obs layer on before the run when any output was asked for.
+    fn enable(&self) {
+        if self.any() {
+            gemstone_obs::set_enabled(true);
+        }
+    }
+
+    /// Writes every requested file. Called once, after the run, so the
+    /// registry and span log hold the whole execution.
+    fn write(&self) -> Result<(), String> {
+        if !self.any() {
+            return Ok(());
+        }
+        sync_cache_gauges();
+        let registry = gemstone_obs::Registry::global();
+        let events = gemstone_obs::SpanLog::global().snapshot();
+        let dump = |path: &str, what: &str, body: String| -> Result<(), String> {
+            std::fs::write(path, body).map_err(|e| format!("writing {what} to {path}: {e}"))?;
+            eprintln!("{what} written to {path}");
+            Ok(())
+        };
+        if let Some(p) = &self.metrics {
+            dump(p, "metrics", gemstone_obs::export::prometheus(registry))?;
+        }
+        if let Some(p) = &self.trace {
+            dump(p, "trace", gemstone_obs::export::chrome_trace(&events))?;
+        }
+        if let Some(p) = &self.jsonl {
+            dump(p, "jsonl", gemstone_obs::export::jsonl(registry, &events))?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters update continuously, but occupancy numbers (entry counts,
+/// resident bytes) only exist as method calls on the caches — mirror them
+/// into gauges right before a dump.
+fn sync_cache_gauges() {
+    let registry = gemstone_obs::Registry::global();
+    let cache = SimCache::global();
+    registry.gauge("simcache.entries").set(cache.len() as f64);
+    let traces = cache.trace_cache();
+    registry
+        .gauge("trace_cache.entries")
+        .set(traces.len() as f64);
+    registry
+        .gauge("trace_cache.bytes")
+        .set(traces.bytes() as f64);
+}
+
+/// Workload lookup for `stats`/`profile`: exact name first, then a unique
+/// substring match over the power suite (so `profile dhrystone` finds
+/// `dhry-dhrystone` without anyone memorising suite prefixes).
+fn resolve_workload(name: &str) -> Result<WorkloadSpec, String> {
+    if let Some(spec) = suites::by_name(name) {
+        return Ok(spec);
+    }
+    let suite = suites::power_suite();
+    let matches: Vec<&WorkloadSpec> = suite.iter().filter(|w| w.name.contains(name)).collect();
+    match matches.len() {
+        1 => Ok(matches[0].clone()),
+        0 => Err(format!(
+            "unknown workload '{name}' (see `gemstone stats` docs for the suite list)"
+        )),
+        _ => Err(format!(
+            "ambiguous workload '{name}': matches {}",
+            matches
+                .iter()
+                .map(|w| w.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
+fn parse_model(args: &Args) -> Gem5Model {
+    match args.get("model").unwrap_or("old") {
+        "fixed" => Gem5Model::Ex5BigFixed,
+        "little" => Gem5Model::Ex5Little,
+        _ => Gem5Model::Ex5BigOld,
+    }
+}
+
 fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
+    let outputs = ObsOutputs::from_args(args);
+    outputs.enable();
     let mut opts = PipelineOptions::default();
     opts.experiment.workload_scale = args.scale();
     opts.with_power = with_power;
@@ -97,6 +234,10 @@ fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("collated dataset saved to {path}");
+            }
+            if let Err(e) = outputs.write() {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
         }
@@ -273,15 +414,14 @@ fn run_stats(args: &Args) -> ExitCode {
         eprintln!("stats needs a workload name (see `suites::power_suite()` for the list)");
         return ExitCode::from(2);
     };
-    let Some(spec) = suites::by_name(name) else {
-        eprintln!("unknown workload '{name}'");
-        return ExitCode::FAILURE;
+    let spec = match resolve_workload(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let model = match args.get("model").unwrap_or("old") {
-        "fixed" => Gem5Model::Ex5BigFixed,
-        "little" => Gem5Model::Ex5Little,
-        _ => Gem5Model::Ex5BigOld,
-    };
+    let model = parse_model(args);
     let t0 = std::time::Instant::now();
     let run = Gem5Sim::run(&spec.scaled(args.scale()), model, 1.0e9);
     let sim_micros = t0.elapsed().as_micros() as u64;
@@ -306,6 +446,139 @@ fn run_stats(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `gemstone profile <workload>`: run one workload through the simulator
+/// and report what the *simulator* did — host wall-clock, simulation rate
+/// (MIPS), per-structure event rates, instruction mix, and cache-layer
+/// effectiveness. The obs layer is always on for this subcommand.
+fn run_profile(args: &Args) -> ExitCode {
+    let Some(name) = args.positional.first() else {
+        eprintln!("profile needs a workload name, e.g. `gemstone profile dhrystone`");
+        return ExitCode::from(2);
+    };
+    let spec = match resolve_workload(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = parse_model(args);
+    let freq: f64 = args
+        .get("freq")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0e9);
+    let outputs = ObsOutputs::from_args(args);
+    // Profiling is the point of this subcommand — spans and registry
+    // counters are live even when no export file was requested.
+    gemstone_obs::set_enabled(true);
+
+    let t0 = std::time::Instant::now();
+    let run = Gem5Sim::run(&spec.scaled(args.scale()), model, freq);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let s = &run.stats;
+    let instr = s.committed_instructions;
+    let mips = if wall > 0.0 {
+        instr as f64 / wall / 1.0e6
+    } else {
+        0.0
+    };
+    println!(
+        "workload {}  model {}  freq {:.0} MHz",
+        run.workload,
+        model.name(),
+        freq / 1.0e6
+    );
+    println!(
+        "simulated {:.6} s  ({} instructions, {} cycles, IPC {:.3})",
+        run.time_s,
+        instr,
+        s.cycles,
+        s.ipc()
+    );
+    println!("host wall-clock {:.6} s  ->  {mips:.2} MIPS\n", wall);
+
+    // Per-structure event table: absolute counts plus per-kilo-instruction
+    // rates, the unit architects compare across workloads.
+    let pki = |n: u64| {
+        if instr == 0 {
+            0.0
+        } else {
+            n as f64 * 1000.0 / instr as f64
+        }
+    };
+    let mut t = Table::new(vec!["structure", "accesses", "misses", "miss %", "MPKI"]);
+    let mut structure = |name: &str, accesses: u64, misses: u64| {
+        let pct = if accesses == 0 {
+            0.0
+        } else {
+            misses as f64 / accesses as f64 * 100.0
+        };
+        t.row(vec![
+            name.to_string(),
+            accesses.to_string(),
+            misses.to_string(),
+            format!("{pct:.2}"),
+            format!("{:.3}", pki(misses)),
+        ]);
+    };
+    structure("L1I cache", s.l1i.accesses, s.l1i.misses);
+    structure("L1D cache", s.l1d.accesses, s.l1d.misses);
+    structure("L2 cache", s.l2.accesses, s.l2.misses);
+    structure("ITLB", s.itlb.l1_accesses, s.itlb.l1_misses);
+    structure("DTLB", s.dtlb.l1_accesses, s.dtlb.l1_misses);
+    structure("page walks", s.itlb.walks + s.dtlb.walks, 0);
+    structure(
+        "branch predictor",
+        s.branch.lookups,
+        s.branch.total_mispredicts(),
+    );
+    println!("{}", t.render());
+
+    // Committed instruction mix.
+    let c = &s.committed;
+    let total = c.total().max(1);
+    let mut mix = Table::new(vec!["class", "count", "share %"]);
+    for (label, count) in [
+        ("int ALU", c.int_alu),
+        ("int mul", c.int_mul),
+        ("int div", c.int_div),
+        ("FP", c.fp_alu + c.fp_div),
+        ("SIMD", c.simd),
+        ("loads", c.loads),
+        ("stores", c.stores),
+        ("branches", c.all_branches()),
+        ("barriers", c.barriers),
+        ("nops", c.nops),
+    ] {
+        mix.row(vec![
+            label.to_string(),
+            count.to_string(),
+            format!("{:.1}", count as f64 / total as f64 * 100.0),
+        ]);
+    }
+    println!("{}", mix.render());
+
+    // Cache-layer effectiveness for this invocation.
+    let cache = SimCache::global();
+    let sim = cache.snapshot();
+    let traces = cache.trace_cache().snapshot();
+    println!(
+        "simcache: {} hits, {} misses, {} entries",
+        sim.hits, sim.misses, sim.entries
+    );
+    println!(
+        "trace cache: {} hits, {} misses, {} evictions, {} entries, {} bytes",
+        traces.hits, traces.misses, traces.evictions, traces.entries, traces.bytes
+    );
+
+    if let Err(e) = outputs.write() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -318,6 +591,28 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let allowed: &[&str] = match cmd.as_str() {
+        "validate" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
+        "report" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
+        "power" => &["scale", "cluster"],
+        "ablate" => &["scale"],
+        "suitability" => &["scale", "max-mape"],
+        "improve" => &["scale", "target-mape"],
+        "stats" => &["scale", "model"],
+        "profile" => &["scale", "model", "freq", "metrics", "trace", "jsonl"],
+        _ => return usage(),
+    };
+    if let Some(flag) = args.unknown_flag(allowed) {
+        eprintln!(
+            "unknown flag --{flag} for `gemstone {cmd}` (allowed: {})",
+            allowed
+                .iter()
+                .map(|f| format!("--{f}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        return ExitCode::from(3);
+    }
     match cmd.as_str() {
         "validate" => run_pipeline(&args, false),
         "report" => run_pipeline(&args, true),
@@ -326,6 +621,7 @@ fn main() -> ExitCode {
         "suitability" => run_suitability(&args),
         "improve" => run_improve(&args),
         "stats" => run_stats(&args),
+        "profile" => run_profile(&args),
         _ => usage(),
     }
 }
@@ -355,5 +651,40 @@ mod tests {
         // Unparseable scale falls back to the default.
         let a = Args::parse(&strs(&["--scale", "not-a-number"])).unwrap();
         assert_eq!(a.scale(), 1.0);
+    }
+
+    #[test]
+    fn unknown_flags_are_detected() {
+        let a = Args::parse(&strs(&["--scale", "0.5", "--bogus", "x"])).unwrap();
+        assert_eq!(a.unknown_flag(&["scale", "model"]), Some("bogus"));
+        let a = Args::parse(&strs(&["--scale", "0.5"])).unwrap();
+        assert_eq!(a.unknown_flag(&["scale", "model"]), None);
+    }
+
+    #[test]
+    fn workload_resolution_is_exact_then_fuzzy() {
+        // Exact names pass straight through.
+        assert_eq!(resolve_workload("mi-sha").unwrap().name, "mi-sha");
+        // A unique substring resolves (CI smoke relies on `dhrystone`).
+        assert_eq!(
+            resolve_workload("dhrystone").unwrap().name,
+            "dhry-dhrystone"
+        );
+        // Unknown and ambiguous names fail with distinct messages.
+        assert!(resolve_workload("no-such-workload")
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(resolve_workload("mi-").unwrap_err().contains("ambiguous"));
+    }
+
+    #[test]
+    fn obs_outputs_from_flags() {
+        let a = Args::parse(&strs(&["--metrics", "/tmp/m.prom"])).unwrap();
+        let o = ObsOutputs::from_args(&a);
+        assert!(o.any());
+        assert_eq!(o.metrics.as_deref(), Some("/tmp/m.prom"));
+        assert_eq!(o.trace, None);
+        let o = ObsOutputs::from_args(&Args::parse(&strs(&[])).unwrap());
+        assert!(!o.any());
     }
 }
