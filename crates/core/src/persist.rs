@@ -6,6 +6,14 @@
 //! decoupled from the (cheap, iterated) statistical analyses — and so
 //! results can be shipped alongside the code.
 //!
+//! All writers go through [`write_atomic`] (temp file + rename in the
+//! destination directory), so a crash mid-write can never leave a
+//! truncated artefact behind: readers see either the old contents or the
+//! new, never half of one. Load errors are classified: a missing or
+//! unreadable file is [`GemStoneError::Io`], a file that exists but does
+//! not parse is [`GemStoneError::Parse`] — the distinction retry and
+//! resume logic depends on.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -22,21 +30,61 @@ use crate::collate::Collated;
 use crate::{GemStoneError, Result};
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Saves a collated dataset as pretty-printed JSON.
+/// Writes `contents` to `path` atomically: the bytes go to a uniquely
+/// named temp file in the destination directory, which is then renamed
+/// over `path`. Parent directories are created as needed. A crash between
+/// the two steps leaves `path` untouched (plus, at worst, an orphaned
+/// `.tmp` file); it never leaves a truncated `path`.
+///
+/// This is the single write path for every persisted artefact — datasets,
+/// CSV exports, workload lists and sweep checkpoints.
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem failures.
-pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
-    let json = serde_json::to_string_pretty(collated)
-        .map_err(|e| GemStoneError::Io(std::io::Error::other(e)))?;
-    if let Some(parent) = path.as_ref().parent() {
+/// Returns the underlying [`std::io::Error`] on filesystem failures.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
-    fs::write(path, json)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// Classifies a serde error for `path` as [`GemStoneError::Parse`].
+fn parse_error(path: &Path, e: serde_json::Error) -> GemStoneError {
+    GemStoneError::Parse(format!("{}: {e}", path.display()))
+}
+
+/// Saves a collated dataset as pretty-printed JSON (atomically).
+///
+/// # Errors
+///
+/// Returns [`GemStoneError::Io`] on filesystem failures and
+/// [`GemStoneError::Parse`] if the dataset cannot be serialised.
+pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
+    let json = serde_json::to_string_pretty(collated).map_err(|e| parse_error(path.as_ref(), e))?;
+    write_atomic(path, json.as_bytes())?;
     Ok(())
 }
 
@@ -44,14 +92,15 @@ pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> 
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem or parse failures.
+/// Returns [`GemStoneError::Io`] when the file is missing or unreadable,
+/// [`GemStoneError::Parse`] when it exists but holds invalid data.
 pub fn load_collated(path: impl AsRef<Path>) -> Result<Collated> {
-    let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| GemStoneError::Io(std::io::Error::other(e)))
+    let json = fs::read_to_string(&path)?;
+    serde_json::from_str(&json).map_err(|e| parse_error(path.as_ref(), e))
 }
 
 /// Writes the per-record CSV the paper-style figures are drawn from
-/// (workload, model, frequency, times, error, power).
+/// (workload, model, frequency, times, error, power) — atomically.
 ///
 /// # Errors
 ///
@@ -74,33 +123,24 @@ pub fn export_csv(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
             r.hw_power_w
         ));
     }
-    if let Some(parent) = path.as_ref().parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
-        }
-    }
-    fs::write(path, out)?;
+    write_atomic(path, out.as_bytes())?;
     Ok(())
 }
 
-/// Saves a workload-specification list as JSON — custom workloads can be
-/// defined once and shared, like the paper's published benchmark setups.
+/// Saves a workload-specification list as JSON (atomically) — custom
+/// workloads can be defined once and shared, like the paper's published
+/// benchmark setups.
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem failures.
+/// Returns [`GemStoneError::Io`] on filesystem failures and
+/// [`GemStoneError::Parse`] if the list cannot be serialised.
 pub fn save_workloads(
     specs: &[gemstone_workloads::spec::WorkloadSpec],
     path: impl AsRef<Path>,
 ) -> Result<()> {
-    let json = serde_json::to_string_pretty(specs)
-        .map_err(|e| GemStoneError::Io(std::io::Error::other(e)))?;
-    if let Some(parent) = path.as_ref().parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
-        }
-    }
-    fs::write(path, json)?;
+    let json = serde_json::to_string_pretty(specs).map_err(|e| parse_error(path.as_ref(), e))?;
+    write_atomic(path, json.as_bytes())?;
     Ok(())
 }
 
@@ -108,12 +148,13 @@ pub fn save_workloads(
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem or parse failures.
+/// Returns [`GemStoneError::Io`] when the file is missing or unreadable,
+/// [`GemStoneError::Parse`] when it exists but holds invalid data.
 pub fn load_workloads(
     path: impl AsRef<Path>,
 ) -> Result<Vec<gemstone_workloads::spec::WorkloadSpec>> {
-    let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| GemStoneError::Io(std::io::Error::other(e)))
+    let json = fs::read_to_string(&path)?;
+    serde_json::from_str(&json).map_err(|e| parse_error(path.as_ref(), e))
 }
 
 #[cfg(test)]
@@ -123,6 +164,19 @@ mod tests {
     use gemstone_platform::dvfs::Cluster;
     use gemstone_platform::gem5sim::Gem5Model;
     use gemstone_workloads::suites;
+    use std::path::PathBuf;
+
+    /// A temp directory unique per (process, call): concurrent `cargo
+    /// test` invocations used to collide on fixed names like
+    /// "gemstone-persist-test" and delete each other's files mid-test.
+    fn unique_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "gemstone-persist-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
 
     fn collated() -> Collated {
         let cfg = ExperimentConfig {
@@ -141,7 +195,7 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_everything() {
         let c = collated();
-        let dir = std::env::temp_dir().join("gemstone-persist-test");
+        let dir = unique_dir("roundtrip");
         let path = dir.join("collated.json");
         save_collated(&c, &path).unwrap();
         let back = load_collated(&path).unwrap();
@@ -167,7 +221,7 @@ mod tests {
     #[test]
     fn csv_export_has_all_rows() {
         let c = collated();
-        let dir = std::env::temp_dir().join("gemstone-persist-test-csv");
+        let dir = unique_dir("csv");
         let path = dir.join("records.csv");
         export_csv(&c, &path).unwrap();
         let text = fs::read_to_string(&path).unwrap();
@@ -181,7 +235,7 @@ mod tests {
     fn workload_specs_roundtrip_and_generate_identically() {
         use gemstone_workloads::gen::StreamGen;
         let specs = suites::validation_suite();
-        let dir = std::env::temp_dir().join("gemstone-persist-test-wl");
+        let dir = unique_dir("wl");
         let path = dir.join("workloads.json");
         save_workloads(&specs, &path).unwrap();
         let back = load_workloads(&path).unwrap();
@@ -209,5 +263,50 @@ mod tests {
             load_collated("/nonexistent/path.json"),
             Err(GemStoneError::Io(_))
         ));
+        assert!(matches!(
+            load_workloads("/nonexistent/workloads.json"),
+            Err(GemStoneError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_corrupt_file_is_parse_error() {
+        let dir = unique_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collated.json");
+        // A truncated write: syntactically broken JSON.
+        fs::write(&path, r#"{"records": [{"workload": "mi-sh"#).unwrap();
+        let err = load_collated(&path).unwrap_err();
+        assert!(
+            matches!(err, GemStoneError::Parse(_)),
+            "corrupt file must be Parse, got {err:?}"
+        );
+        assert!(err.to_string().contains("collated.json"));
+        // Valid JSON of the wrong shape is also a parse failure.
+        fs::write(&path, r#"{"something": "else"}"#).unwrap();
+        assert!(matches!(load_collated(&path), Err(GemStoneError::Parse(_))));
+        fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(
+            load_workloads(&path),
+            Err(GemStoneError::Parse(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_droppings() {
+        let dir = unique_dir("atomic");
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        // Only the destination file remains — no temp files left behind.
+        let entries: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["out.txt".to_string()], "{entries:?}");
+        fs::remove_dir_all(&dir).ok();
     }
 }

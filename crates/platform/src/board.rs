@@ -18,6 +18,7 @@
 //! ```
 
 use crate::dvfs::Cluster;
+use crate::fault::{FaultError, FaultInjector, FaultSite};
 use crate::pmu_capture::MultiplexedPmu;
 use crate::power_truth;
 use crate::sensors::{gaussian, PowerSensor};
@@ -132,6 +133,54 @@ impl OdroidXu3 {
         SmallRng::seed_from_u64(
             spec.derived_seed() ^ tag ^ (freq_hz as u64) ^ self.board_seed.rotate_left(17),
         )
+    }
+
+    /// [`OdroidXu3::run`] with fault awareness: consults the process-wide
+    /// [`FaultInjector`] before touching the run harness, the power sensor
+    /// and the PMU capture loop, so characterisation sweeps can observe
+    /// (and retry) the failures a real board produces. `attempt` is the
+    /// 0-based retry count — transient faults clear once it is high
+    /// enough. With fault injection disabled (the default) this is `run`
+    /// plus one branch.
+    ///
+    /// A run that succeeds after faults is bit-identical to one that never
+    /// faulted: faults fire before any simulation or RNG work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires for this
+    /// (workload, cluster, frequency, attempt).
+    pub fn try_run(
+        &self,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<HwRun, FaultError> {
+        self.try_run_with(&FaultInjector::global(), spec, cluster, freq_hz, attempt)
+    }
+
+    /// [`OdroidXu3::try_run`] against an explicit injector — for
+    /// deterministic fault tests that must not depend on `GEMSTONE_FAULTS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires.
+    pub fn try_run_with(
+        &self,
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<HwRun, FaultError> {
+        if faults.is_active() {
+            let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), freq_hz);
+            faults.check(FaultSite::BoardRun, &key, attempt)?;
+            faults.check(FaultSite::SensorRead, &key, attempt)?;
+            faults.check(FaultSite::PmuCapture, &key, attempt)?;
+        }
+        Ok(self.run(spec, cluster, freq_hz))
     }
 
     /// Runs a workload on `cluster` at `freq_hz` and collects time, PMCs and
@@ -297,6 +346,43 @@ mod tests {
         let big = board.run(&spec(), Cluster::BigA15, 1.0e9);
         assert!(big.time_s < little.time_s);
         assert!(big.power_w > little.power_w);
+    }
+
+    #[test]
+    fn try_run_matches_run_and_recovers_bit_identically() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let board = OdroidXu3::new();
+        // Disabled injector: identical to the infallible path.
+        let plain = board.run(&spec(), Cluster::BigA15, 1.0e9);
+        let ok = board
+            .try_run_with(
+                &FaultInjector::disabled(),
+                &spec(),
+                Cluster::BigA15,
+                1.0e9,
+                0,
+            )
+            .unwrap();
+        assert_eq!(plain.time_s, ok.time_s);
+        assert_eq!(plain.power_w, ok.power_w);
+        assert_eq!(plain.pmc, ok.pmc);
+        // Everything faults on attempt 0, clears by the fail budget, and
+        // the recovered measurement is bit-identical to the clean one.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 5,
+            transient_rate: 1.0,
+            permanent_rate: 0.0,
+            max_transient_fails: 2,
+        });
+        assert!(board
+            .try_run_with(&inj, &spec(), Cluster::BigA15, 1.0e9, 0)
+            .is_err());
+        let recovered = board
+            .try_run_with(&inj, &spec(), Cluster::BigA15, 1.0e9, 2)
+            .unwrap();
+        assert_eq!(plain.time_s, recovered.time_s);
+        assert_eq!(plain.power_w, recovered.power_w);
+        assert_eq!(plain.pmc, recovered.pmc);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! ```
 
 use crate::dvfs::Cluster;
+use crate::fault::{FaultError, FaultInjector, FaultSite};
 use crate::simcache::SimCache;
 use gemstone_uarch::configs::{ex5_big, ex5_little, Ex5Variant};
 use gemstone_uarch::pmu::{event_counts, EventCode};
@@ -102,6 +103,45 @@ impl Gem5Sim {
     /// Panics if `freq_hz` is not positive.
     pub fn run(spec: &WorkloadSpec, model: Gem5Model, freq_hz: f64) -> Gem5Run {
         Self::run_config(spec, model, model.config(), freq_hz)
+    }
+
+    /// [`Gem5Sim::run`] with fault awareness: consults the process-wide
+    /// [`FaultInjector`] first, so a "wedged" simulation job surfaces as a
+    /// structured [`FaultError`] the sweep drivers can retry. `attempt` is
+    /// the 0-based retry count. A run that succeeds after faults is
+    /// bit-identical to one that never faulted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires for this
+    /// (workload, model, frequency, attempt).
+    pub fn try_run(
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<Gem5Run, FaultError> {
+        Self::try_run_with(&FaultInjector::global(), spec, model, freq_hz, attempt)
+    }
+
+    /// [`Gem5Sim::try_run`] against an explicit injector — for
+    /// deterministic fault tests that must not depend on `GEMSTONE_FAULTS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires.
+    pub fn try_run_with(
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<Gem5Run, FaultError> {
+        if faults.is_active() {
+            let key = format!("{}:{}:{:.0}", spec.name, model.name(), freq_hz);
+            faults.check(FaultSite::Gem5Run, &key, attempt)?;
+        }
+        Ok(Self::run(spec, model, freq_hz))
     }
 
     /// Like [`Gem5Sim::run`], but consulting an explicit [`SimCache`]
@@ -201,6 +241,24 @@ mod tests {
             assert_eq!(cold.pmu_equiv, other.pmu_equiv);
         }
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn try_run_faults_then_recovers_bit_identically() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let s = spec("mi-crc32");
+        let clean = Gem5Sim::run(&s, Gem5Model::Ex5BigOld, 1.0e9);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 9,
+            transient_rate: 1.0,
+            permanent_rate: 0.0,
+            max_transient_fails: 1,
+        });
+        let e = Gem5Sim::try_run_with(&inj, &s, Gem5Model::Ex5BigOld, 1.0e9, 0).unwrap_err();
+        assert!(e.is_transient());
+        let recovered = Gem5Sim::try_run_with(&inj, &s, Gem5Model::Ex5BigOld, 1.0e9, 1).unwrap();
+        assert_eq!(clean.time_s, recovered.time_s);
+        assert_eq!(clean.stats_map, recovered.stats_map);
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! reused, with the seeded measurement noise applied per call so every
 //! output stays bit-identical whether the cache is cold, warm or disabled.
 //!
+//! Long characterisation sweeps on real boards fail partway — sensor
+//! reads time out, governors hiccup, gem5 jobs wedge. [`fault`] models
+//! that failure surface deterministically (seedable [`fault::FaultPlan`],
+//! `GEMSTONE_FAULTS` knob, off by default) and provides the
+//! [`fault::RetryPolicy`] the collection drivers wrap around the fallible
+//! entry points [`board::OdroidXu3::try_run`] and
+//! [`gem5sim::Gem5Sim::try_run`].
+//!
 //! # Examples
 //!
 //! ```
@@ -46,6 +54,7 @@
 
 pub mod board;
 pub mod dvfs;
+pub mod fault;
 pub mod gem5sim;
 pub mod pmu_capture;
 pub mod power_truth;

@@ -48,14 +48,17 @@ impl Default for MultiplexedPmu {
 }
 
 impl MultiplexedPmu {
-    /// Number of passes needed to capture `n_events` events.
+    /// Number of passes needed to capture `n_events` *multiplexed* events
+    /// (the dedicated cycle counter is free and must not be counted).
     pub fn passes_for(&self, n_events: usize) -> usize {
         n_events.div_ceil(self.counters.max(1))
     }
 
     /// Captures the event counts over the required number of passes. The
-    /// cycle counter is available in every pass and reported jitter-free
-    /// relative to its median; other events inherit their pass's jitter.
+    /// cycle counter lives in its dedicated register — it is available in
+    /// every pass, reported jitter-free, and does *not* consume one of the
+    /// multiplexed slots — so only the other events are grouped into
+    /// passes and inherit their pass's jitter.
     pub fn capture(
         &self,
         truth: &BTreeMap<EventCode, f64>,
@@ -63,18 +66,26 @@ impl MultiplexedPmu {
     ) -> BTreeMap<EventCode, f64> {
         let mut out = BTreeMap::new();
         let mut pass_factor = 1.0;
-        for (i, (&code, &value)) in truth.iter().enumerate() {
-            if i % self.counters.max(1) == 0 {
+        let mut slot = 0usize;
+        let mut passes = 0usize;
+        for (&code, &value) in truth.iter() {
+            if code == CPU_CYCLES {
+                out.insert(code, value);
+                continue;
+            }
+            if slot % self.counters.max(1) == 0 {
                 // New pass: a new run of the workload.
                 pass_factor = 1.0 + self.pass_jitter * gaussian(rng);
+                passes += 1;
             }
-            let v = if code == CPU_CYCLES {
-                value
-            } else {
-                (value * pass_factor).max(0.0)
-            };
-            out.insert(code, v);
+            slot += 1;
+            out.insert(code, (value * pass_factor).max(0.0));
         }
+        debug_assert_eq!(
+            passes,
+            self.passes_for(slot),
+            "pass grouping must match passes_for over the multiplexed events"
+        );
         out
     }
 }
@@ -136,6 +147,30 @@ mod tests {
         assert_eq!(pmu.passes_for(68), 12);
         assert_eq!(pmu.passes_for(6), 1);
         assert_eq!(pmu.passes_for(7), 2);
+    }
+
+    #[test]
+    fn cycle_counter_does_not_consume_a_multiplexed_slot() {
+        // Two multiplexed counters, three events with CPU_CYCLES (0x11)
+        // between the other two in code order. The cycle counter has a
+        // dedicated register, so 0x08 and 0x13 must land in the SAME pass
+        // (identical relative jitter). The old slot accounting counted
+        // CPU_CYCLES against the pass and split them.
+        let pmu = MultiplexedPmu {
+            counters: 2,
+            pass_jitter: 0.05,
+        };
+        let t: BTreeMap<EventCode, f64> =
+            [(0x08u16, 1.0e6), (CPU_CYCLES, 5.0e6), (0x13u16, 2.0e6)].into();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let c = pmu.capture(&t, &mut rng);
+        assert_eq!(c[&CPU_CYCLES], 5.0e6);
+        let r0 = c[&0x08] / 1.0e6;
+        let r1 = c[&0x13] / 2.0e6;
+        assert!(
+            (r0 - r1).abs() < 1e-12,
+            "events around the cycle counter must share a pass: {r0} vs {r1}"
+        );
     }
 
     #[test]

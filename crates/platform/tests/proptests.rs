@@ -2,6 +2,7 @@
 
 use gemstone_platform::board::OdroidXu3;
 use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 use gemstone_platform::pmu_capture::MultiplexedPmu;
 use gemstone_platform::power_truth::{static_power, true_power};
 use gemstone_platform::sensors::PowerSensor;
@@ -107,6 +108,105 @@ proptest! {
                 prop_assert!((v - t).abs() / t < 0.05);
             }
         }
+    }
+
+    #[test]
+    fn fault_decisions_respect_the_plan(
+        seed in any::<u64>(),
+        transient in 0.0f64..0.5,
+        permanent in 0.0f64..0.5,
+        fails in 1u32..5,
+        key_n in 0u32..10_000,
+    ) {
+        let inj = FaultInjector::new(FaultPlan {
+            seed,
+            transient_rate: transient,
+            permanent_rate: permanent,
+            max_transient_fails: fails,
+        });
+        let key = format!("wl-{key_n}:Cortex-A15:1000000000");
+        for site in [FaultSite::BoardRun, FaultSite::SensorRead,
+                     FaultSite::PmuCapture, FaultSite::Gem5Run] {
+            // Decisions are deterministic per (site, key, attempt)…
+            for attempt in 0..=fails {
+                prop_assert_eq!(
+                    inj.check(site, &key, attempt).is_ok(),
+                    inj.check(site, &key, attempt).is_ok()
+                );
+            }
+            // …transient faults always clear within the fail budget…
+            match inj.check(site, &key, fails) {
+                Ok(()) => {}
+                Err(e) => {
+                    prop_assert!(!e.is_transient(),
+                        "only permanent faults survive attempt {fails}");
+                    // …and permanent faults never clear.
+                    prop_assert!(inj.check(site, &key, fails + 100).is_err());
+                }
+            }
+            // Faulting at all on attempt 0 is monotone in the plan rates:
+            // a faulted op implies nonzero configured rates.
+            if inj.check(site, &key, 0).is_err() {
+                prop_assert!(transient + permanent > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_outcome_matches_fault_classification(
+        seed in any::<u64>(),
+        transient in 0.0f64..1.0,
+        permanent in 0.0f64..0.5,
+        budget in 1u32..6,
+        key_n in 0u32..10_000,
+    ) {
+        let inj = FaultInjector::new(FaultPlan {
+            seed,
+            transient_rate: transient.min(1.0 - permanent),
+            permanent_rate: permanent,
+            max_transient_fails: 2,
+        });
+        let policy = RetryPolicy {
+            max_attempts: budget,
+            base_delay: std::time::Duration::from_micros(1),
+            max_delay: std::time::Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let key = format!("op-{key_n}");
+        let mut calls = 0u32;
+        let result = policy.run(&key, |attempt| {
+            calls += 1;
+            inj.check(FaultSite::BoardRun, &key, attempt)
+        });
+        match result {
+            Ok(()) => prop_assert!(calls <= budget),
+            Err(e) => {
+                prop_assert_eq!(calls, e.attempts);
+                if e.error.is_transient() {
+                    // Transients only fail by exhausting the whole budget.
+                    prop_assert_eq!(e.attempts, budget);
+                } else {
+                    // Permanents abort on first sight.
+                    prop_assert_eq!(e.attempts, 1);
+                }
+            }
+        }
+        // Re-running the same operation is deterministic in outcome.
+        let rerun = policy.run(&key, |attempt| inj.check(FaultSite::BoardRun, &key, attempt));
+        prop_assert_eq!(result.is_ok(), rerun.is_ok());
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic(
+        attempt in 0u32..20,
+        key_n in 0u32..1_000,
+    ) {
+        let policy = RetryPolicy::default();
+        let key = format!("k-{key_n}");
+        let d = policy.delay_for(attempt, &key);
+        let ceiling = policy.max_delay.as_secs_f64() * (1.0 + policy.jitter) + 1e-9;
+        prop_assert!(d.as_secs_f64() <= ceiling, "{d:?} over {ceiling}");
+        prop_assert_eq!(d, policy.delay_for(attempt, &key));
     }
 }
 

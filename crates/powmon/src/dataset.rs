@@ -24,12 +24,13 @@
 //! assert_eq!(obs.rate(0x11), 0.0);
 //! ```
 
-use gemstone_platform::board::OdroidXu3;
+use gemstone_platform::board::{HwRun, OdroidXu3};
 use gemstone_platform::dvfs::{nearest_frequency, Cluster};
+use gemstone_platform::fault::{FaultInjector, QuarantinedWorkload, RetryPolicy};
 use gemstone_uarch::pmu::EventCode;
 use gemstone_workloads::spec::WorkloadSpec;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -38,6 +39,14 @@ use std::sync::OnceLock;
 fn collect_runs_counter() -> &'static gemstone_obs::Counter {
     static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
     C.get_or_init(|| gemstone_obs::Registry::global().counter("powmon.collect.runs"))
+}
+
+/// Process-wide count of workloads dropped from power sweeps after
+/// exhausting their retry budget (`quarantine.workloads` — shared with the
+/// validation sweep driver).
+fn quarantine_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("quarantine.workloads"))
 }
 
 /// One (workload, DVFS point) power observation.
@@ -194,15 +203,106 @@ pub fn collect_with_threads(
     PowerDataset::new(cluster, indexed.into_iter().map(|(_, o)| o).collect())
 }
 
-fn observe(
+/// [`collect`] with retries and workload quarantine: every board run is
+/// wrapped in `retry` against `faults`, and a workload whose retry budget
+/// is exhausted at any grid point is dropped *whole* (all its frequencies)
+/// rather than aborting the sweep or leaving a partial frequency curve the
+/// power-model fit would silently mis-weight. Surviving observations keep
+/// the exact values and workload-major, frequency-minor order of a
+/// fault-free [`collect`].
+pub fn collect_resilient(
     board: &OdroidXu3,
+    cluster: Cluster,
+    workloads: &[WorkloadSpec],
+    freqs: &[f64],
+    faults: &FaultInjector,
+    retry: &RetryPolicy,
+) -> (PowerDataset, Vec<QuarantinedWorkload>) {
+    collect_resilient_with_threads(
+        board,
+        cluster,
+        workloads,
+        freqs,
+        faults,
+        retry,
+        gemstone_stats::threads::worker_threads(),
+    )
+}
+
+/// [`collect_resilient`] with an explicit worker-thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_resilient_with_threads(
+    board: &OdroidXu3,
+    cluster: Cluster,
+    workloads: &[WorkloadSpec],
+    freqs: &[f64],
+    faults: &FaultInjector,
+    retry: &RetryPolicy,
+    threads: usize,
+) -> (PowerDataset, Vec<QuarantinedWorkload>) {
+    let _span = gemstone_obs::span::span("powmon.collect_resilient");
+    let grid: Vec<(&WorkloadSpec, f64)> = workloads
+        .iter()
+        .flat_map(|spec| freqs.iter().map(move |&f| (spec, f)))
+        .collect();
+    collect_runs_counter().add(grid.len() as u64);
+    type Slot = (usize, Result<PowerObservation, QuarantinedWorkload>);
+    let slots: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(grid.len()));
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(spec, f)) = grid.get(i) else { break };
+                let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), f);
+                let outcome = retry
+                    .run(&key, |attempt| {
+                        board.try_run_with(faults, spec, cluster, f, attempt)
+                    })
+                    .map(|run| observation_from(cluster, spec, f, &run))
+                    .map_err(|e| QuarantinedWorkload {
+                        workload: spec.name.clone(),
+                        site: e.error.site.name().to_string(),
+                        attempts: e.attempts,
+                        reason: e.to_string(),
+                    });
+                slots.lock().push((i, outcome));
+            });
+        }
+    });
+
+    // Restore grid order, then drop every observation of a quarantined
+    // workload so the dataset never carries partial frequency curves.
+    let mut indexed = slots.into_inner();
+    indexed.sort_by_key(|&(i, _)| i);
+    let mut quarantined: Vec<QuarantinedWorkload> = Vec::new();
+    let mut dropped: BTreeSet<String> = BTreeSet::new();
+    for (_, outcome) in &indexed {
+        if let Err(q) = outcome {
+            if dropped.insert(q.workload.clone()) {
+                quarantined.push(q.clone());
+            }
+        }
+    }
+    quarantine_counter().add(quarantined.len() as u64);
+    quarantined.sort_by(|a, b| a.workload.cmp(&b.workload));
+    let observations = indexed
+        .into_iter()
+        .filter_map(|(_, outcome)| outcome.ok())
+        .filter(|o| !dropped.contains(&o.workload))
+        .collect();
+    (PowerDataset::new(cluster, observations), quarantined)
+}
+
+/// Turns one board run into a power observation. Rates are per second of
+/// the measurement window, which is only partly busy.
+fn observation_from(
     cluster: Cluster,
     spec: &WorkloadSpec,
     freq_hz: f64,
+    run: &HwRun,
 ) -> PowerObservation {
-    let run = board.run(spec, cluster, freq_hz);
-    // Rates are per second of the measurement window, which is only
-    // partly busy.
     let rates = run
         .pmc
         .iter()
@@ -216,6 +316,16 @@ fn observe(
         time_s: run.time_s,
         rates,
     }
+}
+
+fn observe(
+    board: &OdroidXu3,
+    cluster: Cluster,
+    spec: &WorkloadSpec,
+    freq_hz: f64,
+) -> PowerObservation {
+    let run = board.run(spec, cluster, freq_hz);
+    observation_from(cluster, spec, freq_hz, &run)
 }
 
 #[cfg(test)]
@@ -269,6 +379,138 @@ mod tests {
             assert_eq!(a.power_w, b.power_w);
             assert_eq!(a.time_s, b.time_s);
             assert_eq!(a.rates, b.rates);
+        }
+    }
+
+    #[test]
+    fn resilient_collect_without_faults_matches_collect() {
+        let board = OdroidXu3::new();
+        let specs: Vec<WorkloadSpec> = ["mi-sha", "mi-crc32"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+            .collect();
+        let freqs = [600.0e6, 1000.0e6];
+        let clean = collect(&board, Cluster::LittleA7, &specs, &freqs);
+        let (ds, quarantined) = collect_resilient(
+            &board,
+            Cluster::LittleA7,
+            &specs,
+            &freqs,
+            &FaultInjector::disabled(),
+            &RetryPolicy::default(),
+        );
+        assert!(quarantined.is_empty());
+        assert_eq!(ds.observations.len(), clean.observations.len());
+        for (a, b) in clean.observations.iter().zip(&ds.observations) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.freq_hz, b.freq_hz);
+            assert_eq!(a.power_w, b.power_w);
+            assert_eq!(a.rates, b.rates);
+        }
+    }
+
+    #[test]
+    fn resilient_collect_retries_transient_faults_to_identical_values() {
+        use gemstone_platform::fault::FaultPlan;
+        let board = OdroidXu3::new();
+        let specs: Vec<WorkloadSpec> = ["mi-sha", "mi-crc32"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+            .collect();
+        let freqs = [600.0e6, 1000.0e6];
+        let clean = collect(&board, Cluster::LittleA7, &specs, &freqs);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 17,
+            transient_rate: 0.7,
+            permanent_rate: 0.0,
+            max_transient_fails: 2,
+        });
+        let retry = RetryPolicy {
+            base_delay: std::time::Duration::from_micros(10),
+            max_delay: std::time::Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let (ds, quarantined) =
+            collect_resilient(&board, Cluster::LittleA7, &specs, &freqs, &inj, &retry);
+        assert!(quarantined.is_empty(), "{quarantined:?}");
+        for (a, b) in clean.observations.iter().zip(&ds.observations) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.power_w, b.power_w);
+            assert_eq!(a.rates, b.rates);
+        }
+    }
+
+    #[test]
+    fn resilient_collect_quarantines_whole_workloads() {
+        use gemstone_platform::fault::{FaultPlan, FaultSite};
+        let board = OdroidXu3::new();
+        let specs: Vec<WorkloadSpec> = ["mi-sha", "mi-crc32", "whet-whetstone"]
+            .iter()
+            .map(|n| suites::by_name(n).unwrap().scaled(0.05))
+            .collect();
+        let freqs = [600.0e6, 1000.0e6];
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 4,
+            transient_rate: 0.0,
+            permanent_rate: 0.4,
+            max_transient_fails: 1,
+        });
+        // The injector is deterministic, so the expected quarantine set can
+        // be computed directly: a workload is dropped iff any of its grid
+        // keys faults permanently (attempt high enough to clear transients).
+        let sites = [
+            FaultSite::BoardRun,
+            FaultSite::SensorRead,
+            FaultSite::PmuCapture,
+        ];
+        let expect_dropped: Vec<&str> = specs
+            .iter()
+            .filter(|s| {
+                freqs.iter().any(|&f| {
+                    let key = format!("{}:{}:{:.0}", s.name, Cluster::LittleA7.name(), f);
+                    sites
+                        .iter()
+                        .any(|&site| inj.check(site, &key, 1000).is_err())
+                })
+            })
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(
+            !expect_dropped.is_empty() && expect_dropped.len() < specs.len(),
+            "seed must split the set, dropped = {expect_dropped:?}"
+        );
+        let retry = RetryPolicy {
+            base_delay: std::time::Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let (ds, quarantined) =
+            collect_resilient(&board, Cluster::LittleA7, &specs, &freqs, &inj, &retry);
+        let mut dropped: Vec<&str> = quarantined.iter().map(|q| q.workload.as_str()).collect();
+        let mut expected = expect_dropped.clone();
+        dropped.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(dropped, expected);
+        // Survivors keep full frequency curves with fault-free values.
+        let clean = collect(&board, Cluster::LittleA7, &specs, &freqs);
+        for o in &ds.observations {
+            assert!(!expect_dropped.contains(&o.workload.as_str()));
+            let reference = clean
+                .observations
+                .iter()
+                .find(|c| c.workload == o.workload && c.freq_hz == o.freq_hz)
+                .unwrap();
+            assert_eq!(o.power_w, reference.power_w);
+            assert_eq!(o.rates, reference.rates);
+        }
+        for s in &specs {
+            if !expect_dropped.contains(&s.name.as_str()) {
+                let curve = ds
+                    .observations
+                    .iter()
+                    .filter(|o| o.workload == s.name)
+                    .count();
+                assert_eq!(curve, freqs.len(), "{}", s.name);
+            }
         }
     }
 

@@ -408,7 +408,8 @@ impl Hca {
                 if !active[k] || k == i || k == j {
                     continue;
                 }
-                let new_d = lance_williams(linkage, d[i][k], d[j][k], dij, size[i], size[j], size[k]);
+                let new_d =
+                    lance_williams(linkage, d[i][k], d[j][k], dij, size[i], size[j], size[k]);
                 d[i][k] = new_d;
                 d[k][i] = new_d;
             }
@@ -688,7 +689,11 @@ mod tests {
             Linkage::Average,
             Linkage::Ward,
         ] {
-            for metric in [Metric::Euclidean, Metric::Correlation, Metric::AbsCorrelation] {
+            for metric in [
+                Metric::Euclidean,
+                Metric::Correlation,
+                Metric::AbsCorrelation,
+            ] {
                 let fast = Hca::new(&rows, metric, linkage).unwrap();
                 let slow = Hca::new_reference(&rows, metric, linkage).unwrap();
                 for (step, (f, s)) in fast.merges().iter().zip(slow.merges()).enumerate() {

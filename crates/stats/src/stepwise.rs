@@ -387,7 +387,11 @@ impl GramScan {
         let mut max_p = f64::NEG_INFINITY;
         for w in 0..m {
             let se = (sigma2 * diag[w]).max(0.0).sqrt();
-            let t = if se > 0.0 { beta[w] / se } else { f64::INFINITY };
+            let t = if se > 0.0 {
+                beta[w] / se
+            } else {
+                f64::INFINITY
+            };
             let p = student_t_sf2(t, df).unwrap_or(f64::NAN);
             max_p = max_p.max(p);
         }

@@ -5,6 +5,9 @@
 //! ```text
 //! gemstone validate  [--scale S] [--clusters K] [--save FILE]   full pipeline (no power)
 //! gemstone report    [--scale S] [--save FILE]                  full pipeline incl. power
+//! gemstone collect   [--scale S] [--checkpoint F] [--resume]    resilient sweep with retry,
+//!                    [--save F] [--csv F] [--retries N]         quarantine, checkpoint/resume
+//!                    [--min-coverage FRAC]                      (faults via GEMSTONE_FAULTS)
 //! gemstone power     [--scale S] [--cluster a7|a15]             build a §V power model
 //! gemstone ablate    [--scale S]                                per-error ablation study
 //! gemstone suitability [--scale S] [--max-mape PCT]             §VII use-case check
@@ -13,7 +16,7 @@
 //! gemstone profile   <workload> [--model M] [--freq HZ]         simulator self-profile
 //! ```
 //!
-//! `validate`, `report`, and `profile` additionally accept observability
+//! `validate`, `report`, `collect`, and `profile` additionally accept observability
 //! outputs: `--metrics FILE` (Prometheus text), `--trace FILE` (Chrome
 //! trace-event JSON, load via `chrome://tracing` or Perfetto), and
 //! `--jsonl FILE` (one JSON object per metric sample and span). Any of
@@ -32,19 +35,24 @@ use gemstone::workloads::spec::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
+/// Minimal flag parser: `--key value` pairs after the subcommand, plus a
+/// per-subcommand list of valueless boolean flags (e.g. `--resume`).
 struct Args {
     flags: BTreeMap<String, String>,
     positional: Vec<String>,
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Result<Args, String> {
+    fn parse(raw: &[String], bool_flags: &[&str]) -> Result<Args, String> {
         let mut flags = BTreeMap::new();
         let mut positional = Vec::new();
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if bool_flags.contains(&key) {
+                    flags.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -67,6 +75,11 @@ impl Args {
         self.flags.get(key).map(String::as_str)
     }
 
+    /// Whether a boolean flag was given.
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
     /// First flag not in `allowed`, if any — callers turn this into exit
     /// code 3 so typos don't silently become default behaviour.
     fn unknown_flag(&self, allowed: &[&str]) -> Option<&str> {
@@ -79,10 +92,14 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemstone <validate|report|power|ablate|suitability|improve|stats|profile> [flags]\n\
+        "usage: gemstone <validate|report|collect|power|ablate|suitability|improve|stats|profile> [flags]\n\
          \n\
          validate     [--scale S] [--clusters K] [--save FILE]  time-error validation pipeline\n\
          report       [--scale S] [--save FILE]                 full pipeline incl. power models\n\
+         collect      [--scale S] [--checkpoint FILE] [--resume] [--save FILE] [--csv FILE]\n\
+         \u{20}            [--retries N] [--min-coverage FRAC]       resilient characterisation sweep:\n\
+         \u{20}                                                      retry faults, quarantine dead\n\
+         \u{20}                                                      workloads, checkpoint progress\n\
          power        [--scale S] [--cluster a7|a15]            build and print a power model\n\
          ablate       [--scale S]                               per-spec-error ablation study\n\
          suitability  [--scale S] [--max-mape PCT]              use-case suitability check\n\
@@ -92,10 +109,13 @@ fn usage() -> ExitCode {
          \u{20}                                                      simulator self-profile:\n\
          \u{20}                                                      MIPS, event rates, instr mix\n\
          \n\
-         validate, report and profile also accept observability outputs:\n\
+         validate, report, collect and profile also accept observability outputs:\n\
          \u{20}  --metrics FILE   Prometheus text-format metrics dump\n\
          \u{20}  --trace FILE     Chrome trace-event JSON (chrome://tracing)\n\
          \u{20}  --jsonl FILE     JSONL stream of metric samples and spans\n\
+         \n\
+         `collect` injects faults when GEMSTONE_FAULTS is set\n\
+         (e.g. GEMSTONE_FAULTS=\"seed=7,transient=0.3,fails=2\")\n\
          \n\
          exit codes: 0 ok, 1 failure, 2 usage, 3 unknown flag"
     );
@@ -246,6 +266,70 @@ fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `gemstone collect`: the resilient characterisation sweep. Runs the
+/// validation experiments with per-operation retries, quarantines
+/// workloads whose retry budget is exhausted, and (with `--checkpoint`)
+/// persists progress after every workload so `--resume` continues a killed
+/// run — bit-identical to an uninterrupted one.
+fn run_collect(args: &Args) -> ExitCode {
+    use gemstone::core::resilience::{collect_resilient, ResilienceOptions};
+
+    let outputs = ObsOutputs::from_args(args);
+    outputs.enable();
+    let cfg = experiment::ExperimentConfig {
+        workload_scale: args.scale(),
+        ..experiment::ExperimentConfig::default()
+    };
+    let workloads: Vec<_> = suites::validation_suite()
+        .iter()
+        .map(|w| w.scaled(args.scale()))
+        .collect();
+    let mut opts = ResilienceOptions {
+        checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
+        resume: args.has("resume"),
+        ..ResilienceOptions::default()
+    };
+    if let Some(n) = args.get("retries").and_then(|v| v.parse().ok()) {
+        opts.retry.max_attempts = n;
+    }
+    if let Some(m) = args.get("min-coverage").and_then(|v| v.parse().ok()) {
+        opts.min_coverage = m;
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint FILE to resume from");
+        return ExitCode::from(2);
+    }
+
+    let outcome = match collect_resilient(&cfg, workloads, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("collect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.coverage.render());
+    println!("records: {}", outcome.collated.records.len());
+    if let Some(path) = args.get("save") {
+        if let Err(e) = persist::save_collated(&outcome.collated, path) {
+            eprintln!("save failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("collated dataset saved to {path}");
+    }
+    if let Some(path) = args.get("csv") {
+        if let Err(e) = persist::export_csv(&outcome.collated, path) {
+            eprintln!("csv export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("csv written to {path}");
+    }
+    if let Err(e) = outputs.write() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_power(args: &Args) -> ExitCode {
@@ -584,7 +668,11 @@ fn main() -> ExitCode {
     let Some(cmd) = raw.first().cloned() else {
         return usage();
     };
-    let args = match Args::parse(&raw[1..]) {
+    let bool_flags: &[&str] = match cmd.as_str() {
+        "collect" => &["resume"],
+        _ => &[],
+    };
+    let args = match Args::parse(&raw[1..], bool_flags) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -594,6 +682,18 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match cmd.as_str() {
         "validate" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
         "report" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
+        "collect" => &[
+            "scale",
+            "checkpoint",
+            "resume",
+            "save",
+            "csv",
+            "retries",
+            "min-coverage",
+            "metrics",
+            "trace",
+            "jsonl",
+        ],
         "power" => &["scale", "cluster"],
         "ablate" => &["scale"],
         "suitability" => &["scale", "max-mape"],
@@ -616,6 +716,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "validate" => run_pipeline(&args, false),
         "report" => run_pipeline(&args, true),
+        "collect" => run_collect(&args),
         "power" => run_power(&args),
         "ablate" => run_ablate(&args),
         "suitability" => run_suitability(&args),
@@ -636,7 +737,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags_and_positionals() {
-        let a = Args::parse(&strs(&["mi-sha", "--scale", "0.5", "--model", "old"])).unwrap();
+        let a = Args::parse(&strs(&["mi-sha", "--scale", "0.5", "--model", "old"]), &[]).unwrap();
         assert_eq!(a.positional, vec!["mi-sha"]);
         assert_eq!(a.scale(), 0.5);
         assert_eq!(a.get("model"), Some("old"));
@@ -645,19 +746,40 @@ mod tests {
 
     #[test]
     fn args_default_scale_and_errors() {
-        let a = Args::parse(&strs(&[])).unwrap();
+        let a = Args::parse(&strs(&[]), &[]).unwrap();
         assert_eq!(a.scale(), 1.0);
-        assert!(Args::parse(&strs(&["--scale"])).is_err());
+        assert!(Args::parse(&strs(&["--scale"]), &[]).is_err());
         // Unparseable scale falls back to the default.
-        let a = Args::parse(&strs(&["--scale", "not-a-number"])).unwrap();
+        let a = Args::parse(&strs(&["--scale", "not-a-number"]), &[]).unwrap();
         assert_eq!(a.scale(), 1.0);
     }
 
     #[test]
+    fn bool_flags_take_no_value() {
+        // `--resume` consumes nothing: the path after it stays positional /
+        // the next flag still parses.
+        let a = Args::parse(
+            &strs(&["--checkpoint", "ck.json", "--resume", "--scale", "0.1"]),
+            &["resume"],
+        )
+        .unwrap();
+        assert!(a.has("resume"));
+        assert_eq!(a.get("checkpoint"), Some("ck.json"));
+        assert_eq!(a.scale(), 0.1);
+        // Without the bool-flag declaration, `--resume` would eat `--scale`.
+        let a = Args::parse(&strs(&["--resume", "--scale", "0.1"]), &[]).unwrap();
+        assert_eq!(a.get("resume"), Some("--scale"));
+        // Trailing bool flag needs no value either.
+        let a = Args::parse(&strs(&["--resume"]), &["resume"]).unwrap();
+        assert!(a.has("resume"));
+        assert!(!a.has("checkpoint"));
+    }
+
+    #[test]
     fn unknown_flags_are_detected() {
-        let a = Args::parse(&strs(&["--scale", "0.5", "--bogus", "x"])).unwrap();
+        let a = Args::parse(&strs(&["--scale", "0.5", "--bogus", "x"]), &[]).unwrap();
         assert_eq!(a.unknown_flag(&["scale", "model"]), Some("bogus"));
-        let a = Args::parse(&strs(&["--scale", "0.5"])).unwrap();
+        let a = Args::parse(&strs(&["--scale", "0.5"]), &[]).unwrap();
         assert_eq!(a.unknown_flag(&["scale", "model"]), None);
     }
 
@@ -679,12 +801,12 @@ mod tests {
 
     #[test]
     fn obs_outputs_from_flags() {
-        let a = Args::parse(&strs(&["--metrics", "/tmp/m.prom"])).unwrap();
+        let a = Args::parse(&strs(&["--metrics", "/tmp/m.prom"]), &[]).unwrap();
         let o = ObsOutputs::from_args(&a);
         assert!(o.any());
         assert_eq!(o.metrics.as_deref(), Some("/tmp/m.prom"));
         assert_eq!(o.trace, None);
-        let o = ObsOutputs::from_args(&Args::parse(&strs(&[])).unwrap());
+        let o = ObsOutputs::from_args(&Args::parse(&strs(&[]), &[]).unwrap());
         assert!(!o.any());
     }
 }

@@ -1,0 +1,260 @@
+//! Resilience: fault injection, retry, quarantine and checkpoint/resume
+//! must never change the data — a characterisation sweep that survives
+//! faults (or a kill) produces bit-identical results to one that ran
+//! clean and uninterrupted.
+
+use gemstone::core::analysis::summary;
+use gemstone::core::checkpoint::CollectCheckpoint;
+use gemstone::core::collate::Collated;
+use gemstone::core::experiment::{run_over, ExperimentConfig};
+use gemstone::core::resilience::{collect_resilient, ResilienceOptions};
+use gemstone::platform::fault::{FaultInjector, FaultPlan, RetryPolicy};
+use gemstone::prelude::*;
+use gemstone::workloads::spec::WorkloadSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "gemstone-resilience-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workload_scale: 0.02,
+        clusters: vec![Cluster::BigA15],
+        models: vec![Gem5Model::Ex5BigOld],
+        ..ExperimentConfig::default()
+    }
+}
+
+fn tiny_workloads() -> Vec<WorkloadSpec> {
+    ["mi-sha", "mi-crc32", "mi-fft"]
+        .iter()
+        .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+        .collect()
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        base_delay: Duration::from_micros(10),
+        max_delay: Duration::from_micros(100),
+        ..RetryPolicy::default()
+    }
+}
+
+fn opts_with(faults: FaultInjector) -> ResilienceOptions {
+    ResilienceOptions {
+        faults: Arc::new(faults),
+        retry: fast_retry(),
+        checkpoint: None,
+        resume: false,
+        min_coverage: 1.0,
+    }
+}
+
+fn as_json(c: &Collated) -> String {
+    serde_json::to_string(c).expect("collated serialises")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Core tentpole property: for ANY transient fault plan that the retry
+    /// budget can outlast, the collected dataset is bit-identical to a
+    /// fault-free run — retries change wall-clock, never data.
+    #[test]
+    fn transient_faults_never_change_the_dataset(
+        seed in 0u64..1_000,
+        transient in 0.05f64..0.9,
+        fails in 1u32..3,
+    ) {
+        let cfg = tiny_config();
+        let reference = Collated::build(&run_over(&cfg, tiny_workloads()));
+        let inj = FaultInjector::new(FaultPlan {
+            seed,
+            transient_rate: transient,
+            permanent_rate: 0.0,
+            max_transient_fails: fails,
+        });
+        // Budget strictly exceeds the worst transient streak, so nothing
+        // is ever quarantined.
+        let mut opts = opts_with(inj);
+        opts.retry.max_attempts = fails + 1;
+        let outcome = collect_resilient(&cfg, tiny_workloads(), &opts).unwrap();
+        prop_assert!(outcome.coverage.quarantined.is_empty());
+        prop_assert_eq!(as_json(&outcome.collated), as_json(&reference));
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically_from_any_prefix() {
+    let cfg = tiny_config();
+    let dir = unique_dir("prefix");
+    let path = dir.join("ck.json");
+    let reference = Collated::build(&run_over(&cfg, tiny_workloads()));
+
+    let mut opts = opts_with(FaultInjector::disabled());
+    opts.checkpoint = Some(path.clone());
+    let full = collect_resilient(&cfg, tiny_workloads(), &opts).unwrap();
+    assert_eq!(as_json(&full.collated), as_json(&reference));
+    let complete = CollectCheckpoint::load(&path).unwrap();
+
+    // Simulate a kill after 0, 1 and 2 finished workloads: truncate the
+    // checkpoint to that prefix and resume. Every resumed dataset must be
+    // bit-identical to the uninterrupted one.
+    for keep in 0..3 {
+        let mut trimmed = complete.clone();
+        while trimmed.completed.len() > keep {
+            let last = trimmed.completed.keys().next_back().unwrap().clone();
+            trimmed.completed.remove(&last);
+        }
+        trimmed.save(&path).unwrap();
+
+        let mut opts = opts_with(FaultInjector::disabled());
+        opts.checkpoint = Some(path.clone());
+        opts.resume = true;
+        let resumed = collect_resilient(&cfg, tiny_workloads(), &opts).unwrap();
+        assert_eq!(resumed.coverage.resumed, keep, "prefix {keep}");
+        assert_eq!(
+            as_json(&resumed.collated),
+            as_json(&reference),
+            "prefix {keep}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulty_checkpointed_resumed_sweep_still_matches_clean_run() {
+    // Faults + checkpoint + kill + resume, all at once — the union of
+    // everything this subsystem promises.
+    let cfg = tiny_config();
+    let dir = unique_dir("combined");
+    let path = dir.join("ck.json");
+    let reference = Collated::build(&run_over(&cfg, tiny_workloads()));
+    let plan = FaultPlan {
+        seed: 23,
+        transient_rate: 0.5,
+        permanent_rate: 0.0,
+        max_transient_fails: 2,
+    };
+
+    let mut opts = opts_with(FaultInjector::new(plan));
+    opts.checkpoint = Some(path.clone());
+    collect_resilient(&cfg, tiny_workloads(), &opts).unwrap();
+
+    let mut trimmed = CollectCheckpoint::load(&path).unwrap();
+    let last = trimmed.completed.keys().next_back().unwrap().clone();
+    trimmed.completed.remove(&last);
+    trimmed.save(&path).unwrap();
+
+    let mut opts = opts_with(FaultInjector::new(plan));
+    opts.checkpoint = Some(path.clone());
+    opts.resume = true;
+    let resumed = collect_resilient(&cfg, tiny_workloads(), &opts).unwrap();
+    assert_eq!(resumed.coverage.resumed, 2);
+    assert_eq!(as_json(&resumed.collated), as_json(&reference));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantined_sweep_still_supports_the_analyses() {
+    // Permanent faults knock out part of the workload set; the surviving
+    // partial dataset must clear its coverage threshold and run the §IV
+    // summary analysis unchanged for the workloads it kept.
+    let cfg = tiny_config();
+    let workloads: Vec<WorkloadSpec> = [
+        "mi-sha",
+        "mi-crc32",
+        "mi-fft",
+        "mi-bitcount",
+        "mi-dijkstra",
+        "dhry-dhrystone",
+    ]
+    .iter()
+    .map(|n| suites::by_name(n).unwrap().scaled(0.02))
+    .collect();
+    // Find a seed whose permanent-fault pattern drops some but not all
+    // workloads (the injector is deterministic, so this probe is exact).
+    let (inj, expected_dropped) = (0u64..)
+        .find_map(|seed| {
+            let inj = FaultInjector::new(FaultPlan {
+                seed,
+                transient_rate: 0.0,
+                permanent_rate: 0.15,
+                max_transient_fails: 1,
+            });
+            let dropped: Vec<String> = workloads
+                .iter()
+                .filter(|w| {
+                    cfg.clusters.iter().any(|c| {
+                        c.frequencies().iter().any(|&f| {
+                            let key = format!("{}:{}:{:.0}", w.name, c.name(), f);
+                            use gemstone::platform::fault::FaultSite;
+                            [
+                                FaultSite::BoardRun,
+                                FaultSite::SensorRead,
+                                FaultSite::PmuCapture,
+                            ]
+                            .iter()
+                            .any(|&s| inj.check(s, &key, 1000).is_err())
+                        })
+                    }) || cfg.models.iter().any(|m| {
+                        m.cluster().frequencies().iter().any(|&f| {
+                            let key = format!("{}:{}:{:.0}", w.name, m.name(), f);
+                            inj.check(gemstone::platform::fault::FaultSite::Gem5Run, &key, 1000)
+                                .is_err()
+                        })
+                    })
+                })
+                .map(|w| w.name.clone())
+                .collect();
+            if !dropped.is_empty() && dropped.len() <= workloads.len() / 2 {
+                Some((inj, dropped))
+            } else {
+                None
+            }
+        })
+        .expect("some seed splits the workload set");
+
+    let mut opts = opts_with(FaultInjector::disabled());
+    opts.faults = Arc::new(inj);
+    opts.min_coverage = 0.5;
+    let outcome = collect_resilient(&cfg, workloads.clone(), &opts).unwrap();
+    let dropped: Vec<&str> = outcome
+        .coverage
+        .quarantined
+        .iter()
+        .map(|q| q.workload.as_str())
+        .collect();
+    let mut expected: Vec<&str> = expected_dropped.iter().map(String::as_str).collect();
+    expected.sort_unstable();
+    assert_eq!(dropped, expected);
+
+    // The partial dataset equals the clean dataset restricted to the
+    // surviving workloads...
+    let clean = Collated::build(&run_over(&cfg, workloads));
+    let kept = Collated::from_records(
+        clean
+            .records
+            .iter()
+            .filter(|r| !expected.contains(&r.workload.as_str()))
+            .cloned()
+            .collect(),
+    );
+    assert_eq!(as_json(&outcome.collated), as_json(&kept));
+
+    // ...and the analyses accept it.
+    let s = summary::analyse(&outcome.collated).unwrap();
+    let pooled = s.pooled(Gem5Model::Ex5BigOld).unwrap();
+    assert!(pooled.n > 0);
+    assert!(pooled.mape.is_finite());
+}
