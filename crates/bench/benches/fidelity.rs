@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the multi-fidelity execution tiers.
+//!
+//! Runs three representative workloads through each tier over the same
+//! pre-encoded [`PackedTrace`] so the comparison isolates the execution
+//! backend, not trace generation. Besides the raw per-tier timings (from
+//! which Criterion's reports give the atomic-vs-approx speedup), the
+//! setup pass prints the sampled tier's IPC error against the approx
+//! reference so a bench run doubles as an accuracy spot-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
+use gemstone_uarch::configs::{ex5_big, Ex5Variant};
+use gemstone_workloads::suites;
+use gemstone_workloads::trace::PackedTrace;
+
+const WORKLOADS: [&str; 3] = ["mi-fft", "parsec-canneal-4", "dhry-dhrystone"];
+const SEED: u64 = 7;
+
+fn tier_configs() -> [(&'static str, TierConfig); 3] {
+    [
+        ("atomic", TierConfig::atomic()),
+        ("approx", TierConfig::approx()),
+        ("sampled", TierConfig::sampled(SampleParams::default())),
+    ]
+}
+
+fn fidelity_tiers(c: &mut Criterion) {
+    let cfg = ex5_big(Ex5Variant::Old);
+    let mut group = c.benchmark_group("fidelity_tiers");
+    for name in WORKLOADS {
+        let spec = suites::by_name(name).unwrap().scaled(0.5);
+        let trace = PackedTrace::from_spec(&spec);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+
+        // Accuracy spot-check, printed once per workload: the sampled
+        // tier's IPC deviation from the approx reference on this trace.
+        let reference = trace.run_backend(&mut Backend::new(
+            TierConfig::approx(),
+            &cfg,
+            1.0e9,
+            1,
+            SEED,
+        ));
+        let sampled = trace.run_backend(&mut Backend::new(
+            TierConfig::sampled(SampleParams::default()),
+            &cfg,
+            1.0e9,
+            1,
+            SEED,
+        ));
+        let err = (sampled.stats.ipc() - reference.stats.ipc()) / reference.stats.ipc() * 100.0;
+        println!(
+            "fidelity_tiers/{name}: sampled IPC error {err:+.2} % \
+             ({} windows, coverage {:.0} %)",
+            sampled.stats.sample.as_ref().map_or(0, |m| m.windows),
+            sampled.stats.sample.as_ref().map_or(0.0, |m| m.coverage) * 100.0,
+        );
+
+        for (label, tier) in tier_configs() {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(tier, &trace),
+                |b, (tier, trace)| {
+                    b.iter(|| {
+                        let mut backend = Backend::new(*tier, &cfg, 1.0e9, 1, SEED);
+                        trace.run_backend(&mut backend)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Sampled-tier cost as a function of coverage: the detailed fraction is
+/// the knob users turn, so chart how run time scales with it.
+fn sampled_coverage(c: &mut Criterion) {
+    let cfg = ex5_big(Ex5Variant::Old);
+    let spec = suites::by_name("mi-fft").unwrap().scaled(0.5);
+    let trace = PackedTrace::from_spec(&spec);
+    let mut group = c.benchmark_group("sampled_coverage");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (label, interval) in [("dense", 1_000_u64), ("default", 2_000), ("sparse", 8_000)] {
+        let params = SampleParams {
+            interval,
+            ..SampleParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("interval", label), &params, |b, params| {
+            b.iter(|| {
+                let mut backend = Backend::new(TierConfig::sampled(*params), &cfg, 1.0e9, 1, SEED);
+                trace.run_backend(&mut backend)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fidelity_tiers, sampled_coverage);
+criterion_main!(benches);

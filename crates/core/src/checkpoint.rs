@@ -67,9 +67,13 @@ pub fn fingerprint(cfg: &ExperimentConfig, workloads: &[WorkloadSpec]) -> String
         cfg.board.board_seed
     );
     let specs = serde_json::to_string(workloads).unwrap_or_else(|_| format!("{workloads:?}"));
+    // The tier is canonicalised so sampling knobs only matter when the
+    // sampled tier is actually selected.
     let text = format!(
-        "board[{board}] scale={:?} clusters={clusters:?} models={models:?} workloads={specs}",
-        cfg.workload_scale
+        "board[{board}] scale={:?} clusters={clusters:?} models={models:?} \
+         fidelity={:?} workloads={specs}",
+        cfg.workload_scale,
+        cfg.fidelity.canonical()
     );
     format!("v{CHECKPOINT_VERSION}:{:016x}", fnv_str(&text))
 }
@@ -244,6 +248,14 @@ mod tests {
         let mut fewer = cfg.clone();
         fewer.models.pop();
         assert_ne!(base, fingerprint(&fewer, &wl));
+
+        let mut retiered = cfg.clone();
+        retiered.fidelity = gemstone_uarch::backend::TierConfig::atomic();
+        assert_ne!(
+            base,
+            fingerprint(&retiered, &wl),
+            "a checkpoint from another fidelity tier must not resume this sweep"
+        );
 
         assert_ne!(base, fingerprint(&cfg, &wl[..1]));
     }

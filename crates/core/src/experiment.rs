@@ -16,6 +16,7 @@
 use gemstone_platform::board::{HwRun, OdroidXu3};
 use gemstone_platform::dvfs::{nearest_frequency, Cluster};
 use gemstone_platform::gem5sim::{Gem5Model, Gem5Run, Gem5Sim};
+use gemstone_uarch::backend::TierConfig;
 use gemstone_workloads::spec::WorkloadSpec;
 use gemstone_workloads::suites;
 use parking_lot::Mutex;
@@ -36,6 +37,10 @@ pub struct ExperimentConfig {
     /// Worker threads for the parallel sweep. Defaults to the shared
     /// [`gemstone_stats::threads::worker_threads`] knob (`GEMSTONE_THREADS`).
     pub threads: usize,
+    /// Execution-fidelity tier every engine run in the campaign uses.
+    /// Defaults to the `GEMSTONE_FIDELITY` / `GEMSTONE_SAMPLE_*`
+    /// environment knobs (cycle-approximate when unset).
+    pub fidelity: TierConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -50,6 +55,7 @@ impl Default for ExperimentConfig {
                 Gem5Model::Ex5BigFixed,
             ],
             threads: gemstone_stats::threads::worker_threads(),
+            fidelity: TierConfig::from_env(),
         }
     }
 }
@@ -166,12 +172,12 @@ pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> Validat
                 let mut g5_local = Vec::new();
                 for &cluster in &cfg.clusters {
                     for &f in cluster.frequencies() {
-                        hw_local.push(cfg.board.run(spec, cluster, f));
+                        hw_local.push(cfg.board.run_tier(spec, cluster, f, cfg.fidelity));
                     }
                 }
                 for &model in &cfg.models {
                     for &f in model.cluster().frequencies() {
-                        g5_local.push(Gem5Sim::run(spec, model, f));
+                        g5_local.push(Gem5Sim::run_tier(spec, model, f, cfg.fidelity));
                     }
                 }
                 hw_runs.lock().extend(hw_local);

@@ -30,6 +30,7 @@ use gemstone_platform::gem5sim::Gem5Model;
 use gemstone_powmon::model::{ModelQuality, PowerModel};
 use gemstone_powmon::{dataset, selection};
 use gemstone_stats::threads::worker_threads;
+use gemstone_uarch::backend::TierConfig;
 use gemstone_workloads::suites;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -161,6 +162,9 @@ pub struct GemStoneReport {
     pub improvement: improvement::Improvement,
     /// Execution-layer cache counters for this run's board cache.
     pub execution: ExecutionStats,
+    /// Fidelity tier every engine run in the campaign used (canonical
+    /// form).
+    pub fidelity: TierConfig,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
 }
@@ -427,6 +431,7 @@ impl GemStone {
             scaling: sc,
             improvement: imp,
             execution,
+            fidelity: o.experiment.fidelity.canonical(),
             timings,
         })
     }
@@ -640,6 +645,7 @@ impl GemStoneReport {
             ex.trace_bytes as f64 / (1 << 20) as f64,
             ex.trace_budget as f64 / (1 << 20) as f64,
         );
+        let _ = writeln!(out, "fidelity tier: {}", self.fidelity);
 
         // Per-stage wall-clock timings.
         let _ = writeln!(out, "\nstage timings (wall clock):");
@@ -703,6 +709,7 @@ mod tests {
         assert!(text.contains("Fig. 6"));
         assert!(text.contains("§VII"));
         assert!(text.contains("execution layer"));
+        assert!(text.contains("fidelity tier: "));
         // Every analysis stage reported a timing, in the fixed order.
         assert!(text.contains("stage timings"));
         let names: Vec<&str> = report.timings.stages.iter().map(|&(n, _)| n).collect();

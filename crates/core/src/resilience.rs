@@ -218,7 +218,8 @@ fn characterise_workload(
             let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), f);
             let run = retry
                 .run(&key, |attempt| {
-                    cfg.board.try_run_with(faults, spec, cluster, f, attempt)
+                    cfg.board
+                        .try_run_tier_with(faults, spec, cluster, f, attempt, cfg.fidelity)
                 })
                 .map_err(quarantine)?;
             hw_runs.push(run);
@@ -230,7 +231,7 @@ fn characterise_workload(
             let key = format!("{}:{}:{:.0}", spec.name, model.name(), f);
             let run = retry
                 .run(&key, |attempt| {
-                    Gem5Sim::try_run_with(faults, spec, model, f, attempt)
+                    Gem5Sim::try_run_tier_with(faults, spec, model, f, attempt, cfg.fidelity)
                 })
                 .map_err(quarantine)?;
             gem5_runs.push(run);

@@ -24,6 +24,7 @@ use crate::power_truth;
 use crate::sensors::{gaussian, PowerSensor};
 use crate::simcache::SimCache;
 use crate::thermal::ThermalModel;
+use gemstone_uarch::backend::TierConfig;
 use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw};
 use gemstone_uarch::pmu::{event_counts, EventCode};
 use gemstone_uarch::stats::SimStats;
@@ -174,27 +175,74 @@ impl OdroidXu3 {
         freq_hz: f64,
         attempt: u32,
     ) -> Result<HwRun, FaultError> {
+        self.try_run_tier_with(
+            faults,
+            spec,
+            cluster,
+            freq_hz,
+            attempt,
+            TierConfig::default(),
+        )
+    }
+
+    /// [`OdroidXu3::try_run_with`] at an explicit fidelity tier, so
+    /// resilient sweeps stay bit-identical to [`OdroidXu3::run_tier`] on
+    /// the fault-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires.
+    pub fn try_run_tier_with(
+        &self,
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        attempt: u32,
+        tier: TierConfig,
+    ) -> Result<HwRun, FaultError> {
         if faults.is_active() {
             let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), freq_hz);
             faults.check(FaultSite::BoardRun, &key, attempt)?;
             faults.check(FaultSite::SensorRead, &key, attempt)?;
             faults.check(FaultSite::PmuCapture, &key, attempt)?;
         }
-        Ok(self.run(spec, cluster, freq_hz))
+        Ok(self.run_tier(spec, cluster, freq_hz, tier))
     }
 
     /// Runs a workload on `cluster` at `freq_hz` and collects time, PMCs and
-    /// power exactly like the paper's Experiments 1/3/4.
+    /// power exactly like the paper's Experiments 1/3/4, at the default
+    /// (cycle-approximate) fidelity tier.
     ///
     /// # Panics
     ///
     /// Panics if `freq_hz` is not positive.
     pub fn run(&self, spec: &WorkloadSpec, cluster: Cluster, freq_hz: f64) -> HwRun {
+        self.run_tier(spec, cluster, freq_hz, TierConfig::default())
+    }
+
+    /// [`OdroidXu3::run`] at an explicit fidelity tier. Measurement noise
+    /// is tier-independent — it is drawn from the same seeded RNG — so the
+    /// only differences between tiers are the engine statistics themselves
+    /// (exact architectural counts on every tier; micro-architectural
+    /// events fixed-cost on the atomic tier, extrapolated on the sampled
+    /// tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_tier(
+        &self,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> HwRun {
         let cfg = Self::core_config(cluster);
         // The engine is deterministic, so the expensive simulation is
         // memoised; all measurement noise below is drawn per call from the
         // seeded RNG, keeping results identical on cache hit and miss.
-        let sim = self.cache.run(&cfg, spec, freq_hz);
+        let sim = self.cache.run_tier(&cfg, spec, freq_hz, tier);
         let mut rng = self.noise_rng(spec, cluster, freq_hz);
 
         // Median-of-5 timing with run-to-run jitter.

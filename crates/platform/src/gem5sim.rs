@@ -20,6 +20,7 @@
 use crate::dvfs::Cluster;
 use crate::fault::{FaultError, FaultInjector, FaultSite};
 use crate::simcache::SimCache;
+use gemstone_uarch::backend::TierConfig;
 use gemstone_uarch::configs::{ex5_big, ex5_little, Ex5Variant};
 use gemstone_uarch::pmu::{event_counts, EventCode};
 use gemstone_uarch::stats::SimStats;
@@ -105,6 +106,27 @@ impl Gem5Sim {
         Self::run_config(spec, model, model.config(), freq_hz)
     }
 
+    /// [`Gem5Sim::run`] at an explicit fidelity tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_tier(
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> Gem5Run {
+        Self::run_config_with_cache_tier(
+            &SimCache::global(),
+            spec,
+            model,
+            model.config(),
+            freq_hz,
+            tier,
+        )
+    }
+
     /// [`Gem5Sim::run`] with fault awareness: consults the process-wide
     /// [`FaultInjector`] first, so a "wedged" simulation job surfaces as a
     /// structured [`FaultError`] the sweep drivers can retry. `attempt` is
@@ -137,11 +159,29 @@ impl Gem5Sim {
         freq_hz: f64,
         attempt: u32,
     ) -> Result<Gem5Run, FaultError> {
+        Self::try_run_tier_with(faults, spec, model, freq_hz, attempt, TierConfig::default())
+    }
+
+    /// [`Gem5Sim::try_run_with`] at an explicit fidelity tier, so
+    /// resilient sweeps stay bit-identical to [`Gem5Sim::run_tier`] on the
+    /// fault-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires.
+    pub fn try_run_tier_with(
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        attempt: u32,
+        tier: TierConfig,
+    ) -> Result<Gem5Run, FaultError> {
         if faults.is_active() {
             let key = format!("{}:{}:{:.0}", spec.name, model.name(), freq_hz);
             faults.check(FaultSite::Gem5Run, &key, attempt)?;
         }
-        Ok(Self::run(spec, model, freq_hz))
+        Ok(Self::run_tier(spec, model, freq_hz, tier))
     }
 
     /// Like [`Gem5Sim::run`], but consulting an explicit [`SimCache`]
@@ -194,7 +234,25 @@ impl Gem5Sim {
         cfg: gemstone_uarch::core::CoreConfig,
         freq_hz: f64,
     ) -> Gem5Run {
-        let sim = cache.run(&cfg, spec, freq_hz);
+        Self::run_config_with_cache_tier(cache, spec, model, cfg, freq_hz, TierConfig::default())
+    }
+
+    /// Like [`Gem5Sim::run_config_with_cache`], at an explicit fidelity
+    /// tier. The tier is part of the cache identity, so fast-tier runs
+    /// never pollute (or read) the reference-tier memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn run_config_with_cache_tier(
+        cache: &SimCache,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        cfg: gemstone_uarch::core::CoreConfig,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> Gem5Run {
+        let sim = cache.run_tier(&cfg, spec, freq_hz, tier);
         let stats_map = sim.stats.gem5_stats_map();
         let pmu_equiv = event_counts(&sim.stats);
         Gem5Run {

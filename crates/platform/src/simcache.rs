@@ -47,7 +47,8 @@
 //! ```
 
 use gemstone_obs::{Counter, Registry};
-use gemstone_uarch::core::{CoreConfig, Engine};
+use gemstone_uarch::backend::{Backend, TierConfig};
+use gemstone_uarch::core::CoreConfig;
 use gemstone_uarch::stats::SimStats;
 use gemstone_workloads::gen::StreamGen;
 use gemstone_workloads::spec::WorkloadSpec;
@@ -169,15 +170,30 @@ impl SimCache {
             .clone()
     }
 
+    /// Fingerprints one simulation tuple at the default (cycle-approximate)
+    /// fidelity tier.
+    pub fn fingerprint(spec: &WorkloadSpec, cfg: &CoreConfig, freq_hz: f64) -> SimKey {
+        Self::fingerprint_tier(spec, cfg, freq_hz, TierConfig::default())
+    }
+
     /// Fingerprints one simulation tuple. The fingerprint covers every
     /// field of the spec and the configuration (via their canonical debug
-    /// renderings), the exact frequency bits and the derived seed.
-    pub fn fingerprint(spec: &WorkloadSpec, cfg: &CoreConfig, freq_hz: f64) -> SimKey {
+    /// renderings), the exact frequency bits, the derived seed and the
+    /// fidelity tier — results from different tiers never share an entry.
+    /// The tier is canonicalised first, so sampling-geometry knobs do not
+    /// churn atomic or approximate keys.
+    pub fn fingerprint_tier(
+        spec: &WorkloadSpec,
+        cfg: &CoreConfig,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> SimKey {
         use std::hash::{Hash, Hasher};
         let repr = format!(
-            "{spec:?}\u{1f}{cfg:?}\u{1f}{}\u{1f}{}",
+            "{spec:?}\u{1f}{cfg:?}\u{1f}{}\u{1f}{}\u{1f}{:?}",
             freq_hz.to_bits(),
-            spec.derived_seed()
+            spec.derived_seed(),
+            tier.canonical()
         );
         let mut sip = std::collections::hash_map::DefaultHasher::new();
         repr.hash(&mut sip);
@@ -187,16 +203,32 @@ impl SimCache {
         }
     }
 
-    /// Runs the engine for one tuple — or returns the memoised result.
-    ///
-    /// The first caller for a key executes the engine; concurrent callers
-    /// for the same key block on that execution rather than duplicating
-    /// it. When the cache is disabled the engine always runs.
+    /// Runs the engine for one tuple at the default (cycle-approximate)
+    /// fidelity tier — or returns the memoised result.
     pub fn run(&self, cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
+        self.run_tier(cfg, spec, freq_hz, TierConfig::default())
+    }
+
+    /// Runs the selected fidelity tier for one tuple — or returns the
+    /// memoised result.
+    ///
+    /// The first caller for a key executes the backend; concurrent callers
+    /// for the same key block on that execution rather than duplicating
+    /// it. When the cache is disabled the backend always runs. The tier is
+    /// part of the cache identity, so a warm approximate entry is never
+    /// returned for an atomic or sampled request (and vice versa).
+    pub fn run_tier(
+        &self,
+        cfg: &CoreConfig,
+        spec: &WorkloadSpec,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> SimOutcome {
+        let tier = tier.canonical();
         if !self.enabled.load(Ordering::Relaxed) {
-            return Self::execute_with(&self.traces, cfg, spec, freq_hz);
+            return Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier);
         }
-        let key = Self::fingerprint(spec, cfg, freq_hz);
+        let key = Self::fingerprint_tier(spec, cfg, freq_hz, tier);
         let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
         let slot = {
             let map = shard.read();
@@ -211,7 +243,7 @@ impl SimCache {
             .cell
             .get_or_init(|| {
                 computed = true;
-                Self::execute_with(&self.traces, cfg, spec, freq_hz)
+                Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier)
             })
             .clone();
         if computed {
@@ -222,25 +254,41 @@ impl SimCache {
         out
     }
 
-    /// Executes the engine directly, bypassing the result memo (the
-    /// process-wide trace cache still serves the instruction stream).
+    /// Executes the engine directly at the default fidelity tier,
+    /// bypassing the result memo (the process-wide trace cache still
+    /// serves the instruction stream).
     pub fn execute(cfg: &CoreConfig, spec: &WorkloadSpec, freq_hz: f64) -> SimOutcome {
         Self::execute_with(&TraceCache::global(), cfg, spec, freq_hz)
     }
 
-    /// Executes the engine directly, replaying the packed trace from
-    /// `traces` when available and generating the stream otherwise (the
-    /// two paths are bit-identical).
+    /// Executes the engine directly at the default fidelity tier,
+    /// replaying the packed trace from `traces` when available and
+    /// generating the stream otherwise (the two paths are bit-identical).
     pub fn execute_with(
         traces: &TraceCache,
         cfg: &CoreConfig,
         spec: &WorkloadSpec,
         freq_hz: f64,
     ) -> SimOutcome {
-        let mut engine = Engine::with_seed(cfg.clone(), freq_hz, spec.threads, spec.derived_seed());
+        Self::execute_tier_with(traces, cfg, spec, freq_hz, TierConfig::default())
+    }
+
+    /// Executes the selected fidelity tier directly, bypassing the result
+    /// memo. Packed traces take the tier's fastest replay path (see
+    /// [`PackedTrace::run_backend`](gemstone_workloads::trace::PackedTrace::run_backend));
+    /// direct generation streams every instruction. The two paths are
+    /// bit-identical for every tier.
+    pub fn execute_tier_with(
+        traces: &TraceCache,
+        cfg: &CoreConfig,
+        spec: &WorkloadSpec,
+        freq_hz: f64,
+        tier: TierConfig,
+    ) -> SimOutcome {
+        let mut backend = Backend::new(tier, cfg, freq_hz, spec.threads, spec.derived_seed());
         let result = match traces.get(spec) {
-            Some(trace) => engine.run(trace.iter()),
-            None => engine.run(StreamGen::new(spec)),
+            Some(trace) => trace.run_backend(&mut backend),
+            None => backend.run_stream(StreamGen::new(spec)),
         };
         SimOutcome {
             seconds: result.seconds,
@@ -440,6 +488,79 @@ mod tests {
         assert_eq!(traced.seconds, direct.seconds);
         assert_eq!(traced.stats.cycles, direct.stats.cycles);
         assert_eq!(traced.stats.gem5_stats_map(), direct.stats.gem5_stats_map());
+    }
+
+    #[test]
+    fn tiers_never_share_cache_entries() {
+        use gemstone_uarch::backend::{Fidelity, SampleParams};
+
+        let cache = SimCache::new();
+        let s = spec("mi-sha");
+        let cfg = cortex_a15_hw();
+        let tiers = [
+            TierConfig::atomic(),
+            TierConfig::approx(),
+            TierConfig::sampled(SampleParams::default()),
+        ];
+        let mut results = Vec::new();
+        for &tier in &tiers {
+            results.push(cache.run_tier(&cfg, &s, 1.0e9, tier));
+        }
+        // Three distinct entries: a warm run at one tier never serves
+        // another tier's request.
+        assert_eq!(cache.misses(), 3, "one engine execution per tier");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 3);
+        for (tier, out) in tiers.iter().zip(&results) {
+            assert_eq!(
+                out.stats.fidelity, tier.fidelity,
+                "result tagged with its tier"
+            );
+            let warm = cache.run_tier(&cfg, &s, 1.0e9, *tier);
+            assert_eq!(warm.stats.cycles, out.stats.cycles);
+        }
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 3, "warm re-runs never re-execute");
+        // The legacy entry points are the approximate tier.
+        let legacy = cache.run(&cfg, &s, 1.0e9);
+        assert_eq!(cache.misses(), 3, "run() shares the approx entry");
+        assert_eq!(legacy.stats.fidelity, Fidelity::Approx);
+    }
+
+    #[test]
+    fn tier_keys_are_distinct_but_sample_knobs_only_affect_sampled() {
+        use gemstone_uarch::backend::SampleParams;
+
+        let s = spec("mi-sha");
+        let cfg = cortex_a15_hw();
+        let approx = SimCache::fingerprint_tier(&s, &cfg, 1.0e9, TierConfig::approx());
+        let atomic = SimCache::fingerprint_tier(&s, &cfg, 1.0e9, TierConfig::atomic());
+        let sampled = SimCache::fingerprint_tier(
+            &s,
+            &cfg,
+            1.0e9,
+            TierConfig::sampled(SampleParams::default()),
+        );
+        assert_ne!(approx, atomic);
+        assert_ne!(approx, sampled);
+        assert_ne!(atomic, sampled);
+        assert_eq!(approx, SimCache::fingerprint(&s, &cfg, 1.0e9));
+        // Sampling geometry is part of the sampled key only.
+        let wide = SampleParams {
+            interval: 10_000,
+            ..SampleParams::default()
+        };
+        assert_ne!(
+            sampled,
+            SimCache::fingerprint_tier(&s, &cfg, 1.0e9, TierConfig::sampled(wide))
+        );
+        let mut approx_with_knobs = TierConfig::approx();
+        approx_with_knobs.sample = wide;
+        assert_eq!(
+            approx,
+            SimCache::fingerprint_tier(&s, &cfg, 1.0e9, approx_with_knobs),
+            "canonicalisation collapses sample knobs for non-sampled tiers"
+        );
     }
 
     #[test]

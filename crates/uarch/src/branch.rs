@@ -404,6 +404,24 @@ pub struct BranchCounters {
 }
 
 impl BranchCounters {
+    /// Applies `f` to every counter (used by the sampled tier to
+    /// extrapolate detailed-window counts to the whole stream).
+    pub fn map(&self, f: impl Fn(u64) -> u64) -> Self {
+        BranchCounters {
+            lookups: f(self.lookups),
+            cond_predicted: f(self.cond_predicted),
+            cond_incorrect: f(self.cond_incorrect),
+            btb_hits: f(self.btb_hits),
+            btb_misses: f(self.btb_misses),
+            used_ras: f(self.used_ras),
+            ras_incorrect: f(self.ras_incorrect),
+            indirect_lookups: f(self.indirect_lookups),
+            indirect_misses: f(self.indirect_misses),
+            immediate_branches: f(self.immediate_branches),
+            returns: f(self.returns),
+        }
+    }
+
     /// Total mispredicts of any kind.
     pub fn total_mispredicts(&self) -> u64 {
         self.cond_incorrect + self.ras_incorrect + self.indirect_misses + self.btb_misses
@@ -552,6 +570,60 @@ impl BranchUnit {
                     mispredicted: true,
                     kind: MispredictKind::BtbMiss,
                 }
+            }
+        }
+    }
+
+    /// Functional warming: trains the direction predictor, BTB, RAS and
+    /// indirect predictor exactly like [`BranchUnit::process`] but records
+    /// nothing in the counters. Returns whether the branch would have
+    /// mispredicted, so the caller can also warm the wrong-path fetch
+    /// pollution a real mispredict causes. The sampled execution tier
+    /// drives this during fast-forward phases so predictor history stays in
+    /// phase with the instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when called with a non-branch instruction or a
+    /// branch without [`Instr::branch`] metadata.
+    pub fn warm(&mut self, instr: &Instr) -> bool {
+        debug_assert!(instr.class.is_branch());
+        let br = instr.branch.expect("branch instruction without metadata");
+        match instr.class {
+            InstrClass::Branch => {
+                let predicted = self.dir.predict(br.static_id);
+                let mispredicted = predicted != br.taken;
+                self.dir.update(br.static_id, br.taken, mispredicted);
+                if mispredicted {
+                    true
+                } else if br.taken && br.target_page != instr.page() {
+                    self.warm_target(br.static_id, br.target_page)
+                } else {
+                    false
+                }
+            }
+            InstrClass::Call => {
+                self.ras.push(instr.page());
+                self.warm_target(br.static_id, br.target_page)
+            }
+            InstrClass::Return => self.ras.pop() != Some(br.target_page),
+            InstrClass::IndirectBranch => {
+                let i = (mix(br.static_id) as usize) & (self.indirect.len() - 1);
+                let hit = matches!(self.indirect[i], Some((tag, page)) if tag == br.static_id && page == br.target_page);
+                self.indirect[i] = Some((br.static_id, br.target_page));
+                !hit
+            }
+            _ => unreachable!("warm() requires a branch class"),
+        }
+    }
+
+    /// Counter-free [`BranchUnit::target_check`]; true on a BTB mispredict.
+    fn warm_target(&mut self, static_id: u32, target_page: u64) -> bool {
+        match self.btb.lookup(static_id) {
+            Some(page) if page == target_page => false,
+            _ => {
+                self.btb.install(static_id, target_page);
+                true
             }
         }
     }

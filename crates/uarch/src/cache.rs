@@ -170,6 +170,27 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
+    /// Applies `f` to every counter (used by the sampled tier to
+    /// extrapolate detailed-window counts to the whole stream).
+    pub fn map(&self, f: impl Fn(u64) -> u64) -> Self {
+        CacheCounters {
+            accesses: f(self.accesses),
+            read_accesses: f(self.read_accesses),
+            write_accesses: f(self.write_accesses),
+            hits: f(self.hits),
+            misses: f(self.misses),
+            read_misses: f(self.read_misses),
+            write_misses: f(self.write_misses),
+            writeback_lines: f(self.writeback_lines),
+            writebacks_reported: f(self.writebacks_reported),
+            refill_reads: f(self.refill_reads),
+            refill_writes: f(self.refill_writes),
+            refill_writes_reported: f(self.refill_writes_reported),
+            evictions: f(self.evictions),
+            prefetch_fills: f(self.prefetch_fills),
+        }
+    }
+
     /// Demand miss rate in `[0, 1]` (0 when no accesses).
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -300,6 +321,45 @@ impl Cache {
         true
     }
 
+    /// Functional warming: updates the replacement state exactly like
+    /// [`Cache::access`] but records nothing in the counters. The sampled
+    /// execution tier drives this during fast-forward phases so measurement
+    /// windows start from live cache contents instead of stale ones, while
+    /// the event counts it later extrapolates stay untouched.
+    #[inline]
+    pub fn warm(&mut self, line: u64, is_write: bool) -> CacheAccess {
+        if is_write && !self.cfg.write_allocate && !self.sets.probe(line) {
+            return CacheAccess {
+                hit: false,
+                writeback: false,
+                writeback_line: None,
+            };
+        }
+        let r = self.sets.access(line, is_write);
+        if r.hit {
+            CacheAccess {
+                hit: true,
+                writeback: false,
+                writeback_line: None,
+            }
+        } else {
+            CacheAccess {
+                hit: false,
+                writeback: r.victim_dirty,
+                writeback_line: if r.victim_dirty { r.victim_tag } else { None },
+            }
+        }
+    }
+
+    /// Counter-free companion of [`Cache::prefetch_fill`] for functional
+    /// warming.
+    #[inline]
+    pub fn warm_fill(&mut self, line: u64) {
+        if !self.sets.probe(line) {
+            self.sets.access(line, false);
+        }
+    }
+
     /// Invalidates a line (coherence); returns `Some(dirty)` when present.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         self.sets.invalidate(line)
@@ -334,6 +394,13 @@ pub fn run_prefetch(cache: &mut Cache, missed_line: u64, cfg: PrefetcherConfig) 
         }
     }
     inserted
+}
+
+/// Counter-free companion of [`run_prefetch`] for functional warming.
+pub fn warm_prefetch(cache: &mut Cache, missed_line: u64, cfg: PrefetcherConfig) {
+    for d in 1..=u64::from(cfg.degree) {
+        cache.warm_fill(missed_line + d);
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@
 use crate::branch::{
     BimodalPredictor, BranchUnit, DirectionPredictor, GsharePredictor, TournamentPredictor,
 };
-use crate::cache::{run_prefetch, Cache, CacheConfig, PrefetcherConfig};
+use crate::cache::{run_prefetch, warm_prefetch, Cache, CacheConfig, PrefetcherConfig};
 use crate::instr::{Instr, InstrClass};
 use crate::memory::DramConfig;
 use crate::stats::{ClassCounts, SimStats, StallCycles};
@@ -155,7 +155,8 @@ impl L2TlbKind {
         }
     }
 
-    fn is_split(self) -> bool {
+    /// True for the split (walker-cache) shape.
+    pub fn is_split(self) -> bool {
         matches!(self, L2TlbKind::Split { .. })
     }
 }
@@ -384,6 +385,12 @@ impl Engine {
         &self.cfg
     }
 
+    /// Cycles accumulated so far (the sampled tier reads per-instruction
+    /// cycle deltas through this).
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
     /// Runs the engine over an instruction stream and returns the result.
     pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> SimResult {
         let _span = gemstone_obs::span::span("engine.run");
@@ -408,6 +415,95 @@ impl Engine {
             _ => {}
         }
         self.count_committed(instr.class);
+    }
+
+    /// Functional warming: advances every piece of long-lived
+    /// microarchitectural state — caches, TLBs, branch predictor, fetch-line
+    /// tracking, and the ITLB/L1I pollution of wrong-path fetch bursts —
+    /// exactly as [`Engine::step`] would, but charges no cycles and records
+    /// no events. The RNG is drawn only for wrong-path page selection, just
+    /// like a detailed mispredict. The sampled tier drives this through
+    /// fast-forward phases so that detailed measurement windows resume from
+    /// live state rather than state frozen at the end of the previous
+    /// window (SMARTS-style functional warming).
+    #[inline]
+    pub fn warm_state(&mut self, instr: &Instr) {
+        // The periodic ITLB flush keeps its cadence across fast-forwarded
+        // stretches; otherwise resumed windows would see an unrealistically
+        // warm instruction TLB.
+        if let Some(interval) = self.cfg.itlb_flush_interval {
+            self.instr_since_flush += 1;
+            if self.instr_since_flush >= interval {
+                self.instr_since_flush = 0;
+                self.tlbs.flush_instruction_l1();
+            }
+        }
+        let line = instr.fetch_line();
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            self.tlbs.warm(TlbKind::Instruction, instr.page());
+            if !self.l1i.warm(line, false).hit {
+                self.warm_level2(line, false);
+            }
+        }
+        match instr.class {
+            c if c.is_memory() => {
+                if let Some(mem) = instr.mem {
+                    self.last_data_page = mem.page();
+                    self.tlbs.warm(TlbKind::Data, mem.page());
+                    let line = mem.vaddr >> self.l1d_line_shift;
+                    if mem.unaligned {
+                        self.l1d.warm(line + 1, mem.is_store);
+                    }
+                    let a = self.l1d.warm(line, mem.is_store);
+                    if !a.hit {
+                        self.warm_level2(line, mem.is_store);
+                    }
+                    if let Some(victim) = a.writeback_line {
+                        self.l2.warm(victim, true);
+                    }
+                }
+            }
+            // The guard's `warm` call must run for every branch — it updates
+            // the predictor tables; mispredicted ones additionally warm the
+            // wrong-path pollution.
+            c if c.is_branch() && self.bu.warm(instr) => self.warm_wrong_path(instr),
+            _ => {}
+        }
+    }
+
+    /// Counter-free companion of [`Engine::level2_fill`].
+    fn warm_level2(&mut self, line: u64, is_write: bool) {
+        if !self.l2.warm(line, is_write).hit && self.cfg.prefetch.degree > 0 {
+            warm_prefetch(&mut self.l2, line, self.cfg.prefetch);
+        }
+    }
+
+    /// Counter-free companion of [`Engine::wrong_path_fetch`]: the
+    /// ITLB/L1I/DTLB pollution of the wrong-path burst is long-lived state
+    /// that measurement windows observe, so fast-forwarding must reproduce
+    /// it (same RNG draws as the detailed path) or sampled CPI drifts by
+    /// several percent on mispredict-heavy workloads.
+    fn warm_wrong_path(&mut self, instr: &Instr) {
+        let depth = self.cfg.wrong_path_depth;
+        if depth == 0 {
+            return;
+        }
+        let br = instr.branch.expect("branch without metadata");
+        let wp_page = br.target_page ^ (1 + (self.rng.gen::<u64>() & 0x1F));
+        self.tlbs.warm(TlbKind::Instruction, wp_page);
+        let lines = (u64::from(depth)).div_ceil(16).max(1);
+        let base = self.rng.gen::<u64>() & 0x3F;
+        for i in 0..lines {
+            let line = (wp_page << 6) | ((base + i) & 0x3F);
+            if !self.l1i.warm(line, false).hit {
+                self.warm_level2(line, false);
+            }
+        }
+        for _ in 0..3 {
+            let page = self.last_data_page ^ (1 + (self.rng.gen::<u64>() & 0x7F));
+            self.tlbs.warm(TlbKind::Data, page);
+        }
     }
 
     #[inline]

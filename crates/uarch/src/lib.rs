@@ -47,6 +47,7 @@
 
 mod assoc;
 
+pub mod backend;
 pub mod branch;
 pub mod cache;
 pub mod configs;

@@ -17,8 +17,10 @@
 //! assert!(map.contains_key("system.cpu.branchPred.condIncorrect"));
 //! ```
 
+use crate::backend::{Fidelity, SampleMeta};
 use crate::branch::BranchCounters;
 use crate::cache::CacheCounters;
+use crate::instr::InstrClass;
 use crate::tlb::TlbSideCounters;
 use std::collections::BTreeMap;
 
@@ -93,6 +95,78 @@ impl ClassCounts {
     /// Scalar floating-point ops.
     pub fn fp(&self) -> u64 {
         self.fp_alu + self.fp_div
+    }
+
+    /// Builds per-class counts from a dense histogram indexed by
+    /// [`InstrClass::index`] (the inverse of [`ClassCounts::to_histogram`]).
+    pub fn from_histogram(hist: &[u64; InstrClass::COUNT]) -> Self {
+        ClassCounts {
+            int_alu: hist[InstrClass::IntAlu.index() as usize],
+            int_mul: hist[InstrClass::IntMul.index() as usize],
+            int_div: hist[InstrClass::IntDiv.index() as usize],
+            fp_alu: hist[InstrClass::FpAlu.index() as usize],
+            fp_div: hist[InstrClass::FpDiv.index() as usize],
+            simd: hist[InstrClass::Simd.index() as usize],
+            loads: hist[InstrClass::Load.index() as usize],
+            stores: hist[InstrClass::Store.index() as usize],
+            branches: hist[InstrClass::Branch.index() as usize],
+            indirect_branches: hist[InstrClass::IndirectBranch.index() as usize],
+            calls: hist[InstrClass::Call.index() as usize],
+            returns: hist[InstrClass::Return.index() as usize],
+            load_exclusives: hist[InstrClass::LoadExclusive.index() as usize],
+            store_exclusives: hist[InstrClass::StoreExclusive.index() as usize],
+            barriers: hist[InstrClass::Barrier.index() as usize],
+            nops: hist[InstrClass::Nop.index() as usize],
+        }
+    }
+
+    /// The counts as a dense histogram indexed by [`InstrClass::index`].
+    pub fn to_histogram(&self) -> [u64; InstrClass::COUNT] {
+        let mut hist = [0u64; InstrClass::COUNT];
+        hist[InstrClass::IntAlu.index() as usize] = self.int_alu;
+        hist[InstrClass::IntMul.index() as usize] = self.int_mul;
+        hist[InstrClass::IntDiv.index() as usize] = self.int_div;
+        hist[InstrClass::FpAlu.index() as usize] = self.fp_alu;
+        hist[InstrClass::FpDiv.index() as usize] = self.fp_div;
+        hist[InstrClass::Simd.index() as usize] = self.simd;
+        hist[InstrClass::Load.index() as usize] = self.loads;
+        hist[InstrClass::Store.index() as usize] = self.stores;
+        hist[InstrClass::Branch.index() as usize] = self.branches;
+        hist[InstrClass::IndirectBranch.index() as usize] = self.indirect_branches;
+        hist[InstrClass::Call.index() as usize] = self.calls;
+        hist[InstrClass::Return.index() as usize] = self.returns;
+        hist[InstrClass::LoadExclusive.index() as usize] = self.load_exclusives;
+        hist[InstrClass::StoreExclusive.index() as usize] = self.store_exclusives;
+        hist[InstrClass::Barrier.index() as usize] = self.barriers;
+        hist[InstrClass::Nop.index() as usize] = self.nops;
+        hist
+    }
+
+    /// Applies `f` to every class count.
+    pub fn map(&self, f: impl Fn(u64) -> u64) -> Self {
+        let mut hist = self.to_histogram();
+        for v in &mut hist {
+            *v = f(*v);
+        }
+        ClassCounts::from_histogram(&hist)
+    }
+
+    /// Per-class sum.
+    pub fn add(&self, other: &ClassCounts) -> Self {
+        let (mut a, b) = (self.to_histogram(), other.to_histogram());
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        ClassCounts::from_histogram(&a)
+    }
+
+    /// Per-class saturating difference.
+    pub fn saturating_sub(&self, other: &ClassCounts) -> Self {
+        let (mut a, b) = (self.to_histogram(), other.to_histogram());
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = x.saturating_sub(y);
+        }
+        ClassCounts::from_histogram(&a)
     }
 }
 
@@ -191,6 +265,11 @@ pub struct SimStats {
     /// Whether the second-level TLB was split (controls which walker-cache
     /// statistics appear in the gem5 dump).
     pub split_l2_tlb: bool,
+    /// The fidelity tier that produced these statistics.
+    pub fidelity: Fidelity,
+    /// Sampling evidence — present only for sampled-tier runs, so results
+    /// are never silently mistaken for full-detail runs.
+    pub sample: Option<SampleMeta>,
 }
 
 impl SimStats {

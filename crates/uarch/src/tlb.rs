@@ -156,6 +156,20 @@ pub struct TlbSideCounters {
     pub walks: u64,
 }
 
+impl TlbSideCounters {
+    /// Applies `f` to every counter (used by the sampled tier to
+    /// extrapolate detailed-window counts to the whole stream).
+    pub fn map(&self, f: impl Fn(u64) -> u64) -> Self {
+        TlbSideCounters {
+            l1_accesses: f(self.l1_accesses),
+            l1_misses: f(self.l1_misses),
+            l2_accesses: f(self.l2_accesses),
+            l2_hits: f(self.l2_hits),
+            walks: f(self.walks),
+        }
+    }
+}
+
 /// Result of one translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TranslateResult {
@@ -239,6 +253,32 @@ impl TlbHierarchy {
                 l1_hit: false,
                 l2_hit: false,
                 stall_cycles: latency + walk_latency,
+            }
+        }
+    }
+
+    /// Functional warming: updates L1/L2 TLB replacement state exactly like
+    /// [`TlbHierarchy::translate`] but records nothing in the counters. The
+    /// sampled execution tier drives this during fast-forward phases.
+    #[inline]
+    pub fn warm(&mut self, kind: TlbKind, page: u64) {
+        let l1 = match kind {
+            TlbKind::Instruction => &mut self.l1i,
+            TlbKind::Data => &mut self.l1d,
+        };
+        if l1.access(page, false).hit {
+            return;
+        }
+        match &mut self.l2.inner {
+            SecondLevel::Unified { tlb, .. } => {
+                tlb.access(page, false);
+            }
+            SecondLevel::Split { itlb, dtlb, .. } => {
+                let t = match kind {
+                    TlbKind::Instruction => itlb,
+                    TlbKind::Data => dtlb,
+                };
+                t.access(page, false);
             }
         }
     }

@@ -43,10 +43,13 @@
 use crate::gen::StreamGen;
 use crate::spec::WorkloadSpec;
 use gemstone_obs::{Counter, Registry};
+use gemstone_uarch::backend::{record_tier_run, Backend, ExecBackend, Fidelity};
+use gemstone_uarch::core::SimResult;
 use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -59,6 +62,11 @@ pub const TRACE_BYTES_ENV: &str = "GEMSTONE_TRACE_BYTES";
 
 /// Default byte budget of the process-wide trace cache (512 MiB).
 pub const DEFAULT_TRACE_BYTES: usize = 512 << 20;
+
+/// Instructions between payload-index entries. Seeking to an arbitrary
+/// offset scans at most this many class bytes, so sampling windows can
+/// start replays anywhere without re-decoding the prefix.
+const INDEX_STRIDE: usize = 4096;
 
 const MEM_UNALIGNED: u8 = 1 << 0;
 const MEM_STORE: u8 = 1 << 1;
@@ -136,6 +144,16 @@ pub struct PackedTrace {
     pcs: Vec<u64>,
     mems: Vec<PackedMem>,
     branches: Vec<PackedBranch>,
+    /// Sparse seek index: entry `k` holds the cumulative payload-column
+    /// offsets at instruction `k * INDEX_STRIDE`.
+    index: Vec<PayloadOffsets>,
+}
+
+/// Cumulative payload-column offsets at one indexed instruction boundary.
+#[derive(Debug, Clone, Copy)]
+struct PayloadOffsets {
+    mem: u64,
+    branch: u64,
 }
 
 impl PackedTrace {
@@ -155,8 +173,15 @@ impl PackedTrace {
             pcs: Vec::with_capacity(n),
             mems: Vec::new(),
             branches: Vec::new(),
+            index: Vec::with_capacity(n / INDEX_STRIDE + 1),
         };
         for instr in stream {
+            if trace.classes.len().is_multiple_of(INDEX_STRIDE) {
+                trace.index.push(PayloadOffsets {
+                    mem: trace.mems.len() as u64,
+                    branch: trace.branches.len() as u64,
+                });
+            }
             assert_eq!(
                 instr.mem.is_some(),
                 instr.class.is_memory(),
@@ -181,6 +206,7 @@ impl PackedTrace {
         // (bytes() accounts capacity against the cache budget).
         trace.mems.shrink_to_fit();
         trace.branches.shrink_to_fit();
+        trace.index.shrink_to_fit();
         trace
     }
 
@@ -206,6 +232,7 @@ impl PackedTrace {
             + self.pcs.capacity() * std::mem::size_of::<u64>()
             + self.mems.capacity() * std::mem::size_of::<PackedMem>()
             + self.branches.capacity() * std::mem::size_of::<PackedBranch>()
+            + self.index.capacity() * std::mem::size_of::<PayloadOffsets>()
             + std::mem::size_of::<Self>()
     }
 
@@ -217,6 +244,68 @@ impl PackedTrace {
             idx: 0,
             mem_idx: 0,
             branch_idx: 0,
+        }
+    }
+
+    /// Decoding iterator starting at instruction `offset` (clamped to the
+    /// trace length) without decoding the prefix: the sparse payload index
+    /// positions the seek within [`INDEX_STRIDE`] instructions and only
+    /// class bytes — never payloads — are scanned from there.
+    pub fn iter_from(&self, offset: usize) -> Replay<'_> {
+        let offset = offset.min(self.len());
+        let entry = (offset / INDEX_STRIDE).min(self.index.len().saturating_sub(1));
+        let (mut idx, mut mem_idx, mut branch_idx) = match self.index.get(entry) {
+            Some(e) => (entry * INDEX_STRIDE, e.mem as usize, e.branch as usize),
+            None => (0, 0, 0), // empty trace: offset is already 0
+        };
+        while idx < offset {
+            let class =
+                InstrClass::from_index(self.classes[idx]).expect("trace holds valid class indices");
+            mem_idx += class.is_memory() as usize;
+            branch_idx += class.is_branch() as usize;
+            idx += 1;
+        }
+        Replay {
+            trace: self,
+            idx,
+            mem_idx,
+            branch_idx,
+        }
+    }
+
+    /// Per-class instruction counts over `range` (end clamped to the trace
+    /// length), indexed by [`InstrClass::index`]. Reads only the class
+    /// column, so counting costs one byte per instruction — this is what
+    /// the atomic tier and sampled fast-forward phases consume.
+    pub fn class_histogram(&self, range: Range<usize>) -> [u64; InstrClass::COUNT] {
+        let end = range.end.min(self.len());
+        let start = range.start.min(end);
+        let mut hist = [0u64; InstrClass::COUNT];
+        for &class in &self.classes[start..end] {
+            hist[class as usize] += 1;
+        }
+        hist
+    }
+
+    /// Replays the whole trace through a tier [`Backend`], taking the
+    /// fastest path each tier admits: the atomic tier absorbs one class
+    /// histogram and never decodes an instruction, while the approximate
+    /// and sampled tiers stream every decoded instruction — the sampled
+    /// tier needs real addresses even in fast-forward phases to
+    /// functionally warm caches, TLBs and the branch predictor. Results are
+    /// bit-identical to [`Backend::run_stream`] over [`PackedTrace::iter`],
+    /// and the same per-tier span and `engine.tier.*` counters are
+    /// recorded.
+    pub fn run_backend(&self, backend: &mut Backend) -> SimResult {
+        match backend {
+            Backend::Approx(_) | Backend::Sampled(_) => backend.run_stream(self.iter()),
+            Backend::Atomic(engine) => {
+                let _span = gemstone_obs::span::span(Fidelity::Atomic.span_name());
+                engine.absorb_histogram(&self.class_histogram(0..self.len()));
+                let result = engine.finish();
+                record_tier_run(Fidelity::Atomic, result.stats.committed_instructions);
+                result
+            }
         }
     }
 }
@@ -713,5 +802,72 @@ mod tests {
         let a = TraceCache::global();
         let b = TraceCache::global();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn iter_from_matches_skipping_the_prefix() {
+        let trace = PackedTrace::from_spec(&spec(10_000));
+        for offset in [0, 1, 117, 4_095, 4_096, 4_097, 8_192, 9_999, 10_000, 12_000] {
+            let sought: Vec<Instr> = trace.iter_from(offset).collect();
+            let skipped: Vec<Instr> = trace.iter().skip(offset).collect();
+            assert_eq!(sought, skipped, "offset {offset}");
+        }
+        let mut it = trace.iter_from(9_000);
+        assert_eq!(it.len(), 1_000);
+        it.next();
+        assert_eq!(it.len(), 999);
+    }
+
+    #[test]
+    fn iter_from_on_empty_trace() {
+        let trace = PackedTrace::encode(std::iter::empty());
+        assert_eq!(trace.iter_from(0).count(), 0);
+        assert_eq!(trace.iter_from(5).count(), 0);
+    }
+
+    #[test]
+    fn class_histogram_matches_decoded_classes() {
+        let trace = PackedTrace::from_spec(&spec(9_000));
+        let mut expect = [0u64; InstrClass::COUNT];
+        for instr in trace.iter().skip(1_234).take(5_000) {
+            expect[instr.class.index() as usize] += 1;
+        }
+        assert_eq!(trace.class_histogram(1_234..6_234), expect);
+        let total: u64 = trace.class_histogram(0..trace.len()).iter().sum();
+        assert_eq!(total, trace.len() as u64);
+        // Out-of-range and inverted bounds clamp instead of panicking.
+        assert_eq!(
+            trace.class_histogram(8_000..20_000),
+            trace.class_histogram(8_000..9_000)
+        );
+        let empty: u64 = trace.class_histogram(20_000..5).iter().sum();
+        assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn run_backend_is_bit_identical_to_streamed_execution() {
+        use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
+        use gemstone_uarch::configs::cortex_a7_hw;
+
+        let s = spec(30_000);
+        let trace = PackedTrace::from_spec(&s);
+        let cfg = cortex_a7_hw();
+        for tier in [
+            TierConfig::atomic(),
+            TierConfig::approx(),
+            TierConfig::sampled(SampleParams::default()),
+        ] {
+            let mut via_trace = Backend::new(tier, &cfg, 1.0e9, s.threads, 7);
+            let mut via_stream = Backend::new(tier, &cfg, 1.0e9, s.threads, 7);
+            let a = trace.run_backend(&mut via_trace);
+            let b = via_stream.run_stream(trace.iter());
+            assert_eq!(a.cycles, b.cycles, "tier {}", tier.fidelity);
+            assert_eq!(
+                format!("{:?}", a.stats),
+                format!("{:?}", b.stats),
+                "tier {}",
+                tier.fidelity
+            );
+        }
     }
 }

@@ -22,6 +22,12 @@
 //! `--jsonl FILE` (one JSON object per metric sample and span). Any of
 //! these flips the process-wide `GEMSTONE_OBS` switch on for the run.
 //!
+//! `validate`, `report`, `collect`, `stats` and `profile` accept
+//! `--fidelity atomic|approx|sampled` to pick the execution tier; without
+//! the flag the tier comes from `GEMSTONE_FIDELITY` (default `approx`).
+//! The sampled tier's geometry is controlled by `GEMSTONE_SAMPLE_INTERVAL`,
+//! `GEMSTONE_SAMPLE_WINDOW` and `GEMSTONE_SAMPLE_WARMUP`.
+//!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 unknown
 //! flag for the given subcommand.
 
@@ -31,6 +37,7 @@ use gemstone::core::{collate::Collated, experiment, persist, report::Table};
 use gemstone::platform::simcache::SimCache;
 use gemstone::powmon::{dataset, model::PowerModel, selection};
 use gemstone::prelude::*;
+use gemstone::uarch::backend::{Fidelity, SampleParams, TierConfig};
 use gemstone::workloads::spec::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -108,6 +115,11 @@ fn usage() -> ExitCode {
          profile <workload> [--model old|fixed|little] [--freq HZ]\n\
          \u{20}                                                      simulator self-profile:\n\
          \u{20}                                                      MIPS, event rates, instr mix\n\
+         \n\
+         validate, report, collect, stats and profile also accept\n\
+         \u{20}  --fidelity atomic|approx|sampled   execution tier (default: GEMSTONE_FIDELITY\n\
+         \u{20}                                     or approx; sampled-tier geometry via\n\
+         \u{20}                                     GEMSTONE_SAMPLE_{{INTERVAL,WINDOW,WARMUP}})\n\
          \n\
          validate, report, collect and profile also accept observability outputs:\n\
          \u{20}  --metrics FILE   Prometheus text-format metrics dump\n\
@@ -227,11 +239,38 @@ fn parse_model(args: &Args) -> Gem5Model {
     }
 }
 
+/// Execution tier for the run. `--fidelity` wins over `GEMSTONE_FIDELITY`;
+/// the sampled tier's geometry always comes from the `GEMSTONE_SAMPLE_*`
+/// environment knobs. An unrecognised value is a usage error (exit 2),
+/// not a silent fall-back to the default tier.
+fn parse_fidelity(args: &Args) -> Result<TierConfig, String> {
+    match args.get("fidelity") {
+        None => Ok(TierConfig::from_env()),
+        Some(v) => {
+            let fidelity: Fidelity = v
+                .parse()
+                .map_err(|e| format!("invalid --fidelity value: {e}"))?;
+            Ok(TierConfig {
+                fidelity,
+                sample: SampleParams::from_env(),
+            })
+        }
+    }
+}
+
 fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
     let outputs = ObsOutputs::from_args(args);
     outputs.enable();
+    let fidelity = match parse_fidelity(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut opts = PipelineOptions::default();
     opts.experiment.workload_scale = args.scale();
+    opts.experiment.fidelity = fidelity;
     opts.with_power = with_power;
     opts.clusters_k = args
         .get("clusters")
@@ -246,6 +285,7 @@ fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
                 // a fresh collation at the same scale.
                 let cfg = experiment::ExperimentConfig {
                     workload_scale: args.scale(),
+                    fidelity,
                     ..experiment::ExperimentConfig::default()
                 };
                 let collated = Collated::build(&experiment::run_validation(&cfg));
@@ -278,8 +318,16 @@ fn run_collect(args: &Args) -> ExitCode {
 
     let outputs = ObsOutputs::from_args(args);
     outputs.enable();
+    let fidelity = match parse_fidelity(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = experiment::ExperimentConfig {
         workload_scale: args.scale(),
+        fidelity,
         ..experiment::ExperimentConfig::default()
     };
     let workloads: Vec<_> = suites::validation_suite()
@@ -506,13 +554,21 @@ fn run_stats(args: &Args) -> ExitCode {
         }
     };
     let model = parse_model(args);
+    let tier = match parse_fidelity(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let t0 = std::time::Instant::now();
-    let run = Gem5Sim::run(&spec.scaled(args.scale()), model, 1.0e9);
+    let run = Gem5Sim::run_tier(&spec.scaled(args.scale()), model, 1.0e9, tier);
     let sim_micros = t0.elapsed().as_micros() as u64;
     print!("{}", run.stats.to_stats_txt());
     // Execution-layer counters, in the same aligned `name value` style.
-    // `Gem5Sim::run` consults the process-wide caches, so these reflect
-    // whether this invocation hit the memo / replayed a packed trace.
+    // `Gem5Sim::run_tier` consults the process-wide caches, so these
+    // reflect whether this invocation hit the memo / replayed a packed
+    // trace.
     let cache = SimCache::global();
     let traces = cache.trace_cache();
     for (name, value) in [
@@ -526,6 +582,27 @@ fn run_stats(args: &Args) -> ExitCode {
         ("gemstone.sim.wall_micros", sim_micros),
     ] {
         println!("{name:<60} {value:>20}");
+    }
+    let name = run.stats.fidelity.name();
+    println!("{:<60} {name:>20}", "gemstone.fidelity");
+    if let Some(m) = &run.stats.sample {
+        for (name, value) in [
+            ("gemstone.sample.windows", m.windows.to_string()),
+            (
+                "gemstone.sample.measured_instructions",
+                m.measured_instructions.to_string(),
+            ),
+            (
+                "gemstone.sample.coverage_pct",
+                format!("{:.2}", m.coverage * 100.0),
+            ),
+            (
+                "gemstone.sample.rel_ci95_pct",
+                format!("{:.3}", m.rel_ci95 * 100.0),
+            ),
+        ] {
+            println!("{name:<60} {value:>20}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -551,13 +628,20 @@ fn run_profile(args: &Args) -> ExitCode {
         .get("freq")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0e9);
+    let tier = match parse_fidelity(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let outputs = ObsOutputs::from_args(args);
     // Profiling is the point of this subcommand — spans and registry
     // counters are live even when no export file was requested.
     gemstone_obs::set_enabled(true);
 
     let t0 = std::time::Instant::now();
-    let run = Gem5Sim::run(&spec.scaled(args.scale()), model, freq);
+    let run = Gem5Sim::run_tier(&spec.scaled(args.scale()), model, freq, tier);
     let wall = t0.elapsed().as_secs_f64();
 
     let s = &run.stats;
@@ -573,6 +657,19 @@ fn run_profile(args: &Args) -> ExitCode {
         model.name(),
         freq / 1.0e6
     );
+    match &s.sample {
+        Some(m) => println!(
+            "fidelity {}  ({} windows, {} of {} instructions measured, \
+             coverage {:.2} %, rel CI95 {:.3} %)",
+            tier,
+            m.windows,
+            m.measured_instructions,
+            m.total_instructions,
+            m.coverage * 100.0,
+            m.rel_ci95 * 100.0
+        ),
+        None => println!("fidelity {}", s.fidelity.name()),
+    }
     println!(
         "simulated {:.6} s  ({} instructions, {} cycles, IPC {:.3})",
         run.time_s,
@@ -680,8 +777,12 @@ fn main() -> ExitCode {
         }
     };
     let allowed: &[&str] = match cmd.as_str() {
-        "validate" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
-        "report" => &["scale", "clusters", "save", "metrics", "trace", "jsonl"],
+        "validate" => &[
+            "scale", "clusters", "save", "fidelity", "metrics", "trace", "jsonl",
+        ],
+        "report" => &[
+            "scale", "clusters", "save", "fidelity", "metrics", "trace", "jsonl",
+        ],
         "collect" => &[
             "scale",
             "checkpoint",
@@ -690,6 +791,7 @@ fn main() -> ExitCode {
             "csv",
             "retries",
             "min-coverage",
+            "fidelity",
             "metrics",
             "trace",
             "jsonl",
@@ -698,8 +800,10 @@ fn main() -> ExitCode {
         "ablate" => &["scale"],
         "suitability" => &["scale", "max-mape"],
         "improve" => &["scale", "target-mape"],
-        "stats" => &["scale", "model"],
-        "profile" => &["scale", "model", "freq", "metrics", "trace", "jsonl"],
+        "stats" => &["scale", "model", "fidelity"],
+        "profile" => &[
+            "scale", "model", "freq", "fidelity", "metrics", "trace", "jsonl",
+        ],
         _ => return usage(),
     };
     if let Some(flag) = args.unknown_flag(allowed) {
@@ -797,6 +901,20 @@ mod tests {
             .unwrap_err()
             .contains("unknown"));
         assert!(resolve_workload("mi-").unwrap_err().contains("ambiguous"));
+    }
+
+    #[test]
+    fn fidelity_flag_parses_and_rejects_garbage() {
+        let a = Args::parse(&strs(&["--fidelity", "atomic"]), &[]).unwrap();
+        assert_eq!(parse_fidelity(&a).unwrap().fidelity, Fidelity::Atomic);
+        let a = Args::parse(&strs(&["--fidelity", "SAMPLED"]), &[]).unwrap();
+        assert_eq!(parse_fidelity(&a).unwrap().fidelity, Fidelity::Sampled);
+        let a = Args::parse(&strs(&["--fidelity", "turbo"]), &[]).unwrap();
+        assert!(parse_fidelity(&a).unwrap_err().contains("--fidelity"));
+        // No flag falls back to the environment-derived default. The suite
+        // runs without GEMSTONE_FIDELITY set, so that default is approx.
+        let a = Args::parse(&strs(&[]), &[]).unwrap();
+        assert_eq!(parse_fidelity(&a).unwrap(), TierConfig::default());
     }
 
     #[test]
