@@ -45,9 +45,10 @@ fn branch_predictors(c: &mut Criterion) {
     use gemstone_uarch::branch::{
         BimodalPredictor, DirectionPredictor, GsharePredictor, TournamentPredictor,
     };
+    type PredictorCtor = Box<dyn Fn() -> Box<dyn DirectionPredictor>>;
     let mut group = c.benchmark_group("branch_predictors");
     let outcomes: Vec<bool> = (0..10_000).map(|i| i % 3 != 0).collect();
-    let mk: Vec<(&str, Box<dyn Fn() -> Box<dyn DirectionPredictor>>)> = vec![
+    let mk: Vec<(&str, PredictorCtor)> = vec![
         (
             "bimodal",
             Box::new(|| Box::new(BimodalPredictor::new(4096))),

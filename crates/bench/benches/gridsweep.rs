@@ -1,0 +1,113 @@
+//! Criterion benchmarks for fused multi-frequency grid replay.
+//!
+//! Compares filling a cluster's full DVFS frequency column the old way —
+//! one independent backend run per frequency, each re-decoding the packed
+//! trace and re-simulating every shared structure — against one
+//! [`GridBackend`] pass that decodes once and carries all frequencies as
+//! lanes. Covered per cluster (A7 and A15 columns) and across the three
+//! fidelity tiers. The setup pass prints the measured fused-vs-scalar
+//! speedup per (cluster, tier), so a bench run doubles as a check of the
+//! ≥3× target on the A15 approx column.
+//!
+//! Results are bit-identical by construction (debug builds cross-check
+//! every lane against a per-frequency reference engine); release bench
+//! runs measure the fused path without that overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_platform::dvfs::Cluster;
+use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
+use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw};
+use gemstone_uarch::core::CoreConfig;
+use gemstone_uarch::grid::GridBackend;
+use gemstone_workloads::suites;
+use gemstone_workloads::trace::PackedTrace;
+
+const WORKLOAD: &str = "mi-fft";
+const SEED: u64 = 7;
+
+fn clusters() -> [(&'static str, CoreConfig, &'static [f64]); 2] {
+    [
+        ("a7", cortex_a7_hw(), Cluster::LittleA7.frequencies()),
+        ("a15", cortex_a15_hw(), Cluster::BigA15.frequencies()),
+    ]
+}
+
+fn tier_configs() -> [(&'static str, TierConfig); 3] {
+    [
+        ("atomic", TierConfig::atomic()),
+        ("approx", TierConfig::approx()),
+        ("sampled", TierConfig::sampled(SampleParams::default())),
+    ]
+}
+
+fn run_per_frequency(
+    trace: &PackedTrace,
+    cfg: &CoreConfig,
+    freqs: &[f64],
+    tier: TierConfig,
+) -> f64 {
+    let mut total = 0.0;
+    for &f in freqs {
+        let mut backend = Backend::new(tier, cfg, f, 1, SEED);
+        total += trace.run_backend(&mut backend).cycles;
+    }
+    total
+}
+
+fn run_fused(trace: &PackedTrace, cfg: &CoreConfig, freqs: &[f64], tier: TierConfig) -> f64 {
+    let mut backend = GridBackend::new(tier, cfg, freqs, 1, SEED);
+    trace.run_grid(&mut backend).iter().map(|r| r.cycles).sum()
+}
+
+fn grid_sweep(c: &mut Criterion) {
+    let spec = suites::by_name(WORKLOAD).unwrap().scaled(0.5);
+    let trace = PackedTrace::from_spec(&spec);
+    let mut group = c.benchmark_group("grid_sweep");
+    group.sample_size(10);
+
+    for (cluster, cfg, freqs) in clusters() {
+        // One decoded instruction per lane of the column.
+        group.throughput(Throughput::Elements(
+            trace.len() as u64 * freqs.len() as u64,
+        ));
+        for (tier_name, tier) in tier_configs() {
+            // Speedup spot-check, printed once per (cluster, tier): the
+            // wall-clock ratio of the per-frequency column to one fused
+            // replay of the same column.
+            let t0 = std::time::Instant::now();
+            let scalar_cycles = run_per_frequency(&trace, &cfg, freqs, tier);
+            let scalar = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let fused_cycles = run_fused(&trace, &cfg, freqs, tier);
+            let fused = t1.elapsed();
+            assert_eq!(
+                scalar_cycles.to_bits(),
+                fused_cycles.to_bits(),
+                "fused column diverged from per-frequency runs"
+            );
+            println!(
+                "grid_sweep/{cluster}/{tier_name}: {} lanes, fused {:.1}x faster \
+                 ({:.1} ms -> {:.1} ms)",
+                freqs.len(),
+                scalar.as_secs_f64() / fused.as_secs_f64().max(1e-9),
+                scalar.as_secs_f64() * 1e3,
+                fused.as_secs_f64() * 1e3,
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{cluster}_per_frequency"), tier_name),
+                &tier,
+                |b, &tier| b.iter(|| run_per_frequency(&trace, &cfg, freqs, tier)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{cluster}_fused"), tier_name),
+                &tier,
+                |b, &tier| b.iter(|| run_fused(&trace, &cfg, freqs, tier)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, grid_sweep);
+criterion_main!(benches);

@@ -159,8 +159,10 @@ pub fn run_validation(cfg: &ExperimentConfig) -> ValidationData {
 /// Runs the same experiments over an arbitrary workload list (used by the
 /// examples and by ablation benches).
 pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> ValidationData {
-    let hw_runs = Mutex::new(Vec::new());
-    let gem5_runs = Mutex::new(Vec::new());
+    // One mutex guards both result vectors: a worker hands over its whole
+    // per-workload batch (hardware and gem5 together) under a single lock
+    // instead of two back-to-back acquisitions.
+    let runs = Mutex::new((Vec::new(), Vec::new()));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -170,18 +172,28 @@ pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> Validat
                 let Some(spec) = workloads.get(i) else { break };
                 let mut hw_local = Vec::new();
                 let mut g5_local = Vec::new();
+                // Each (cluster, workload) column is one fused grid
+                // replay: the trace is decoded once and every DVFS point
+                // is a lane of the same pass.
                 for &cluster in &cfg.clusters {
-                    for &f in cluster.frequencies() {
-                        hw_local.push(cfg.board.run_tier(spec, cluster, f, cfg.fidelity));
-                    }
+                    hw_local.extend(cfg.board.run_grid_tier(
+                        spec,
+                        cluster,
+                        cluster.frequencies(),
+                        cfg.fidelity,
+                    ));
                 }
                 for &model in &cfg.models {
-                    for &f in model.cluster().frequencies() {
-                        g5_local.push(Gem5Sim::run_tier(spec, model, f, cfg.fidelity));
-                    }
+                    g5_local.extend(Gem5Sim::run_grid_tier(
+                        spec,
+                        model,
+                        model.cluster().frequencies(),
+                        cfg.fidelity,
+                    ));
                 }
-                hw_runs.lock().extend(hw_local);
-                gem5_runs.lock().extend(g5_local);
+                let mut guard = runs.lock();
+                guard.0.extend(hw_local);
+                guard.1.extend(g5_local);
             });
         }
     });
@@ -190,13 +202,12 @@ pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> Validat
     // varies with scheduling. Restore a deterministic order before the
     // data leaves the experiment layer, so collation and persisted
     // artefacts are stable across runs and thread counts.
-    let mut hw_runs = hw_runs.into_inner();
+    let (mut hw_runs, mut gem5_runs) = runs.into_inner();
     hw_runs.sort_by(|a, b| {
         (a.workload.as_str(), a.cluster.name())
             .cmp(&(b.workload.as_str(), b.cluster.name()))
             .then(a.freq_hz.total_cmp(&b.freq_hz))
     });
-    let mut gem5_runs = gem5_runs.into_inner();
     gem5_runs.sort_by(|a, b| {
         (a.workload.as_str(), a.model.name())
             .cmp(&(b.workload.as_str(), b.model.name()))

@@ -212,30 +212,37 @@ fn characterise_workload(
         reason: e.to_string(),
     };
 
+    // Vet every grid point (with per-point retries) before committing to
+    // one fused replay per cluster/model column. Faults fire before any
+    // simulation or RNG work on the per-point path too, so retry and
+    // quarantine behaviour — including which error quarantines the
+    // workload — are identical, and a quarantined workload never costs a
+    // simulation.
     let mut hw_runs = Vec::new();
     for &cluster in &cfg.clusters {
-        for &f in cluster.frequencies() {
+        let freqs = cluster.frequencies();
+        for &f in freqs {
             let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), f);
-            let run = retry
+            retry
                 .run(&key, |attempt| {
-                    cfg.board
-                        .try_run_tier_with(faults, spec, cluster, f, attempt, cfg.fidelity)
+                    cfg.board.check_faults(faults, spec, cluster, f, attempt)
                 })
                 .map_err(quarantine)?;
-            hw_runs.push(run);
         }
+        hw_runs.extend(cfg.board.run_grid_tier(spec, cluster, freqs, cfg.fidelity));
     }
     let mut gem5_runs = Vec::new();
     for &model in &cfg.models {
-        for &f in model.cluster().frequencies() {
+        let freqs = model.cluster().frequencies();
+        for &f in freqs {
             let key = format!("{}:{}:{:.0}", spec.name, model.name(), f);
-            let run = retry
+            retry
                 .run(&key, |attempt| {
-                    Gem5Sim::try_run_tier_with(faults, spec, model, f, attempt, cfg.fidelity)
+                    Gem5Sim::check_faults(faults, spec, model, f, attempt)
                 })
                 .map_err(quarantine)?;
-            gem5_runs.push(run);
         }
+        gem5_runs.extend(Gem5Sim::run_grid_tier(spec, model, freqs, cfg.fidelity));
     }
 
     // The exact comparators run_over applies globally; restricted to one

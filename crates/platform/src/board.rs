@@ -22,7 +22,7 @@ use crate::fault::{FaultError, FaultInjector, FaultSite};
 use crate::pmu_capture::MultiplexedPmu;
 use crate::power_truth;
 use crate::sensors::{gaussian, PowerSensor};
-use crate::simcache::SimCache;
+use crate::simcache::{SimCache, SimOutcome};
 use crate::thermal::ThermalModel;
 use gemstone_uarch::backend::TierConfig;
 use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw};
@@ -201,13 +201,38 @@ impl OdroidXu3 {
         attempt: u32,
         tier: TierConfig,
     ) -> Result<HwRun, FaultError> {
+        self.check_faults(faults, spec, cluster, freq_hz, attempt)?;
+        Ok(self.run_tier(spec, cluster, freq_hz, tier))
+    }
+
+    /// Consults `faults` for every site a run at this DVFS point would
+    /// touch — the run harness, the power sensor and the PMU capture loop
+    /// — without doing any simulation or measurement work. Grid-batched
+    /// sweeps use this to vet a whole frequency column (retrying each
+    /// point independently) before committing to one fused replay, which
+    /// keeps retry and quarantine behaviour identical to the
+    /// per-frequency path: faults fire before any simulation or RNG work
+    /// in both.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires for this
+    /// (workload, cluster, frequency, attempt).
+    pub fn check_faults(
+        &self,
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<(), FaultError> {
         if faults.is_active() {
             let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), freq_hz);
             faults.check(FaultSite::BoardRun, &key, attempt)?;
             faults.check(FaultSite::SensorRead, &key, attempt)?;
             faults.check(FaultSite::PmuCapture, &key, attempt)?;
         }
-        Ok(self.run_tier(spec, cluster, freq_hz, tier))
+        Ok(())
     }
 
     /// Runs a workload on `cluster` at `freq_hz` and collects time, PMCs and
@@ -243,6 +268,49 @@ impl OdroidXu3 {
         // memoised; all measurement noise below is drawn per call from the
         // seeded RNG, keeping results identical on cache hit and miss.
         let sim = self.cache.run_tier(&cfg, spec, freq_hz, tier);
+        self.measure(spec, cluster, freq_hz, sim)
+    }
+
+    /// Runs a workload across a whole frequency column on `cluster` from
+    /// one fused grid replay: the trace is decoded once and every
+    /// frequency is simulated as a lane of the same pass (see
+    /// [`SimCache::run_grid`]). Returns one [`HwRun`] per entry of
+    /// `freqs_hz`, in order, each bit-identical to
+    /// [`OdroidXu3::run_tier`] at that frequency — measurement noise is
+    /// seeded per (workload, cluster, frequency), so batching does not
+    /// perturb it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frequency is not positive.
+    pub fn run_grid_tier(
+        &self,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freqs_hz: &[f64],
+        tier: TierConfig,
+    ) -> Vec<HwRun> {
+        let cfg = Self::core_config(cluster);
+        let sims = self.cache.run_grid(&cfg, spec, freqs_hz, tier);
+        freqs_hz
+            .iter()
+            .zip(sims)
+            .map(|(&f, sim)| self.measure(spec, cluster, f, sim))
+            .collect()
+    }
+
+    /// The measurement half of a run: timing, PMC capture, thermal/power
+    /// iteration and sensor averaging around an already-simulated
+    /// outcome. Noise is drawn from a fresh per-(workload, cluster,
+    /// frequency) RNG, so the result depends only on `sim` and the board
+    /// — not on how (or in what batch) the simulation was produced.
+    fn measure(
+        &self,
+        spec: &WorkloadSpec,
+        cluster: Cluster,
+        freq_hz: f64,
+        sim: SimOutcome,
+    ) -> HwRun {
         let mut rng = self.noise_rng(spec, cluster, freq_hz);
 
         // Median-of-5 timing with run-to-run jitter.
@@ -355,6 +423,26 @@ mod tests {
         }
         assert_eq!((board.cache.misses(), board.cache.hits()), (1, 1));
         assert!(bypass.cache.is_empty());
+    }
+
+    #[test]
+    fn grid_column_matches_per_frequency_runs() {
+        let mut board = OdroidXu3::new();
+        board.cache = Arc::new(SimCache::new());
+        let freqs = [600.0e6, 1.0e9, 1.4e9, 1.8e9];
+        let column = board.run_grid_tier(&spec(), Cluster::BigA15, &freqs, TierConfig::default());
+        assert_eq!(board.cache.grid_fills(), freqs.len() as u64);
+        let mut reference = OdroidXu3::new();
+        reference.cache = Arc::new(SimCache::new());
+        for (&f, run) in freqs.iter().zip(&column) {
+            let single = reference.run(&spec(), Cluster::BigA15, f);
+            assert_eq!(run.freq_hz, f);
+            assert_eq!(run.time_s, single.time_s);
+            assert_eq!(run.power_w, single.power_w);
+            assert_eq!(run.pmc, single.pmc);
+            assert_eq!(run.temperature_c, single.temperature_c);
+            assert_eq!(run.true_stats.cycles, single.true_stats.cycles);
+        }
     }
 
     #[test]

@@ -177,11 +177,33 @@ impl Gem5Sim {
         attempt: u32,
         tier: TierConfig,
     ) -> Result<Gem5Run, FaultError> {
+        Self::check_faults(faults, spec, model, freq_hz, attempt)?;
+        Ok(Self::run_tier(spec, model, freq_hz, tier))
+    }
+
+    /// Consults `faults` for the simulation-job site a run at this
+    /// frequency would touch, without doing any simulation work.
+    /// Grid-batched sweeps use this to vet a whole frequency column
+    /// (retrying each point independently) before committing to one fused
+    /// replay; faults fire before any simulation in both paths, so retry
+    /// and quarantine behaviour are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when a fault fires for this
+    /// (workload, model, frequency, attempt).
+    pub fn check_faults(
+        faults: &FaultInjector,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        attempt: u32,
+    ) -> Result<(), FaultError> {
         if faults.is_active() {
             let key = format!("{}:{}:{:.0}", spec.name, model.name(), freq_hz);
             faults.check(FaultSite::Gem5Run, &key, attempt)?;
         }
-        Ok(Self::run_tier(spec, model, freq_hz, tier))
+        Ok(())
     }
 
     /// Like [`Gem5Sim::run`], but consulting an explicit [`SimCache`]
@@ -253,6 +275,55 @@ impl Gem5Sim {
         tier: TierConfig,
     ) -> Gem5Run {
         let sim = cache.run_tier(&cfg, spec, freq_hz, tier);
+        Self::build_run(spec, model, freq_hz, sim)
+    }
+
+    /// Runs a workload across a whole frequency column on a gem5 model
+    /// from one fused grid replay (see [`SimCache::run_grid`]). Returns
+    /// one [`Gem5Run`] per entry of `freqs_hz`, in order, each
+    /// bit-identical to [`Gem5Sim::run_tier`] at that frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frequency is not positive.
+    pub fn run_grid_tier(
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freqs_hz: &[f64],
+        tier: TierConfig,
+    ) -> Vec<Gem5Run> {
+        Self::run_grid_with_cache_tier(&SimCache::global(), spec, model, freqs_hz, tier)
+    }
+
+    /// Like [`Gem5Sim::run_grid_tier`], but consulting an explicit
+    /// [`SimCache`] — for isolated cache tests and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frequency is not positive.
+    pub fn run_grid_with_cache_tier(
+        cache: &SimCache,
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freqs_hz: &[f64],
+        tier: TierConfig,
+    ) -> Vec<Gem5Run> {
+        let sims = cache.run_grid(&model.config(), spec, freqs_hz, tier);
+        freqs_hz
+            .iter()
+            .zip(sims)
+            .map(|(&f, sim)| Self::build_run(spec, model, f, sim))
+            .collect()
+    }
+
+    /// Wraps one simulation outcome into the gem5-style result record
+    /// (stats dump + PMU-equivalent event counts).
+    fn build_run(
+        spec: &WorkloadSpec,
+        model: Gem5Model,
+        freq_hz: f64,
+        sim: crate::simcache::SimOutcome,
+    ) -> Gem5Run {
         let stats_map = sim.stats.gem5_stats_map();
         let pmu_equiv = event_counts(&sim.stats);
         Gem5Run {
@@ -299,6 +370,28 @@ mod tests {
             assert_eq!(cold.pmu_equiv, other.pmu_equiv);
         }
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn grid_column_matches_per_frequency_runs() {
+        let s = spec("mi-fft");
+        let cache = SimCache::new();
+        let freqs = [600.0e6, 1.0e9, 1.4e9, 1.8e9];
+        let column = Gem5Sim::run_grid_with_cache_tier(
+            &cache,
+            &s,
+            Gem5Model::Ex5BigOld,
+            &freqs,
+            TierConfig::default(),
+        );
+        assert_eq!(cache.grid_fills(), freqs.len() as u64);
+        for (&f, run) in freqs.iter().zip(&column) {
+            let single = Gem5Sim::run_with_cache(&SimCache::new(), &s, Gem5Model::Ex5BigOld, f);
+            assert_eq!(run.freq_hz, f);
+            assert_eq!(run.time_s, single.time_s);
+            assert_eq!(run.stats_map, single.stats_map);
+            assert_eq!(run.pmu_equiv, single.pmu_equiv);
+        }
     }
 
     #[test]

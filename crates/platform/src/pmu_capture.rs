@@ -73,7 +73,7 @@ impl MultiplexedPmu {
                 out.insert(code, value);
                 continue;
             }
-            if slot % self.counters.max(1) == 0 {
+            if slot.is_multiple_of(self.counters.max(1)) {
                 // New pass: a new run of the workload.
                 pass_factor = 1.0 + self.pass_jitter * gaussian(rng);
                 passes += 1;

@@ -178,11 +178,13 @@ mod tests {
     use super::*;
 
     fn busy_stats() -> SimStats {
-        let mut s = SimStats::default();
-        s.seconds = 1.0;
-        s.cycles = 1.8e9;
-        s.speculative_instructions = 2_000_000_000;
-        s.committed_instructions = 1_900_000_000;
+        let mut s = SimStats {
+            seconds: 1.0,
+            cycles: 1.8e9,
+            speculative_instructions: 2_000_000_000,
+            committed_instructions: 1_900_000_000,
+            ..Default::default()
+        };
         s.l1d.accesses = 600_000_000;
         s.l1i.accesses = 300_000_000;
         s.l2.accesses = 30_000_000;

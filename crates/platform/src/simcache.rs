@@ -49,6 +49,7 @@
 use gemstone_obs::{Counter, Registry};
 use gemstone_uarch::backend::{Backend, TierConfig};
 use gemstone_uarch::core::CoreConfig;
+use gemstone_uarch::grid::GridBackend;
 use gemstone_uarch::stats::SimStats;
 use gemstone_workloads::gen::StreamGen;
 use gemstone_workloads::spec::WorkloadSpec;
@@ -61,6 +62,19 @@ use std::sync::{Arc, OnceLock};
 
 /// Number of independent shards (power of two).
 const SHARD_COUNT: usize = 16;
+
+/// Environment variable disabling fused grid replay when set to `0`:
+/// [`SimCache::run_grid`] then falls back to one [`SimCache::run_tier`]
+/// call per frequency. Results are bit-identical either way (the CI grid
+/// smoke compares the two paths byte-for-byte); the knob exists for that
+/// comparison and as an escape hatch.
+pub const GRID_ENV: &str = "GEMSTONE_GRID";
+
+/// Whether fused grid replay is enabled (cached on first read).
+fn grid_replay_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var(GRID_ENV).map_or(true, |v| v.trim() != "0"))
+}
 
 /// A 128-bit fingerprint of one (workload spec, core config, frequency,
 /// seed) simulation tuple.
@@ -95,6 +109,7 @@ pub struct SimCache {
     shards: Vec<RwLock<HashMap<SimKey, Arc<Slot>>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    grid_fills: Arc<Counter>,
     enabled: AtomicBool,
     traces: Arc<TraceCache>,
 }
@@ -135,6 +150,7 @@ impl SimCache {
             // `simcache.*` names.
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
+            grid_fills: Arc::new(Counter::new()),
             enabled: AtomicBool::new(enabled),
             traces: TraceCache::global(),
         }
@@ -165,6 +181,7 @@ impl SimCache {
                 let registry = Registry::global();
                 cache.hits = registry.counter("simcache.hits");
                 cache.misses = registry.counter("simcache.misses");
+                cache.grid_fills = registry.counter("simcache.grid_fills");
                 Arc::new(cache)
             })
             .clone()
@@ -254,6 +271,98 @@ impl SimCache {
         out
     }
 
+    /// Runs an entire frequency column for one (config, workload, tier)
+    /// from a single fused grid replay — or from the memo where lanes are
+    /// already warm. Returns one outcome per entry of `freqs_hz`, in
+    /// order, each bit-identical to [`SimCache::run_tier`] at that
+    /// frequency.
+    ///
+    /// Lanes already memoised count as hits; the remaining lanes are
+    /// filled by **one** [`GridBackend`] replay (counted per filled entry
+    /// in `simcache.grid_fills`) and count as misses, preserving the
+    /// "misses == entries created" reading. Exactly-once semantics are
+    /// preserved per entry: each lane's [`OnceLock`] either installs the
+    /// fused result or yields to a concurrent winner's bit-identical
+    /// value, and concurrent per-frequency callers block on the fill
+    /// instead of re-running the engine. The tier is part of each lane's
+    /// identity, so a grid fill never serves another tier's request.
+    ///
+    /// Setting [`GRID_ENV`] (`GEMSTONE_GRID=0`) disables fusion: the
+    /// column is then served by per-frequency [`SimCache::run_tier`]
+    /// calls. A disabled cache still fuses the replay — it just skips the
+    /// memo.
+    pub fn run_grid(
+        &self,
+        cfg: &CoreConfig,
+        spec: &WorkloadSpec,
+        freqs_hz: &[f64],
+        tier: TierConfig,
+    ) -> Vec<SimOutcome> {
+        let tier = tier.canonical();
+        if freqs_hz.is_empty() {
+            return Vec::new();
+        }
+        if !grid_replay_enabled() {
+            return freqs_hz
+                .iter()
+                .map(|&f| self.run_tier(cfg, spec, f, tier))
+                .collect();
+        }
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Self::execute_grid_with(&self.traces, cfg, spec, freqs_hz, tier);
+        }
+        let slots: Vec<Arc<Slot>> = freqs_hz
+            .iter()
+            .map(|&f| {
+                let key = Self::fingerprint_tier(spec, cfg, f, tier);
+                let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
+                let slot = {
+                    let map = shard.read();
+                    map.get(&key).cloned()
+                };
+                match slot {
+                    Some(slot) => slot,
+                    None => shard.write().entry(key).or_default().clone(),
+                }
+            })
+            .collect();
+        // The frequencies still unfilled at scan time; one fused replay
+        // covers exactly these lanes, computed lazily so an all-warm
+        // column never replays and a concurrent winner can still beat us
+        // to individual entries (their value is bit-identical).
+        let missing: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].cell.get().is_none())
+            .collect();
+        let missing_freqs: Vec<f64> = missing.iter().map(|&i| freqs_hz[i]).collect();
+        let mut fused: Option<Vec<SimOutcome>> = None;
+        let mut out = Vec::with_capacity(freqs_hz.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let mut computed = false;
+            let o = slot
+                .cell
+                .get_or_init(|| {
+                    computed = true;
+                    let pos = missing
+                        .iter()
+                        .position(|&m| m == i)
+                        .expect("a filled-at-scan lane cannot re-enter its OnceLock");
+                    fused.get_or_insert_with(|| {
+                        Self::execute_grid_with(&self.traces, cfg, spec, &missing_freqs, tier)
+                    })[pos]
+                        .clone()
+                })
+                .clone();
+            if computed {
+                self.misses.inc();
+                self.grid_fills.inc();
+            } else {
+                self.hits.inc();
+            }
+            out.push(o);
+        }
+        out
+    }
+
     /// Executes the engine directly at the default fidelity tier,
     /// bypassing the result memo (the process-wide trace cache still
     /// serves the instruction stream).
@@ -296,6 +405,32 @@ impl SimCache {
         }
     }
 
+    /// Executes one fused grid replay directly, bypassing the result
+    /// memo: the trace is decoded once and every frequency in `freqs_hz`
+    /// is simulated as a lane of the same pass. Returns one outcome per
+    /// frequency, in order, each bit-identical to
+    /// [`SimCache::execute_tier_with`] at that frequency.
+    pub fn execute_grid_with(
+        traces: &TraceCache,
+        cfg: &CoreConfig,
+        spec: &WorkloadSpec,
+        freqs_hz: &[f64],
+        tier: TierConfig,
+    ) -> Vec<SimOutcome> {
+        let mut backend = GridBackend::new(tier, cfg, freqs_hz, spec.threads, spec.derived_seed());
+        let results = match traces.get(spec) {
+            Some(trace) => trace.run_grid(&mut backend),
+            None => backend.run_stream(StreamGen::new(spec)),
+        };
+        results
+            .into_iter()
+            .map(|result| SimOutcome {
+                seconds: result.seconds,
+                stats: result.stats,
+            })
+            .collect()
+    }
+
     /// Number of lookups served from the memo.
     pub fn hits(&self) -> u64 {
         self.hits.get()
@@ -304,6 +439,12 @@ impl SimCache {
     /// Number of lookups that executed the engine (= entries created).
     pub fn misses(&self) -> u64 {
         self.misses.get()
+    }
+
+    /// Number of entries installed by fused grid replays (a subset of
+    /// [`SimCache::misses`]: every grid fill is also a miss).
+    pub fn grid_fills(&self) -> u64 {
+        self.grid_fills.get()
     }
 
     /// Reads the hit/miss counters as a consistent pair: the pair is
@@ -576,5 +717,174 @@ mod tests {
         assert_eq!(traces.misses(), 1);
         assert_eq!(traces.hits(), 3);
         assert!(Arc::ptr_eq(cache.trace_cache(), &traces));
+    }
+
+    const FREQS: [f64; 4] = [600.0e6, 1.0e9, 1.4e9, 1.8e9];
+
+    #[test]
+    fn grid_fills_whole_column_from_one_replay() {
+        use gemstone_uarch::backend::SampleParams;
+
+        let s = spec("mi-fft");
+        let cfg = cortex_a15_hw();
+        for tier in [
+            TierConfig::atomic(),
+            TierConfig::approx(),
+            TierConfig::sampled(SampleParams::default()),
+        ] {
+            let cache = SimCache::new();
+            let column = cache.run_grid(&cfg, &s, &FREQS, tier);
+            assert_eq!(column.len(), FREQS.len());
+            assert_eq!(cache.misses(), FREQS.len() as u64);
+            assert_eq!(cache.grid_fills(), FREQS.len() as u64);
+            assert_eq!(cache.hits(), 0);
+            assert_eq!(cache.len(), FREQS.len());
+            // Each lane is bit-identical to the per-frequency entry and a
+            // warm per-frequency lookup hits the grid-installed slot.
+            for (&f, out) in FREQS.iter().zip(&column) {
+                let warm = cache.run_tier(&cfg, &s, f, tier);
+                assert_eq!(warm.seconds, out.seconds);
+                assert_eq!(warm.stats.gem5_stats_map(), out.stats.gem5_stats_map());
+            }
+            assert_eq!(cache.misses(), FREQS.len() as u64, "column fully warm");
+            assert_eq!(cache.hits(), FREQS.len() as u64);
+        }
+    }
+
+    #[test]
+    fn grid_is_bit_identical_to_per_frequency_runs() {
+        let s = spec("mi-sha");
+        for cfg in [cortex_a15_hw(), cortex_a7_hw()] {
+            let fused = SimCache::new().run_grid(&cfg, &s, &FREQS, TierConfig::approx());
+            let reference = SimCache::new();
+            for (&f, out) in FREQS.iter().zip(&fused) {
+                let single = reference.run_tier(&cfg, &s, f, TierConfig::approx());
+                assert_eq!(single.seconds, out.seconds);
+                assert_eq!(single.stats.gem5_stats_map(), out.stats.gem5_stats_map());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_reuses_warm_lanes_and_replays_only_the_gap() {
+        let cache = SimCache::new();
+        let s = spec("mi-crc32");
+        let cfg = cortex_a7_hw();
+        // Pre-warm two of the four lanes through the scalar path.
+        let warm_a = cache.run_tier(&cfg, &s, FREQS[1], TierConfig::approx());
+        let warm_b = cache.run_tier(&cfg, &s, FREQS[3], TierConfig::approx());
+        assert_eq!((cache.misses(), cache.grid_fills()), (2, 0));
+        let column = cache.run_grid(&cfg, &s, &FREQS, TierConfig::approx());
+        assert_eq!(cache.misses(), 4, "only the two cold lanes executed");
+        assert_eq!(cache.grid_fills(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(column[1].stats.cycles, warm_a.stats.cycles);
+        assert_eq!(column[3].stats.cycles, warm_b.stats.cycles);
+        // The partially-fused column still matches fresh scalar runs.
+        for (&f, out) in FREQS.iter().zip(&column) {
+            let single = SimCache::execute_tier_with(
+                &TraceCache::global(),
+                &cfg,
+                &s,
+                f,
+                TierConfig::approx(),
+            );
+            assert_eq!(single.stats.gem5_stats_map(), out.stats.gem5_stats_map());
+        }
+    }
+
+    #[test]
+    fn grid_never_crosses_tiers() {
+        use gemstone_uarch::backend::{Fidelity, SampleParams};
+
+        let cache = SimCache::new();
+        let s = spec("mi-sha");
+        let cfg = cortex_a15_hw();
+        // Warm the approx column, then ask for the same frequencies at the
+        // other tiers: every lane must be a fresh fill, never an approx hit.
+        cache.run_grid(&cfg, &s, &FREQS, TierConfig::approx());
+        assert_eq!(cache.misses(), 4);
+        let atomic = cache.run_grid(&cfg, &s, &FREQS, TierConfig::atomic());
+        assert_eq!(cache.misses(), 8, "atomic column never hits approx lanes");
+        assert_eq!(cache.hits(), 0);
+        let sampled = cache.run_grid(
+            &cfg,
+            &s,
+            &FREQS,
+            TierConfig::sampled(SampleParams::default()),
+        );
+        assert_eq!(cache.misses(), 12, "sampled column never hits either");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.grid_fills(), 12);
+        assert_eq!(cache.len(), 12);
+        for out in &atomic {
+            assert_eq!(out.stats.fidelity, Fidelity::Atomic);
+        }
+        for out in &sampled {
+            assert_eq!(out.stats.fidelity, Fidelity::Sampled);
+        }
+    }
+
+    #[test]
+    fn grid_on_disabled_cache_stays_fused_but_unmemoised() {
+        let cache = SimCache::disabled();
+        let s = spec("mi-fft");
+        let cfg = cortex_a15_hw();
+        let column = cache.run_grid(&cfg, &s, &FREQS, TierConfig::approx());
+        assert_eq!(column.len(), FREQS.len());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.grid_fills()),
+            (0, 0, 0)
+        );
+        let direct = SimCache::execute_grid_with(
+            &TraceCache::global(),
+            &cfg,
+            &s,
+            &FREQS,
+            TierConfig::approx(),
+        );
+        for (a, b) in column.iter().zip(&direct) {
+            assert_eq!(a.stats.gem5_stats_map(), b.stats.gem5_stats_map());
+        }
+    }
+
+    #[test]
+    fn grid_handles_empty_and_single_lane_columns() {
+        let cache = SimCache::new();
+        let s = spec("mi-sha");
+        let cfg = cortex_a7_hw();
+        assert!(cache
+            .run_grid(&cfg, &s, &[], TierConfig::approx())
+            .is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let one = cache.run_grid(&cfg, &s, &[1.0e9], TierConfig::approx());
+        let scalar = SimCache::new().run_tier(&cfg, &s, 1.0e9, TierConfig::approx());
+        assert_eq!(one[0].stats.gem5_stats_map(), scalar.stats.gem5_stats_map());
+    }
+
+    #[test]
+    fn concurrent_grid_and_scalar_requests_execute_each_lane_once() {
+        let cache = SimCache::new();
+        let s = spec("mi-crc32");
+        let cfg = cortex_a15_hw();
+        let (cache, s, cfg) = (&cache, &s, &cfg);
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                scope.spawn(move || {
+                    if i % 2 == 0 {
+                        cache.run_grid(cfg, s, &FREQS, TierConfig::approx());
+                    } else {
+                        for &f in &FREQS {
+                            cache.run_tier(cfg, s, f, TierConfig::approx());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 4, "each lane simulated exactly once");
+        assert_eq!(cache.hits(), 28);
+        assert_eq!(cache.len(), 4);
+        assert!(cache.grid_fills() <= 4);
     }
 }

@@ -27,10 +27,11 @@
 use gemstone_platform::board::{HwRun, OdroidXu3};
 use gemstone_platform::dvfs::{nearest_frequency, Cluster};
 use gemstone_platform::fault::{FaultInjector, QuarantinedWorkload, RetryPolicy};
+use gemstone_uarch::backend::TierConfig;
 use gemstone_uarch::pmu::EventCode;
 use gemstone_workloads::spec::WorkloadSpec;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -178,21 +179,25 @@ pub fn collect_with_threads(
     threads: usize,
 ) -> PowerDataset {
     let _span = gemstone_obs::span::span("powmon.collect");
-    let grid: Vec<(&WorkloadSpec, f64)> = workloads
-        .iter()
-        .flat_map(|spec| freqs.iter().map(move |&f| (spec, f)))
-        .collect();
-    collect_runs_counter().add(grid.len() as u64);
-    let slots: Mutex<Vec<(usize, PowerObservation)>> = Mutex::new(Vec::with_capacity(grid.len()));
+    collect_runs_counter().add((workloads.len() * freqs.len()) as u64);
+    // One work item per workload: its whole frequency curve comes from a
+    // single fused grid replay (decode once, one lane per DVFS point).
+    let slots: Mutex<Vec<(usize, Vec<PowerObservation>)>> =
+        Mutex::new(Vec::with_capacity(workloads.len()));
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(spec, f)) = grid.get(i) else { break };
-                let obs = observe(board, cluster, spec, f);
-                slots.lock().push((i, obs));
+                let Some(spec) = workloads.get(i) else { break };
+                let runs = board.run_grid_tier(spec, cluster, freqs, TierConfig::default());
+                let curve = freqs
+                    .iter()
+                    .zip(&runs)
+                    .map(|(&f, run)| observation_from(cluster, spec, f, run))
+                    .collect();
+                slots.lock().push((i, curve));
             });
         }
     });
@@ -200,7 +205,7 @@ pub fn collect_with_threads(
     // Restore the deterministic grid order regardless of completion order.
     let mut indexed = slots.into_inner();
     indexed.sort_by_key(|&(i, _)| i);
-    PowerDataset::new(cluster, indexed.into_iter().map(|(_, o)| o).collect())
+    PowerDataset::new(cluster, indexed.into_iter().flat_map(|(_, o)| o).collect())
 }
 
 /// [`collect`] with retries and workload quarantine: every board run is
@@ -241,57 +246,64 @@ pub fn collect_resilient_with_threads(
     threads: usize,
 ) -> (PowerDataset, Vec<QuarantinedWorkload>) {
     let _span = gemstone_obs::span::span("powmon.collect_resilient");
-    let grid: Vec<(&WorkloadSpec, f64)> = workloads
-        .iter()
-        .flat_map(|spec| freqs.iter().map(move |&f| (spec, f)))
-        .collect();
-    collect_runs_counter().add(grid.len() as u64);
-    type Slot = (usize, Result<PowerObservation, QuarantinedWorkload>);
-    let slots: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(grid.len()));
+    collect_runs_counter().add((workloads.len() * freqs.len()) as u64);
+    type Slot = (usize, Result<Vec<PowerObservation>, QuarantinedWorkload>);
+    let slots: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(workloads.len()));
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(spec, f)) = grid.get(i) else { break };
-                let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), f);
-                let outcome = retry
-                    .run(&key, |attempt| {
-                        board.try_run_with(faults, spec, cluster, f, attempt)
-                    })
-                    .map(|run| observation_from(cluster, spec, f, &run))
-                    .map_err(|e| QuarantinedWorkload {
-                        workload: spec.name.clone(),
-                        site: e.error.site.name().to_string(),
-                        attempts: e.attempts,
-                        reason: e.to_string(),
-                    });
+                let Some(spec) = workloads.get(i) else { break };
+                // Vet every DVFS point (with per-point retries) before
+                // committing to one fused replay for the whole curve.
+                // Faults fire before any simulation or RNG work on the
+                // per-point path too, so retry and quarantine behaviour —
+                // including which error is reported — are identical, and a
+                // quarantined workload never costs a simulation. A
+                // workload is dropped *whole* rather than leaving a
+                // partial frequency curve the power-model fit would
+                // silently mis-weight.
+                let vetted = freqs.iter().try_for_each(|&f| {
+                    let key = format!("{}:{}:{:.0}", spec.name, cluster.name(), f);
+                    retry
+                        .run(&key, |attempt| {
+                            board.check_faults(faults, spec, cluster, f, attempt)
+                        })
+                        .map_err(|e| QuarantinedWorkload {
+                            workload: spec.name.clone(),
+                            site: e.error.site.name().to_string(),
+                            attempts: e.attempts,
+                            reason: e.to_string(),
+                        })
+                });
+                let outcome = vetted.map(|()| {
+                    let runs = board.run_grid_tier(spec, cluster, freqs, TierConfig::default());
+                    freqs
+                        .iter()
+                        .zip(&runs)
+                        .map(|(&f, run)| observation_from(cluster, spec, f, run))
+                        .collect()
+                });
                 slots.lock().push((i, outcome));
             });
         }
     });
 
-    // Restore grid order, then drop every observation of a quarantined
-    // workload so the dataset never carries partial frequency curves.
+    // Restore grid order; quarantined workloads contribute no observations.
     let mut indexed = slots.into_inner();
     indexed.sort_by_key(|&(i, _)| i);
     let mut quarantined: Vec<QuarantinedWorkload> = Vec::new();
-    let mut dropped: BTreeSet<String> = BTreeSet::new();
-    for (_, outcome) in &indexed {
-        if let Err(q) = outcome {
-            if dropped.insert(q.workload.clone()) {
-                quarantined.push(q.clone());
-            }
+    let mut observations = Vec::new();
+    for (_, outcome) in indexed {
+        match outcome {
+            Ok(curve) => observations.extend(curve),
+            Err(q) => quarantined.push(q),
         }
     }
     quarantine_counter().add(quarantined.len() as u64);
     quarantined.sort_by(|a, b| a.workload.cmp(&b.workload));
-    let observations = indexed
-        .into_iter()
-        .filter_map(|(_, outcome)| outcome.ok())
-        .filter(|o| !dropped.contains(&o.workload))
-        .collect();
     (PowerDataset::new(cluster, observations), quarantined)
 }
 
@@ -316,16 +328,6 @@ fn observation_from(
         time_s: run.time_s,
         rates,
     }
-}
-
-fn observe(
-    board: &OdroidXu3,
-    cluster: Cluster,
-    spec: &WorkloadSpec,
-    freq_hz: f64,
-) -> PowerObservation {
-    let run = board.run(spec, cluster, freq_hz);
-    observation_from(cluster, spec, freq_hz, &run)
 }
 
 #[cfg(test)]

@@ -156,7 +156,7 @@ pub fn select_events(ds: &PowerDataset, opts: &SelectionOptions) -> Result<Selec
         // Columns of the selected terms, materialised once per step — they
         // only change when a term is accepted, so rebuilding them for every
         // (candidate, form) pair in the guard below would be pure churn.
-        let sel_cols: Vec<Vec<f64>> = selected.iter().map(|s| col(s)).collect();
+        let sel_cols: Vec<Vec<f64>> = selected.iter().map(&col).collect();
         let mut best: Option<(EventExpr, f64)> = None;
         'cand: for &e in &candidates {
             if selected.iter().any(|t| t.event == e && t.minus.is_none()) {

@@ -341,6 +341,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // indexing mirrors the maths
     fn correlation_matrix_is_symmetric_unit_diag() {
         let cols = vec![
             vec![1.0, 2.0, 3.0, 4.0],

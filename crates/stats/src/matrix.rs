@@ -228,8 +228,9 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                for j in i..k {
-                    out.data[i * k + j] += a * row[j];
+                let acc = &mut out.data[i * k + i..i * k + k];
+                for (o, &b) in acc.iter_mut().zip(&row[i..k]) {
+                    *o += a * b;
                 }
             }
         }

@@ -331,19 +331,19 @@ fn tier_instructions_counter(f: Fidelity) -> &'static gemstone_obs::Counter {
     slot.get_or_init(|| gemstone_obs::Registry::global().counter(name))
 }
 
-fn sampled_windows_counter() -> &'static gemstone_obs::Counter {
+pub(crate) fn sampled_windows_counter() -> &'static gemstone_obs::Counter {
     static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
     C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.tier.sampled.windows"))
 }
 
-fn sampled_detailed_counter() -> &'static gemstone_obs::Counter {
+pub(crate) fn sampled_detailed_counter() -> &'static gemstone_obs::Counter {
     static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
     C.get_or_init(|| {
         gemstone_obs::Registry::global().counter("engine.tier.sampled.detailed_instructions")
     })
 }
 
-fn sampled_fastforward_counter() -> &'static gemstone_obs::Counter {
+pub(crate) fn sampled_fastforward_counter() -> &'static gemstone_obs::Counter {
     static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
     C.get_or_init(|| {
         gemstone_obs::Registry::global().counter("engine.tier.sampled.fastforward_instructions")
@@ -675,7 +675,7 @@ impl ExecBackend for SampledEngine {
 /// Extrapolates the detailed fraction's statistics to the whole stream:
 /// event counts and stall cycles scale by `ratio`
 /// (`total / detailed_instructions`); configuration flags pass through.
-fn scale_stats(det: &SimStats, ratio: f64) -> SimStats {
+pub(crate) fn scale_stats(det: &SimStats, ratio: f64) -> SimStats {
     let s = |v: u64| (v as f64 * ratio).round() as u64;
     SimStats {
         freq_hz: det.freq_hz,
@@ -817,10 +817,10 @@ mod tests {
             .map(|i| {
                 let pc = (i as u64 % 2048) * 4;
                 match i % 16 {
-                    0 | 1 | 2 | 3 | 4 => Instr::alu(InstrClass::IntAlu, pc),
+                    0..=4 => Instr::alu(InstrClass::IntAlu, pc),
                     5 => Instr::alu(InstrClass::IntMul, pc),
                     6 => Instr::alu(InstrClass::FpAlu, pc),
-                    7 | 8 | 9 => Instr::mem(
+                    7..=9 => Instr::mem(
                         InstrClass::Load,
                         pc,
                         MemRef::load((i as u64).wrapping_mul(2654435761) % (8 << 20), 4),

@@ -91,14 +91,14 @@ impl CacheConfig {
         );
         assert!(self.ways >= 1, "cache geometry: ways must be at least 1");
         assert!(
-            self.size_bytes >= self.line_bytes && self.size_bytes % self.line_bytes == 0,
+            self.size_bytes >= self.line_bytes && self.size_bytes.is_multiple_of(self.line_bytes),
             "cache geometry: size_bytes {} must be a positive multiple of line_bytes {}",
             self.size_bytes,
             self.line_bytes
         );
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines % self.ways == 0,
+            lines.is_multiple_of(self.ways),
             "cache geometry: {} lines must divide evenly into {} ways",
             lines,
             self.ways

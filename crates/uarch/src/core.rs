@@ -91,7 +91,7 @@ pub enum BranchPredictorKind {
 }
 
 impl BranchPredictorKind {
-    fn build(self) -> Box<dyn DirectionPredictor + Send> {
+    pub(crate) fn build(self) -> Box<dyn DirectionPredictor + Send> {
         match self {
             BranchPredictorKind::Bimodal { entries } => Box::new(BimodalPredictor::new(entries)),
             BranchPredictorKind::Gshare {
@@ -140,7 +140,7 @@ pub enum L2TlbKind {
 }
 
 impl L2TlbKind {
-    fn build(self) -> SecondLevelTlb {
+    pub(crate) fn build(self) -> SecondLevelTlb {
         match self {
             L2TlbKind::Unified {
                 cfg,
@@ -814,6 +814,19 @@ impl Engine {
 }
 
 #[cfg(test)]
+impl Instr {
+    /// Test helper: a barrier instruction at `pc`.
+    fn alu_like_barrier(pc: u64) -> Instr {
+        Instr {
+            class: InstrClass::Barrier,
+            pc,
+            mem: None,
+            branch: None,
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
@@ -1073,18 +1086,5 @@ mod tests {
         assert_eq!(aligned.stats.unaligned_loads, 0);
         assert_eq!(unaligned.stats.unaligned_loads, 20_000);
         assert!(unaligned.cycles > aligned.cycles * 1.2);
-    }
-}
-
-#[cfg(test)]
-impl Instr {
-    /// Test helper: a barrier instruction at `pc`.
-    fn alu_like_barrier(pc: u64) -> Instr {
-        Instr {
-            class: InstrClass::Barrier,
-            pc,
-            mem: None,
-            branch: None,
-        }
     }
 }

@@ -1,0 +1,1215 @@
+//! Fused multi-frequency grid replay.
+//!
+//! A DVFS sweep runs the *same* instruction stream once per frequency
+//! point, yet the detailed engine consumes `freq_hz` in exactly two
+//! places: the DRAM latency in core cycles
+//! (`cfg.dram.access_cycles(freq_hz)`, precomputed at construction) and
+//! the final cycles→seconds conversion. Every long-lived structure —
+//! caches, TLBs, branch predictor, wrong-path pollution, the stochastic
+//! micro-event RNG — evolves identically across the grid (see DESIGN.md
+//! §11 for the full invariance argument).
+//!
+//! [`GridEngine`] exploits that: it steps the shared frequency-invariant
+//! structures **once** per instruction and accumulates N per-frequency
+//! *lanes*, each carrying only its own DRAM stall cost and cycle/stall
+//! accumulators. The emitted [`SimResult`]s are bit-identical to N
+//! independent [`Engine`] runs — each lane replays the exact sequence of
+//! `f64` additions the reference engine would perform at that frequency
+//! (floating-point addition is not associative, so ordering is part of
+//! the contract). In debug builds every step is cross-checked against N
+//! retained reference engines.
+//!
+//! [`GridBackend`] lifts the same idea over the fidelity tiers: the
+//! atomic tier's cost table is frequency-independent (one functional pass
+//! serves every lane), and the sampled tier shares its fast-forward
+//! warming and window schedule across lanes while measuring per-lane
+//! cycle deltas.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_uarch::configs::cortex_a15_hw;
+//! use gemstone_uarch::core::Engine;
+//! use gemstone_uarch::grid::GridEngine;
+//! use gemstone_uarch::instr::{Instr, InstrClass};
+//!
+//! let stream: Vec<Instr> = (0..5_000)
+//!     .map(|i| Instr::alu(InstrClass::IntAlu, (i % 256) * 4))
+//!     .collect();
+//! let freqs = [0.6e9, 1.0e9, 1.4e9, 1.8e9];
+//! let mut grid = GridEngine::new(cortex_a15_hw(), &freqs, 1);
+//! let fused = grid.run(stream.clone().into_iter());
+//! for (&f, r) in freqs.iter().zip(&fused) {
+//!     let mut reference = Engine::new(cortex_a15_hw(), f, 1);
+//!     let expect = reference.run(stream.clone().into_iter());
+//!     assert_eq!(r.cycles, expect.cycles);
+//!     assert_eq!(r.seconds, expect.seconds);
+//! }
+//! ```
+
+use crate::backend::{
+    record_tier_run, sampled_detailed_counter, sampled_fastforward_counter,
+    sampled_windows_counter, scale_stats, AtomicEngine, Fidelity, SampleMeta, SampleParams,
+    TierConfig,
+};
+use crate::branch::BranchUnit;
+use crate::cache::{run_prefetch, warm_prefetch, Cache};
+#[cfg(debug_assertions)]
+use crate::core::Engine;
+use crate::core::{CoreConfig, SimResult};
+use crate::instr::{Instr, InstrClass};
+use crate::stats::{ClassCounts, SimStats, StallCycles};
+use crate::tlb::{TlbHierarchy, TlbKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// Process-wide count of fused grid replays (`engine.grid.replays`).
+fn grid_replays_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.grid.replays"))
+}
+
+/// Process-wide count of frequency lanes served by fused grid replays
+/// (`engine.grid.lanes`).
+fn grid_lanes_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.grid.lanes"))
+}
+
+/// Records one completed fused grid replay serving `lanes` frequency
+/// lanes of `instructions` committed instructions each: bumps the
+/// `engine.grid.*` counters and credits the `engine.tier.*` accounting
+/// with the `lanes` logical runs the replay stands in for.
+pub fn record_grid_run(fidelity: Fidelity, lanes: usize, instructions: u64) {
+    grid_replays_counter().inc();
+    grid_lanes_counter().add(lanes as u64);
+    for _ in 0..lanes {
+        record_tier_run(fidelity, instructions);
+    }
+}
+
+/// The obs span wrapped around a fused grid replay at the given tier.
+pub fn grid_span_name(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Atomic => "engine.run.grid.atomic",
+        Fidelity::Approx => "engine.run.grid",
+        Fidelity::Sampled => "engine.run.grid.sampled",
+    }
+}
+
+/// Per-frequency accumulator state: everything in [`Engine`] that actually
+/// depends on `freq_hz`. The DRAM stall cost is folded into `stall_fetch`
+/// (front-end fills) and `stall_memory` (data fills); every other stall
+/// bucket is frequency-invariant and lives once in the shared engine.
+#[derive(Debug, Clone)]
+struct GridLane {
+    freq_hz: f64,
+    dram_cycles: f64,
+    cycles: f64,
+    stall_fetch: f64,
+    stall_memory: f64,
+}
+
+/// A fused multi-frequency replay engine: steps the shared
+/// frequency-invariant structures once per instruction and accumulates one
+/// cycle lane per frequency, emitting [`SimResult`]s bit-identical to
+/// independent per-frequency [`Engine`] runs (cross-checked against
+/// retained reference engines in debug builds).
+#[derive(Debug)]
+pub struct GridEngine {
+    cfg: CoreConfig,
+    threads: u32,
+    bu: BranchUnit,
+    tlbs: TlbHierarchy,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    rng: SmallRng,
+    lanes: Vec<GridLane>,
+    // Shared (frequency-invariant) accumulators — identical to Engine's,
+    // except `stalls.fetch` / `stalls.memory` which live per lane.
+    stalls: StallCycles,
+    committed: ClassCounts,
+    wrong_path: ClassCounts,
+    l1i_reported_accesses: u64,
+    unaligned_loads: u64,
+    unaligned_stores: u64,
+    strex_fails: u64,
+    dtlb_miss_loads: u64,
+    dtlb_miss_stores: u64,
+    snoops: u64,
+    nonspec_stalls: u64,
+    last_fetch_line: u64,
+    last_data_page: u64,
+    instr_since_flush: u64,
+    group_fill: u32,
+    issue_cost: f64,
+    l1d_line_shift: u32,
+    /// Retained per-frequency reference engines, stepped in lockstep and
+    /// compared after every instruction (debug builds only).
+    #[cfg(debug_assertions)]
+    refs: Vec<Engine>,
+}
+
+impl GridEngine {
+    /// Builds a grid engine for `cfg` over the frequency lanes `freqs_hz`
+    /// (one lane per entry, results emitted in the same order) with the
+    /// default engine seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz` is empty, any frequency is `<= 0`, or
+    /// `threads == 0`.
+    pub fn new(cfg: CoreConfig, freqs_hz: &[f64], threads: u32) -> Self {
+        Self::with_seed(cfg, freqs_hz, threads, 0x5EED_CAFE)
+    }
+
+    /// Like [`GridEngine::new`] with an explicit RNG seed. Lane
+    /// equivalence requires the same seed an independent
+    /// [`Engine::with_seed`] would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz` is empty, any frequency is `<= 0`, or
+    /// `threads == 0`.
+    pub fn with_seed(cfg: CoreConfig, freqs_hz: &[f64], threads: u32, seed: u64) -> Self {
+        assert!(!freqs_hz.is_empty(), "at least one frequency lane");
+        assert!(
+            freqs_hz.iter().all(|&f| f > 0.0),
+            "frequencies must be positive"
+        );
+        assert!(threads > 0, "at least one thread");
+        let bu = BranchUnit::new(
+            cfg.bp.build(),
+            cfg.btb_entries,
+            cfg.ras_entries,
+            cfg.indirect_entries,
+        );
+        let tlbs = TlbHierarchy::new(cfg.itlb, cfg.dtlb, cfg.l2tlb.build());
+        let lanes = freqs_hz
+            .iter()
+            .map(|&f| GridLane {
+                freq_hz: f,
+                dram_cycles: cfg.dram.access_cycles(f),
+                cycles: 0.0,
+                stall_fetch: 0.0,
+                stall_memory: 0.0,
+            })
+            .collect();
+        let eff_width = f64::from(cfg.width) * cfg.issue_efficiency;
+        #[cfg(debug_assertions)]
+        let refs = freqs_hz
+            .iter()
+            .map(|&f| Engine::with_seed(cfg.clone(), f, threads, seed))
+            .collect();
+        GridEngine {
+            threads,
+            bu,
+            tlbs,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            rng: SmallRng::seed_from_u64(seed),
+            lanes,
+            stalls: StallCycles::default(),
+            committed: ClassCounts::default(),
+            wrong_path: ClassCounts::default(),
+            l1i_reported_accesses: 0,
+            unaligned_loads: 0,
+            unaligned_stores: 0,
+            strex_fails: 0,
+            dtlb_miss_loads: 0,
+            dtlb_miss_stores: 0,
+            snoops: 0,
+            nonspec_stalls: 0,
+            last_fetch_line: u64::MAX,
+            last_data_page: 0,
+            instr_since_flush: 0,
+            group_fill: 0,
+            issue_cost: 1.0 / eff_width.max(0.25),
+            l1d_line_shift: cfg.l1d.line_shift(),
+            #[cfg(debug_assertions)]
+            refs,
+            cfg,
+        }
+    }
+
+    /// Number of frequency lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The frequency of lane `i` in Hz.
+    pub fn lane_freq(&self, i: usize) -> f64 {
+        self.lanes[i].freq_hz
+    }
+
+    /// Cycles accumulated so far on lane `i` (the sampled grid tier reads
+    /// per-instruction cycle deltas through this).
+    pub fn lane_cycles(&self, i: usize) -> f64 {
+        self.lanes[i].cycles
+    }
+
+    /// Runs the grid over an instruction stream and returns one result per
+    /// lane, recording the `engine.grid.*` and `engine.tier.*` counters.
+    pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
+        let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx));
+        for instr in stream {
+            self.step(&instr);
+        }
+        let results = self.finish();
+        record_grid_run(
+            Fidelity::Approx,
+            results.len(),
+            results[0].stats.committed_instructions,
+        );
+        results
+    }
+
+    /// Processes one instruction on every lane (the shared structures step
+    /// once; each lane replays only the cycle additions).
+    #[inline]
+    pub fn step(&mut self, instr: &Instr) {
+        self.fetch(instr);
+        self.issue(instr);
+        match instr.class {
+            c if c.is_memory() => self.memory(instr),
+            c if c.is_branch() => self.branch(instr),
+            InstrClass::Barrier => self.barrier(),
+            _ => {}
+        }
+        self.count_committed(instr.class);
+        #[cfg(debug_assertions)]
+        self.cross_check_step(instr);
+    }
+
+    /// Functional warming across every lane: identical to
+    /// [`Engine::warm_state`] — the warmed structures are all shared, so
+    /// one pass serves the whole grid.
+    #[inline]
+    pub fn warm_state(&mut self, instr: &Instr) {
+        if let Some(interval) = self.cfg.itlb_flush_interval {
+            self.instr_since_flush += 1;
+            if self.instr_since_flush >= interval {
+                self.instr_since_flush = 0;
+                self.tlbs.flush_instruction_l1();
+            }
+        }
+        let line = instr.fetch_line();
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            self.tlbs.warm(TlbKind::Instruction, instr.page());
+            if !self.l1i.warm(line, false).hit {
+                self.warm_level2(line, false);
+            }
+        }
+        match instr.class {
+            c if c.is_memory() => {
+                if let Some(mem) = instr.mem {
+                    self.last_data_page = mem.page();
+                    self.tlbs.warm(TlbKind::Data, mem.page());
+                    let line = mem.vaddr >> self.l1d_line_shift;
+                    if mem.unaligned {
+                        self.l1d.warm(line + 1, mem.is_store);
+                    }
+                    let a = self.l1d.warm(line, mem.is_store);
+                    if !a.hit {
+                        self.warm_level2(line, mem.is_store);
+                    }
+                    if let Some(victim) = a.writeback_line {
+                        self.l2.warm(victim, true);
+                    }
+                }
+            }
+            c if c.is_branch() && self.bu.warm(instr) => self.warm_wrong_path(instr),
+            _ => {}
+        }
+        #[cfg(debug_assertions)]
+        for r in &mut self.refs {
+            r.warm_state(instr);
+        }
+    }
+
+    fn warm_level2(&mut self, line: u64, is_write: bool) {
+        if !self.l2.warm(line, is_write).hit && self.cfg.prefetch.degree > 0 {
+            warm_prefetch(&mut self.l2, line, self.cfg.prefetch);
+        }
+    }
+
+    fn warm_wrong_path(&mut self, instr: &Instr) {
+        let depth = self.cfg.wrong_path_depth;
+        if depth == 0 {
+            return;
+        }
+        let br = instr.branch.expect("branch without metadata");
+        let wp_page = br.target_page ^ (1 + (self.rng.gen::<u64>() & 0x1F));
+        self.tlbs.warm(TlbKind::Instruction, wp_page);
+        let lines = (u64::from(depth)).div_ceil(16).max(1);
+        let base = self.rng.gen::<u64>() & 0x3F;
+        for i in 0..lines {
+            let line = (wp_page << 6) | ((base + i) & 0x3F);
+            if !self.l1i.warm(line, false).hit {
+                self.warm_level2(line, false);
+            }
+        }
+        for _ in 0..3 {
+            let page = self.last_data_page ^ (1 + (self.rng.gen::<u64>() & 0x7F));
+            self.tlbs.warm(TlbKind::Data, page);
+        }
+    }
+
+    /// Adds a frequency-invariant cycle amount to every lane (the shared
+    /// stall bucket is updated once by the caller).
+    #[inline]
+    fn add_all(&mut self, amount: f64) {
+        for lane in &mut self.lanes {
+            lane.cycles += amount;
+        }
+    }
+
+    /// Shared-state half of [`Engine`]'s `level2_fill`: one L2 access plus
+    /// prefetch trigger; returns whether the L2 hit so each lane can price
+    /// the fill against its own DRAM latency.
+    fn level2_fill_shared(&mut self, line: u64, is_write: bool) -> bool {
+        let a = self.l2.access(line, is_write);
+        if !a.hit && self.cfg.prefetch.degree > 0 {
+            run_prefetch(&mut self.l2, line, self.cfg.prefetch);
+        }
+        a.hit
+    }
+
+    /// A front-end (L1I-miss) fill: the L2/DRAM latency is exposed through
+    /// the frontend stall factor, per lane. Mirrors the `level2_fill` →
+    /// `cost * stall.frontend` sequence of [`Engine`] exactly.
+    fn fill_frontend(&mut self, line: u64) {
+        let l2_hit = self.level2_fill_shared(line, false);
+        let l2_latency = f64::from(self.l2.latency());
+        let frontend = self.cfg.stall.frontend;
+        for lane in &mut self.lanes {
+            let mut cost = l2_latency;
+            if !l2_hit {
+                cost += lane.dram_cycles;
+            }
+            let exposed = cost * frontend;
+            lane.stall_fetch += exposed;
+            lane.cycles += exposed;
+        }
+    }
+
+    #[inline]
+    fn fetch(&mut self, instr: &Instr) {
+        if let Some(interval) = self.cfg.itlb_flush_interval {
+            self.instr_since_flush += 1;
+            if self.instr_since_flush >= interval {
+                self.instr_since_flush = 0;
+                self.tlbs.flush_instruction_l1();
+            }
+        }
+        let line = instr.fetch_line();
+        let new_line = line != self.last_fetch_line;
+        self.group_fill += 1;
+        if new_line || self.group_fill >= self.cfg.fetch_group_size {
+            self.l1i_reported_accesses += 1;
+            self.group_fill = 0;
+        }
+        if !new_line {
+            return;
+        }
+        self.last_fetch_line = line;
+        let t = self.tlbs.translate(TlbKind::Instruction, instr.page());
+        if t.stall_cycles > 0 {
+            self.stalls.fetch_tlb += f64::from(t.stall_cycles);
+            self.add_all(f64::from(t.stall_cycles));
+        }
+        let a = self.l1i.access(line, false);
+        if !a.hit {
+            self.fill_frontend(line);
+        }
+    }
+
+    #[inline]
+    fn issue(&mut self, instr: &Instr) {
+        self.add_all(self.issue_cost);
+        let extra = match instr.class {
+            InstrClass::IntMul => self.cfg.op_extra.int_mul,
+            InstrClass::IntDiv => self.cfg.op_extra.int_div,
+            InstrClass::FpAlu => self.cfg.op_extra.fp_alu,
+            InstrClass::FpDiv => self.cfg.op_extra.fp_div,
+            InstrClass::Simd => self.cfg.op_extra.simd,
+            _ => 0.0,
+        };
+        if extra > 0.0 {
+            let exposed = extra * self.cfg.stall.execute;
+            self.stalls.execute += exposed;
+            self.add_all(exposed);
+        }
+    }
+
+    #[inline]
+    fn memory(&mut self, instr: &Instr) {
+        let mem = match instr.mem {
+            Some(m) => m,
+            None => return,
+        };
+        let is_store = mem.is_store;
+        self.last_data_page = mem.page();
+        let t = self.tlbs.translate(TlbKind::Data, mem.page());
+        if !t.l1_hit {
+            if is_store {
+                self.dtlb_miss_stores += 1;
+            } else {
+                self.dtlb_miss_loads += 1;
+            }
+        }
+        if t.stall_cycles > 0 {
+            let exposed = f64::from(t.stall_cycles) * self.cfg.stall.dtlb;
+            self.stalls.data_tlb += exposed;
+            self.add_all(exposed);
+        }
+        let line = mem.vaddr >> self.l1d_line_shift;
+        if mem.unaligned {
+            if is_store {
+                self.unaligned_stores += 1;
+            } else {
+                self.unaligned_loads += 1;
+            }
+            self.l1d.access(line + 1, is_store);
+            self.add_all(1.0);
+        }
+        let a = self.l1d.access(line, is_store);
+        // Lane-divergent cost: an L1D miss includes the per-lane DRAM
+        // latency; the snoop component is invariant. The per-lane `f64`
+        // operation sequence (zero-init, fill add, snoop add, one multiply)
+        // mirrors Engine::memory exactly.
+        let l2_fill = if a.hit {
+            None
+        } else {
+            Some(self.level2_fill_shared(line, is_store))
+        };
+        if let Some(victim) = a.writeback_line {
+            self.l2.access(victim, true);
+        }
+        let mut snooped = false;
+        if mem.shared && self.threads > 1 && self.rng.gen::<f64>() < self.cfg.coherence_miss_prob {
+            self.snoops += 1;
+            snooped = true;
+        }
+        let l2_latency = f64::from(self.l2.latency());
+        let snoop_cost = self.cfg.snoop_cost;
+        let factor = if is_store {
+            self.cfg.stall.store
+        } else if mem.dependent {
+            1.0
+        } else {
+            self.cfg.stall.load
+        };
+        for lane in &mut self.lanes {
+            let mut cost = 0.0;
+            if let Some(l2_hit) = l2_fill {
+                let mut fill = l2_latency;
+                if !l2_hit {
+                    fill += lane.dram_cycles;
+                }
+                cost += fill;
+            }
+            if snooped {
+                cost += snoop_cost;
+            }
+            if cost > 0.0 {
+                let exposed = cost * factor;
+                lane.stall_memory += exposed;
+                lane.cycles += exposed;
+            }
+        }
+        match instr.class {
+            InstrClass::LoadExclusive => {
+                self.nonspec_stalls += 1;
+                let c = self.cfg.exclusive_cost * 0.5;
+                self.stalls.serialization += c;
+                self.add_all(c);
+            }
+            InstrClass::StoreExclusive => {
+                self.nonspec_stalls += 1;
+                let mut c = self.cfg.exclusive_cost;
+                if self.threads > 1 && self.rng.gen::<f64>() < self.cfg.strex_fail_rate {
+                    self.strex_fails += 1;
+                    c *= 2.0;
+                }
+                self.stalls.serialization += c;
+                self.add_all(c);
+            }
+            _ => {}
+        }
+    }
+
+    #[inline]
+    fn branch(&mut self, instr: &Instr) {
+        let outcome = self.bu.process(instr);
+        if !outcome.mispredicted {
+            return;
+        }
+        let penalty = f64::from(self.cfg.pipeline_depth);
+        self.stalls.mispredict += penalty;
+        self.add_all(penalty);
+        self.wrong_path_fetch(instr);
+    }
+
+    fn wrong_path_fetch(&mut self, instr: &Instr) {
+        let depth = self.cfg.wrong_path_depth;
+        if depth == 0 {
+            return;
+        }
+        let br = instr.branch.expect("branch without metadata");
+        let wp_page = br.target_page ^ (1 + (self.rng.gen::<u64>() & 0x1F));
+        let t = self.tlbs.translate(TlbKind::Instruction, wp_page);
+        if t.stall_cycles > 0 {
+            let exposed = f64::from(t.stall_cycles) * self.cfg.stall.frontend;
+            self.stalls.fetch_tlb += exposed;
+            self.add_all(exposed);
+        }
+        let lines = (u64::from(depth)).div_ceil(16).max(1);
+        let base = self.rng.gen::<u64>() & 0x3F;
+        for i in 0..lines {
+            let line = (wp_page << 6) | ((base + i) & 0x3F);
+            let a = self.l1i.access(line, false);
+            if !a.hit {
+                self.fill_frontend(line);
+            }
+        }
+        let d = (u64::from(depth) / 8).max(1);
+        self.wrong_path.int_alu += d * 5 / 10;
+        self.wrong_path.loads += d * 2 / 10;
+        self.wrong_path.stores += d / 10;
+        self.wrong_path.branches += d / 10;
+        self.wrong_path.nops += d - (d * 5 / 10 + d * 2 / 10 + d / 10 + d / 10);
+        for _ in 0..3 {
+            let page = self.last_data_page ^ (1 + (self.rng.gen::<u64>() & 0x7F));
+            let t = self.tlbs.translate(TlbKind::Data, page);
+            if !t.l1_hit {
+                self.dtlb_miss_loads += 1;
+            }
+        }
+    }
+
+    fn barrier(&mut self) {
+        self.nonspec_stalls += 1;
+        let sync = 1.0 + f64::from(self.threads - 1) * self.cfg.barrier_sync_factor;
+        let c = self.cfg.barrier_cost * sync;
+        self.stalls.serialization += c;
+        self.add_all(c);
+    }
+
+    #[inline]
+    fn count_committed(&mut self, class: InstrClass) {
+        let c = &mut self.committed;
+        match class {
+            InstrClass::IntAlu => c.int_alu += 1,
+            InstrClass::IntMul => c.int_mul += 1,
+            InstrClass::IntDiv => c.int_div += 1,
+            InstrClass::FpAlu => c.fp_alu += 1,
+            InstrClass::FpDiv => c.fp_div += 1,
+            InstrClass::Simd => c.simd += 1,
+            InstrClass::Load => c.loads += 1,
+            InstrClass::Store => c.stores += 1,
+            InstrClass::Branch => c.branches += 1,
+            InstrClass::IndirectBranch => c.indirect_branches += 1,
+            InstrClass::Call => c.calls += 1,
+            InstrClass::Return => c.returns += 1,
+            InstrClass::LoadExclusive => c.load_exclusives += 1,
+            InstrClass::StoreExclusive => c.store_exclusives += 1,
+            InstrClass::Barrier => c.barriers += 1,
+            InstrClass::Nop => c.nops += 1,
+        }
+    }
+
+    /// Steps the retained reference engines in lockstep and asserts every
+    /// lane's cycle accumulator matches bit-for-bit.
+    #[cfg(debug_assertions)]
+    fn cross_check_step(&mut self, instr: &Instr) {
+        for (i, r) in self.refs.iter_mut().enumerate() {
+            r.step(instr);
+            debug_assert_eq!(
+                r.cycles(),
+                self.lanes[i].cycles,
+                "grid lane {i} ({:.0} Hz) diverged from the reference engine",
+                self.lanes[i].freq_hz
+            );
+        }
+    }
+
+    /// Finalises every lane into a [`SimResult`] (one per frequency, in
+    /// construction order). Reentrant, like [`Engine::finish`]. In debug
+    /// builds the full statistics of each lane are asserted equal to the
+    /// retained reference engine's.
+    pub fn finish(&mut self) -> Vec<SimResult> {
+        let mut spec = self.committed;
+        let wp = &self.wrong_path;
+        spec.int_alu += wp.int_alu;
+        spec.loads += wp.loads;
+        spec.stores += wp.stores;
+        spec.branches += wp.branches;
+        spec.nops += wp.nops;
+        let l2c = self.l2.counters();
+        let dram_reads = l2c.refill_reads
+            + self.tlbs.instruction_counters().walks / 4
+            + self.tlbs.data_counters().walks / 4;
+        let dram_writes = l2c.refill_writes + l2c.writeback_lines;
+        let results: Vec<SimResult> = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let mut stats = SimStats {
+                    freq_hz: lane.freq_hz,
+                    cycles: lane.cycles,
+                    seconds: lane.cycles / lane.freq_hz,
+                    committed: self.committed,
+                    committed_instructions: self.committed.total(),
+                    ..SimStats::default()
+                };
+                stats.speculative = spec;
+                stats.speculative_instructions = spec.total();
+                stats.wrong_path_instructions = self.wrong_path.total();
+                stats.unaligned_loads = self.unaligned_loads;
+                stats.unaligned_stores = self.unaligned_stores;
+                stats.strex_fails = self.strex_fails;
+                stats.branch = self.bu.counters();
+                stats.itlb = self.tlbs.instruction_counters();
+                stats.dtlb = self.tlbs.data_counters();
+                stats.dtlb_miss_loads = self.dtlb_miss_loads;
+                stats.dtlb_miss_stores = self.dtlb_miss_stores;
+                stats.l1i = self.l1i.counters();
+                stats.l1i_reported_accesses = self.l1i_reported_accesses;
+                stats.l1d = self.l1d.counters();
+                stats.l2 = self.l2.counters();
+                stats.dram_reads = dram_reads;
+                stats.dram_writes = dram_writes;
+                stats.dram_accesses = dram_reads + dram_writes;
+                stats.snoops = self.snoops;
+                stats.nonspec_stalls = self.nonspec_stalls;
+                stats.stalls = StallCycles {
+                    fetch: lane.stall_fetch,
+                    memory: lane.stall_memory,
+                    ..self.stalls
+                };
+                stats.fp_counted_as_simd = self.cfg.fp_counted_as_simd;
+                stats.split_l2_tlb = self.cfg.l2tlb.is_split();
+                SimResult {
+                    cycles: lane.cycles,
+                    seconds: stats.seconds,
+                    stats,
+                }
+            })
+            .collect();
+        #[cfg(debug_assertions)]
+        for (r, reference) in results.iter().zip(self.refs.iter_mut()) {
+            let expect = reference.finish();
+            debug_assert_eq!(r.cycles, expect.cycles);
+            debug_assert_eq!(r.seconds, expect.seconds);
+            debug_assert_eq!(
+                r.stats.gem5_stats_map(),
+                expect.stats.gem5_stats_map(),
+                "grid lane at {:.0} Hz diverged from the reference engine",
+                r.stats.freq_hz
+            );
+        }
+        results
+    }
+}
+
+/// The atomic tier over a frequency grid: the fixed-cost table depends
+/// only on the configuration and thread count, so one functional pass
+/// serves every lane and only the cycles→seconds conversion differs.
+#[derive(Debug)]
+pub struct AtomicGridEngine {
+    engine: AtomicEngine,
+    freqs: Vec<f64>,
+}
+
+impl AtomicGridEngine {
+    /// Builds an atomic grid over `freqs_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz` is empty, any frequency is `<= 0`, or
+    /// `threads == 0`.
+    pub fn new(cfg: &CoreConfig, freqs_hz: &[f64], threads: u32) -> Self {
+        assert!(!freqs_hz.is_empty(), "at least one frequency lane");
+        AtomicGridEngine {
+            engine: AtomicEngine::new(cfg, freqs_hz[0], threads),
+            freqs: freqs_hz.to_vec(),
+        }
+    }
+
+    /// Retires one instruction on every lane.
+    #[inline]
+    pub fn step(&mut self, instr: &Instr) {
+        use crate::backend::ExecBackend;
+        self.engine.step(instr);
+    }
+
+    /// Retires a whole class histogram at once — the packed-trace fast
+    /// path, shared across every lane.
+    pub fn absorb_histogram(&mut self, hist: &[u64; InstrClass::COUNT]) {
+        self.engine.absorb_histogram(hist);
+    }
+
+    /// Finalises one result per lane: the shared cycle count converted at
+    /// each lane's frequency, bit-identical to independent
+    /// [`AtomicEngine`] runs.
+    pub fn finish(&mut self) -> Vec<SimResult> {
+        use crate::backend::ExecBackend;
+        let base = self.engine.finish();
+        self.freqs
+            .iter()
+            .map(|&f| {
+                let mut r = base.clone();
+                r.stats.freq_hz = f;
+                r.stats.seconds = r.cycles / f;
+                r.seconds = r.stats.seconds;
+                r
+            })
+            .collect()
+    }
+}
+
+/// Per-lane measurement accumulators of the sampled grid tier.
+#[derive(Debug, Clone, Default)]
+struct SampledLane {
+    measured_cycles: f64,
+    window_cycles: f64,
+    window_cpis: Vec<f64>,
+}
+
+/// The SMARTS-style sampled tier over a frequency grid: the window
+/// schedule, atomic fast-forward warming, and architectural counts are
+/// shared; each lane measures its own per-window cycle deltas through the
+/// inner [`GridEngine`].
+#[derive(Debug)]
+pub struct SampledGridEngine {
+    interval: u64,
+    detailed_len: u64,
+    warm_len: u64,
+    detailed: GridEngine,
+    counts: [u64; InstrClass::COUNT],
+    pos: u64,
+    total: u64,
+    detailed_instr: u64,
+    measured_instr: u64,
+    window_instr: u64,
+    accs: Vec<SampledLane>,
+    /// Scratch: per-lane cycle counts before the current measured step.
+    before: Vec<f64>,
+}
+
+impl SampledGridEngine {
+    /// Builds a sampled grid engine over `freqs_hz` with the given
+    /// sampling geometry, seeded like [`GridEngine::with_seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz` is empty, any frequency is `<= 0`, or
+    /// `threads == 0`.
+    pub fn new(
+        cfg: CoreConfig,
+        freqs_hz: &[f64],
+        threads: u32,
+        seed: u64,
+        params: SampleParams,
+    ) -> Self {
+        let interval = params.interval.max(1);
+        let detailed_len = params.detailed_len();
+        SampledGridEngine {
+            interval,
+            detailed_len,
+            warm_len: params.warmup.min(detailed_len),
+            detailed: GridEngine::with_seed(cfg, freqs_hz, threads, seed),
+            counts: [0; InstrClass::COUNT],
+            pos: 0,
+            total: 0,
+            detailed_instr: 0,
+            measured_instr: 0,
+            window_instr: 0,
+            accs: vec![SampledLane::default(); freqs_hz.len()],
+            before: vec![0.0; freqs_hz.len()],
+        }
+    }
+
+    fn close_window(&mut self) {
+        if self.window_instr > 0 {
+            for acc in &mut self.accs {
+                acc.window_cpis
+                    .push(acc.window_cycles / self.window_instr as f64);
+                acc.window_cycles = 0.0;
+            }
+            self.window_instr = 0;
+        }
+    }
+
+    fn lane_meta(&self, acc: &SampledLane) -> SampleMeta {
+        let n = acc.window_cpis.len();
+        let mean = if n > 0 {
+            acc.window_cpis.iter().sum::<f64>() / n as f64
+        } else {
+            0.0
+        };
+        let stddev = if n > 1 {
+            let var = acc
+                .window_cpis
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        let rel_ci95 = if n > 1 && mean > 0.0 {
+            1.96 * stddev / (n as f64).sqrt() / mean
+        } else {
+            0.0
+        };
+        SampleMeta {
+            windows: n as u64,
+            measured_instructions: self.measured_instr,
+            detailed_instructions: self.detailed_instr,
+            total_instructions: self.total,
+            coverage: if self.total > 0 {
+                self.detailed_instr as f64 / self.total as f64
+            } else {
+                0.0
+            },
+            cpi_mean: mean,
+            cpi_stddev: stddev,
+            rel_ci95,
+        }
+    }
+
+    /// Processes one instruction, following the shared window schedule.
+    #[inline]
+    pub fn step(&mut self, instr: &Instr) {
+        if self.pos < self.detailed_len {
+            if self.pos < self.warm_len {
+                self.detailed.step(instr);
+            } else {
+                for (i, b) in self.before.iter_mut().enumerate() {
+                    *b = self.detailed.lane_cycles(i);
+                }
+                self.detailed.step(instr);
+                for (i, acc) in self.accs.iter_mut().enumerate() {
+                    let delta = self.detailed.lane_cycles(i) - self.before[i];
+                    acc.measured_cycles += delta;
+                    acc.window_cycles += delta;
+                }
+                self.measured_instr += 1;
+                self.window_instr += 1;
+            }
+            self.detailed_instr += 1;
+            if self.pos + 1 == self.detailed_len {
+                self.close_window();
+            }
+        } else {
+            self.detailed.warm_state(instr);
+        }
+        self.counts[instr.class.index() as usize] += 1;
+        self.total += 1;
+        self.pos += 1;
+        if self.pos == self.interval {
+            self.pos = 0;
+        }
+    }
+
+    /// Finalises one extrapolated result per lane, bit-identical to
+    /// independent [`crate::backend::SampledEngine`] runs at each
+    /// frequency.
+    pub fn finish(&mut self) -> Vec<SimResult> {
+        self.close_window();
+        let committed = ClassCounts::from_histogram(&self.counts);
+        let total = committed.total();
+        let det_results = self.detailed.finish();
+        det_results
+            .into_iter()
+            .enumerate()
+            .map(|(i, det)| {
+                let meta = self.lane_meta(&self.accs[i]);
+                sampled_windows_counter().add(meta.windows);
+                sampled_detailed_counter().add(meta.detailed_instructions);
+                sampled_fastforward_counter().add(total - meta.detailed_instructions);
+                if meta.detailed_instructions >= total {
+                    let mut result = det;
+                    result.stats.fidelity = Fidelity::Sampled;
+                    result.stats.sample = Some(meta);
+                    return result;
+                }
+                let det_instr = det.stats.committed_instructions.max(1);
+                let ratio = total as f64 / det_instr as f64;
+                let cpi = if meta.measured_instructions > 0 {
+                    self.accs[i].measured_cycles / meta.measured_instructions as f64
+                } else {
+                    det.cycles / det_instr as f64
+                };
+                let cycles = cpi * total as f64;
+                let freq_hz = self.detailed.lane_freq(i);
+                let mut stats = scale_stats(&det.stats, ratio);
+                let wrong_path = stats.speculative.saturating_sub(&stats.committed);
+                stats.committed = committed;
+                stats.committed_instructions = total;
+                stats.speculative = committed.add(&wrong_path);
+                stats.speculative_instructions = stats.speculative.total();
+                stats.wrong_path_instructions = wrong_path.total();
+                stats.freq_hz = freq_hz;
+                stats.cycles = cycles;
+                stats.seconds = cycles / freq_hz;
+                stats.fidelity = Fidelity::Sampled;
+                stats.sample = Some(meta);
+                SimResult {
+                    cycles,
+                    seconds: stats.seconds,
+                    stats,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A tier-dispatching fused grid backend — the grid counterpart of
+/// [`crate::backend::Backend`].
+#[derive(Debug)]
+pub enum GridBackend {
+    /// The atomic/functional tier (one pass, per-lane time conversion).
+    Atomic(Box<AtomicGridEngine>),
+    /// The cycle-approximate reference tier (fused lanes).
+    Approx(Box<GridEngine>),
+    /// The SMARTS-style sampled tier (shared windows, per-lane deltas).
+    Sampled(Box<SampledGridEngine>),
+}
+
+impl GridBackend {
+    /// Builds the grid backend selected by `tier` over the frequency lanes
+    /// `freqs_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz` is empty, any frequency is `<= 0`, or
+    /// `threads == 0`.
+    pub fn new(
+        tier: TierConfig,
+        cfg: &CoreConfig,
+        freqs_hz: &[f64],
+        threads: u32,
+        seed: u64,
+    ) -> Self {
+        match tier.fidelity {
+            Fidelity::Atomic => {
+                GridBackend::Atomic(Box::new(AtomicGridEngine::new(cfg, freqs_hz, threads)))
+            }
+            Fidelity::Approx => GridBackend::Approx(Box::new(GridEngine::with_seed(
+                cfg.clone(),
+                freqs_hz,
+                threads,
+                seed,
+            ))),
+            Fidelity::Sampled => GridBackend::Sampled(Box::new(SampledGridEngine::new(
+                cfg.clone(),
+                freqs_hz,
+                threads,
+                seed,
+                tier.sample,
+            ))),
+        }
+    }
+
+    /// The tier this backend implements.
+    pub fn fidelity(&self) -> Fidelity {
+        match self {
+            GridBackend::Atomic(_) => Fidelity::Atomic,
+            GridBackend::Approx(_) => Fidelity::Approx,
+            GridBackend::Sampled(_) => Fidelity::Sampled,
+        }
+    }
+
+    /// Processes one instruction on every lane.
+    #[inline]
+    pub fn step(&mut self, instr: &Instr) {
+        match self {
+            GridBackend::Atomic(b) => b.step(instr),
+            GridBackend::Approx(b) => b.step(instr),
+            GridBackend::Sampled(b) => b.step(instr),
+        }
+    }
+
+    /// Finalises one result per lane, in lane order.
+    pub fn finish(&mut self) -> Vec<SimResult> {
+        match self {
+            GridBackend::Atomic(b) => b.finish(),
+            GridBackend::Approx(b) => b.finish(),
+            GridBackend::Sampled(b) => b.finish(),
+        }
+    }
+
+    /// Runs the grid over an instruction stream with the per-tier obs span
+    /// and grid/tier accounting; returns one result per lane.
+    pub fn run_stream(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
+        let _span = gemstone_obs::span::span(grid_span_name(self.fidelity()));
+        for instr in stream {
+            self.step(&instr);
+        }
+        let results = self.finish();
+        record_grid_run(
+            self.fidelity(),
+            results.len(),
+            results[0].stats.committed_instructions,
+        );
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, SampledEngine};
+    use crate::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
+    use crate::core::Engine;
+    use crate::instr::{BranchRef, MemRef};
+
+    /// A mixed stream exercising every structural path (same shape as the
+    /// backend tests: ALU, long-latency, memory, branches, exclusives).
+    fn mixed_stream(n: usize) -> Vec<Instr> {
+        (0..n)
+            .map(|i| {
+                let pc = (i as u64 % 2048) * 4;
+                match i % 17 {
+                    0..=3 => Instr::alu(InstrClass::IntAlu, pc),
+                    4 => Instr::alu(InstrClass::IntMul, pc),
+                    5 => Instr::alu(InstrClass::FpAlu, pc),
+                    6..=8 => Instr::mem(
+                        InstrClass::Load,
+                        pc,
+                        MemRef::load((i as u64).wrapping_mul(2654435761) % (8 << 20), 4),
+                    ),
+                    9 => Instr::mem(
+                        InstrClass::Store,
+                        pc,
+                        MemRef::store((i as u64 * 64) % (1 << 20), 4).with_shared(i % 2 == 0),
+                    ),
+                    10 | 11 => Instr::branch(
+                        InstrClass::Branch,
+                        pc,
+                        BranchRef {
+                            static_id: (i % 32) as u32,
+                            taken: i % 5 != 0,
+                            target_page: (i as u64 / 64) % 16,
+                        },
+                    ),
+                    12 => Instr::alu(InstrClass::Simd, pc),
+                    13 => Instr::mem(
+                        InstrClass::StoreExclusive,
+                        pc,
+                        MemRef::store(0x2000 + (i as u64 % 32) * 4, 4).with_shared(true),
+                    ),
+                    14 => Instr::alu(InstrClass::Nop, pc),
+                    _ => Instr::alu(InstrClass::IntAlu, pc),
+                }
+            })
+            .collect()
+    }
+
+    const FREQS: [f64; 4] = [0.6e9, 1.0e9, 1.4e9, 1.8e9];
+
+    #[test]
+    fn grid_bit_identical_to_per_frequency_runs() {
+        for cfg in [cortex_a15_hw(), cortex_a7_hw(), ex5_big(Ex5Variant::Old)] {
+            for threads in [1, 4] {
+                let stream = mixed_stream(30_000);
+                let mut grid = GridEngine::with_seed(cfg.clone(), &FREQS, threads, 0x5EED_CAFE);
+                let fused = grid.run(stream.clone().into_iter());
+                assert_eq!(fused.len(), FREQS.len());
+                for (&f, r) in FREQS.iter().zip(&fused) {
+                    let mut e = Engine::new(cfg.clone(), f, threads);
+                    let expect = e.run(stream.clone().into_iter());
+                    assert_eq!(r.cycles, expect.cycles, "{} @ {f}", cfg.name);
+                    assert_eq!(r.seconds, expect.seconds);
+                    assert_eq!(r.stats.gem5_stats_map(), expect.stats.gem5_stats_map());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_grid_bit_identical_to_per_frequency_runs() {
+        let stream = mixed_stream(20_000);
+        let cfg = cortex_a7_hw();
+        let mut grid = GridBackend::new(TierConfig::atomic(), &cfg, &FREQS, 2, 0);
+        let fused = grid.run_stream(stream.clone().into_iter());
+        for (&f, r) in FREQS.iter().zip(&fused) {
+            let mut b = Backend::new(TierConfig::atomic(), &cfg, f, 2, 0);
+            let expect = b.run_stream(stream.clone().into_iter());
+            assert_eq!(r.cycles, expect.cycles);
+            assert_eq!(r.seconds, expect.seconds);
+            assert_eq!(
+                r.stats.committed.to_histogram(),
+                expect.stats.committed.to_histogram()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_grid_bit_identical_to_per_frequency_runs() {
+        let stream = mixed_stream(50_000);
+        let cfg = cortex_a15_hw();
+        let params = SampleParams::default();
+        let mut grid = SampledGridEngine::new(cfg.clone(), &FREQS, 1, 9, params);
+        for i in &stream {
+            grid.step(i);
+        }
+        let fused = grid.finish();
+        for (&f, r) in FREQS.iter().zip(&fused) {
+            let mut e = SampledEngine::new(cfg.clone(), f, 1, 9, params);
+            for i in &stream {
+                crate::backend::ExecBackend::step(&mut e, i);
+            }
+            let expect = crate::backend::ExecBackend::finish(&mut e);
+            assert_eq!(r.cycles, expect.cycles, "sampled lane @ {f}");
+            assert_eq!(r.seconds, expect.seconds);
+            assert_eq!(r.stats.sample, expect.stats.sample);
+            assert_eq!(r.stats.gem5_stats_map(), expect.stats.gem5_stats_map());
+        }
+    }
+
+    #[test]
+    fn single_lane_grid_equals_engine() {
+        let stream = mixed_stream(10_000);
+        let cfg = ex5_big(Ex5Variant::Fixed);
+        let mut grid = GridEngine::new(cfg.clone(), &[1.0e9], 1);
+        let fused = grid.run(stream.clone().into_iter());
+        let mut e = Engine::new(cfg, 1.0e9, 1);
+        let expect = e.run(stream.into_iter());
+        assert_eq!(fused[0].cycles, expect.cycles);
+        assert_eq!(
+            fused[0].stats.gem5_stats_map(),
+            expect.stats.gem5_stats_map()
+        );
+    }
+
+    #[test]
+    fn grid_finish_is_reentrant() {
+        let cfg = cortex_a7_hw();
+        let mut grid = GridEngine::new(cfg, &FREQS, 1);
+        for i in mixed_stream(1_000) {
+            grid.step(&i);
+        }
+        let r1 = grid.finish();
+        for i in mixed_stream(1_000) {
+            grid.step(&i);
+        }
+        let r2 = grid.finish();
+        assert_eq!(r2[0].stats.committed_instructions, 2_000);
+        assert!(r2[0].cycles > r1[0].cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frequency lane")]
+    fn empty_grid_rejected() {
+        let _ = GridEngine::new(cortex_a7_hw(), &[], 1);
+    }
+}

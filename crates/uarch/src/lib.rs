@@ -52,6 +52,7 @@ pub mod branch;
 pub mod cache;
 pub mod configs;
 pub mod core;
+pub mod grid;
 pub mod instr;
 pub mod memory;
 pub mod pmu;

@@ -274,8 +274,10 @@ mod tests {
 
     #[test]
     fn retired_counts_flow_through() {
-        let mut s = SimStats::default();
-        s.committed_instructions = 1000;
+        let mut s = SimStats {
+            committed_instructions: 1000,
+            ..Default::default()
+        };
         s.committed.loads = 100;
         s.committed.stores = 50;
         s.committed.branches = 80;

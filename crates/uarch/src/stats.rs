@@ -600,9 +600,11 @@ mod tests {
 
     #[test]
     fn stats_txt_format() {
-        let mut s = SimStats::default();
-        s.committed_instructions = 12345;
-        s.cycles = 67890.5;
+        let s = SimStats {
+            committed_instructions: 12345,
+            cycles: 67890.5,
+            ..Default::default()
+        };
         let txt = s.to_stats_txt();
         assert!(txt.starts_with("---------- Begin Simulation Statistics"));
         assert!(txt
@@ -616,12 +618,14 @@ mod tests {
 
     #[test]
     fn class_counts_total() {
-        let mut c = ClassCounts::default();
-        c.int_alu = 10;
-        c.loads = 5;
-        c.branches = 3;
-        c.returns = 1;
-        c.calls = 1;
+        let c = ClassCounts {
+            int_alu: 10,
+            loads: 5,
+            branches: 3,
+            returns: 1,
+            calls: 1,
+            ..Default::default()
+        };
         assert_eq!(c.total(), 20);
         assert_eq!(c.all_branches(), 5);
         assert_eq!(c.int_dp(), 10);
@@ -629,10 +633,12 @@ mod tests {
 
     #[test]
     fn ipc_and_rate() {
-        let mut s = SimStats::default();
-        s.cycles = 1000.0;
-        s.committed_instructions = 500;
-        s.seconds = 2.0;
+        let s = SimStats {
+            cycles: 1000.0,
+            committed_instructions: 500,
+            seconds: 2.0,
+            ..Default::default()
+        };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
         assert!((s.rate(100.0) - 50.0).abs() < 1e-12);
         let z = SimStats::default();
@@ -658,8 +664,10 @@ mod tests {
 
     #[test]
     fn walker_cache_stats_only_when_split() {
-        let mut s = SimStats::default();
-        s.split_l2_tlb = false;
+        let mut s = SimStats {
+            split_l2_tlb: false,
+            ..Default::default()
+        };
         assert!(!s
             .gem5_stats_map()
             .contains_key("system.cpu.itb_walker_cache.overall_accesses"));

@@ -56,7 +56,7 @@ impl TlbConfig {
         );
         assert!(self.ways >= 1, "TLB geometry: ways must be at least 1");
         assert!(
-            self.entries % self.ways == 0,
+            self.entries.is_multiple_of(self.ways),
             "TLB geometry: {} entries must divide evenly into {} ways",
             self.entries,
             self.ways

@@ -6,6 +6,7 @@ use gemstone_uarch::branch::{
 use gemstone_uarch::cache::{Cache, CacheConfig};
 use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
 use gemstone_uarch::core::Engine;
+use gemstone_uarch::grid::GridEngine;
 use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
 use gemstone_uarch::pmu::{self, event_counts};
 use gemstone_uarch::tlb::{SecondLevelTlb, TlbConfig, TlbHierarchy, TlbKind};
@@ -83,6 +84,36 @@ proptest! {
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.stats.branch.cond_incorrect, b.stats.branch.cond_incorrect);
         prop_assert_eq!(a.stats.l1d.misses, b.stats.l1d.misses);
+    }
+
+    /// A fused grid replay must be bit-identical to running each
+    /// frequency lane through its own independent engine — for any
+    /// stream, configuration, thread count and frequency column.
+    #[test]
+    fn fused_grid_lanes_equal_independent_runs(
+        stream in stream_strategy(),
+        cfg_idx in 0usize..3,
+        threads in prop_oneof![Just(1u32), Just(4u32)],
+        freqs in prop::collection::vec(
+            prop_oneof![Just(0.2e9), Just(0.6e9), Just(1.0e9), Just(1.4e9), Just(1.8e9)],
+            1..5,
+        ),
+    ) {
+        let cfg = match cfg_idx {
+            0 => cortex_a15_hw(),
+            1 => cortex_a7_hw(),
+            _ => ex5_big(Ex5Variant::Old),
+        };
+        let mut grid = GridEngine::new(cfg.clone(), &freqs, threads);
+        let fused = grid.run(stream.clone().into_iter());
+        prop_assert_eq!(fused.len(), freqs.len());
+        for (&f, lane) in freqs.iter().zip(&fused) {
+            let mut e = Engine::new(cfg.clone(), f, threads);
+            let r = e.run(stream.clone().into_iter());
+            prop_assert_eq!(lane.cycles.to_bits(), r.cycles.to_bits());
+            prop_assert_eq!(lane.seconds.to_bits(), r.seconds.to_bits());
+            prop_assert_eq!(lane.stats.gem5_stats_map(), r.stats.gem5_stats_map());
+        }
     }
 
     #[test]

@@ -661,7 +661,7 @@ mod tests {
                 .tweak(|p| p.mem.shared_frac = 0.5)
                 .build();
             StreamGen::new(&spec)
-                .filter(|i| i.mem.map_or(false, |m| m.shared))
+                .filter(|i| i.mem.is_some_and(|m| m.shared))
                 .count()
         };
         assert_eq!(mk(1), 0);

@@ -801,7 +801,7 @@ mod tests {
     #[test]
     fn behavioural_diversity_axes_covered() {
         let all = power_suite();
-        let has = |f: &dyn Fn(&WorkloadSpec) -> bool| all.iter().any(|w| f(w));
+        let has = |f: &dyn Fn(&WorkloadSpec) -> bool| all.iter().any(f);
         // Pointer chasing.
         assert!(has(&|w| w.phases[0].mem.dependent));
         // Large working sets (> 16 MB).

@@ -45,6 +45,7 @@ use crate::spec::WorkloadSpec;
 use gemstone_obs::{Counter, Registry};
 use gemstone_uarch::backend::{record_tier_run, Backend, ExecBackend, Fidelity};
 use gemstone_uarch::core::SimResult;
+use gemstone_uarch::grid::{grid_span_name, record_grid_run, GridBackend};
 use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -86,10 +87,10 @@ impl PackedMem {
         PackedMem {
             vaddr: m.vaddr,
             size: m.size,
-            flags: (m.unaligned as u8) * MEM_UNALIGNED
-                | (m.is_store as u8) * MEM_STORE
-                | (m.shared as u8) * MEM_SHARED
-                | (m.dependent as u8) * MEM_DEPENDENT,
+            flags: ((m.unaligned as u8) * MEM_UNALIGNED)
+                | ((m.is_store as u8) * MEM_STORE)
+                | ((m.shared as u8) * MEM_SHARED)
+                | ((m.dependent as u8) * MEM_DEPENDENT),
         }
     }
 
@@ -305,6 +306,31 @@ impl PackedTrace {
                 let result = engine.finish();
                 record_tier_run(Fidelity::Atomic, result.stats.committed_instructions);
                 result
+            }
+        }
+    }
+
+    /// Replays the whole trace through a fused [`GridBackend`] — one
+    /// decode pass serving every frequency lane — with the same per-tier
+    /// fast paths as [`PackedTrace::run_backend`]: the atomic grid absorbs
+    /// one class histogram, the approx and sampled grids stream every
+    /// decoded instruction. Each returned result is bit-identical to
+    /// [`PackedTrace::run_backend`] at that lane's frequency, and the
+    /// `engine.grid.*` / `engine.tier.*` counters account the replay as
+    /// one fused pass standing in for N logical runs.
+    pub fn run_grid(&self, backend: &mut GridBackend) -> Vec<SimResult> {
+        match backend {
+            GridBackend::Approx(_) | GridBackend::Sampled(_) => backend.run_stream(self.iter()),
+            GridBackend::Atomic(engine) => {
+                let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Atomic));
+                engine.absorb_histogram(&self.class_histogram(0..self.len()));
+                let results = engine.finish();
+                record_grid_run(
+                    Fidelity::Atomic,
+                    results.len(),
+                    results[0].stats.committed_instructions,
+                );
+                results
             }
         }
     }
@@ -826,6 +852,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted bounds are the point
     fn class_histogram_matches_decoded_classes() {
         let trace = PackedTrace::from_spec(&spec(9_000));
         let mut expect = [0u64; InstrClass::COUNT];

@@ -18,10 +18,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
-    let mut cfg = ExperimentConfig::default();
-    cfg.workload_scale = scale;
-    cfg.clusters = vec![Cluster::BigA15];
-    cfg.models = vec![Gem5Model::Ex5BigOld];
+    let cfg = ExperimentConfig {
+        workload_scale: scale,
+        clusters: vec![Cluster::BigA15],
+        models: vec![Gem5Model::Ex5BigOld],
+        ..Default::default()
+    };
 
     println!("step 0 — run the experiments (45 workloads, 4 DVFS points) …");
     let data = run_validation(&cfg);

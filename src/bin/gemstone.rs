@@ -562,23 +562,38 @@ fn run_stats(args: &Args) -> ExitCode {
         }
     };
     let t0 = std::time::Instant::now();
-    let run = Gem5Sim::run_tier(&spec.scaled(args.scale()), model, 1.0e9, tier);
+    // One fused grid replay covers the model's whole DVFS column; the
+    // stats dump below is the 1 GHz lane (bit-identical to a scalar run
+    // at 1 GHz), and the grid counters record what the fusion did.
+    let freqs = model.cluster().frequencies();
+    let runs = Gem5Sim::run_grid_tier(&spec.scaled(args.scale()), model, freqs, tier);
     let sim_micros = t0.elapsed().as_micros() as u64;
+    let run = runs.iter().find(|r| r.freq_hz == 1.0e9).unwrap_or(&runs[0]);
     print!("{}", run.stats.to_stats_txt());
     // Execution-layer counters, in the same aligned `name value` style.
-    // `Gem5Sim::run_tier` consults the process-wide caches, so these
+    // `Gem5Sim::run_grid_tier` consults the process-wide caches, so these
     // reflect whether this invocation hit the memo / replayed a packed
-    // trace.
+    // trace / fused the frequency column.
     let cache = SimCache::global();
     let traces = cache.trace_cache();
+    let registry = gemstone_obs::Registry::global();
     for (name, value) in [
         ("gemstone.simcache.hits", cache.hits()),
         ("gemstone.simcache.misses", cache.misses()),
         ("gemstone.simcache.entries", cache.len() as u64),
+        ("gemstone.simcache.grid_fills", cache.grid_fills()),
         ("gemstone.tracecache.hits", traces.hits()),
         ("gemstone.tracecache.misses", traces.misses()),
         ("gemstone.tracecache.evictions", traces.evictions()),
         ("gemstone.tracecache.bytes", traces.bytes() as u64),
+        (
+            "gemstone.engine.grid.replays",
+            registry.counter("engine.grid.replays").get(),
+        ),
+        (
+            "gemstone.engine.grid.lanes",
+            registry.counter("engine.grid.lanes").get(),
+        ),
         ("gemstone.sim.wall_micros", sim_micros),
     ] {
         println!("{name:<60} {value:>20}");

@@ -52,10 +52,12 @@ fn full_pipeline_reproduces_headline_shapes() {
 fn per_frequency_trend_is_monotone_positive() {
     // E12: the model's too-low DRAM latency flatters it more at higher
     // frequency, so the MPE rises with frequency.
-    let mut cfg = ExperimentConfig::default();
-    cfg.workload_scale = 0.05;
-    cfg.clusters = vec![Cluster::BigA15];
-    cfg.models = vec![Gem5Model::Ex5BigOld];
+    let cfg = ExperimentConfig {
+        workload_scale: 0.05,
+        clusters: vec![Cluster::BigA15],
+        models: vec![Gem5Model::Ex5BigOld],
+        ..Default::default()
+    };
     let data = run_validation(&cfg);
     let collated = Collated::build(&data);
     let s = gemstone::core::analysis::summary::analyse(&collated).expect("summary");
