@@ -7,13 +7,15 @@
 //! lanes. Covered per cluster (A7 and A15 columns) and across the three
 //! fidelity tiers. The setup pass prints the measured fused-vs-scalar
 //! speedup per (cluster, tier), so a bench run doubles as a check of the
-//! ≥3× target on the A15 approx column.
+//! ≥3× target on the A15 approx column; the same measurements land in
+//! `BENCH_gridsweep.json` for CI artefact upload.
 //!
 //! Results are bit-identical by construction (debug builds cross-check
 //! every lane against a per-frequency reference engine); release bench
 //! runs measure the fused path without that overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_bench::{write_bench_json, BenchRecord};
 use gemstone_platform::dvfs::Cluster;
 use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
 use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw};
@@ -64,6 +66,7 @@ fn grid_sweep(c: &mut Criterion) {
     let trace = PackedTrace::from_spec(&spec);
     let mut group = c.benchmark_group("grid_sweep");
     group.sample_size(10);
+    let mut records = Vec::new();
 
     for (cluster, cfg, freqs) in clusters() {
         // One decoded instruction per lane of the column.
@@ -85,14 +88,20 @@ fn grid_sweep(c: &mut Criterion) {
                 fused_cycles.to_bits(),
                 "fused column diverged from per-frequency runs"
             );
+            let speedup = scalar.as_secs_f64() / fused.as_secs_f64().max(1e-9);
             println!(
-                "grid_sweep/{cluster}/{tier_name}: {} lanes, fused {:.1}x faster \
+                "grid_sweep/{cluster}/{tier_name}: {} lanes, fused {speedup:.1}x faster \
                  ({:.1} ms -> {:.1} ms)",
                 freqs.len(),
-                scalar.as_secs_f64() / fused.as_secs_f64().max(1e-9),
                 scalar.as_secs_f64() * 1e3,
                 fused.as_secs_f64() * 1e3,
             );
+            records.push(BenchRecord::new(
+                "grid_sweep",
+                format!("{cluster}/{tier_name}"),
+                fused.as_secs_f64(),
+                speedup,
+            ));
 
             group.bench_with_input(
                 BenchmarkId::new(format!("{cluster}_per_frequency"), tier_name),
@@ -106,6 +115,7 @@ fn grid_sweep(c: &mut Criterion) {
             );
         }
     }
+    write_bench_json("BENCH_gridsweep.json", &records).expect("write BENCH_gridsweep.json");
     group.finish();
 }
 

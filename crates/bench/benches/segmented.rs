@@ -1,0 +1,109 @@
+//! Criterion benchmarks for time-parallel segmented simulation
+//! (DESIGN.md §12).
+//!
+//! Splits one long approx-tier trace replay into fixed-size segments and
+//! measures the spliced parallel run against the sequential reference at
+//! several worker counts. The setup pass asserts the spliced result is
+//! bit-identical to the sequential one at every worker count (the whole
+//! point of the canonical-partials discipline), prints the measured
+//! speedups, and — on machines with at least four cores — asserts the
+//! many-worker run is at least 2.5× faster than sequential. Records land
+//! in `BENCH_segmented.json` for CI artefact upload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_bench::{write_bench_json, BenchRecord};
+use gemstone_uarch::configs::cortex_a15_hw;
+use gemstone_uarch::core::Engine;
+use gemstone_uarch::segment::{drive_sequential, run_segmented, SegmentPlan};
+use gemstone_workloads::suites;
+use gemstone_workloads::trace::PackedTrace;
+
+const WORKLOAD: &str = "mi-fft";
+const SEED: u64 = 7;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engine() -> Engine {
+    Engine::with_seed(cortex_a15_hw(), 1.0e9, 1, SEED)
+}
+
+fn run_sequential(trace: &PackedTrace, plan: &SegmentPlan) -> f64 {
+    let mut e = engine();
+    drive_sequential(&mut e, plan.seg_instrs(), trace.iter());
+    e.finish().cycles
+}
+
+fn run_parallel(trace: &PackedTrace, plan: &SegmentPlan, workers: usize) -> f64 {
+    let mut e = engine();
+    run_segmented(&mut e, plan, workers, |offset| {
+        trace.iter_from(offset as usize)
+    });
+    e.finish().cycles
+}
+
+fn segmented(c: &mut Criterion) {
+    let spec = suites::by_name(WORKLOAD).unwrap().scaled(0.5);
+    let trace = PackedTrace::from_spec(&spec);
+    // ~64 segments regardless of workload scale, so every worker count in
+    // the sweep has work to steal. The plan carries the segment size, so
+    // the sequential reference drains at the same cadence.
+    let seg_instrs = (trace.len() as u64 / 64).max(1_024);
+    let plan = SegmentPlan::new(trace.len() as u64, seg_instrs);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let t0 = std::time::Instant::now();
+    let baseline_cycles = run_sequential(&trace, &plan);
+    let baseline = t0.elapsed().as_secs_f64();
+    let mut records = vec![BenchRecord::new(
+        "segmented",
+        "sequential".to_string(),
+        baseline,
+        1.0,
+    )];
+    for workers in WORKER_COUNTS {
+        let t1 = std::time::Instant::now();
+        let cycles = run_parallel(&trace, &plan, workers);
+        let wall = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            cycles.to_bits(),
+            baseline_cycles.to_bits(),
+            "spliced run diverged from sequential at {workers} workers"
+        );
+        let speedup = baseline / wall.max(1e-9);
+        println!(
+            "segmented/{workers} workers: {} segments, {speedup:.2}x vs sequential \
+             ({:.1} ms -> {:.1} ms)",
+            plan.segment_count(),
+            baseline * 1e3,
+            wall * 1e3,
+        );
+        if workers >= 4 && cores >= 4 {
+            assert!(
+                speedup >= 2.5,
+                "expected >= 2.5x at {workers} workers on {cores} cores, got {speedup:.2}x"
+            );
+        }
+        records.push(BenchRecord::new(
+            "segmented",
+            format!("workers={workers}"),
+            wall,
+            speedup,
+        ));
+    }
+    write_bench_json("BENCH_segmented.json", &records).expect("write BENCH_segmented.json");
+
+    let mut group = c.benchmark_group("segmented");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("sequential", |b| b.iter(|| run_sequential(&trace, &plan)));
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("spliced", workers),
+            &workers,
+            |b, &workers| b.iter(|| run_parallel(&trace, &plan, workers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, segmented);
+criterion_main!(benches);

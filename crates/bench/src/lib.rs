@@ -54,6 +54,53 @@ pub fn paper_vs(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<42} paper: {paper:<18} measured: {measured}")
 }
 
+/// One machine-readable measurement from a benchmark's spot-check pass.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark family, e.g. `"segmented"`.
+    pub bench: String,
+    /// Configuration label, e.g. `"workers=4"` or `"a15/approx"`.
+    pub config: String,
+    /// Wall-clock seconds of the measured pass.
+    pub wall_s: f64,
+    /// Speedup over that benchmark's baseline pass.
+    pub speedup: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record (convenience for the bench binaries).
+    pub fn new(bench: &str, config: String, wall_s: f64, speedup: f64) -> Self {
+        BenchRecord {
+            bench: bench.to_string(),
+            config,
+            wall_s,
+            speedup,
+        }
+    }
+}
+
+/// Writes benchmark records as a JSON array to `path` (one
+/// `BENCH_<name>.json` artefact per bench family; CI uploads them). The
+/// format is hand-rolled — records only carry simple ASCII labels — so the
+/// bench crate needs no serialisation dependency.
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_s\": {:.6}, \"speedup\": {:.3}}}{sep}\n",
+            r.bench.replace('"', "'"),
+            r.config.replace('"', "'"),
+            r.wall_s,
+            r.speedup,
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)?;
+    println!("wrote {} record(s) to {path}", records.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +127,23 @@ mod tests {
         let s = paper_vs("MPE", "-51 %", "-51.6 %");
         assert!(s.contains("paper"));
         assert!(s.contains("measured"));
+    }
+
+    #[test]
+    fn bench_json_has_one_object_per_record() {
+        let file = std::env::temp_dir().join("gemstone-bench-json-test.json");
+        let path = file.to_str().unwrap();
+        let recs = vec![
+            BenchRecord::new("segmented", "workers=2".to_string(), 1.25, 1.9),
+            BenchRecord::new("segmented", "workers=4".to_string(), 0.75, 3.2),
+        ];
+        write_bench_json(path, &recs).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"bench\": \"segmented\"").count(), 2);
+        assert!(text.contains("\"config\": \"workers=4\""));
+        assert!(text.contains("\"speedup\": 3.200"));
+        std::fs::remove_file(file).ok();
     }
 }

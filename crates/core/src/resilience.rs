@@ -318,6 +318,10 @@ pub fn collect_resilient(
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = pending.get(i) else { break };
+                // Two-level scheduling, as in `experiment::run_over`: hold
+                // one advisory TokenPool permit per busy workload worker so
+                // segmented replays only borrow genuinely idle cores.
+                let _busy = gemstone_uarch::segment::TokenPool::global().take_up_to(1);
                 let outcome = characterise_workload(cfg, spec, &opts.faults, &opts.retry);
                 let mut st = state.lock();
                 match outcome {

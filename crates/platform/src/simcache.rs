@@ -632,6 +632,32 @@ mod tests {
     }
 
     #[test]
+    fn segmented_replay_is_cache_transparent() {
+        use gemstone_uarch::segment::segment_instrs;
+        use gemstone_workloads::spec::Suite;
+
+        // Long enough that the packed-trace replay takes the time-parallel
+        // segmented path wherever the token pool admits it; the
+        // direct-generation path always streams sequentially. Both must
+        // produce the same bits under the same cache key — segmentation is
+        // an execution strategy, never part of the cache identity.
+        let s = WorkloadSpec::builder("seg-transparent", Suite::MiBench)
+            .instructions(2 * segment_instrs() + 1_234)
+            .build();
+        let cfg = cortex_a7_hw();
+        let traced = SimCache::execute_with(&TraceCache::new(), &cfg, &s, 1.0e9);
+        let direct = SimCache::execute_with(&TraceCache::with_budget(0), &cfg, &s, 1.0e9);
+        assert_eq!(traced.seconds.to_bits(), direct.seconds.to_bits());
+        assert_eq!(traced.stats.gem5_stats_map(), direct.stats.gem5_stats_map());
+        let cache = SimCache::new();
+        let cold = cache.run(&cfg, &s, 1.0e9);
+        let warm = cache.run(&cfg, &s, 1.0e9);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cold.seconds.to_bits(), warm.seconds.to_bits());
+        assert_eq!(cold.seconds.to_bits(), traced.seconds.to_bits());
+    }
+
+    #[test]
     fn tiers_never_share_cache_entries() {
         use gemstone_uarch::backend::{Fidelity, SampleParams};
 

@@ -44,6 +44,7 @@
 
 use crate::core::{CoreConfig, Engine, SimResult};
 use crate::instr::{Instr, InstrClass};
+use crate::segment::SegmentPlan;
 use crate::stats::{ClassCounts, SimStats};
 use std::fmt;
 use std::str::FromStr;
@@ -170,6 +171,20 @@ impl SampleParams {
     /// to the period length).
     pub fn detailed_len(self) -> u64 {
         (self.warmup + self.window).min(self.interval.max(1))
+    }
+
+    /// Whether a segment boundary may be placed *before* instruction
+    /// `index` of a sampled-tier run: boundaries must never land inside a
+    /// measurement window, so each window's f64 accumulation stays within
+    /// one segment and per-window CPIs splice whole. Rejected candidates
+    /// merge into the previous segment
+    /// (see [`crate::segment::SegmentPlan::with_boundary_filter`]).
+    pub fn segment_boundary_allowed(self, index: u64) -> bool {
+        let interval = self.interval.max(1);
+        let detailed = self.detailed_len();
+        let warm = self.warmup.min(detailed);
+        let pos = index % interval;
+        pos < warm || pos >= detailed
     }
 }
 
@@ -470,7 +485,7 @@ impl ExecBackend for AtomicEngine {
 /// fast-forward, detailed warming and detailed measurement over an inner
 /// cycle-approximate [`Engine`], with results extrapolated to the whole
 /// stream.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SampledEngine {
     params: SampleParams,
     interval: u64,
@@ -484,7 +499,11 @@ pub struct SampledEngine {
     total: u64,
     detailed_instr: u64,
     measured_instr: u64,
+    /// Measured cycles since the last canonical boundary drain; earlier
+    /// spans live in `measured_partials` (same discipline as
+    /// [`Engine`]'s cycle accumulators — see [`SampledEngine::boundary`]).
     measured_cycles: f64,
+    measured_partials: Vec<f64>,
     window_instr: u64,
     window_cycles: f64,
     window_cpis: Vec<f64>,
@@ -520,6 +539,7 @@ impl SampledEngine {
             detailed_instr: 0,
             measured_instr: 0,
             measured_cycles: 0.0,
+            measured_partials: Vec::new(),
             window_instr: 0,
             window_cycles: 0.0,
             window_cpis: Vec::new(),
@@ -529,6 +549,105 @@ impl SampledEngine {
     /// The sampling geometry in use.
     pub fn params(&self) -> SampleParams {
         self.params
+    }
+
+    /// Functional warming for segment snapshots: advances the inner
+    /// engine's state and the period position, recording nothing. An
+    /// engine warmed over a prefix is state-identical to one that ran
+    /// the sampled schedule over it (detailed steps advance state exactly
+    /// like warming does), so segment start snapshots come from one
+    /// warming pass regardless of where the schedule's phases fall.
+    pub(crate) fn warm_advance(&mut self, instr: &Instr) {
+        self.detailed.warm_state(instr);
+        self.pos += 1;
+        if self.pos == self.interval {
+            self.pos = 0;
+        }
+    }
+
+    /// Canonical boundary drain: drains the inner engine's span and the
+    /// measured-cycles accumulator. Driven at every global multiple of
+    /// [`crate::segment::segment_instrs`] by sequential and segmented
+    /// runs alike, so the partials lists — and therefore every f64 fold —
+    /// are identical between them.
+    pub(crate) fn boundary(&mut self) {
+        self.detailed.boundary();
+        self.measured_partials.push(self.measured_cycles);
+        self.measured_cycles = 0.0;
+    }
+
+    /// Splices a finished segment into this (fresh) master engine, in
+    /// segment order. Segment boundaries never land inside a measurement
+    /// window (see [`SampleParams::segment_boundary_allowed`]), so
+    /// per-window CPIs concatenate whole.
+    pub(crate) fn absorb_segment(&mut self, seg: &SampledEngine) {
+        self.detailed.absorb_segment(&seg.detailed);
+        for (mine, theirs) in self.counts.iter_mut().zip(&seg.counts) {
+            *mine += theirs;
+        }
+        self.pos = seg.pos;
+        self.total += seg.total;
+        self.detailed_instr += seg.detailed_instr;
+        self.measured_instr += seg.measured_instr;
+        self.measured_partials
+            .extend(seg.measured_partials.iter().copied());
+        self.measured_cycles += seg.measured_cycles;
+        self.window_instr += seg.window_instr;
+        self.window_cycles += seg.window_cycles;
+        self.window_cpis.extend(seg.window_cpis.iter().copied());
+    }
+
+    /// Total measured cycles: the in-order fold of the drained spans plus
+    /// the open one.
+    fn measured_cycles_total(&self) -> f64 {
+        let mut total = 0.0;
+        for p in &self.measured_partials {
+            total += p;
+        }
+        total + self.measured_cycles
+    }
+
+    /// Debug-build lockstep check against a sequential reference (the
+    /// segmented runner's splice verification).
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_assert_matches(&self, reference: &SampledEngine) {
+        self.detailed.debug_assert_matches(&reference.detailed);
+        assert_eq!(self.counts, reference.counts, "class counts diverged");
+        assert_eq!(
+            (
+                self.pos,
+                self.total,
+                self.detailed_instr,
+                self.measured_instr
+            ),
+            (
+                reference.pos,
+                reference.total,
+                reference.detailed_instr,
+                reference.measured_instr
+            ),
+            "sampled schedule position diverged"
+        );
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&self.measured_partials),
+            bits(&reference.measured_partials),
+            "measured partials diverged"
+        );
+        assert_eq!(
+            self.measured_cycles.to_bits(),
+            reference.measured_cycles.to_bits()
+        );
+        assert_eq!(
+            bits(&self.window_cpis),
+            bits(&reference.window_cpis),
+            "window CPIs diverged"
+        );
+        assert_eq!(self.window_instr, reference.window_instr);
+        assert_eq!(
+            self.window_cycles.to_bits(),
+            reference.window_cycles.to_bits()
+        );
     }
 
     fn close_window(&mut self) {
@@ -591,9 +710,13 @@ impl ExecBackend for SampledEngine {
             if self.pos < self.warm_len {
                 self.detailed.step(instr);
             } else {
-                let before = self.detailed.cycles();
+                // Deltas are measured against the *open* span: it is
+                // identical between sequential and segment-local engines
+                // (both drain at the same global indices), while the folded
+                // total's base — and so its rounding — is not.
+                let before = self.detailed.open_cycles();
                 self.detailed.step(instr);
-                let delta = self.detailed.cycles() - before;
+                let delta = self.detailed.open_cycles() - before;
                 self.measured_cycles += delta;
                 self.measured_instr += 1;
                 self.window_cycles += delta;
@@ -645,7 +768,7 @@ impl ExecBackend for SampledEngine {
         // CPI from measurement windows only (the warming prefix is biased
         // cold); fall back to the whole detailed fraction without windows.
         let cpi = if meta.measured_instructions > 0 {
-            self.measured_cycles / meta.measured_instructions as f64
+            self.measured_cycles_total() / meta.measured_instructions as f64
         } else {
             det.cycles / det_instr as f64
         };
@@ -757,22 +880,94 @@ impl Backend {
         }
     }
 
+    /// Drains the f64 accumulator spans at a canonical segment boundary
+    /// (a no-op on the atomic tier, whose results are order-free).
+    /// Sequential drivers call this every
+    /// [`crate::segment::segment_instrs`] instructions — the same global
+    /// indices the segmented runner drains at, which is what makes the
+    /// two bit-identical.
+    pub fn boundary(&mut self) {
+        match self {
+            Backend::Atomic(_) => {}
+            Backend::Approx(b) => b.boundary(),
+            Backend::Sampled(b) => b.boundary(),
+        }
+    }
+
     /// Runs the backend over an instruction stream, with the per-tier obs
     /// span and `engine.tier.*` accounting.
     pub fn run_stream(&mut self, stream: impl Iterator<Item = Instr>) -> SimResult {
         if let Backend::Approx(engine) = self {
-            // Engine::run keeps its own span and engine.runs counters.
+            // Engine::run keeps its own span, counters and drain cadence.
             let result = engine.run(stream);
             record_tier_run(Fidelity::Approx, result.stats.committed_instructions);
             return result;
         }
         let _span = gemstone_obs::span::span(self.fidelity().span_name());
+        let seg = crate::segment::segment_instrs();
+        let mut until = seg;
         for instr in stream {
             self.step(&instr);
+            until -= 1;
+            if until == 0 {
+                self.boundary();
+                until = seg;
+            }
         }
         let result = self.finish();
         record_tier_run(self.fidelity(), result.stats.committed_instructions);
         result
+    }
+
+    /// The canonical segment plan for this backend over a `len`-instruction
+    /// trace: segments of [`crate::segment::segment_instrs`] instructions,
+    /// with the sampled tier vetoing boundaries that would land inside a
+    /// measurement window (rejected candidates merge into the previous
+    /// segment; accumulator drains still happen at every candidate, so the
+    /// filter never affects results — only where snapshots are cut).
+    pub fn segment_plan(&self, len: u64) -> SegmentPlan {
+        let seg = crate::segment::segment_instrs();
+        match self {
+            Backend::Sampled(b) => {
+                let params = b.params();
+                SegmentPlan::with_boundary_filter(len, seg, |idx| {
+                    params.segment_boundary_allowed(idx)
+                })
+            }
+            _ => SegmentPlan::new(len, seg),
+        }
+    }
+
+    /// Runs the backend over a planned trace with up to `workers`
+    /// concurrent segment workers. Results, spans and `engine.tier.*`
+    /// accounting are bit-identical to [`Backend::run_stream`] over
+    /// `make_iter(0)`; the atomic tier — order-free and already nearly
+    /// free — takes the sequential path.
+    pub fn run_segmented<I, F>(
+        &mut self,
+        plan: &SegmentPlan,
+        workers: usize,
+        make_iter: F,
+    ) -> SimResult
+    where
+        I: Iterator<Item = Instr>,
+        F: Fn(u64) -> I + Sync,
+    {
+        match self {
+            Backend::Atomic(_) => self.run_stream(make_iter(0)),
+            Backend::Approx(engine) => {
+                let result = engine.run_segmented(plan, workers, make_iter);
+                record_tier_run(Fidelity::Approx, result.stats.committed_instructions);
+                result
+            }
+            Backend::Sampled(engine) => {
+                let _span = gemstone_obs::span::span(Fidelity::Sampled.span_name());
+                crate::segment::run_segmented(engine.as_mut(), plan, workers, make_iter);
+                let result = engine.finish();
+                record_tier_run(Fidelity::Sampled, result.stats.committed_instructions);
+                result
+            }
+        }
     }
 }
 

@@ -220,6 +220,16 @@ pub struct Cache {
     counters: CacheCounters,
 }
 
+impl Clone for Cache {
+    fn clone(&self) -> Self {
+        Cache {
+            cfg: self.cfg,
+            sets: self.sets.clone(),
+            counters: self.counters,
+        }
+    }
+}
+
 impl Cache {
     /// Builds a cache from its configuration.
     ///
@@ -368,6 +378,26 @@ impl Cache {
     /// Counter snapshot.
     pub fn counters(&self) -> CacheCounters {
         self.counters
+    }
+
+    /// Adds another cache's event counters into this one (segment splice).
+    /// Tag-array state is untouched.
+    pub(crate) fn absorb_counters(&mut self, other: &CacheCounters) {
+        let c = &mut self.counters;
+        c.accesses += other.accesses;
+        c.read_accesses += other.read_accesses;
+        c.write_accesses += other.write_accesses;
+        c.hits += other.hits;
+        c.misses += other.misses;
+        c.read_misses += other.read_misses;
+        c.write_misses += other.write_misses;
+        c.writeback_lines += other.writeback_lines;
+        c.writebacks_reported += other.writebacks_reported;
+        c.refill_reads += other.refill_reads;
+        c.refill_writes += other.refill_writes;
+        c.refill_writes_reported += other.refill_writes_reported;
+        c.evictions += other.evictions;
+        c.prefetch_fills += other.prefetch_fills;
     }
 }
 

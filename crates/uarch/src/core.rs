@@ -274,8 +274,29 @@ pub struct SimResult {
     pub stats: SimStats,
 }
 
+/// One drained span of the f64 accumulators: everything charged between
+/// two canonical segment boundaries (see [`Engine::boundary`]). The final
+/// totals are the left-to-right fold of these partials, so they depend
+/// only on where the boundaries fall — a pure function of the instruction
+/// index — and never on how many threads computed them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CyclePartial {
+    /// Cycles charged in the span.
+    pub cycles: f64,
+    /// Stall breakdown charged in the span.
+    pub stalls: StallCycles,
+}
+
+impl CyclePartial {
+    /// In-place component-wise sum (fixed component order).
+    pub fn accumulate(&mut self, other: &CyclePartial) {
+        self.cycles += other.cycles;
+        self.stalls.accumulate(&other.stalls);
+    }
+}
+
 /// The trace-driven timing engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     cfg: CoreConfig,
     freq_hz: f64,
@@ -286,9 +307,14 @@ pub struct Engine {
     l1d: Cache,
     l2: Cache,
     rng: SmallRng,
-    // Accumulators.
+    // Accumulators. `cycles`/`stalls` hold the span since the last
+    // canonical boundary; `partials` holds the drained spans before it.
+    // Totals are always the in-order fold of `partials` then the open
+    // span, so a run spliced from per-segment engines is bit-identical to
+    // a sequential one (same spans, same fold order).
     cycles: f64,
     stalls: StallCycles,
+    partials: Vec<CyclePartial>,
     committed: ClassCounts,
     wrong_path: ClassCounts,
     l1i_reported_accesses: u64,
@@ -360,6 +386,7 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             cycles: 0.0,
             stalls: StallCycles::default(),
+            partials: Vec::new(),
             committed: ClassCounts::default(),
             wrong_path: ClassCounts::default(),
             l1i_reported_accesses: 0,
@@ -385,18 +412,221 @@ impl Engine {
         &self.cfg
     }
 
-    /// Cycles accumulated so far (the sampled tier reads per-instruction
-    /// cycle deltas through this).
+    /// Cycles accumulated so far: the in-order fold of the drained
+    /// partials plus the open span. Reading it never disturbs the
+    /// partials, so it is safe to poll mid-run (grid lockstep asserts do).
     pub fn cycles(&self) -> f64 {
+        let mut total = 0.0;
+        for p in &self.partials {
+            total += p.cycles;
+        }
+        total + self.cycles
+    }
+
+    /// The open accumulator span only (cycles since the last
+    /// [`Engine::boundary`] drain). Within-step cycle deltas must be
+    /// measured against this, never against the folded total: the open
+    /// span is identical between a sequential run and a segment-local
+    /// engine (both drain at the same global indices), while the folded
+    /// base differs — and f64 addition rounds differently under a
+    /// different base.
+    pub(crate) fn open_cycles(&self) -> f64 {
         self.cycles
     }
 
+    /// Drains the open accumulator span onto the partials list. Drivers
+    /// call this at every canonical segment boundary (every
+    /// [`crate::segment::segment_instrs`] instructions of the stream, a
+    /// pure function of the instruction index). Because sequential and
+    /// segmented runs drain at identical indices, they produce identical
+    /// partials lists — the foundation of the bit-identical splice.
+    pub fn boundary(&mut self) {
+        self.partials.push(CyclePartial {
+            cycles: self.cycles,
+            stalls: self.stalls,
+        });
+        self.cycles = 0.0;
+        self.stalls = StallCycles::default();
+    }
+
+    /// The open span drained so far plus partials, folded in order.
+    fn folded(&self) -> CyclePartial {
+        let mut total = CyclePartial::default();
+        for p in &self.partials {
+            total.accumulate(p);
+        }
+        total.accumulate(&CyclePartial {
+            cycles: self.cycles,
+            stalls: self.stalls,
+        });
+        total
+    }
+
+    /// Splices a detached segment's results into this engine: integer
+    /// event counts sum exactly; the segment's f64 partials are appended
+    /// in order and its open span is folded as the next span. Call in
+    /// segment order, starting from a fresh engine. Microarchitectural
+    /// *state* (caches, predictor tables, RNG) is not merged — segments
+    /// own warmed copies and only their event record is combined.
+    pub fn absorb_segment(&mut self, seg: &Engine) {
+        self.partials.extend(seg.partials.iter().copied());
+        self.cycles += seg.cycles;
+        self.stalls.accumulate(&seg.stalls);
+        self.committed = self.committed.add(&seg.committed);
+        self.wrong_path = self.wrong_path.add(&seg.wrong_path);
+        self.l1i_reported_accesses += seg.l1i_reported_accesses;
+        self.unaligned_loads += seg.unaligned_loads;
+        self.unaligned_stores += seg.unaligned_stores;
+        self.strex_fails += seg.strex_fails;
+        self.dtlb_miss_loads += seg.dtlb_miss_loads;
+        self.dtlb_miss_stores += seg.dtlb_miss_stores;
+        self.snoops += seg.snoops;
+        self.nonspec_stalls += seg.nonspec_stalls;
+        self.bu.absorb_counters(&seg.bu.counters());
+        self.tlbs.absorb_counters(&seg.tlbs);
+        self.l1i.absorb_counters(&seg.l1i.counters());
+        self.l1d.absorb_counters(&seg.l1d.counters());
+        self.l2.absorb_counters(&seg.l2.counters());
+    }
+
+    /// Debug-build lockstep check for the segmented runner: asserts this
+    /// engine's event record and f64 spans are bit-identical to a
+    /// sequential reference engine's. Microarchitectural *state* (cache
+    /// sets, predictor tables, RNG) is deliberately excluded — a spliced
+    /// master never owns any.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_assert_matches(&self, reference: &Engine) {
+        let bits = |s: &StallCycles| {
+            [
+                s.mispredict.to_bits(),
+                s.fetch.to_bits(),
+                s.fetch_tlb.to_bits(),
+                s.memory.to_bits(),
+                s.data_tlb.to_bits(),
+                s.serialization.to_bits(),
+                s.execute.to_bits(),
+            ]
+        };
+        assert_eq!(
+            self.partials.len(),
+            reference.partials.len(),
+            "segmented splice produced a different number of partials"
+        );
+        for (i, (a, b)) in self.partials.iter().zip(&reference.partials).enumerate() {
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "partial {i} cycles");
+            assert_eq!(bits(&a.stalls), bits(&b.stalls), "partial {i} stalls");
+        }
+        assert_eq!(
+            self.cycles.to_bits(),
+            reference.cycles.to_bits(),
+            "open-span cycles"
+        );
+        assert_eq!(
+            bits(&self.stalls),
+            bits(&reference.stalls),
+            "open-span stalls"
+        );
+        assert_eq!(
+            self.committed.to_histogram(),
+            reference.committed.to_histogram()
+        );
+        assert_eq!(
+            self.wrong_path.to_histogram(),
+            reference.wrong_path.to_histogram()
+        );
+        assert_eq!(
+            [
+                self.l1i_reported_accesses,
+                self.unaligned_loads,
+                self.unaligned_stores,
+                self.strex_fails,
+                self.dtlb_miss_loads,
+                self.dtlb_miss_stores,
+                self.snoops,
+                self.nonspec_stalls,
+            ],
+            [
+                reference.l1i_reported_accesses,
+                reference.unaligned_loads,
+                reference.unaligned_stores,
+                reference.strex_fails,
+                reference.dtlb_miss_loads,
+                reference.dtlb_miss_stores,
+                reference.snoops,
+                reference.nonspec_stalls,
+            ],
+            "scalar event counters diverged"
+        );
+        // The counter structs are plain u64 bags; their Debug form is exact.
+        assert_eq!(
+            format!("{:?}", self.bu.counters()),
+            format!("{:?}", reference.bu.counters())
+        );
+        assert_eq!(
+            format!(
+                "{:?}/{:?}",
+                self.tlbs.instruction_counters(),
+                self.tlbs.data_counters()
+            ),
+            format!(
+                "{:?}/{:?}",
+                reference.tlbs.instruction_counters(),
+                reference.tlbs.data_counters()
+            )
+        );
+        for (mine, theirs, name) in [
+            (self.l1i.counters(), reference.l1i.counters(), "l1i"),
+            (self.l1d.counters(), reference.l1d.counters(), "l1d"),
+            (self.l2.counters(), reference.l2.counters(), "l2"),
+        ] {
+            assert_eq!(
+                format!("{mine:?}"),
+                format!("{theirs:?}"),
+                "{name} counters diverged"
+            );
+        }
+    }
+
     /// Runs the engine over an instruction stream and returns the result.
+    ///
+    /// Drains the f64 accumulators at every canonical segment boundary
+    /// (see [`Engine::boundary`]), so a full run's totals are bit-identical
+    /// whether it executed here or was spliced from concurrent segments.
     pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> SimResult {
         let _span = gemstone_obs::span::span("engine.run");
+        let seg = crate::segment::segment_instrs();
+        let mut until = seg;
         for instr in stream {
             self.step(&instr);
+            until -= 1;
+            if until == 0 {
+                self.boundary();
+                until = seg;
+            }
         }
+        let result = self.finish();
+        engine_runs_counter().inc();
+        engine_instructions_counter().add(result.stats.committed_instructions);
+        result
+    }
+
+    /// Runs the engine over a planned trace with up to `workers` concurrent
+    /// segment workers (see [`crate::segment::run_segmented`]). The span,
+    /// the `engine.*` counters and the result are exactly those of
+    /// [`Engine::run`] over `make_iter(0)` — bit-identical for every
+    /// worker count.
+    pub fn run_segmented<I, F>(
+        &mut self,
+        plan: &crate::segment::SegmentPlan,
+        workers: usize,
+        make_iter: F,
+    ) -> SimResult
+    where
+        I: Iterator<Item = Instr>,
+        F: Fn(u64) -> I + Sync,
+    {
+        let _span = gemstone_obs::span::span("engine.run");
+        crate::segment::run_segmented(self, plan, workers, make_iter);
         let result = self.finish();
         engine_runs_counter().inc();
         engine_instructions_counter().add(result.stats.committed_instructions);
@@ -421,11 +651,13 @@ impl Engine {
     /// microarchitectural state — caches, TLBs, branch predictor, fetch-line
     /// tracking, and the ITLB/L1I pollution of wrong-path fetch bursts —
     /// exactly as [`Engine::step`] would, but charges no cycles and records
-    /// no events. The RNG is drawn only for wrong-path page selection, just
-    /// like a detailed mispredict. The sampled tier drives this through
-    /// fast-forward phases so that detailed measurement windows resume from
-    /// live state rather than state frozen at the end of the previous
-    /// window (SMARTS-style functional warming).
+    /// no events. The RNG is kept in lockstep with the detailed path: it is
+    /// drawn for wrong-path page selection and, in multi-threaded runs, for
+    /// the coherence-snoop and store-exclusive outcomes that a detailed
+    /// step would roll — so an engine warmed over a prefix is
+    /// state-identical (RNG included) to one that stepped it. The sampled
+    /// tier drives this through fast-forward phases, and the segmented
+    /// engine builds its per-segment start snapshots with it.
     #[inline]
     pub fn warm_state(&mut self, instr: &Instr) {
         // The periodic ITLB flush keeps its cadence across fast-forwarded
@@ -439,7 +671,15 @@ impl Engine {
             }
         }
         let line = instr.fetch_line();
-        if line != self.last_fetch_line {
+        let new_line = line != self.last_fetch_line;
+        // Fetch-group phase is state (it decides *when* the reported-access
+        // counter ticks), so warming must advance it even though the tick
+        // itself is not recorded.
+        self.group_fill += 1;
+        if new_line || self.group_fill >= self.cfg.fetch_group_size {
+            self.group_fill = 0;
+        }
+        if new_line {
             self.last_fetch_line = line;
             self.tlbs.warm(TlbKind::Instruction, instr.page());
             if !self.l1i.warm(line, false).hit {
@@ -461,6 +701,15 @@ impl Engine {
                     }
                     if let Some(victim) = a.writeback_line {
                         self.l2.warm(victim, true);
+                    }
+                    // Keep the RNG in lockstep with the detailed path's
+                    // stochastic micro-events (same draw conditions, same
+                    // order; outcomes charge no cycles here).
+                    if mem.shared && self.threads > 1 {
+                        let _ = self.rng.gen::<f64>();
+                    }
+                    if instr.class == InstrClass::StoreExclusive && self.threads > 1 {
+                        let _ = self.rng.gen::<f64>();
                     }
                 }
             }
@@ -763,10 +1012,11 @@ impl Engine {
     /// Finalises counters into a [`SimResult`]. The engine can keep
     /// stepping afterwards (counters continue to accumulate).
     pub fn finish(&mut self) -> SimResult {
+        let folded = self.folded();
         let mut stats = SimStats {
             freq_hz: self.freq_hz,
-            cycles: self.cycles,
-            seconds: self.cycles / self.freq_hz,
+            cycles: folded.cycles,
+            seconds: folded.cycles / self.freq_hz,
             committed: self.committed,
             committed_instructions: self.committed.total(),
             ..SimStats::default()
@@ -802,11 +1052,11 @@ impl Engine {
         stats.dram_accesses = stats.dram_reads + stats.dram_writes;
         stats.snoops = self.snoops;
         stats.nonspec_stalls = self.nonspec_stalls;
-        stats.stalls = self.stalls;
+        stats.stalls = folded.stalls;
         stats.fp_counted_as_simd = self.cfg.fp_counted_as_simd;
         stats.split_l2_tlb = self.cfg.l2tlb.is_split();
         SimResult {
-            cycles: self.cycles,
+            cycles: folded.cycles,
             seconds: stats.seconds,
             stats,
         }

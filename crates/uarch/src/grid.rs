@@ -56,7 +56,7 @@ use crate::branch::BranchUnit;
 use crate::cache::{run_prefetch, warm_prefetch, Cache};
 #[cfg(debug_assertions)]
 use crate::core::Engine;
-use crate::core::{CoreConfig, SimResult};
+use crate::core::{CoreConfig, CyclePartial, SimResult};
 use crate::instr::{Instr, InstrClass};
 use crate::stats::{ClassCounts, SimStats, StallCycles};
 use crate::tlb::{TlbHierarchy, TlbKind};
@@ -106,9 +106,14 @@ pub fn grid_span_name(fidelity: Fidelity) -> &'static str {
 struct GridLane {
     freq_hz: f64,
     dram_cycles: f64,
+    // Open accumulator span since the last canonical boundary drain;
+    // earlier spans live in `partials` (same discipline as [`Engine`]),
+    // so a lane spliced from segments folds bit-identically to a
+    // sequential one.
     cycles: f64,
     stall_fetch: f64,
     stall_memory: f64,
+    partials: Vec<CyclePartial>,
 }
 
 /// A fused multi-frequency replay engine: steps the shared
@@ -116,7 +121,7 @@ struct GridLane {
 /// cycle lane per frequency, emitting [`SimResult`]s bit-identical to
 /// independent per-frequency [`Engine`] runs (cross-checked against
 /// retained reference engines in debug builds).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GridEngine {
     cfg: CoreConfig,
     threads: u32,
@@ -195,6 +200,7 @@ impl GridEngine {
                 cycles: 0.0,
                 stall_fetch: 0.0,
                 stall_memory: 0.0,
+                partials: Vec::new(),
             })
             .collect();
         let eff_width = f64::from(cfg.width) * cfg.issue_efficiency;
@@ -245,18 +251,142 @@ impl GridEngine {
         self.lanes[i].freq_hz
     }
 
-    /// Cycles accumulated so far on lane `i` (the sampled grid tier reads
-    /// per-instruction cycle deltas through this).
+    /// Lane `i`'s *open* cycle span — cycles since the last canonical
+    /// boundary drain. The sampled grid tier reads per-instruction cycle
+    /// deltas through this; deltas against the open span are identical
+    /// between sequential and segment-local engines, which deltas against
+    /// a folded total would not be.
     pub fn lane_cycles(&self, i: usize) -> f64 {
         self.lanes[i].cycles
     }
 
+    /// Drains every lane's open span (and the shared stall buckets) onto
+    /// the per-lane partials lists — the grid counterpart of
+    /// [`Engine::boundary`], called at the same canonical instruction
+    /// indices. Each lane's partial carries the shared stall components
+    /// plus its own fetch/memory buckets, mirroring how
+    /// [`GridEngine::finish`] assembles per-lane stall totals.
+    pub fn boundary(&mut self) {
+        let shared = self.stalls;
+        for lane in &mut self.lanes {
+            lane.partials.push(CyclePartial {
+                cycles: lane.cycles,
+                stalls: StallCycles {
+                    fetch: lane.stall_fetch,
+                    memory: lane.stall_memory,
+                    ..shared
+                },
+            });
+            lane.cycles = 0.0;
+            lane.stall_fetch = 0.0;
+            lane.stall_memory = 0.0;
+        }
+        self.stalls = StallCycles::default();
+        #[cfg(debug_assertions)]
+        for r in &mut self.refs {
+            r.boundary();
+        }
+    }
+
+    /// Splices a detached segment's results into this engine, lane by
+    /// lane: integer event counts sum exactly, per-lane f64 partials are
+    /// appended in order. Call in segment order, starting from a fresh
+    /// grid (see [`Engine::absorb_segment`] for the contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` has a different lane count.
+    pub fn absorb_segment(&mut self, seg: &GridEngine) {
+        assert_eq!(
+            self.lanes.len(),
+            seg.lanes.len(),
+            "segment grids must share the lane layout"
+        );
+        for (mine, theirs) in self.lanes.iter_mut().zip(&seg.lanes) {
+            mine.partials.extend(theirs.partials.iter().copied());
+            mine.cycles += theirs.cycles;
+            mine.stall_fetch += theirs.stall_fetch;
+            mine.stall_memory += theirs.stall_memory;
+        }
+        self.stalls.accumulate(&seg.stalls);
+        self.committed = self.committed.add(&seg.committed);
+        self.wrong_path = self.wrong_path.add(&seg.wrong_path);
+        self.l1i_reported_accesses += seg.l1i_reported_accesses;
+        self.unaligned_loads += seg.unaligned_loads;
+        self.unaligned_stores += seg.unaligned_stores;
+        self.strex_fails += seg.strex_fails;
+        self.dtlb_miss_loads += seg.dtlb_miss_loads;
+        self.dtlb_miss_stores += seg.dtlb_miss_stores;
+        self.snoops += seg.snoops;
+        self.nonspec_stalls += seg.nonspec_stalls;
+        self.bu.absorb_counters(&seg.bu.counters());
+        self.tlbs.absorb_counters(&seg.tlbs);
+        self.l1i.absorb_counters(&seg.l1i.counters());
+        self.l1d.absorb_counters(&seg.l1d.counters());
+        self.l2.absorb_counters(&seg.l2.counters());
+        #[cfg(debug_assertions)]
+        for (r, s) in self.refs.iter_mut().zip(&seg.refs) {
+            r.absorb_segment(s);
+        }
+    }
+
+    /// Debug-build lockstep check against a sequential reference grid
+    /// (the segmented runner's splice verification).
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_assert_matches(&self, reference: &GridEngine) {
+        assert_eq!(self.lanes.len(), reference.lanes.len());
+        for (i, (a, b)) in self.lanes.iter().zip(&reference.lanes).enumerate() {
+            assert_eq!(a.partials.len(), b.partials.len(), "lane {i} partials");
+            for (x, y) in a.partials.iter().zip(&b.partials) {
+                assert_eq!(x.cycles.to_bits(), y.cycles.to_bits(), "lane {i} span");
+            }
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "lane {i} open span");
+            assert_eq!(a.stall_fetch.to_bits(), b.stall_fetch.to_bits());
+            assert_eq!(a.stall_memory.to_bits(), b.stall_memory.to_bits());
+        }
+        assert_eq!(
+            self.committed.to_histogram(),
+            reference.committed.to_histogram()
+        );
+        assert_eq!(
+            self.wrong_path.to_histogram(),
+            reference.wrong_path.to_histogram()
+        );
+        assert_eq!(
+            format!(
+                "{:?}/{:?}/{:?}/{:?}/{:?}",
+                self.bu.counters(),
+                self.tlbs.instruction_counters(),
+                self.l1i.counters(),
+                self.l1d.counters(),
+                self.l2.counters()
+            ),
+            format!(
+                "{:?}/{:?}/{:?}/{:?}/{:?}",
+                reference.bu.counters(),
+                reference.tlbs.instruction_counters(),
+                reference.l1i.counters(),
+                reference.l1d.counters(),
+                reference.l2.counters()
+            ),
+            "structure counters diverged"
+        );
+    }
+
     /// Runs the grid over an instruction stream and returns one result per
     /// lane, recording the `engine.grid.*` and `engine.tier.*` counters.
+    /// Drains at every canonical segment boundary, like [`Engine::run`].
     pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
         let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx));
+        let seg = crate::segment::segment_instrs();
+        let mut until = seg;
         for instr in stream {
             self.step(&instr);
+            until -= 1;
+            if until == 0 {
+                self.boundary();
+                until = seg;
+            }
         }
         let results = self.finish();
         record_grid_run(
@@ -297,7 +427,15 @@ impl GridEngine {
             }
         }
         let line = instr.fetch_line();
-        if line != self.last_fetch_line {
+        let new_line = line != self.last_fetch_line;
+        // Fetch-group phase is state (it decides when the reported-access
+        // counter ticks), so warming must advance it even though the tick
+        // itself is not recorded.
+        self.group_fill += 1;
+        if new_line || self.group_fill >= self.cfg.fetch_group_size {
+            self.group_fill = 0;
+        }
+        if new_line {
             self.last_fetch_line = line;
             self.tlbs.warm(TlbKind::Instruction, instr.page());
             if !self.l1i.warm(line, false).hit {
@@ -319,6 +457,15 @@ impl GridEngine {
                     }
                     if let Some(victim) = a.writeback_line {
                         self.l2.warm(victim, true);
+                    }
+                    // Keep the RNG in lockstep with the detailed path's
+                    // stochastic micro-events (same draw conditions, same
+                    // order; outcomes charge no cycles here).
+                    if mem.shared && self.threads > 1 {
+                        let _ = self.rng.gen::<f64>();
+                    }
+                    if instr.class == InstrClass::StoreExclusive && self.threads > 1 {
+                        let _ = self.rng.gen::<f64>();
                     }
                 }
             }
@@ -624,13 +771,14 @@ impl GridEngine {
     }
 
     /// Steps the retained reference engines in lockstep and asserts every
-    /// lane's cycle accumulator matches bit-for-bit.
+    /// lane's open cycle span matches bit-for-bit (both drain at the same
+    /// canonical boundaries, so the open spans stay comparable).
     #[cfg(debug_assertions)]
     fn cross_check_step(&mut self, instr: &Instr) {
         for (i, r) in self.refs.iter_mut().enumerate() {
             r.step(instr);
             debug_assert_eq!(
-                r.cycles(),
+                r.open_cycles(),
                 self.lanes[i].cycles,
                 "grid lane {i} ({:.0} Hz) diverged from the reference engine",
                 self.lanes[i].freq_hz
@@ -659,10 +807,26 @@ impl GridEngine {
             .lanes
             .iter()
             .map(|lane| {
+                // Per-lane totals are the in-order fold of the drained
+                // partials plus the open span — the exact fold Engine's
+                // finish performs, so spliced and sequential lanes agree
+                // bit-for-bit.
+                let mut folded = CyclePartial::default();
+                for p in &lane.partials {
+                    folded.accumulate(p);
+                }
+                folded.accumulate(&CyclePartial {
+                    cycles: lane.cycles,
+                    stalls: StallCycles {
+                        fetch: lane.stall_fetch,
+                        memory: lane.stall_memory,
+                        ..self.stalls
+                    },
+                });
                 let mut stats = SimStats {
                     freq_hz: lane.freq_hz,
-                    cycles: lane.cycles,
-                    seconds: lane.cycles / lane.freq_hz,
+                    cycles: folded.cycles,
+                    seconds: folded.cycles / lane.freq_hz,
                     committed: self.committed,
                     committed_instructions: self.committed.total(),
                     ..SimStats::default()
@@ -687,15 +851,11 @@ impl GridEngine {
                 stats.dram_accesses = dram_reads + dram_writes;
                 stats.snoops = self.snoops;
                 stats.nonspec_stalls = self.nonspec_stalls;
-                stats.stalls = StallCycles {
-                    fetch: lane.stall_fetch,
-                    memory: lane.stall_memory,
-                    ..self.stalls
-                };
+                stats.stalls = folded.stalls;
                 stats.fp_counted_as_simd = self.cfg.fp_counted_as_simd;
                 stats.split_l2_tlb = self.cfg.l2tlb.is_split();
                 SimResult {
-                    cycles: lane.cycles,
+                    cycles: folded.cycles,
                     seconds: stats.seconds,
                     stats,
                 }
@@ -776,9 +936,23 @@ impl AtomicGridEngine {
 /// Per-lane measurement accumulators of the sampled grid tier.
 #[derive(Debug, Clone, Default)]
 struct SampledLane {
+    // Open measured span + drained spans, mirroring SampledEngine's
+    // measured-cycles discipline exactly.
     measured_cycles: f64,
+    measured_partials: Vec<f64>,
     window_cycles: f64,
     window_cpis: Vec<f64>,
+}
+
+impl SampledLane {
+    /// Total measured cycles: in-order fold of drained spans + open span.
+    fn measured_cycles_total(&self) -> f64 {
+        let mut total = 0.0;
+        for p in &self.measured_partials {
+            total += p;
+        }
+        total + self.measured_cycles
+    }
 }
 
 /// The SMARTS-style sampled tier over a frequency grid: the window
@@ -843,6 +1017,18 @@ impl SampledGridEngine {
                 acc.window_cycles = 0.0;
             }
             self.window_instr = 0;
+        }
+    }
+
+    /// Canonical boundary drain: drains the inner grid's lane spans and
+    /// every lane's measured-cycles accumulator, mirroring
+    /// `SampledEngine::boundary` so fused and per-frequency sampled runs
+    /// keep folding at the same points.
+    pub(crate) fn boundary(&mut self) {
+        self.detailed.boundary();
+        for acc in &mut self.accs {
+            acc.measured_partials.push(acc.measured_cycles);
+            acc.measured_cycles = 0.0;
         }
     }
 
@@ -944,7 +1130,7 @@ impl SampledGridEngine {
                 let det_instr = det.stats.committed_instructions.max(1);
                 let ratio = total as f64 / det_instr as f64;
                 let cpi = if meta.measured_instructions > 0 {
-                    self.accs[i].measured_cycles / meta.measured_instructions as f64
+                    self.accs[i].measured_cycles_total() / meta.measured_instructions as f64
                 } else {
                     det.cycles / det_instr as f64
                 };
@@ -1047,12 +1233,31 @@ impl GridBackend {
         }
     }
 
+    /// Drains the f64 accumulator spans at a canonical segment boundary
+    /// (a no-op on the atomic tier) — the grid counterpart of
+    /// [`crate::backend::Backend::boundary`].
+    pub fn boundary(&mut self) {
+        match self {
+            GridBackend::Atomic(_) => {}
+            GridBackend::Approx(b) => b.boundary(),
+            GridBackend::Sampled(b) => b.boundary(),
+        }
+    }
+
     /// Runs the grid over an instruction stream with the per-tier obs span
-    /// and grid/tier accounting; returns one result per lane.
+    /// and grid/tier accounting; returns one result per lane. Drains at
+    /// every canonical segment boundary, like [`Engine::run`].
     pub fn run_stream(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
         let _span = gemstone_obs::span::span(grid_span_name(self.fidelity()));
+        let seg = crate::segment::segment_instrs();
+        let mut until = seg;
         for instr in stream {
             self.step(&instr);
+            until -= 1;
+            if until == 0 {
+                self.boundary();
+                until = seg;
+            }
         }
         let results = self.finish();
         record_grid_run(
@@ -1061,6 +1266,40 @@ impl GridBackend {
             results[0].stats.committed_instructions,
         );
         results
+    }
+
+    /// Runs the grid over a planned trace with up to `workers` concurrent
+    /// segment workers — segments × frequency lanes multiply: each
+    /// detailed worker simulates every lane of its segment in one fused
+    /// pass. Results, spans and `engine.grid.*` accounting are
+    /// bit-identical to [`GridBackend::run_stream`] over `make_iter(0)`.
+    /// The atomic grid (order-free) and the sampled grid (its fused
+    /// window schedule is shared across lanes and cheap already) take the
+    /// sequential path.
+    pub fn run_segmented<I, F>(
+        &mut self,
+        plan: &crate::segment::SegmentPlan,
+        workers: usize,
+        make_iter: F,
+    ) -> Vec<SimResult>
+    where
+        I: Iterator<Item = Instr>,
+        F: Fn(u64) -> I + Sync,
+    {
+        match self {
+            GridBackend::Approx(engine) => {
+                let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx));
+                crate::segment::run_segmented(engine.as_mut(), plan, workers, make_iter);
+                let results = engine.finish();
+                record_grid_run(
+                    Fidelity::Approx,
+                    results.len(),
+                    results[0].stats.committed_instructions,
+                );
+                results
+            }
+            GridBackend::Atomic(_) | GridBackend::Sampled(_) => self.run_stream(make_iter(0)),
+        }
     }
 }
 

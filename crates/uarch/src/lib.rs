@@ -25,7 +25,9 @@
 //! the memory hierarchy ([`tlb`], [`cache`], [`memory`]) and a
 //! width/latency-based execution core ([`core`]), and produces both a
 //! gem5-style statistics dump ([`stats`]) and ARM PMU event counts
-//! ([`pmu`]).
+//! ([`pmu`]). Long replays can be split into time-parallel segments —
+//! warmed once, simulated concurrently, spliced bit-identically
+//! ([`segment`]).
 //!
 //! # Example
 //!
@@ -56,5 +58,6 @@ pub mod grid;
 pub mod instr;
 pub mod memory;
 pub mod pmu;
+pub mod segment;
 pub mod stats;
 pub mod tlb;

@@ -1,0 +1,628 @@
+//! Time-parallel segmented simulation: warm once, run detailed segments
+//! concurrently (DESIGN.md §12).
+//!
+//! A long trace replay is split into fixed-size **segments** whose
+//! boundaries are a pure function of the trace length — never of the
+//! thread count. One streaming functional-warming pass
+//! ([`Engine::warm_state`]-style) produces a start-state snapshot at each
+//! boundary by cloning the warming engine; the pass is pipelined, so a
+//! detailed worker starts simulating segment *k* the moment snapshot *k*
+//! lands, while warming continues towards snapshot *k + 1*. Finished
+//! segments are spliced through a canonical deterministic reduction:
+//! integer event counts sum exactly, and every f64 accumulator travels as
+//! a list of per-span partials ([`crate::core::CyclePartial`]) drained at
+//! canonical boundaries, folded in fixed segment order — so any worker
+//! count (including one, including segmentation disabled) produces
+//! bit-identical results.
+//!
+//! The drain cadence and the segment size share one knob,
+//! `GEMSTONE_SEGMENT_INSTRS` ([`segment_instrs`], default 65 536): both
+//! sequential and segmented runs drain their accumulators every that many
+//! instructions, which is exactly what makes the splice exact.
+//! `GEMSTONE_SEGMENTS` ([`segment_workers`]) caps the per-run worker
+//! count; `0` disables the parallel machinery entirely (the discipline
+//! still applies, so disabled and enabled runs agree bit-for-bit).
+//!
+//! Two-level scheduling: sweep drivers (`experiment::run_over`,
+//! `core::resilience`) hold one [`TokenPool`] permit per busy workload
+//! worker. A segmented run borrows whatever permits are *free* for its
+//! segment workers — early in a sweep every workload runs near-
+//! sequentially, and the straggler at the end fans its segments out over
+//! the idle cores.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_uarch::configs::cortex_a7_hw;
+//! use gemstone_uarch::core::Engine;
+//! use gemstone_uarch::instr::{Instr, InstrClass};
+//! use gemstone_uarch::segment::{run_segmented, SegmentPlan};
+//!
+//! let stream: Vec<Instr> = (0..40_000)
+//!     .map(|i| Instr::alu(InstrClass::IntAlu, (i % 512) * 4))
+//!     .collect();
+//! let plan = SegmentPlan::new(stream.len() as u64, 8_192);
+//! let mut master = Engine::new(cortex_a7_hw(), 1.0e9, 1);
+//! run_segmented(&mut master, &plan, 4, |offset| {
+//!     stream[offset as usize..].iter().copied()
+//! });
+//! let result = master.finish();
+//! assert_eq!(result.stats.committed_instructions, 40_000);
+//! ```
+
+use crate::backend::SampledEngine;
+use crate::core::Engine;
+use crate::grid::GridEngine;
+use crate::instr::Instr;
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable: segment length (and accumulator drain cadence)
+/// in instructions.
+pub const SEGMENT_INSTRS_ENV: &str = "GEMSTONE_SEGMENT_INSTRS";
+/// Environment variable: segment worker cap (`0` disables segmentation).
+pub const SEGMENTS_ENV: &str = "GEMSTONE_SEGMENTS";
+
+/// Default segment length in instructions.
+pub const DEFAULT_SEGMENT_INSTRS: u64 = 65_536;
+
+/// The canonical segment length in instructions, from
+/// `GEMSTONE_SEGMENT_INSTRS` (default 65 536, minimum 1 024). This is
+/// *also* the accumulator drain cadence of every sequential driver —
+/// segment boundaries and drain points are the same pure function of the
+/// instruction index, which is what makes segmented results bit-identical
+/// to sequential ones.
+pub fn segment_instrs() -> u64 {
+    static V: OnceLock<u64> = OnceLock::new();
+    *V.get_or_init(|| {
+        gemstone_obs::env::parse_checked::<u64>(
+            SEGMENT_INSTRS_ENV,
+            "an instruction count of at least 1024",
+            "the default segment length",
+            |&n| n >= 1_024,
+        )
+        .unwrap_or(DEFAULT_SEGMENT_INSTRS)
+    })
+}
+
+/// The configured segment worker cap from `GEMSTONE_SEGMENTS`: `0`
+/// disables segmentation, unset falls back to the machine's available
+/// parallelism. Results never depend on this value — only wall-clock time
+/// does.
+pub fn segment_workers() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        gemstone_obs::env::parse::<usize>(
+            SEGMENTS_ENV,
+            "a worker count (0 disables segmentation)",
+            "the available parallelism",
+        )
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+    })
+}
+
+fn segment_runs_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.segment.runs"))
+}
+
+fn segment_snapshots_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.segment.snapshots"))
+}
+
+fn segment_splices_counter() -> &'static gemstone_obs::Counter {
+    static C: OnceLock<std::sync::Arc<gemstone_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| gemstone_obs::Registry::global().counter("engine.segment.splices"))
+}
+
+/// The obs span wrapped around a parallel segmented replay.
+pub const SEGMENT_SPAN: &str = "engine.run.segmented";
+
+/// The segment geometry of one trace: start offsets, each a multiple of
+/// the segment length, derived from the trace length alone. A boundary
+/// filter (used by the sampled tier to keep measurement windows inside
+/// one segment) can only *merge* adjacent segments — it never moves a
+/// boundary off the canonical drain grid.
+#[derive(Debug, Clone)]
+pub struct SegmentPlan {
+    seg_instrs: u64,
+    len: u64,
+    starts: Vec<u64>,
+}
+
+impl SegmentPlan {
+    /// Plans segments of `seg_instrs` instructions over a `len`-instruction
+    /// trace. Boundaries fall at every multiple of `seg_instrs` below
+    /// `len`; the final segment absorbs the remainder.
+    pub fn new(len: u64, seg_instrs: u64) -> Self {
+        Self::with_boundary_filter(len, seg_instrs, |_| true)
+    }
+
+    /// Like [`SegmentPlan::new`], keeping only candidate boundaries for
+    /// which `keep` returns true (candidates are the multiples of
+    /// `seg_instrs`; rejecting one merges its segment into the previous).
+    pub fn with_boundary_filter(len: u64, seg_instrs: u64, keep: impl Fn(u64) -> bool) -> Self {
+        let seg_instrs = seg_instrs.max(1);
+        let mut starts = vec![0];
+        let mut b = seg_instrs;
+        while b < len {
+            if keep(b) {
+                starts.push(b);
+            }
+            b += seg_instrs;
+        }
+        SegmentPlan {
+            seg_instrs,
+            len,
+            starts,
+        }
+    }
+
+    /// The segment length (also the drain cadence) in instructions.
+    pub fn seg_instrs(&self) -> u64 {
+        self.seg_instrs
+    }
+
+    /// Total trace length in instructions.
+    pub fn instructions(&self) -> u64 {
+        self.len
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The half-open instruction range `[start, end)` of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= segment_count()`.
+    pub fn segment(&self, i: usize) -> (u64, u64) {
+        let start = self.starts[i];
+        let end = self.starts.get(i + 1).copied().unwrap_or(self.len);
+        (start, end)
+    }
+}
+
+/// An engine the segmented runner can snapshot, drive and splice. The
+/// contract mirrors the sequential drivers exactly: `warm_state` advances
+/// all long-lived state (RNG included) without recording events, `step`
+/// is the detailed path, `boundary` drains the f64 accumulators (called
+/// at every global multiple of the plan's segment length), and
+/// `absorb_segment` splices a finished segment's event record into a
+/// fresh master in segment order.
+pub trait SegmentEngine: Clone + Send {
+    /// Functional warming: advance state, record nothing.
+    fn warm_state(&mut self, instr: &Instr);
+    /// Detailed execution of one instruction.
+    fn step(&mut self, instr: &Instr);
+    /// Drains the open f64 accumulator span (canonical boundary).
+    fn boundary(&mut self);
+    /// Splices a finished segment into this (fresh) master engine.
+    fn absorb_segment(&mut self, seg: &Self);
+    /// Lockstep check against a retained sequential reference
+    /// (debug builds only).
+    #[cfg(debug_assertions)]
+    fn debug_assert_matches(&self, reference: &Self);
+}
+
+impl SegmentEngine for Engine {
+    fn warm_state(&mut self, instr: &Instr) {
+        Engine::warm_state(self, instr);
+    }
+
+    fn step(&mut self, instr: &Instr) {
+        Engine::step(self, instr);
+    }
+
+    fn boundary(&mut self) {
+        Engine::boundary(self);
+    }
+
+    fn absorb_segment(&mut self, seg: &Self) {
+        Engine::absorb_segment(self, seg);
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_assert_matches(&self, reference: &Self) {
+        Engine::debug_assert_matches(self, reference);
+    }
+}
+
+impl SegmentEngine for SampledEngine {
+    fn warm_state(&mut self, instr: &Instr) {
+        SampledEngine::warm_advance(self, instr);
+    }
+
+    fn step(&mut self, instr: &Instr) {
+        crate::backend::ExecBackend::step(self, instr);
+    }
+
+    fn boundary(&mut self) {
+        SampledEngine::boundary(self);
+    }
+
+    fn absorb_segment(&mut self, seg: &Self) {
+        SampledEngine::absorb_segment(self, seg);
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_assert_matches(&self, reference: &Self) {
+        SampledEngine::debug_assert_matches(self, reference);
+    }
+}
+
+impl SegmentEngine for GridEngine {
+    fn warm_state(&mut self, instr: &Instr) {
+        GridEngine::warm_state(self, instr);
+    }
+
+    fn step(&mut self, instr: &Instr) {
+        GridEngine::step(self, instr);
+    }
+
+    fn boundary(&mut self) {
+        GridEngine::boundary(self);
+    }
+
+    fn absorb_segment(&mut self, seg: &Self) {
+        GridEngine::absorb_segment(self, seg);
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_assert_matches(&self, reference: &Self) {
+        GridEngine::debug_assert_matches(self, reference);
+    }
+}
+
+/// A process-wide pool of advisory execution permits: the second level of
+/// the (workload × segment) scheduler. Sweep drivers hold one permit per
+/// busy workload worker; a segmented replay borrows whatever is free for
+/// its extra segment workers and returns them afterwards. Permits bound
+/// *concurrency*, never results — a run that gets zero extra permits
+/// simply executes its segments sequentially, bit-identically.
+#[derive(Debug)]
+pub struct TokenPool {
+    capacity: usize,
+    free: Mutex<usize>,
+}
+
+impl TokenPool {
+    /// Builds a pool with `capacity` permits, all initially free.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TokenPool {
+            capacity,
+            free: Mutex::new(capacity),
+        }
+    }
+
+    /// The process-wide pool, sized like the worker-thread knob:
+    /// `GEMSTONE_THREADS` if set, otherwise the available parallelism
+    /// (fallback 4).
+    pub fn global() -> &'static TokenPool {
+        static POOL: OnceLock<TokenPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let n = gemstone_obs::env::parse_checked::<usize>(
+                "GEMSTONE_THREADS",
+                "a positive worker count",
+                "the available parallelism",
+                |&n| n > 0,
+            )
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+            TokenPool::with_capacity(n)
+        })
+    }
+
+    /// Total permit count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Takes up to `want` permits without blocking; returns a guard
+    /// holding however many were free (possibly zero).
+    pub fn take_up_to(&self, want: usize) -> Permits<'_> {
+        let mut free = self.free.lock().expect("token pool poisoned");
+        let taken = want.min(*free);
+        *free -= taken;
+        Permits { pool: self, taken }
+    }
+
+    fn release(&self, n: usize) {
+        let mut free = self.free.lock().expect("token pool poisoned");
+        *free = (*free + n).min(self.capacity);
+    }
+}
+
+/// Permits borrowed from a [`TokenPool`]; released on drop.
+#[derive(Debug)]
+pub struct Permits<'a> {
+    pool: &'a TokenPool,
+    taken: usize,
+}
+
+impl Permits<'_> {
+    /// How many permits this guard holds.
+    pub fn count(&self) -> usize {
+        self.taken
+    }
+}
+
+impl Drop for Permits<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.taken);
+    }
+}
+
+/// Drives `engine` over `stream`, draining the accumulators every
+/// `seg_instrs` instructions — the sequential reference loop every
+/// driver (and the debug lockstep check) shares.
+pub fn drive_sequential<E: SegmentEngine>(
+    engine: &mut E,
+    seg_instrs: u64,
+    stream: impl Iterator<Item = Instr>,
+) {
+    let seg = seg_instrs.max(1);
+    let mut until = seg;
+    for instr in stream {
+        engine.step(&instr);
+        until -= 1;
+        if until == 0 {
+            engine.boundary();
+            until = seg;
+        }
+    }
+}
+
+/// Runs `master` over the planned trace with up to `workers` concurrent
+/// segment workers, leaving `master` exactly as if it had executed the
+/// whole stream sequentially (same partials, same event counts — the
+/// final [`crate::core::Engine::finish`]-style call is the caller's).
+///
+/// `make_iter(offset)` must yield the instruction stream starting at
+/// `offset`; it is called from worker threads, so it must be `Sync`.
+///
+/// One warming producer streams functional warming from offset 0 and
+/// clones a snapshot at each boundary; workers pick snapshots up as they
+/// land (segment 0's snapshot — the pristine master — is sent before
+/// warming starts, so detailed work begins immediately). With fewer than
+/// two segments or workers the run degrades to [`drive_sequential`] on
+/// the calling thread.
+///
+/// In debug builds a retained sequential reference is replayed after the
+/// splice and every partial, counter and open span is asserted
+/// bit-identical.
+pub fn run_segmented<E, I, F>(master: &mut E, plan: &SegmentPlan, workers: usize, make_iter: F)
+where
+    E: SegmentEngine,
+    I: Iterator<Item = Instr>,
+    F: Fn(u64) -> I + Sync,
+{
+    let nseg = plan.segment_count();
+    if nseg <= 1 || workers <= 1 {
+        drive_sequential(master, plan.seg_instrs(), make_iter(0));
+        return;
+    }
+
+    let _span = gemstone_obs::span::span(SEGMENT_SPAN);
+    segment_runs_counter().inc();
+    #[cfg(debug_assertions)]
+    let pristine = master.clone();
+
+    let seg_instrs = plan.seg_instrs();
+    let (tx, rx) = mpsc::channel::<(usize, E)>();
+    let rx = Mutex::new(rx);
+    let results: Vec<Mutex<Option<E>>> = (0..nseg).map(|_| Mutex::new(None)).collect();
+    let warm_proto = master.clone();
+    let nworkers = workers.min(nseg);
+
+    std::thread::scope(|scope| {
+        let make_iter = &make_iter;
+        let results = &results;
+        let rx = &rx;
+        scope.spawn(move || {
+            // Segment 0 starts from the pristine engine: ship it before
+            // warming a single instruction so a worker starts immediately.
+            let mut warm = warm_proto;
+            if tx.send((0, warm.clone())).is_err() {
+                return;
+            }
+            segment_snapshots_counter().inc();
+            let mut stream = make_iter(0);
+            let mut index = 0u64;
+            for k in 1..nseg {
+                let (start, _) = plan.segment(k);
+                while index < start {
+                    match stream.next() {
+                        Some(instr) => {
+                            warm.warm_state(&instr);
+                            index += 1;
+                        }
+                        None => return,
+                    }
+                }
+                if tx.send((k, warm.clone())).is_err() {
+                    return;
+                }
+                segment_snapshots_counter().inc();
+            }
+            // `tx` drops here; workers drain the queue and exit.
+        });
+        for _ in 0..nworkers {
+            scope.spawn(move || loop {
+                let received = rx.lock().expect("snapshot queue poisoned").recv();
+                let Ok((k, mut engine)) = received else {
+                    break;
+                };
+                let (start, end) = plan.segment(k);
+                let mut stream = make_iter(start);
+                // Starts are multiples of seg_instrs, so the first drain is
+                // a full span away; drains then land on the same global
+                // indices a sequential run uses.
+                let mut until = seg_instrs;
+                let mut index = start;
+                while index < end {
+                    let Some(instr) = stream.next() else {
+                        break;
+                    };
+                    engine.step(&instr);
+                    index += 1;
+                    until -= 1;
+                    if until == 0 {
+                        engine.boundary();
+                        until = seg_instrs;
+                    }
+                }
+                *results[k].lock().expect("result slot poisoned") = Some(engine);
+            });
+        }
+    });
+
+    for slot in &results {
+        let seg = slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("a segment produced no result (stream shorter than plan?)");
+        master.absorb_segment(&seg);
+        segment_splices_counter().inc();
+    }
+
+    #[cfg(debug_assertions)]
+    {
+        let mut reference = pristine;
+        drive_sequential(&mut reference, seg_instrs, make_iter(0));
+        master.debug_assert_matches(&reference);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{cortex_a15_hw, cortex_a7_hw};
+    use crate::instr::{BranchRef, InstrClass, MemRef};
+
+    fn mixed_stream(n: usize) -> Vec<Instr> {
+        (0..n)
+            .map(|i| {
+                let pc = (i as u64 % 2048) * 4;
+                match i % 16 {
+                    0..=4 => Instr::alu(InstrClass::IntAlu, pc),
+                    5 => Instr::alu(InstrClass::IntMul, pc),
+                    6 => Instr::alu(InstrClass::FpAlu, pc),
+                    7..=9 => Instr::mem(
+                        InstrClass::Load,
+                        pc,
+                        MemRef::load((i as u64).wrapping_mul(2654435761) % (8 << 20), 4),
+                    ),
+                    10 => Instr::mem(
+                        InstrClass::Store,
+                        pc,
+                        MemRef::store((i as u64 * 64) % (1 << 20), 4).with_shared(i % 2 == 0),
+                    ),
+                    11 | 12 => Instr::branch(
+                        InstrClass::Branch,
+                        pc,
+                        BranchRef {
+                            static_id: (i % 32) as u32,
+                            taken: i % 5 != 0,
+                            target_page: (i as u64 / 64) % 16,
+                        },
+                    ),
+                    13 => Instr::alu(InstrClass::Simd, pc),
+                    14 => Instr::alu(InstrClass::Nop, pc),
+                    _ => Instr::alu(InstrClass::IntAlu, pc),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_boundaries_are_a_pure_function_of_length() {
+        let plan = SegmentPlan::new(10_000, 4_096);
+        assert_eq!(plan.segment_count(), 3);
+        assert_eq!(plan.segment(0), (0, 4_096));
+        assert_eq!(plan.segment(1), (4_096, 8_192));
+        assert_eq!(plan.segment(2), (8_192, 10_000));
+        // Short traces collapse to one segment.
+        let single = SegmentPlan::new(1_000, 4_096);
+        assert_eq!(single.segment_count(), 1);
+        assert_eq!(single.segment(0), (0, 1_000));
+        // Exact multiples produce no empty tail segment.
+        let exact = SegmentPlan::new(8_192, 4_096);
+        assert_eq!(exact.segment_count(), 2);
+        assert_eq!(exact.segment(1), (4_096, 8_192));
+    }
+
+    #[test]
+    fn boundary_filter_merges_segments_without_moving_boundaries() {
+        let plan = SegmentPlan::with_boundary_filter(20_000, 4_096, |b| b != 8_192);
+        assert_eq!(plan.segment_count(), 4);
+        assert_eq!(plan.segment(0), (0, 4_096));
+        assert_eq!(plan.segment(1), (4_096, 12_288));
+        assert_eq!(plan.segment(2), (12_288, 16_384));
+        assert_eq!(plan.segment(3), (16_384, 20_000));
+    }
+
+    #[test]
+    fn segmented_run_is_bit_identical_to_sequential_for_any_worker_count() {
+        let stream = mixed_stream(50_000);
+        let cfg = cortex_a15_hw();
+        let seg_instrs = 8_192;
+        let mut reference = Engine::with_seed(cfg.clone(), 1.0e9, 2, 7);
+        drive_sequential(&mut reference, seg_instrs, stream.iter().copied());
+        let expect = reference.finish();
+        let plan = SegmentPlan::new(stream.len() as u64, seg_instrs);
+        for workers in [1, 2, 3, 8] {
+            let mut master = Engine::with_seed(cfg.clone(), 1.0e9, 2, 7);
+            run_segmented(&mut master, &plan, workers, |offset| {
+                stream[offset as usize..].iter().copied()
+            });
+            let got = master.finish();
+            assert_eq!(
+                got.cycles.to_bits(),
+                expect.cycles.to_bits(),
+                "{workers} workers"
+            );
+            assert_eq!(got.stats.gem5_stats_map(), expect.stats.gem5_stats_map());
+        }
+    }
+
+    #[test]
+    fn segmented_grid_multiplies_segments_by_lanes() {
+        let stream = mixed_stream(30_000);
+        let freqs = [0.8e9, 1.4e9];
+        let seg_instrs = 4_096;
+        let mut reference = GridEngine::with_seed(cortex_a7_hw(), &freqs, 1, 0x5EED_CAFE);
+        drive_sequential(&mut reference, seg_instrs, stream.iter().copied());
+        let expect = reference.finish();
+        let plan = SegmentPlan::new(stream.len() as u64, seg_instrs);
+        let mut master = GridEngine::with_seed(cortex_a7_hw(), &freqs, 1, 0x5EED_CAFE);
+        run_segmented(&mut master, &plan, 4, |offset| {
+            stream[offset as usize..].iter().copied()
+        });
+        let got = master.finish();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.cycles.to_bits(), e.cycles.to_bits());
+            assert_eq!(g.stats.gem5_stats_map(), e.stats.gem5_stats_map());
+        }
+    }
+
+    #[test]
+    fn token_pool_borrows_and_returns() {
+        let pool = TokenPool::with_capacity(4);
+        let a = pool.take_up_to(3);
+        assert_eq!(a.count(), 3);
+        let b = pool.take_up_to(3);
+        assert_eq!(b.count(), 1);
+        drop(a);
+        let c = pool.take_up_to(10);
+        assert_eq!(c.count(), 3);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.take_up_to(usize::MAX).count(), 4);
+    }
+}

@@ -190,6 +190,20 @@ pub struct StallCycles {
 }
 
 impl StallCycles {
+    /// In-place per-component sum. The segmented splice folds per-segment
+    /// stall partials through this in a fixed order, so the addition
+    /// sequence — and therefore the f64 rounding — never depends on the
+    /// thread count.
+    pub fn accumulate(&mut self, other: &StallCycles) {
+        self.mispredict += other.mispredict;
+        self.fetch += other.fetch;
+        self.fetch_tlb += other.fetch_tlb;
+        self.memory += other.memory;
+        self.data_tlb += other.data_tlb;
+        self.serialization += other.serialization;
+        self.execute += other.execute;
+    }
+
     /// Total stall cycles.
     pub fn total(&self) -> f64 {
         self.mispredict

@@ -88,12 +88,12 @@ pub enum TlbKind {
 
 /// The second-level TLB: either a unified structure (hardware) or split
 /// instruction/data walker caches (the gem5 model).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SecondLevelTlb {
     inner: SecondLevel,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum SecondLevel {
     /// One shared second-level TLB.
     Unified {
@@ -182,7 +182,7 @@ pub struct TranslateResult {
 }
 
 /// A two-level TLB hierarchy with separate L1 I/D TLBs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TlbHierarchy {
     l1i: LruSets,
     l1d: LruSets,
@@ -291,6 +291,21 @@ impl TlbHierarchy {
     /// Data-side counters.
     pub fn data_counters(&self) -> TlbSideCounters {
         self.dcounters
+    }
+
+    /// Adds another hierarchy's event counters into this one (segment
+    /// splice). Translation state is untouched.
+    pub(crate) fn absorb_counters(&mut self, other: &TlbHierarchy) {
+        for (mine, theirs) in [
+            (&mut self.icounters, &other.icounters),
+            (&mut self.dcounters, &other.dcounters),
+        ] {
+            mine.l1_accesses += theirs.l1_accesses;
+            mine.l1_misses += theirs.l1_misses;
+            mine.l2_accesses += theirs.l2_accesses;
+            mine.l2_hits += theirs.l2_hits;
+            mine.walks += theirs.walks;
+        }
     }
 
     /// Whether the second level is split (the gem5 model shape).

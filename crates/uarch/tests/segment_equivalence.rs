@@ -1,0 +1,187 @@
+//! Property-based tests for time-parallel segmented simulation
+//! (DESIGN.md §12): for any stream, segment geometry, worker count and
+//! tier, a spliced segmented run must be bit-identical to the sequential
+//! reference, and functional warming must leave an engine in exactly the
+//! state detailed stepping would.
+
+use gemstone_uarch::backend::{ExecBackend, SampleParams, SampledEngine};
+use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, Ex5Variant};
+use gemstone_uarch::core::Engine;
+use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
+use gemstone_uarch::segment::{drive_sequential, run_segmented, SegmentPlan};
+use proptest::prelude::*;
+
+/// A mixed stream with loads, stores (some shared), branches and
+/// store-exclusives — the classes that exercise every piece of long-lived
+/// engine state, including the RNG draws warming must keep in lockstep
+/// when `threads > 1`.
+fn stream(n: usize, salt: u64) -> Vec<Instr> {
+    (0..n)
+        .map(|i| {
+            let pc = ((i as u64).wrapping_mul(salt | 1) % 2048) * 4;
+            match i % 16 {
+                0..=4 => Instr::alu(InstrClass::IntAlu, pc),
+                5 => Instr::alu(InstrClass::IntMul, pc),
+                6 => Instr::alu(InstrClass::FpAlu, pc),
+                7..=9 => Instr::mem(
+                    InstrClass::Load,
+                    pc,
+                    MemRef::load(
+                        (i as u64).wrapping_mul(2654435761).wrapping_add(salt) % (8 << 20),
+                        4,
+                    ),
+                ),
+                10 => Instr::mem(
+                    InstrClass::Store,
+                    pc,
+                    MemRef::store((i as u64 * 64) % (1 << 20), 4).with_shared(i % 2 == 0),
+                ),
+                11 | 12 => Instr::branch(
+                    InstrClass::Branch,
+                    pc,
+                    BranchRef {
+                        static_id: (i % 32) as u32,
+                        taken: (i as u64).wrapping_add(salt) % 5 != 0,
+                        target_page: (i as u64 / 64) % 16,
+                    },
+                ),
+                13 => Instr::mem(
+                    InstrClass::StoreExclusive,
+                    pc,
+                    MemRef::store(0x2000 + (i as u64 % 32) * 4, 4).with_shared(true),
+                ),
+                14 => Instr::alu(InstrClass::Nop, pc),
+                _ => Instr::alu(InstrClass::IntAlu, pc),
+            }
+        })
+        .collect()
+}
+
+fn config(idx: usize) -> gemstone_uarch::core::CoreConfig {
+    match idx {
+        0 => cortex_a15_hw(),
+        1 => cortex_a7_hw(),
+        _ => ex5_big(Ex5Variant::Old),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Splicing is exact for any segment size, worker count, thread count
+    /// and configuration — not just the defaults the unit tests pin.
+    #[test]
+    fn segmented_replay_is_bit_identical_for_random_geometry(
+        n in 12_000usize..40_000,
+        salt in any::<u64>(),
+        seg_instrs in prop_oneof![Just(1_024u64), Just(2_048), Just(4_096), Just(9_999)],
+        workers in 1usize..8,
+        threads in prop_oneof![Just(1u32), Just(2), Just(4)],
+        cfg_idx in 0usize..3,
+    ) {
+        let stream = stream(n, salt);
+        let cfg = config(cfg_idx);
+        let mut reference = Engine::with_seed(cfg.clone(), 1.0e9, threads, 11);
+        drive_sequential(&mut reference, seg_instrs, stream.iter().copied());
+        let expect = reference.finish();
+        let plan = SegmentPlan::new(stream.len() as u64, seg_instrs);
+        let mut master = Engine::with_seed(cfg, 1.0e9, threads, 11);
+        run_segmented(&mut master, &plan, workers, |offset| {
+            stream[offset as usize..].iter().copied()
+        });
+        let got = master.finish();
+        prop_assert_eq!(got.cycles.to_bits(), expect.cycles.to_bits());
+        prop_assert_eq!(got.seconds.to_bits(), expect.seconds.to_bits());
+        prop_assert_eq!(got.stats.gem5_stats_map(), expect.stats.gem5_stats_map());
+    }
+
+    /// The sampled tier splices exactly too, with the boundary filter
+    /// keeping every measurement window inside one segment.
+    #[test]
+    fn sampled_segmented_replay_is_bit_identical(
+        n in 12_000usize..30_000,
+        salt in any::<u64>(),
+        seg_instrs in prop_oneof![Just(1_024u64), Just(2_048), Just(5_000)],
+        workers in 1usize..6,
+        interval in prop_oneof![Just(700u64), Just(2_000), Just(3_300)],
+    ) {
+        let stream = stream(n, salt);
+        let params = SampleParams {
+            interval,
+            window: 300,
+            warmup: 500,
+        };
+        let build = || SampledEngine::new(cortex_a7_hw(), 1.0e9, 2, 23, params);
+        let mut reference = build();
+        drive_sequential(&mut reference, seg_instrs, stream.iter().copied());
+        let expect = reference.finish();
+        let plan = SegmentPlan::with_boundary_filter(stream.len() as u64, seg_instrs, |b| {
+            params.segment_boundary_allowed(b)
+        });
+        let mut master = build();
+        run_segmented(&mut master, &plan, workers, |offset| {
+            stream[offset as usize..].iter().copied()
+        });
+        let got = master.finish();
+        prop_assert_eq!(got.cycles.to_bits(), expect.cycles.to_bits());
+        prop_assert_eq!(got.seconds.to_bits(), expect.seconds.to_bits());
+        prop_assert_eq!(got.stats.gem5_stats_map(), expect.stats.gem5_stats_map());
+    }
+
+    /// Functional warming leaves an engine state-identical to detailed
+    /// stepping, at any segment boundary. Warming records nothing, so an
+    /// engine warmed over `[0, k)` and stepped over `[k, n)` reports the
+    /// suffix's events alone — which must equal a full sequential run's
+    /// events minus a prefix-only run's, event for event.
+    #[test]
+    fn warm_prefix_is_state_identical_to_stepped_prefix(
+        n in 12_000usize..30_000,
+        salt in any::<u64>(),
+        seg_instrs in prop_oneof![Just(1_024u64), Just(4_096), Just(7_777)],
+        boundary_seg in 1u64..5,
+        threads in prop_oneof![Just(1u32), Just(2), Just(4)],
+        cfg_idx in 0usize..3,
+    ) {
+        let stream = stream(n, salt);
+        let k = (boundary_seg * seg_instrs).min(stream.len() as u64) as usize;
+        let cfg = config(cfg_idx);
+        let build = || Engine::with_seed(cfg.clone(), 1.0e9, threads, 5);
+
+        // Warm the prefix, step the suffix: suffix-only events.
+        let mut warmed = build();
+        for instr in &stream[..k] {
+            warmed.warm_state(instr);
+        }
+        drive_sequential(&mut warmed, seg_instrs, stream[k..].iter().copied());
+        let suffix = warmed.finish();
+
+        // Full and prefix-only sequential runs.
+        let mut full = build();
+        drive_sequential(&mut full, seg_instrs, stream.iter().copied());
+        let full = full.finish();
+        let mut prefix = build();
+        drive_sequential(&mut prefix, seg_instrs, stream[..k].iter().copied());
+        let prefix = prefix.finish();
+
+        // Integer event counts are exact, so they subtract exactly. Any
+        // state divergence between warming and stepping (cache contents,
+        // predictor tables, TLBs, RNG position) shifts the suffix's
+        // events and breaks the identity.
+        prop_assert_eq!(
+            suffix.stats.committed_instructions,
+            full.stats.committed_instructions - prefix.stats.committed_instructions
+        );
+        prop_assert_eq!(
+            suffix.stats.l1d.misses,
+            full.stats.l1d.misses - prefix.stats.l1d.misses
+        );
+        prop_assert_eq!(
+            suffix.stats.l1i.misses,
+            full.stats.l1i.misses - prefix.stats.l1i.misses
+        );
+        prop_assert_eq!(
+            suffix.stats.branch.cond_incorrect,
+            full.stats.branch.cond_incorrect - prefix.stats.branch.cond_incorrect
+        );
+    }
+}

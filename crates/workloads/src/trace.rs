@@ -47,6 +47,7 @@ use gemstone_uarch::backend::{record_tier_run, Backend, ExecBackend, Fidelity};
 use gemstone_uarch::core::SimResult;
 use gemstone_uarch::grid::{grid_span_name, record_grid_run, GridBackend};
 use gemstone_uarch::instr::{BranchRef, Instr, InstrClass, MemRef};
+use gemstone_uarch::segment::{segment_instrs, segment_workers, SegmentPlan, TokenPool};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -291,15 +292,31 @@ impl PackedTrace {
     /// Replays the whole trace through a tier [`Backend`], taking the
     /// fastest path each tier admits: the atomic tier absorbs one class
     /// histogram and never decodes an instruction, while the approximate
-    /// and sampled tiers stream every decoded instruction — the sampled
+    /// and sampled tiers replay every decoded instruction — the sampled
     /// tier needs real addresses even in fast-forward phases to
-    /// functionally warm caches, TLBs and the branch predictor. Results are
-    /// bit-identical to [`Backend::run_stream`] over [`PackedTrace::iter`],
-    /// and the same per-tier span and `engine.tier.*` counters are
-    /// recorded.
+    /// functionally warm caches, TLBs and the branch predictor. When the
+    /// trace spans multiple segments and `GEMSTONE_SEGMENTS` admits it,
+    /// the detailed tiers run time-parallel segments (warm once, simulate
+    /// concurrently, splice — `gemstone_uarch::segment`), borrowing
+    /// whatever [`TokenPool`] permits the sweep scheduler has left free.
+    /// Results are bit-identical to [`Backend::run_stream`] over
+    /// [`PackedTrace::iter`] either way, and the same per-tier span and
+    /// `engine.tier.*` counters are recorded.
     pub fn run_backend(&self, backend: &mut Backend) -> SimResult {
         match backend {
-            Backend::Approx(_) | Backend::Sampled(_) => backend.run_stream(self.iter()),
+            Backend::Approx(_) | Backend::Sampled(_) => {
+                let cap = segment_workers();
+                let plan = backend.segment_plan(self.len() as u64);
+                if cap <= 1 || plan.segment_count() <= 1 {
+                    return backend.run_stream(self.iter());
+                }
+                // One implicit permit for the calling worker, plus however
+                // many of the pool's spares this run can grab.
+                let permits = TokenPool::global().take_up_to(cap - 1);
+                backend.run_segmented(&plan, 1 + permits.count(), |offset| {
+                    self.iter_from(offset as usize)
+                })
+            }
             Backend::Atomic(engine) => {
                 let _span = gemstone_obs::span::span(Fidelity::Atomic.span_name());
                 engine.absorb_histogram(&self.class_histogram(0..self.len()));
@@ -313,14 +330,27 @@ impl PackedTrace {
     /// Replays the whole trace through a fused [`GridBackend`] — one
     /// decode pass serving every frequency lane — with the same per-tier
     /// fast paths as [`PackedTrace::run_backend`]: the atomic grid absorbs
-    /// one class histogram, the approx and sampled grids stream every
-    /// decoded instruction. Each returned result is bit-identical to
-    /// [`PackedTrace::run_backend`] at that lane's frequency, and the
-    /// `engine.grid.*` / `engine.tier.*` counters account the replay as
-    /// one fused pass standing in for N logical runs.
+    /// one class histogram, the approx and sampled grids replay every
+    /// decoded instruction, and the approx grid additionally runs
+    /// time-parallel segments when the trace and the [`TokenPool`] admit
+    /// it, so segments × frequency lanes multiply. Each returned result is
+    /// bit-identical to [`PackedTrace::run_backend`] at that lane's
+    /// frequency, and the `engine.grid.*` / `engine.tier.*` counters
+    /// account the replay as one fused pass standing in for N logical
+    /// runs.
     pub fn run_grid(&self, backend: &mut GridBackend) -> Vec<SimResult> {
         match backend {
-            GridBackend::Approx(_) | GridBackend::Sampled(_) => backend.run_stream(self.iter()),
+            GridBackend::Approx(_) | GridBackend::Sampled(_) => {
+                let cap = segment_workers();
+                let plan = SegmentPlan::new(self.len() as u64, segment_instrs());
+                if cap <= 1 || plan.segment_count() <= 1 {
+                    return backend.run_stream(self.iter());
+                }
+                let permits = TokenPool::global().take_up_to(cap - 1);
+                backend.run_segmented(&plan, 1 + permits.count(), |offset| {
+                    self.iter_from(offset as usize)
+                })
+            }
             GridBackend::Atomic(engine) => {
                 let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Atomic));
                 engine.absorb_histogram(&self.class_histogram(0..self.len()));
@@ -852,6 +882,20 @@ mod tests {
     }
 
     #[test]
+    fn iter_from_short_trace_seeks_past_the_only_index_entry() {
+        // A trace shorter than the index stride has exactly one sparse
+        // entry (at instruction 0); every non-zero offset seeks past it by
+        // scanning class bytes alone.
+        let trace = PackedTrace::from_spec(&spec(300));
+        for offset in [0, 1, 299, 300, 301] {
+            let sought: Vec<Instr> = trace.iter_from(offset).collect();
+            let skipped: Vec<Instr> = trace.iter().skip(offset).collect();
+            assert_eq!(sought, skipped, "offset {offset}");
+        }
+        assert_eq!(trace.iter_from(trace.len()).count(), 0);
+    }
+
+    #[test]
     #[allow(clippy::reversed_empty_ranges)] // inverted bounds are the point
     fn class_histogram_matches_decoded_classes() {
         let trace = PackedTrace::from_spec(&spec(9_000));
@@ -894,6 +938,68 @@ mod tests {
                 format!("{:?}", b.stats),
                 "tier {}",
                 tier.fidelity
+            );
+        }
+    }
+
+    #[test]
+    fn run_backend_segmented_replay_is_bit_identical() {
+        use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
+        use gemstone_uarch::configs::cortex_a7_hw;
+        use gemstone_uarch::segment::segment_instrs;
+
+        // Long enough to span three segments at the canonical length, so
+        // run_backend takes the time-parallel path wherever the pool has
+        // spare permits (and degrades to the sequential loop where not —
+        // bit-identical either way, which is exactly the assertion).
+        let s = spec(2 * segment_instrs() + 1_500);
+        let trace = PackedTrace::from_spec(&s);
+        let cfg = cortex_a7_hw();
+        for tier in [
+            TierConfig::approx(),
+            TierConfig::sampled(SampleParams::default()),
+        ] {
+            let mut via_trace = Backend::new(tier, &cfg, 1.0e9, s.threads, 7);
+            let mut via_stream = Backend::new(tier, &cfg, 1.0e9, s.threads, 7);
+            let a = trace.run_backend(&mut via_trace);
+            let b = via_stream.run_stream(trace.iter());
+            assert_eq!(
+                a.cycles.to_bits(),
+                b.cycles.to_bits(),
+                "tier {}",
+                tier.fidelity
+            );
+            assert_eq!(
+                format!("{:?}", a.stats),
+                format!("{:?}", b.stats),
+                "tier {}",
+                tier.fidelity
+            );
+        }
+    }
+
+    #[test]
+    fn run_grid_segmented_replay_is_bit_identical() {
+        use gemstone_uarch::backend::TierConfig;
+        use gemstone_uarch::configs::cortex_a7_hw;
+        use gemstone_uarch::grid::GridBackend;
+        use gemstone_uarch::segment::segment_instrs;
+
+        let s = spec(2 * segment_instrs() + 777);
+        let trace = PackedTrace::from_spec(&s);
+        let cfg = cortex_a7_hw();
+        let freqs = [0.6e9, 1.0e9, 1.4e9];
+        let mut via_trace = GridBackend::new(TierConfig::approx(), &cfg, &freqs, s.threads, 7);
+        let mut via_stream = GridBackend::new(TierConfig::approx(), &cfg, &freqs, s.threads, 7);
+        let a = trace.run_grid(&mut via_trace);
+        let b = via_stream.run_stream(trace.iter());
+        assert_eq!(a.len(), b.len());
+        for (lane, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(ra.cycles.to_bits(), rb.cycles.to_bits(), "lane {lane}");
+            assert_eq!(
+                format!("{:?}", ra.stats),
+                format!("{:?}", rb.stats),
+                "lane {lane}"
             );
         }
     }

@@ -28,6 +28,11 @@
 //! The sampled tier's geometry is controlled by `GEMSTONE_SAMPLE_INTERVAL`,
 //! `GEMSTONE_SAMPLE_WINDOW` and `GEMSTONE_SAMPLE_WARMUP`.
 //!
+//! `validate`, `report`, `collect` and `profile` accept `--segments N` to
+//! cap the per-replay worker count of time-parallel segmented simulation
+//! (`0` disables it; the default is the machine's parallelism). The knob
+//! only affects wall-clock time — results are bit-identical at any value.
+//!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 unknown
 //! flag for the given subcommand.
 
@@ -120,6 +125,11 @@ fn usage() -> ExitCode {
          \u{20}  --fidelity atomic|approx|sampled   execution tier (default: GEMSTONE_FIDELITY\n\
          \u{20}                                     or approx; sampled-tier geometry via\n\
          \u{20}                                     GEMSTONE_SAMPLE_{{INTERVAL,WINDOW,WARMUP}})\n\
+         \n\
+         validate, report, collect and profile also accept\n\
+         \u{20}  --segments N     cap segmented-replay workers (0 disables;\n\
+         \u{20}                   default: machine parallelism; results are\n\
+         \u{20}                   bit-identical at any value)\n\
          \n\
          validate, report, collect and profile also accept observability outputs:\n\
          \u{20}  --metrics FILE   Prometheus text-format metrics dump\n\
@@ -256,6 +266,21 @@ fn parse_fidelity(args: &Args) -> Result<TierConfig, String> {
             })
         }
     }
+}
+
+/// Applies `--segments N` by exporting `GEMSTONE_SEGMENTS` for the engine
+/// layer, which caches the knob on first use — so this must run before
+/// the first replay. `0` disables segmentation; garbage is a usage error
+/// (exit 2), not a silent fall-back.
+fn apply_segments(args: &Args) -> Result<(), String> {
+    let Some(v) = args.get("segments") else {
+        return Ok(());
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|e| format!("invalid --segments value '{v}': {e}"))?;
+    std::env::set_var(gemstone::uarch::segment::SEGMENTS_ENV, n.to_string());
+    Ok(())
 }
 
 fn run_pipeline(args: &Args, with_power: bool) -> ExitCode {
@@ -594,6 +619,18 @@ fn run_stats(args: &Args) -> ExitCode {
             "gemstone.engine.grid.lanes",
             registry.counter("engine.grid.lanes").get(),
         ),
+        (
+            "gemstone.engine.segment.runs",
+            registry.counter("engine.segment.runs").get(),
+        ),
+        (
+            "gemstone.engine.segment.snapshots",
+            registry.counter("engine.segment.snapshots").get(),
+        ),
+        (
+            "gemstone.engine.segment.splices",
+            registry.counter("engine.segment.splices").get(),
+        ),
         ("gemstone.sim.wall_micros", sim_micros),
     ] {
         println!("{name:<60} {value:>20}");
@@ -793,10 +830,10 @@ fn main() -> ExitCode {
     };
     let allowed: &[&str] = match cmd.as_str() {
         "validate" => &[
-            "scale", "clusters", "save", "fidelity", "metrics", "trace", "jsonl",
+            "scale", "clusters", "save", "fidelity", "segments", "metrics", "trace", "jsonl",
         ],
         "report" => &[
-            "scale", "clusters", "save", "fidelity", "metrics", "trace", "jsonl",
+            "scale", "clusters", "save", "fidelity", "segments", "metrics", "trace", "jsonl",
         ],
         "collect" => &[
             "scale",
@@ -807,6 +844,7 @@ fn main() -> ExitCode {
             "retries",
             "min-coverage",
             "fidelity",
+            "segments",
             "metrics",
             "trace",
             "jsonl",
@@ -817,7 +855,7 @@ fn main() -> ExitCode {
         "improve" => &["scale", "target-mape"],
         "stats" => &["scale", "model", "fidelity"],
         "profile" => &[
-            "scale", "model", "freq", "fidelity", "metrics", "trace", "jsonl",
+            "scale", "model", "freq", "fidelity", "segments", "metrics", "trace", "jsonl",
         ],
         _ => return usage(),
     };
@@ -831,6 +869,10 @@ fn main() -> ExitCode {
                 .join(" ")
         );
         return ExitCode::from(3);
+    }
+    if let Err(e) = apply_segments(&args) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
     }
     match cmd.as_str() {
         "validate" => run_pipeline(&args, false),
@@ -900,6 +942,28 @@ mod tests {
         assert_eq!(a.unknown_flag(&["scale", "model"]), Some("bogus"));
         let a = Args::parse(&strs(&["--scale", "0.5"]), &[]).unwrap();
         assert_eq!(a.unknown_flag(&["scale", "model"]), None);
+        // `--segments` is allowlisted on the sweep commands and rejected
+        // (exit 3 in main) anywhere it is left off the list.
+        let a = Args::parse(&strs(&["--segments", "4"]), &[]).unwrap();
+        assert_eq!(a.unknown_flag(&["scale", "segments"]), None);
+        assert_eq!(a.unknown_flag(&["scale", "model"]), Some("segments"));
+    }
+
+    #[test]
+    fn segments_flag_parses_and_rejects_garbage() {
+        // Absent flag: no-op.
+        let a = Args::parse(&strs(&[]), &[]).unwrap();
+        assert!(apply_segments(&a).is_ok());
+        // Garbage value: the exit-2 error names the flag.
+        let a = Args::parse(&strs(&["--segments", "many"]), &[]).unwrap();
+        assert!(apply_segments(&a).unwrap_err().contains("--segments"));
+        // A valid count lands in the environment knob the engines read.
+        let a = Args::parse(&strs(&["--segments", "3"]), &[]).unwrap();
+        assert!(apply_segments(&a).is_ok());
+        assert_eq!(
+            std::env::var(gemstone::uarch::segment::SEGMENTS_ENV).as_deref(),
+            Ok("3")
+        );
     }
 
     #[test]
