@@ -5,9 +5,12 @@
 //! backend, not trace generation. Besides the raw per-tier timings (from
 //! which Criterion's reports give the atomic-vs-approx speedup), the
 //! setup pass prints the sampled tier's IPC error against the approx
-//! reference so a bench run doubles as an accuracy spot-check.
+//! reference so a bench run doubles as an accuracy spot-check; the same
+//! pass times one run per (tier, workload) and records it against the
+//! approx baseline in `BENCH_fidelity.json` for the CI bench trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemstone_bench::{write_bench_json, BenchRecord};
 use gemstone_uarch::backend::{Backend, SampleParams, TierConfig};
 use gemstone_uarch::configs::{ex5_big, Ex5Variant};
 use gemstone_workloads::suites;
@@ -27,6 +30,7 @@ fn tier_configs() -> [(&'static str, TierConfig); 3] {
 fn fidelity_tiers(c: &mut Criterion) {
     let cfg = ex5_big(Ex5Variant::Old);
     let mut group = c.benchmark_group("fidelity_tiers");
+    let mut records = Vec::new();
     for name in WORKLOADS {
         let spec = suites::by_name(name).unwrap().scaled(0.5);
         let trace = PackedTrace::from_spec(&spec);
@@ -56,7 +60,24 @@ fn fidelity_tiers(c: &mut Criterion) {
             sampled.stats.sample.as_ref().map_or(0.0, |m| m.coverage) * 100.0,
         );
 
+        // Timed spot-check per tier: speedup is relative to the approx
+        // tier on the same trace (a within-machine ratio, so committed
+        // baselines compare across runner hardware).
+        let time_tier = |tier: TierConfig| {
+            let t0 = std::time::Instant::now();
+            let mut backend = Backend::new(tier, &cfg, 1.0e9, 1, SEED);
+            trace.run_backend(&mut backend);
+            t0.elapsed().as_secs_f64()
+        };
+        let approx_s = time_tier(TierConfig::approx());
         for (label, tier) in tier_configs() {
+            let wall_s = time_tier(tier);
+            records.push(BenchRecord::new(
+                "fidelity",
+                format!("{label}/{name}"),
+                wall_s,
+                approx_s / wall_s.max(1e-9),
+            ));
             group.bench_with_input(
                 BenchmarkId::new(label, name),
                 &(tier, &trace),
@@ -69,6 +90,7 @@ fn fidelity_tiers(c: &mut Criterion) {
             );
         }
     }
+    write_bench_json("BENCH_fidelity.json", &records).expect("write BENCH_fidelity.json");
     group.finish();
 }
 

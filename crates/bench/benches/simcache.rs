@@ -6,6 +6,7 @@
 //! and dataset assembly remain.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gemstone_bench::{write_bench_json, BenchRecord};
 use gemstone_platform::board::OdroidXu3;
 use gemstone_platform::dvfs::Cluster;
 use gemstone_platform::simcache::SimCache;
@@ -74,6 +75,40 @@ fn simcache_benches(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // Trajectory records: one timed pass each for the cold serial
+    // baseline, the parallel cold collect, and the warm re-collect
+    // (speedups relative to cold serial — the ≥2× warm target).
+    let timed = |f: &mut dyn FnMut()| {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+    let cold_serial = timed(&mut || {
+        dataset::collect_with_threads(&cold_board(), Cluster::BigA15, &specs, &freqs, 1);
+    });
+    let cold_parallel = timed(&mut || {
+        dataset::collect_with_threads(&cold_board(), Cluster::BigA15, &specs, &freqs, 4);
+    });
+    let warm_serial = timed(&mut || {
+        dataset::collect_with_threads(&warm, Cluster::BigA15, &specs, &freqs, 1);
+    });
+    let records = vec![
+        BenchRecord::new("simcache", "cold_serial".to_string(), cold_serial, 1.0),
+        BenchRecord::new(
+            "simcache",
+            "cold_parallel4".to_string(),
+            cold_parallel,
+            cold_serial / cold_parallel.max(1e-9),
+        ),
+        BenchRecord::new(
+            "simcache",
+            "warm_serial".to_string(),
+            warm_serial,
+            cold_serial / warm_serial.max(1e-9),
+        ),
+    ];
+    write_bench_json("BENCH_simcache.json", &records).expect("write BENCH_simcache.json");
 }
 
 criterion_group! {

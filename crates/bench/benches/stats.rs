@@ -1,9 +1,12 @@
 //! Fast-vs-reference benchmarks for the analysis-layer hot paths: the
 //! Gram-matrix stepwise scan, the parallel correlation sweep, and the
 //! nearest-neighbour-chain HCA — each against the retained naive
-//! implementation it replaced.
+//! implementation it replaced. A spot-check pass times each fast/naive
+//! pair once and records the speedups in `BENCH_stats.json` so the CI
+//! bench trajectory covers the analysis layer too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_bench::{write_bench_json, BenchRecord};
 use gemstone_stats::cluster::{Hca, Linkage, Metric};
 use gemstone_stats::corr::{spearman, spearman_sweep};
 use gemstone_stats::stepwise::{
@@ -86,9 +89,80 @@ fn hca_benchmark(c: &mut Criterion) {
     group.finish();
 }
 
+/// One timed pass per fast/reference pair, recorded as the analysis
+/// layer's `BENCH_stats.json` trajectory entry (speedup = reference wall
+/// over fast wall — a within-machine ratio, robust across runners).
+fn record_trajectory(_c: &mut Criterion) {
+    let timed = |f: &mut dyn FnMut()| {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+    let mut records = Vec::new();
+
+    let n = 64;
+    let p = 2000;
+    let cands: Vec<Candidate> = (0..p)
+        .map(|j| Candidate::new(format!("c{j}"), (0..n).map(|i| pseudo(i, j)).collect()))
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| 3.0 * pseudo(i, 0) - 2.0 * pseudo(i, 1) + pseudo(i, 2) + 0.05 * pseudo(i, 7777))
+        .collect();
+    let opts = StepwiseOptions::default();
+    let fast = timed(&mut || {
+        forward_select(&cands, &y, &opts).unwrap();
+    });
+    let reference = timed(&mut || {
+        forward_select_reference(&cands, &y, &opts).unwrap();
+    });
+    records.push(BenchRecord::new(
+        "stats",
+        "stepwise/gram_vs_qr".to_string(),
+        fast,
+        reference / fast.max(1e-9),
+    ));
+
+    let cols: Vec<Vec<f64>> = (0..4000)
+        .map(|j| (0..n).map(|i| pseudo(i, j)).collect())
+        .collect();
+    let yy: Vec<f64> = (0..n).map(|i| pseudo(i, 9999)).collect();
+    let pairwise = timed(&mut || {
+        for col in &cols {
+            spearman(col, &yy).unwrap();
+        }
+    });
+    let sweep = timed(&mut || {
+        spearman_sweep(&cols, &yy).unwrap();
+    });
+    records.push(BenchRecord::new(
+        "stats",
+        "spearman/sweep_vs_pairwise".to_string(),
+        sweep,
+        pairwise / sweep.max(1e-9),
+    ));
+
+    let rows: Vec<Vec<f64>> = (0..256)
+        .map(|i| (0..32).map(|j| pseudo(i, j)).collect())
+        .collect();
+    let chain = timed(&mut || {
+        Hca::new(&rows, Metric::Euclidean, Linkage::Ward).unwrap();
+    });
+    let naive = timed(&mut || {
+        Hca::new_reference(&rows, Metric::Euclidean, Linkage::Ward).unwrap();
+    });
+    records.push(BenchRecord::new(
+        "stats",
+        "hca/nn_chain_vs_naive_256".to_string(),
+        chain,
+        naive / chain.max(1e-9),
+    ));
+
+    write_bench_json("BENCH_stats.json", &records).expect("write BENCH_stats.json");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = stepwise_benchmark, sweep_benchmark, hca_benchmark
+    targets = stepwise_benchmark, sweep_benchmark, hca_benchmark, record_trajectory
 }
 criterion_main!(benches);

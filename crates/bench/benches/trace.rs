@@ -12,6 +12,7 @@
 //!    (configuration, frequency) tuples.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gemstone_bench::{write_bench_json, BenchRecord};
 use gemstone_platform::simcache::SimCache;
 use gemstone_uarch::configs::{cortex_a15_hw, cortex_a7_hw, ex5_big, ex5_little, Ex5Variant};
 use gemstone_uarch::core::CoreConfig;
@@ -61,6 +62,12 @@ fn run_grid(traces: &TraceCache, specs: &[WorkloadSpec], configs: &[CoreConfig])
 
 fn trace_benches(c: &mut Criterion) {
     let spec = suites::by_name("mi-sha").unwrap().scaled(0.5);
+    let mut records = Vec::new();
+    let timed = |f: &mut dyn FnMut()| {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
 
     let mut g = c.benchmark_group("generate_vs_replay");
     g.sample_size(20);
@@ -72,9 +79,39 @@ fn trace_benches(c: &mut Criterion) {
         b.iter(|| black_box(&trace).iter().count());
     });
     g.finish();
+    // Spot check for the trajectory record: one generation pass vs one
+    // decode pass over the same stream.
+    let generate = timed(&mut || {
+        black_box(StreamGen::new(black_box(&spec)).count());
+    });
+    let replay = timed(&mut || {
+        black_box(black_box(&trace).iter().count());
+    });
+    records.push(BenchRecord::new(
+        "trace",
+        "generate_vs_replay".to_string(),
+        replay,
+        generate / replay.max(1e-9),
+    ));
 
     let specs = grid_specs();
     let configs = grid_configs();
+    // Trajectory record: the headline cold grid with the trace layer on
+    // vs off (each a fresh cache, every simulation a miss).
+    let on = timed(&mut || {
+        run_grid(&TraceCache::new(), &specs, &configs);
+    });
+    let off = timed(&mut || {
+        run_grid(&TraceCache::with_budget(0), &specs, &configs);
+    });
+    records.push(BenchRecord::new(
+        "trace",
+        "cold_grid/on_vs_off".to_string(),
+        on,
+        off / on.max(1e-9),
+    ));
+    write_bench_json("BENCH_trace.json", &records).expect("write BENCH_trace.json");
+
     let mut g = c.benchmark_group("cold_grid");
     g.sample_size(10);
     g.bench_function("traces_on", |b| {

@@ -172,12 +172,28 @@ pub fn run_over(cfg: &ExperimentConfig, workloads: Vec<WorkloadSpec>) -> Validat
     // instead of two back-to-back acquisitions.
     let runs = Mutex::new((Vec::new(), Vec::new()));
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // The sweep span is this run's profile root; worker threads attach
+    // their per-workload spans to it by explicit id, since the span
+    // nesting stack is thread-local and cannot follow the spawn.
+    let sweep_span = gemstone_obs::span::span("experiment.sweep")
+        .attr("workloads", workloads.len())
+        .attr("threads", cfg.threads.max(1))
+        .attr("tier", cfg.fidelity.fidelity.name());
+    let sweep_id = sweep_span.id();
+    let queue_depth = gemstone_obs::Registry::global().gauge("sweep.queue.depth");
+    queue_depth.set(workloads.len() as f64);
 
     std::thread::scope(|scope| {
+        let queue_depth = &queue_depth;
         for _ in 0..cfg.threads.max(1) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(spec) = workloads.get(i) else { break };
+                queue_depth.set(workloads.len().saturating_sub(i + 1) as f64);
+                let _wl_span =
+                    gemstone_obs::span::span_with_parent("experiment.workload", sweep_id)
+                        .attr("workload", &spec.name)
+                        .attr("tier", cfg.fidelity.fidelity.name());
                 // Advisory: mark one core busy for the duration of this
                 // workload so segmented replays on other workers don't
                 // oversubscribe it. Taking zero permits (pool exhausted)

@@ -307,7 +307,16 @@ pub fn collect_resilient(
     // the sweep.
     let state = Mutex::new((ck, None::<GemStoneError>));
     let next = AtomicUsize::new(0);
+    // As in `experiment::run_over`, the sweep span's id crosses into the
+    // worker threads explicitly so per-workload spans stay under it.
+    let sweep_span = gemstone_obs::span::span("powmon.collect_resilient.sweep")
+        .attr("workloads", pending.len())
+        .attr("threads", cfg.threads.max(1));
+    let sweep_id = sweep_span.id();
+    let queue_depth = gemstone_obs::Registry::global().gauge("sweep.queue.depth");
+    queue_depth.set(pending.len() as f64);
     std::thread::scope(|scope| {
+        let queue_depth = &queue_depth;
         for _ in 0..cfg.threads.max(1) {
             scope.spawn(|| loop {
                 {
@@ -318,6 +327,11 @@ pub fn collect_resilient(
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = pending.get(i) else { break };
+                queue_depth.set(pending.len().saturating_sub(i + 1) as f64);
+                let _wl_span =
+                    gemstone_obs::span::span_with_parent("experiment.workload", sweep_id)
+                        .attr("workload", &spec.name)
+                        .attr("tier", cfg.fidelity.fidelity.name());
                 // Two-level scheduling, as in `experiment::run_over`: hold
                 // one advisory TokenPool permit per busy workload worker so
                 // segmented replays only borrow genuinely idle cores.
@@ -330,6 +344,14 @@ pub fn collect_resilient(
                     }
                     Err(q) => {
                         quarantine_counter().add(1);
+                        gemstone_obs::flight::note(
+                            "resilience.quarantine",
+                            format!(
+                                "workload {} quarantined at {} after {} attempts",
+                                q.workload, q.site, q.attempts
+                            ),
+                        );
+                        gemstone_obs::flight::auto_dump("quarantine");
                         st.0.quarantined.push(q);
                     }
                 }

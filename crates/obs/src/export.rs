@@ -26,7 +26,7 @@
 //! assert!(text.contains("simcache.hits")); // canonical name in HELP
 //! ```
 
-use crate::registry::{MetricValue, Registry};
+use crate::registry::{quantile_from_buckets, MetricValue, Registry};
 use crate::span::SpanEvent;
 use std::fmt::Write as _;
 
@@ -44,7 +44,7 @@ fn sanitize(name: &str) -> String {
 }
 
 /// Escapes `s` as the body of a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -108,23 +108,46 @@ pub fn prometheus(registry: &Registry) -> String {
                 let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
                 let _ = writeln!(out, "{name}_sum {sum}");
                 let _ = writeln!(out, "{name}_count {count}");
+                // Pre-computed quantile gauges alongside the raw buckets,
+                // for scrapes without server-side histogram_quantile.
+                for (suffix, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                    if let Some(v) = quantile_from_buckets(&bounds, &buckets, q) {
+                        let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+                        let _ = writeln!(out, "{name}_{suffix} {v}");
+                    }
+                }
             }
         }
     }
     out
 }
 
+/// Renders span attributes as a JSON object body (`"k": "v", ...`).
+fn attrs_json(ev: &SpanEvent) -> String {
+    ev.attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn span_json(ev: &SpanEvent) -> String {
     let cat = ev.name.split('.').next().unwrap_or("span");
+    let mut args = format!(
+        "\"depth\": {}, \"id\": {}, \"parent\": {}",
+        ev.depth, ev.id, ev.parent
+    );
+    if !ev.attrs.is_empty() {
+        let _ = write!(args, ", {}", attrs_json(ev));
+    }
     format!(
         "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
-         \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"depth\": {}}}}}",
+         \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{{args}}}}}",
         json_escape(&ev.name),
         json_escape(cat),
         ev.start_us,
         ev.dur_us,
         ev.tid,
-        ev.depth
     )
 }
 
@@ -149,13 +172,17 @@ pub fn jsonl(registry: &Registry, events: &[SpanEvent]) -> String {
     for ev in events {
         let _ = writeln!(
             out,
-            "{{\"type\": \"span\", \"name\": \"{}\", \"tid\": {}, \
-             \"start_us\": {}, \"dur_us\": {}, \"depth\": {}}}",
+            "{{\"type\": \"span\", \"name\": \"{}\", \"id\": {}, \"parent\": {}, \
+             \"tid\": {}, \"start_us\": {}, \"dur_us\": {}, \"depth\": {}, \
+             \"attrs\": {{{}}}}}",
             json_escape(&ev.name),
+            ev.id,
+            ev.parent,
             ev.tid,
             ev.start_us,
             ev.dur_us,
-            ev.depth
+            ev.depth,
+            attrs_json(ev)
         );
     }
     for sample in registry.snapshot() {
@@ -178,12 +205,16 @@ pub fn jsonl(registry: &Registry, events: &[SpanEvent]) -> String {
                 sum,
                 count,
             } => {
+                let quantile =
+                    |q| json_f64(quantile_from_buckets(&bounds, &buckets, q).unwrap_or(f64::NAN));
+                let (p50, p95, p99) = (quantile(0.5), quantile(0.95), quantile(0.99));
                 let bounds: Vec<String> = bounds.iter().map(|b| json_f64(*b)).collect();
                 let buckets: Vec<String> = buckets.iter().map(|c| c.to_string()).collect();
                 writeln!(
                     out,
                     "{{\"type\": \"histogram\", \"name\": \"{name}\", \
-                     \"bounds\": [{}], \"buckets\": [{}], \"sum\": {}, \"count\": {count}}}",
+                     \"bounds\": [{}], \"buckets\": [{}], \"sum\": {}, \"count\": {count}, \
+                     \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}",
                     bounds.join(", "),
                     buckets.join(", "),
                     json_f64(sum)
@@ -368,17 +399,23 @@ mod tests {
         vec![
             SpanEvent {
                 name: Cow::Borrowed("pipeline.run"),
+                id: 1,
+                parent: 0,
                 tid: 1,
                 start_us: 0,
                 dur_us: 1_000,
                 depth: 0,
+                attrs: Vec::new(),
             },
             SpanEvent {
                 name: Cow::Borrowed("stage.experiment"),
+                id: 2,
+                parent: 1,
                 tid: 1,
                 start_us: 100,
                 dur_us: 500,
                 depth: 1,
+                attrs: vec![(Cow::Borrowed("workload"), "mi-fft".to_string())],
             },
         ]
     }
@@ -401,6 +438,10 @@ mod tests {
         // Histogram buckets are cumulative and end at the total count.
         assert!(text.contains("span_experiment_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("span_experiment_seconds_count 3"));
+        // Quantile gauges ride alongside the raw buckets.
+        assert!(text.contains("span_experiment_seconds_p50 "));
+        assert!(text.contains("span_experiment_seconds_p95 "));
+        assert!(text.contains("span_experiment_seconds_p99 "));
     }
 
     #[test]
@@ -421,6 +462,10 @@ mod tests {
             "inner not contained"
         );
         assert_eq!(nums(&text, "depth"), vec![0, 1]);
+        // Parent links and attributes ride in args.
+        assert_eq!(nums(&text, "id"), vec![1, 2]);
+        assert_eq!(nums(&text, "parent"), vec![0, 1]);
+        assert!(text.contains("\"workload\": \"mi-fft\""));
         // Empty logs still produce a loadable document.
         assert_valid_json(&chrome_trace(&[]));
     }
@@ -446,6 +491,13 @@ mod tests {
         }
         assert_eq!(spans, 2);
         assert_eq!(metrics, 4);
+        // Span lines carry ids, parents and attrs; histogram lines carry
+        // pre-computed quantiles.
+        assert!(text.contains("\"parent\": 1"));
+        assert!(text.contains("\"attrs\": {\"workload\": \"mi-fft\"}"));
+        assert!(text.contains("\"p50\": "));
+        assert!(text.contains("\"p95\": "));
+        assert!(text.contains("\"p99\": "));
     }
 
     #[test]

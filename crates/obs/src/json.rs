@@ -1,0 +1,328 @@
+//! A minimal JSON value parser — just enough to re-ingest the documents
+//! this crate's own exporters emit (JSONL journals, flight-recorder
+//! dumps) and the `BENCH_*.json` records, without pulling a
+//! serialisation framework into a deliberately dependency-free crate.
+//!
+//! Full JSON values are supported (objects, arrays, strings with escape
+//! sequences including `\uXXXX`, numbers, booleans, `null`); numbers are
+//! parsed as `f64`, which is lossless for every magnitude the journals
+//! contain. Object keys keep insertion order irrelevant — lookup is by
+//! linear scan, fine for the dozen-key objects involved.
+//!
+//! # Examples
+//!
+//! ```
+//! use gemstone_obs::json::Value;
+//!
+//! let v = Value::parse(r#"{"name": "engine.run", "dur_us": 1500}"#).unwrap();
+//! assert_eq!(v.get("name").and_then(Value::as_str), Some("engine.run"));
+//! assert_eq!(v.get("dur_us").and_then(Value::as_u64), Some(1500));
+//! ```
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as parsed key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while matches!(self.b.get(self.i),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            // Surrogate pairs are not emitted by our own
+                            // exporters; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy the run of plain bytes up to the next quote or
+                    // escape in one go.
+                    let start = self.i;
+                    while matches!(self.b.get(self.i), Some(c) if *c != b'"' && *c != b'\\') {
+                        self.i += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                    out.push_str(chunk);
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.i += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.i += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(format!("expected key at byte {}", self.i));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", self.i));
+            }
+            self.i += 1;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(members));
+                }
+                other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = Value::parse(
+            r#"{"a": 1, "b": -2.5e2, "c": "x\ny", "d": [true, false, null], "e": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(-250.0));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(
+            v.get("d").and_then(Value::as_array).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("e"), Some(&Value::Object(vec![])));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let v = Value::parse(r#""tab	end é""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\tend é"));
+    }
+
+    #[test]
+    fn round_trips_own_exporter_output() {
+        use crate::span::SpanEvent;
+        use std::borrow::Cow;
+        let r = crate::Registry::new();
+        r.counter("demo.hits").add(3);
+        r.histogram("demo.lat", &[0.5, 1.0]).observe(0.7);
+        let events = vec![SpanEvent {
+            name: Cow::Borrowed("demo.span"),
+            id: 4,
+            parent: 2,
+            tid: 1,
+            start_us: 10,
+            dur_us: 90,
+            depth: 1,
+            attrs: vec![(Cow::Borrowed("workload"), "mi-\"quoted\"".to_string())],
+        }];
+        for line in crate::export::jsonl(&r, &events).lines() {
+            let v = Value::parse(line).expect("exporter emits valid JSON");
+            assert!(v.get("type").is_some());
+        }
+        let trace = crate::export::chrome_trace(&events);
+        assert!(Value::parse(&trace).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

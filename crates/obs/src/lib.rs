@@ -22,6 +22,13 @@
 //!   `GEMSTONE_*` knob; invalid values produce a one-time stderr warning
 //!   naming the variable and the fallback instead of being silently
 //!   ignored.
+//! * [`profile`] — rebuilds the span tree from the flat event log (or a
+//!   JSONL journal), aggregates inclusive/self time per span name and
+//!   walks the critical path; `gemstone perf` renders it.
+//! * [`flight`] — a bounded lock-free flight-recorder ring of recent
+//!   span/note events, dumped on faults, quarantine, panic or demand.
+//! * [`json`] — the minimal JSON value parser backing journal re-ingest
+//!   (this crate stays dependency-free).
 //!
 //! Tracing is switched on by the `GEMSTONE_OBS` environment variable (any
 //! value other than `0` / `false` / `off` / empty) or programmatically via
@@ -47,6 +54,9 @@
 
 pub mod env;
 pub mod export;
+pub mod flight;
+pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod span;
 

@@ -112,6 +112,43 @@ impl Gauge {
 /// Fixed upper-bound buckets used for span-duration histograms (seconds).
 pub const DEFAULT_TIME_BOUNDS: &[f64] = &[0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0];
 
+/// Power-of-two latency buckets (seconds), 2⁻²⁰ s (~1 µs) through 2⁴ s
+/// (16 s). Log2 spacing keeps the bucket count fixed while covering the
+/// seven decades between a cache lookup and a full detailed simulation;
+/// quantiles interpolate within a bucket, so the worst-case relative
+/// error is bounded by the 2× bucket ratio.
+pub fn log2_time_bounds() -> &'static [f64] {
+    static BOUNDS: OnceLock<Vec<f64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| (-20..=4).map(|e| 2.0f64.powi(e)).collect())
+}
+
+/// Estimates the `q`-quantile (0 ≤ q ≤ 1) of a fixed-bucket histogram by
+/// linear interpolation inside the bucket holding the target rank, the
+/// same estimate `histogram_quantile` computes server-side in Prometheus.
+/// Observations in the overflow bucket clamp to the largest finite
+/// bound. Returns `None` when the histogram is empty or malformed.
+pub fn quantile_from_buckets(bounds: &[f64], buckets: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 || bounds.is_empty() || buckets.len() != bounds.len() + 1 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        let reached = cumulative + c;
+        if c > 0 && reached as f64 >= target {
+            if i == bounds.len() {
+                return Some(bounds[bounds.len() - 1]);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let frac = (target - cumulative as f64) / c as f64;
+            return Some(lower + (bounds[i] - lower) * frac);
+        }
+        cumulative = reached;
+    }
+    Some(bounds[bounds.len() - 1])
+}
+
 /// A fixed-bucket histogram: per-bucket counts, total count and sum.
 #[derive(Debug)]
 pub struct Histogram {
@@ -168,6 +205,12 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum.load(Ordering::Relaxed))
     }
+
+    /// Estimated `q`-quantile of the observations (see
+    /// [`quantile_from_buckets`]); `None` while the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.bounds, &self.bucket_counts(), q)
+    }
 }
 
 /// One exported metric value.
@@ -189,6 +232,20 @@ pub enum MetricValue {
         /// Number of observations.
         count: u64,
     },
+}
+
+impl MetricValue {
+    /// Estimated `q`-quantile for histogram values (see
+    /// [`quantile_from_buckets`]); `None` for counters, gauges and empty
+    /// histograms.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            MetricValue::Histogram {
+                bounds, buckets, ..
+            } => quantile_from_buckets(bounds, buckets, q),
+            _ => None,
+        }
+    }
 }
 
 /// One named sample from a [`Registry::snapshot`].
@@ -338,6 +395,45 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 100 observations spread 50/30/20 across the three buckets.
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..30 {
+            h.observe(1.5);
+        }
+        for _ in 0..20 {
+            h.observe(3.0);
+        }
+        // p50 lands exactly at the top of the first bucket.
+        assert!((h.quantile(0.5).unwrap() - 1.0).abs() < 1e-9);
+        // p80 at the top of the second, p90 halfway up the third.
+        assert!((h.quantile(0.8).unwrap() - 2.0).abs() < 1e-9);
+        assert!((h.quantile(0.9).unwrap() - 3.0).abs() < 1e-9);
+        // Extremes clamp to the bucket edges.
+        assert!(h.quantile(0.0).unwrap() > 0.0);
+        assert!((h.quantile(1.0).unwrap() - 4.0).abs() < 1e-9);
+        // Overflow observations clamp to the largest finite bound.
+        let o = Histogram::with_bounds(&[1.0]);
+        o.observe(100.0);
+        assert!((o.quantile(0.99).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_bounds_are_ascending_powers_of_two() {
+        let b = log2_time_bounds();
+        assert_eq!(b.len(), 25);
+        assert!((b[0] - 2.0f64.powi(-20)).abs() < 1e-15);
+        assert!((b[b.len() - 1] - 16.0).abs() < 1e-12);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn concurrent_increments_are_lossless() {
         let r = Registry::new();
         let c = r.counter("contended");
@@ -352,6 +448,84 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_stays_consistent_under_parallel_writers() {
+        const WRITERS: usize = 4;
+        const ROUNDS: u64 = 20_000;
+        let r = Registry::new();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let r = &r;
+                    s.spawn(move || {
+                        // Get-or-register races against the snapshotter on
+                        // purpose: two writers share each counter name, the
+                        // histogram is shared by all four.
+                        let c = r.counter(&format!("stress.count.{}", w % 2));
+                        let h = r.histogram("stress.lat", &[1.0, 2.0, 4.0]);
+                        let g = r.gauge(&format!("stress.level.{w}"));
+                        for i in 0..ROUNDS {
+                            c.inc();
+                            h.observe((i % 5) as f64);
+                            g.set(i as f64);
+                        }
+                    })
+                })
+                .collect();
+            let r = &r;
+            let stop = &stop;
+            let watcher = s.spawn(move || {
+                let mut floors: BTreeMap<String, u64> = BTreeMap::new();
+                let mut rounds = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    rounds += 1;
+                    for sample in r.snapshot() {
+                        match sample.value {
+                            MetricValue::Counter(v) => {
+                                let floor = floors.entry(sample.name).or_insert(0);
+                                assert!(v >= *floor, "counter went backwards");
+                                *floor = v;
+                            }
+                            MetricValue::Gauge(v) => {
+                                assert!(v.is_finite(), "gauge {} not finite", sample.name);
+                            }
+                            MetricValue::Histogram {
+                                bounds,
+                                buckets,
+                                sum,
+                                count,
+                            } => {
+                                assert_eq!(buckets.len(), bounds.len() + 1);
+                                assert!(sum >= 0.0);
+                                let floor = floors.entry(sample.name).or_insert(0);
+                                assert!(count >= *floor, "histogram count went backwards");
+                                *floor = count;
+                            }
+                        }
+                    }
+                }
+                rounds
+            });
+            for w in writers {
+                w.join().expect("writer panicked");
+            }
+            stop.store(1, Ordering::Relaxed);
+            assert!(watcher.join().expect("watcher panicked") >= 1);
+        });
+        // Quiescent totals are exact: nothing was lost or double-counted.
+        let total: u64 = [0, 1]
+            .iter()
+            .map(|i| r.counter(&format!("stress.count.{i}")).get())
+            .sum();
+        assert_eq!(total, WRITERS as u64 * ROUNDS);
+        let h = r.histogram("stress.lat", &[1.0, 2.0, 4.0]);
+        assert_eq!(h.count(), WRITERS as u64 * ROUNDS);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        let p99 = h.quantile(0.99).expect("non-empty histogram");
+        assert!((0.0..=4.0).contains(&p99));
     }
 
     #[test]

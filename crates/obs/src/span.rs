@@ -1,16 +1,21 @@
 //! RAII span tracing: nested, per-thread wall-clock timing of pipeline
-//! stages, engine runs and any other scoped work.
+//! stages, engine runs and any other scoped work, with parent/child
+//! links and typed attributes so the flat event log reconstructs into a
+//! profile tree (see [`crate::profile`]).
 //!
 //! [`span`] returns a guard; dropping it records a [`SpanEvent`] into the
 //! process-wide [`SpanLog`] and folds the duration into the registry
 //! histogram `span.<name>.seconds`. When tracing is disabled
 //! ([`crate::enabled`] is false — the default) the guard is a no-op whose
 //! construction costs one relaxed atomic load and whose drop costs a
-//! branch: the clock is never read.
+//! branch: the clock is never read and no id is allocated.
 //!
-//! Spans nest lexically per thread; each event records its depth and a
-//! small per-thread id, which is exactly what the Chrome trace-event
-//! exporter needs to render a correctly nested flame view.
+//! Spans nest lexically per thread; each open span pushes its
+//! process-unique id onto a thread-local stack, so a child records the
+//! enclosing span as its parent. Work handed to another thread keeps its
+//! logical parent by capturing [`current_id`] before the spawn and
+//! opening the worker's span with [`span_with_parent`] — the id crosses
+//! the thread boundary even though the nesting stack cannot.
 //!
 //! # Examples
 //!
@@ -21,16 +26,24 @@
 //! obs::span::SpanLog::global().clear();
 //! {
 //!     let _outer = obs::span::span("doc.outer");
-//!     let _inner = obs::span::span("doc.inner");
+//!     let parent = obs::span::current_id();
+//!     std::thread::scope(|s| {
+//!         s.spawn(move || {
+//!             let _worker = obs::span::span_with_parent("doc.worker", parent)
+//!                 .attr("worker", 0);
+//!         });
+//!     });
 //! }
 //! let events = obs::span::SpanLog::global().snapshot();
-//! assert_eq!(events.len(), 2);
+//! let outer = events.iter().find(|e| e.name == "doc.outer").unwrap();
+//! let worker = events.iter().find(|e| e.name == "doc.worker").unwrap();
+//! assert_eq!(worker.parent, outer.id);
 //! obs::set_enabled(false);
 //! ```
 
 use crate::registry::{Registry, DEFAULT_TIME_BOUNDS};
 use std::borrow::Cow;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
@@ -46,6 +59,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct SpanEvent {
     /// Span name (dotted, like metric names).
     pub name: Cow<'static, str>,
+    /// Process-unique span id (1-based; assigned when the span opens).
+    pub id: u64,
+    /// Id of the logical parent span, or 0 for a root span.
+    pub parent: u64,
     /// Small per-process thread id (1-based, assigned on first span).
     pub tid: u64,
     /// Start time in microseconds since the process trace epoch.
@@ -54,6 +71,8 @@ pub struct SpanEvent {
     pub dur_us: u64,
     /// Lexical nesting depth on its thread (0 = top level).
     pub depth: u32,
+    /// Typed attributes (workload, tier, lane count, segment index, …).
+    pub attrs: Vec<(Cow<'static, str>, String)>,
 }
 
 /// The process-wide log of completed spans.
@@ -102,7 +121,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static TID: Cell<u64> = const { Cell::new(0) };
@@ -117,8 +136,34 @@ fn thread_id() -> u64 {
     })
 }
 
+/// Microseconds since the process trace epoch, for flight-recorder
+/// notes stamped outside any span.
+pub(crate) fn now_us() -> u64 {
+    Instant::now()
+        .checked_duration_since(epoch())
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
-    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost span open on this thread, or 0 when none is
+/// (or tracing is disabled). Capture this before spawning workers and
+/// hand it to [`span_with_parent`] so cross-thread work stays attributed
+/// to its logical parent.
+#[inline]
+pub fn current_id() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
 }
 
 /// An in-flight span; records itself on drop. No-op when tracing was
@@ -132,29 +177,73 @@ pub struct SpanGuard {
 #[derive(Debug)]
 struct LiveSpan {
     name: Cow<'static, str>,
+    id: u64,
+    parent: u64,
     start: Instant,
     depth: u32,
+    attrs: Vec<(Cow<'static, str>, String)>,
 }
 
-/// Opens a span. The guard records the elapsed time when dropped.
+/// Opens a span nested under the innermost span open on this thread.
+/// The guard records the elapsed time when dropped.
 #[inline]
 pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard { live: None };
     }
-    let depth = DEPTH.with(|d| {
-        let cur = d.get();
-        d.set(cur + 1);
-        cur
+    open(
+        name.into(),
+        STACK.with(|s| s.borrow().last().copied()).unwrap_or(0),
+    )
+}
+
+/// Opens a span whose logical parent is `parent` (a span id captured via
+/// [`current_id`], possibly on another thread; 0 opens a root span).
+/// Nested spans opened on this thread while the guard lives chain under
+/// it as usual.
+#[inline]
+pub fn span_with_parent(name: impl Into<Cow<'static, str>>, parent: u64) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    open(name.into(), parent)
+}
+
+fn open(name: Cow<'static, str>, parent: u64) -> SpanGuard {
+    let id = next_span_id();
+    let depth = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let depth = stack.len() as u32;
+        stack.push(id);
+        depth
     });
     // Touch the epoch before reading the start time so start >= epoch.
     epoch();
     SpanGuard {
         live: Some(LiveSpan {
-            name: name.into(),
+            name,
+            id,
+            parent,
             start: Instant::now(),
             depth,
+            attrs: Vec::new(),
         }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a typed attribute. Values are only formatted when the
+    /// span is live — on a disabled guard this is a no-op branch.
+    pub fn attr(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if let Some(live) = &mut self.live {
+            live.attrs.push((Cow::Borrowed(key), value.to_string()));
+        }
+        self
+    }
+
+    /// The span's process-unique id, or 0 on a disabled guard.
+    pub fn id(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.id)
     }
 }
 
@@ -165,7 +254,9 @@ impl Drop for SpanGuard {
         };
         let end = Instant::now();
         let dur = end - live.start;
-        DEPTH.with(|d| d.set(live.depth));
+        // Restore the stack to this span's level; guards are lexically
+        // scoped, so truncation also heals any leaked inner guard.
+        STACK.with(|s| s.borrow_mut().truncate(live.depth as usize));
         let start_us = live
             .start
             .checked_duration_since(epoch())
@@ -173,12 +264,31 @@ impl Drop for SpanGuard {
         Registry::global()
             .histogram(&format!("span.{}.seconds", live.name), DEFAULT_TIME_BOUNDS)
             .observe(dur.as_secs_f64());
+        // Mirror into the flight-recorder ring so a crash dump shows the
+        // spans that completed just before the trigger.
+        crate::flight::FlightRecorder::global().record(crate::flight::FlightEvent {
+            seq: 0,
+            kind: "span",
+            name: live.name.clone(),
+            detail: live
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            tid: thread_id(),
+            at_us: start_us,
+            dur_us: dur.as_micros() as u64,
+        });
         SpanLog::global().record(SpanEvent {
             name: live.name,
+            id: live.id,
+            parent: live.parent,
             tid: thread_id(),
             start_us,
             dur_us: dur.as_micros() as u64,
             depth: live.depth,
+            attrs: live.attrs,
         });
     }
 }
@@ -191,26 +301,31 @@ mod tests {
     // lives in this single test to avoid races with the parallel runner.
     #[test]
     fn span_lifecycle() {
-        // Disabled: nothing is recorded.
+        // Disabled: nothing is recorded and no ids are handed out.
         crate::set_enabled(false);
         let before = SpanLog::global().len();
         {
-            let _g = span("test.disabled");
+            let g = span("test.disabled").attr("ignored", 1);
+            assert_eq!(g.id(), 0);
+            assert_eq!(current_id(), 0);
         }
         assert_eq!(SpanLog::global().len(), before);
 
-        // Enabled: nesting, depth and containment.
+        // Enabled: nesting, depth, parent links and containment.
         crate::set_enabled(true);
         let marker = "test.nest.outer";
+        let cross_parent;
         {
             let _outer = span(marker);
-            let _inner = span("test.nest.inner");
+            cross_parent = current_id();
+            assert_ne!(cross_parent, 0);
+            let _inner = span("test.nest.inner").attr("k", "v");
         }
-        // Threads get distinct tids.
+        // Threads get distinct tids; explicit parents cross threads.
         std::thread::scope(|s| {
-            for _ in 0..2 {
-                s.spawn(|| {
-                    let _g = span("test.threaded");
+            for w in 0..2 {
+                s.spawn(move || {
+                    let _g = span_with_parent("test.threaded", cross_parent).attr("worker", w);
                 });
             }
         });
@@ -227,14 +342,27 @@ mod tests {
             .expect("inner span recorded");
         assert_eq!(inner.depth, outer.depth + 1);
         assert_eq!(inner.tid, outer.tid);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.id, cross_parent);
+        assert_eq!(inner.attrs, vec![(Cow::Borrowed("k"), "v".to_string())]);
         assert!(inner.start_us >= outer.start_us);
         assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
-        let tids: std::collections::BTreeSet<u64> = events
+        let threaded: Vec<&SpanEvent> = events
             .iter()
             .filter(|e| e.name == "test.threaded")
-            .map(|e| e.tid)
             .collect();
+        let tids: std::collections::BTreeSet<u64> = threaded.iter().map(|e| e.tid).collect();
         assert!(tids.len() >= 2, "tids: {tids:?}");
+        for ev in &threaded {
+            assert_eq!(ev.parent, outer.id, "worker span kept its logical parent");
+            assert_eq!(
+                ev.depth, 0,
+                "worker spans are lexical roots on their thread"
+            );
+        }
+        // Ids are unique across every recorded event.
+        let ids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), events.len());
         // The duration also landed in the span histogram.
         let snap = Registry::global().snapshot();
         assert!(snap

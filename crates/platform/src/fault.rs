@@ -327,6 +327,13 @@ impl FaultInjector {
         let u = unit(h);
         if u < plan.permanent_rate {
             faults_counter().add(1);
+            gemstone_obs::flight::note(
+                "faults.injected",
+                format!(
+                    "permanent fault at {} ({key}), attempt {attempt}",
+                    site.name()
+                ),
+            );
             return Err(FaultError {
                 site,
                 key: key.to_string(),
@@ -339,6 +346,13 @@ impl FaultInjector {
             let fails = 1 + (fnv(&[&h.to_le_bytes(), b"fails"]) % span) as u32;
             if attempt < fails {
                 faults_counter().add(1);
+                gemstone_obs::flight::note(
+                    "faults.injected",
+                    format!(
+                        "transient fault at {} ({key}), attempt {attempt}",
+                        site.name()
+                    ),
+                );
                 return Err(FaultError {
                     site,
                     key: key.to_string(),
@@ -434,12 +448,21 @@ impl RetryPolicy {
                 Err(e) => {
                     let spent = attempt + 1;
                     if !e.is_transient() || spent >= budget {
+                        gemstone_obs::flight::note(
+                            "retry.exhausted",
+                            format!("{key}: gave up after {spent} attempt(s)"),
+                        );
+                        gemstone_obs::flight::auto_dump("retry-exhausted");
                         return Err(RetryExhausted {
                             error: e,
                             attempts: spent,
                         });
                     }
                     retry_counter().add(1);
+                    gemstone_obs::flight::note(
+                        "retry.attempt",
+                        format!("{key}: retrying after attempt {attempt}"),
+                    );
                     std::thread::sleep(self.delay_for(attempt, key));
                     attempt = spent;
                 }

@@ -46,7 +46,8 @@
 //! assert_eq!((cache.misses(), cache.hits()), (1, 1));
 //! ```
 
-use gemstone_obs::{Counter, Registry};
+use gemstone_obs::registry::log2_time_bounds;
+use gemstone_obs::{Counter, Histogram, Registry};
 use gemstone_uarch::backend::{Backend, TierConfig};
 use gemstone_uarch::core::CoreConfig;
 use gemstone_uarch::grid::GridBackend;
@@ -59,6 +60,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Number of independent shards (power of two).
 const SHARD_COUNT: usize = 16;
@@ -110,6 +112,8 @@ pub struct SimCache {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     grid_fills: Arc<Counter>,
+    lookup_seconds: Arc<Histogram>,
+    sim_seconds: Arc<Histogram>,
     enabled: AtomicBool,
     traces: Arc<TraceCache>,
 }
@@ -151,6 +155,8 @@ impl SimCache {
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             grid_fills: Arc::new(Counter::new()),
+            lookup_seconds: Arc::new(Histogram::with_bounds(log2_time_bounds())),
+            sim_seconds: Arc::new(Histogram::with_bounds(log2_time_bounds())),
             enabled: AtomicBool::new(enabled),
             traces: TraceCache::global(),
         }
@@ -182,6 +188,9 @@ impl SimCache {
                 cache.hits = registry.counter("simcache.hits");
                 cache.misses = registry.counter("simcache.misses");
                 cache.grid_fills = registry.counter("simcache.grid_fills");
+                cache.lookup_seconds =
+                    registry.histogram("simcache.lookup.seconds", log2_time_bounds());
+                cache.sim_seconds = registry.histogram("sim.run.seconds", log2_time_bounds());
                 Arc::new(cache)
             })
             .clone()
@@ -243,8 +252,15 @@ impl SimCache {
     ) -> SimOutcome {
         let tier = tier.canonical();
         if !self.enabled.load(Ordering::Relaxed) {
-            return Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier);
+            let sim_start = Instant::now();
+            let out = Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier);
+            self.sim_seconds.observe(sim_start.elapsed().as_secs_f64());
+            return out;
         }
+        // Lookup latency covers fingerprinting plus the shard probe —
+        // not the engine run a miss goes on to pay (that lands in
+        // `sim.run.seconds`).
+        let lookup_start = Instant::now();
         let key = Self::fingerprint_tier(spec, cfg, freq_hz, tier);
         let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
         let slot = {
@@ -255,12 +271,17 @@ impl SimCache {
             Some(slot) => slot,
             None => shard.write().entry(key).or_default().clone(),
         };
+        self.lookup_seconds
+            .observe(lookup_start.elapsed().as_secs_f64());
         let mut computed = false;
         let out = slot
             .cell
             .get_or_init(|| {
                 computed = true;
-                Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier)
+                let sim_start = Instant::now();
+                let out = Self::execute_tier_with(&self.traces, cfg, spec, freq_hz, tier);
+                self.sim_seconds.observe(sim_start.elapsed().as_secs_f64());
+                out
             })
             .clone();
         if computed {
@@ -309,8 +330,14 @@ impl SimCache {
                 .collect();
         }
         if !self.enabled.load(Ordering::Relaxed) {
-            return Self::execute_grid_with(&self.traces, cfg, spec, freqs_hz, tier);
+            let sim_start = Instant::now();
+            let out = Self::execute_grid_with(&self.traces, cfg, spec, freqs_hz, tier);
+            self.sim_seconds.observe(sim_start.elapsed().as_secs_f64());
+            return out;
         }
+        // One lookup observation per column scan: fingerprint + shard
+        // probe for every lane, before any engine work.
+        let lookup_start = Instant::now();
         let slots: Vec<Arc<Slot>> = freqs_hz
             .iter()
             .map(|&f| {
@@ -326,6 +353,8 @@ impl SimCache {
                 }
             })
             .collect();
+        self.lookup_seconds
+            .observe(lookup_start.elapsed().as_secs_f64());
         // The frequencies still unfilled at scan time; one fused replay
         // covers exactly these lanes, computed lazily so an all-warm
         // column never replays and a concurrent winner can still beat us
@@ -347,7 +376,11 @@ impl SimCache {
                         .position(|&m| m == i)
                         .expect("a filled-at-scan lane cannot re-enter its OnceLock");
                     fused.get_or_insert_with(|| {
-                        Self::execute_grid_with(&self.traces, cfg, spec, &missing_freqs, tier)
+                        let sim_start = Instant::now();
+                        let out =
+                            Self::execute_grid_with(&self.traces, cfg, spec, &missing_freqs, tier);
+                        self.sim_seconds.observe(sim_start.elapsed().as_secs_f64());
+                        out
                     })[pos]
                         .clone()
                 })

@@ -377,7 +377,8 @@ impl GridEngine {
     /// lane, recording the `engine.grid.*` and `engine.tier.*` counters.
     /// Drains at every canonical segment boundary, like [`Engine::run`].
     pub fn run(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
-        let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx));
+        let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx))
+            .attr("lanes", self.lane_count());
         let seg = crate::segment::segment_instrs();
         let mut until = seg;
         for instr in stream {
@@ -901,6 +902,11 @@ impl AtomicGridEngine {
         }
     }
 
+    /// Number of frequency lanes.
+    pub fn lane_count(&self) -> usize {
+        self.freqs.len()
+    }
+
     /// Retires one instruction on every lane.
     #[inline]
     pub fn step(&mut self, instr: &Instr) {
@@ -1007,6 +1013,11 @@ impl SampledGridEngine {
             accs: vec![SampledLane::default(); freqs_hz.len()],
             before: vec![0.0; freqs_hz.len()],
         }
+    }
+
+    /// Number of frequency lanes.
+    pub fn lane_count(&self) -> usize {
+        self.accs.len()
     }
 
     fn close_window(&mut self) {
@@ -1214,6 +1225,15 @@ impl GridBackend {
         }
     }
 
+    /// Number of frequency lanes.
+    pub fn lane_count(&self) -> usize {
+        match self {
+            GridBackend::Atomic(b) => b.lane_count(),
+            GridBackend::Approx(b) => b.lane_count(),
+            GridBackend::Sampled(b) => b.lane_count(),
+        }
+    }
+
     /// Processes one instruction on every lane.
     #[inline]
     pub fn step(&mut self, instr: &Instr) {
@@ -1248,7 +1268,8 @@ impl GridBackend {
     /// and grid/tier accounting; returns one result per lane. Drains at
     /// every canonical segment boundary, like [`Engine::run`].
     pub fn run_stream(&mut self, stream: impl Iterator<Item = Instr>) -> Vec<SimResult> {
-        let _span = gemstone_obs::span::span(grid_span_name(self.fidelity()));
+        let _span = gemstone_obs::span::span(grid_span_name(self.fidelity()))
+            .attr("lanes", self.lane_count());
         let seg = crate::segment::segment_instrs();
         let mut until = seg;
         for instr in stream {
@@ -1288,7 +1309,8 @@ impl GridBackend {
     {
         match self {
             GridBackend::Approx(engine) => {
-                let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx));
+                let _span = gemstone_obs::span::span(grid_span_name(Fidelity::Approx))
+                    .attr("lanes", engine.lane_count());
                 crate::segment::run_segmented(engine.as_mut(), plan, workers, make_iter);
                 let results = engine.finish();
                 record_grid_run(

@@ -283,25 +283,43 @@ impl SegmentEngine for GridEngine {
 /// its extra segment workers and returns them afterwards. Permits bound
 /// *concurrency*, never results — a run that gets zero extra permits
 /// simply executes its segments sequentially, bit-identically.
+///
+/// The process-wide pool publishes scheduler health into the registry:
+/// `tokenpool.permits.held` (permits currently out), a
+/// `tokenpool.permits.waiting` gauge (permits live borrowers wanted but
+/// could not get — unmet demand, since [`TokenPool::take_up_to`] never
+/// blocks) and a `tokenpool.wait.seconds` histogram of permit-acquisition
+/// latency (the pool-lock wait). Detached instances in tests keep
+/// private metrics, matching the cache-layer convention.
 #[derive(Debug)]
 pub struct TokenPool {
     capacity: usize,
     free: Mutex<usize>,
+    held: std::sync::Arc<gemstone_obs::Gauge>,
+    waiting: std::sync::Arc<gemstone_obs::Gauge>,
+    wait_seconds: std::sync::Arc<gemstone_obs::Histogram>,
 }
 
 impl TokenPool {
-    /// Builds a pool with `capacity` permits, all initially free.
+    /// Builds a pool with `capacity` permits, all initially free, with
+    /// detached (unregistered) metrics.
     pub fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         TokenPool {
             capacity,
             free: Mutex::new(capacity),
+            held: std::sync::Arc::new(gemstone_obs::Gauge::default()),
+            waiting: std::sync::Arc::new(gemstone_obs::Gauge::default()),
+            wait_seconds: std::sync::Arc::new(gemstone_obs::Histogram::with_bounds(
+                gemstone_obs::registry::log2_time_bounds(),
+            )),
         }
     }
 
     /// The process-wide pool, sized like the worker-thread knob:
     /// `GEMSTONE_THREADS` if set, otherwise the available parallelism
-    /// (fallback 4).
+    /// (fallback 4). Its metrics register under the canonical
+    /// `tokenpool.*` names.
     pub fn global() -> &'static TokenPool {
         static POOL: OnceLock<TokenPool> = OnceLock::new();
         POOL.get_or_init(|| {
@@ -312,7 +330,15 @@ impl TokenPool {
                 |&n| n > 0,
             )
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
-            TokenPool::with_capacity(n)
+            let mut pool = TokenPool::with_capacity(n);
+            let registry = gemstone_obs::Registry::global();
+            pool.held = registry.gauge("tokenpool.permits.held");
+            pool.waiting = registry.gauge("tokenpool.permits.waiting");
+            pool.wait_seconds = registry.histogram(
+                "tokenpool.wait.seconds",
+                gemstone_obs::registry::log2_time_bounds(),
+            );
+            pool
         })
     }
 
@@ -321,18 +347,39 @@ impl TokenPool {
         self.capacity
     }
 
-    /// Takes up to `want` permits without blocking; returns a guard
-    /// holding however many were free (possibly zero).
-    pub fn take_up_to(&self, want: usize) -> Permits<'_> {
-        let mut free = self.free.lock().expect("token pool poisoned");
-        let taken = want.min(*free);
-        *free -= taken;
-        Permits { pool: self, taken }
+    /// Permits currently borrowed (for reporting).
+    pub fn held(&self) -> usize {
+        self.capacity - *self.free.lock().expect("token pool poisoned")
     }
 
-    fn release(&self, n: usize) {
+    /// Takes up to `want` permits without blocking; returns a guard
+    /// holding however many were free (possibly zero). The shortfall
+    /// (`want - taken`) counts as waiting demand until the guard drops.
+    pub fn take_up_to(&self, want: usize) -> Permits<'_> {
+        let t0 = std::time::Instant::now();
         let mut free = self.free.lock().expect("token pool poisoned");
-        *free = (*free + n).min(self.capacity);
+        self.wait_seconds.observe(t0.elapsed().as_secs_f64());
+        let taken = want.min(*free);
+        *free -= taken;
+        self.held.set((self.capacity - *free) as f64);
+        let shortfall = want - taken;
+        if shortfall > 0 {
+            self.waiting.add(shortfall as f64);
+        }
+        Permits {
+            pool: self,
+            taken,
+            shortfall,
+        }
+    }
+
+    fn release(&self, taken: usize, shortfall: usize) {
+        let mut free = self.free.lock().expect("token pool poisoned");
+        *free = (*free + taken).min(self.capacity);
+        self.held.set((self.capacity - *free) as f64);
+        if shortfall > 0 {
+            self.waiting.add(-(shortfall as f64));
+        }
     }
 }
 
@@ -341,6 +388,7 @@ impl TokenPool {
 pub struct Permits<'a> {
     pool: &'a TokenPool,
     taken: usize,
+    shortfall: usize,
 }
 
 impl Permits<'_> {
@@ -352,7 +400,7 @@ impl Permits<'_> {
 
 impl Drop for Permits<'_> {
     fn drop(&mut self) {
-        self.pool.release(self.taken);
+        self.pool.release(self.taken, self.shortfall);
     }
 }
 
@@ -406,7 +454,14 @@ where
         return;
     }
 
-    let _span = gemstone_obs::span::span(SEGMENT_SPAN);
+    // The segmented span nests under the caller's tier/run span via the
+    // thread-local stack; workers and the warming producer run on their
+    // own threads, so they carry this span's id across the hand-off
+    // explicitly and stay attributed under it in the profile tree.
+    let seg_span = gemstone_obs::span::span(SEGMENT_SPAN)
+        .attr("segments", nseg)
+        .attr("workers", workers.min(nseg));
+    let parent = seg_span.id();
     segment_runs_counter().inc();
     #[cfg(debug_assertions)]
     let pristine = master.clone();
@@ -423,6 +478,7 @@ where
         let results = &results;
         let rx = &rx;
         scope.spawn(move || {
+            let _warm_span = gemstone_obs::span::span_with_parent("engine.segment.warm", parent);
             // Segment 0 starts from the pristine engine: ship it before
             // warming a single instruction so a worker starts immediately.
             let mut warm = warm_proto;
@@ -450,12 +506,16 @@ where
             }
             // `tx` drops here; workers drain the queue and exit.
         });
-        for _ in 0..nworkers {
+        for w in 0..nworkers {
             scope.spawn(move || loop {
                 let received = rx.lock().expect("snapshot queue poisoned").recv();
                 let Ok((k, mut engine)) = received else {
                     break;
                 };
+                let _seg_span =
+                    gemstone_obs::span::span_with_parent("engine.segment.worker", parent)
+                        .attr("segment", k)
+                        .attr("worker", w);
                 let (start, end) = plan.segment(k);
                 let mut stream = make_iter(start);
                 // Starts are multiples of seg_instrs, so the first drain is

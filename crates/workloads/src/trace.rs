@@ -42,7 +42,8 @@
 
 use crate::gen::StreamGen;
 use crate::spec::WorkloadSpec;
-use gemstone_obs::{Counter, Registry};
+use gemstone_obs::registry::log2_time_bounds;
+use gemstone_obs::{Counter, Histogram, Registry};
 use gemstone_uarch::backend::{record_tier_run, Backend, ExecBackend, Fidelity};
 use gemstone_uarch::core::SimResult;
 use gemstone_uarch::grid::{grid_span_name, record_grid_run, GridBackend};
@@ -459,6 +460,7 @@ pub struct TraceCache {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
+    lookup_seconds: Arc<Histogram>,
 }
 
 /// A consistent view of one trace cache's counters, read as a tuple.
@@ -505,6 +507,7 @@ impl TraceCache {
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             evictions: Arc::new(Counter::new()),
+            lookup_seconds: Arc::new(Histogram::with_bounds(log2_time_bounds())),
         }
     }
 
@@ -526,6 +529,8 @@ impl TraceCache {
                 cache.hits = registry.counter("trace_cache.hits");
                 cache.misses = registry.counter("trace_cache.misses");
                 cache.evictions = registry.counter("trace_cache.evictions");
+                cache.lookup_seconds =
+                    registry.histogram("trace_cache.lookup.seconds", log2_time_bounds());
                 Arc::new(cache)
             })
             .clone()
@@ -553,6 +558,9 @@ impl TraceCache {
         if self.budget == 0 {
             return None;
         }
+        // Lookup latency covers fingerprinting plus the shard probe —
+        // not trace generation, which a miss pays inside the `OnceLock`.
+        let lookup_start = std::time::Instant::now();
         let key = Self::fingerprint(spec);
         let shard = &self.shards[(key.hi as usize) & (SHARD_COUNT - 1)];
         let slot = {
@@ -563,6 +571,8 @@ impl TraceCache {
             Some(slot) => slot,
             None => shard.write().entry(key).or_default().clone(),
         };
+        self.lookup_seconds
+            .observe(lookup_start.elapsed().as_secs_f64());
         slot.last_used.store(
             self.clock.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,

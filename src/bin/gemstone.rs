@@ -14,13 +14,19 @@
 //! gemstone improve   [--scale S] [--target-mape PCT]            guided improvement loop
 //! gemstone stats     <workload> [--model old|fixed|little]      dump gem5-style stats.txt
 //! gemstone profile   <workload> [--model M] [--freq HZ]         simulator self-profile
+//! gemstone perf      report <journal.jsonl>                     aggregated span profile
+//! gemstone perf      diff <before> <after> [--tolerance PCT]    regression gate over two
+//!                                                               journals or BENCH_*.json
 //! ```
 //!
 //! `validate`, `report`, `collect`, and `profile` additionally accept observability
 //! outputs: `--metrics FILE` (Prometheus text), `--trace FILE` (Chrome
-//! trace-event JSON, load via `chrome://tracing` or Perfetto), and
-//! `--jsonl FILE` (one JSON object per metric sample and span). Any of
-//! these flips the process-wide `GEMSTONE_OBS` switch on for the run.
+//! trace-event JSON, load via `chrome://tracing` or Perfetto), `--jsonl
+//! FILE` (one JSON object per metric sample and span), and
+//! `--flight-record FILE` (the flight-recorder ring of recent span/note
+//! events as JSONL — the same dump the fault paths emit automatically).
+//! Any of these flips the process-wide `GEMSTONE_OBS` switch on for the
+//! run.
 //!
 //! `validate`, `report`, `collect`, `stats` and `profile` accept
 //! `--fidelity atomic|approx|sampled` to pick the execution tier; without
@@ -104,7 +110,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemstone <validate|report|collect|power|ablate|suitability|improve|stats|profile> [flags]\n\
+        "usage: gemstone <validate|report|collect|power|ablate|suitability|improve|stats|profile|perf> [flags]\n\
          \n\
          validate     [--scale S] [--clusters K] [--save FILE]  time-error validation pipeline\n\
          report       [--scale S] [--save FILE]                 full pipeline incl. power models\n\
@@ -120,6 +126,10 @@ fn usage() -> ExitCode {
          profile <workload> [--model old|fixed|little] [--freq HZ]\n\
          \u{20}                                                      simulator self-profile:\n\
          \u{20}                                                      MIPS, event rates, instr mix\n\
+         perf report <journal.jsonl>                            aggregated span-tree profile\n\
+         perf diff <before> <after> [--tolerance PCT]           regression gate over two JSONL\n\
+         \u{20}                                                      journals or BENCH_*.json\n\
+         \u{20}                                                      records (default 20%)\n\
          \n\
          validate, report, collect, stats and profile also accept\n\
          \u{20}  --fidelity atomic|approx|sampled   execution tier (default: GEMSTONE_FIDELITY\n\
@@ -132,9 +142,11 @@ fn usage() -> ExitCode {
          \u{20}                   bit-identical at any value)\n\
          \n\
          validate, report, collect and profile also accept observability outputs:\n\
-         \u{20}  --metrics FILE   Prometheus text-format metrics dump\n\
-         \u{20}  --trace FILE     Chrome trace-event JSON (chrome://tracing)\n\
-         \u{20}  --jsonl FILE     JSONL stream of metric samples and spans\n\
+         \u{20}  --metrics FILE        Prometheus text-format metrics dump\n\
+         \u{20}  --trace FILE          Chrome trace-event JSON (chrome://tracing)\n\
+         \u{20}  --jsonl FILE          JSONL stream of metric samples and spans\n\
+         \u{20}  --flight-record FILE  flight-recorder ring (recent span/note\n\
+         \u{20}                        events) as JSONL\n\
          \n\
          `collect` injects faults when GEMSTONE_FAULTS is set\n\
          (e.g. GEMSTONE_FAULTS=\"seed=7,transient=0.3,fails=2\")\n\
@@ -151,6 +163,7 @@ struct ObsOutputs {
     metrics: Option<String>,
     trace: Option<String>,
     jsonl: Option<String>,
+    flight: Option<String>,
 }
 
 impl ObsOutputs {
@@ -159,11 +172,15 @@ impl ObsOutputs {
             metrics: args.get("metrics").map(String::from),
             trace: args.get("trace").map(String::from),
             jsonl: args.get("jsonl").map(String::from),
+            flight: args.get("flight-record").map(String::from),
         }
     }
 
     fn any(&self) -> bool {
-        self.metrics.is_some() || self.trace.is_some() || self.jsonl.is_some()
+        self.metrics.is_some()
+            || self.trace.is_some()
+            || self.jsonl.is_some()
+            || self.flight.is_some()
     }
 
     /// Turns the obs layer on before the run when any output was asked for.
@@ -195,6 +212,13 @@ impl ObsOutputs {
         }
         if let Some(p) = &self.jsonl {
             dump(p, "jsonl", gemstone_obs::export::jsonl(registry, &events))?;
+        }
+        if let Some(p) = &self.flight {
+            dump(
+                p,
+                "flight record",
+                gemstone_obs::flight::FlightRecorder::global().dump_jsonl(),
+            )?;
         }
         Ok(())
     }
@@ -635,6 +659,40 @@ fn run_stats(args: &Args) -> ExitCode {
     ] {
         println!("{name:<60} {value:>20}");
     }
+    // Two-level scheduler: token-pool occupancy plus the wait-latency
+    // histogram quantiles (microseconds), and the sweep queue gauge.
+    let pool_wait = registry.histogram(
+        "tokenpool.wait.seconds",
+        gemstone_obs::registry::log2_time_bounds(),
+    );
+    let wait_us = |q: f64| {
+        pool_wait
+            .quantile(q)
+            .map_or_else(|| "-".to_string(), |s| format!("{:.1}", s * 1.0e6))
+    };
+    for (name, value) in [
+        (
+            "gemstone.tokenpool.permits.held",
+            format!("{:.0}", registry.gauge("tokenpool.permits.held").get()),
+        ),
+        (
+            "gemstone.tokenpool.permits.waiting",
+            format!("{:.0}", registry.gauge("tokenpool.permits.waiting").get()),
+        ),
+        (
+            "gemstone.tokenpool.wait.count",
+            pool_wait.count().to_string(),
+        ),
+        ("gemstone.tokenpool.wait.p50_us", wait_us(0.5)),
+        ("gemstone.tokenpool.wait.p95_us", wait_us(0.95)),
+        ("gemstone.tokenpool.wait.p99_us", wait_us(0.99)),
+        (
+            "gemstone.sweep.queue.depth",
+            format!("{:.0}", registry.gauge("sweep.queue.depth").get()),
+        ),
+    ] {
+        println!("{name:<60} {value:>20}");
+    }
     let name = run.stats.fidelity.name();
     println!("{:<60} {name:>20}", "gemstone.fidelity");
     if let Some(m) = &run.stats.sample {
@@ -812,7 +870,106 @@ fn run_profile(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// What a `gemstone perf` input file turned out to hold, by inspection:
+/// `BENCH_*.json` artefacts are a JSON array, journals are JSONL.
+enum PerfInput {
+    Bench(Vec<gemstone_obs::profile::BenchRec>),
+    Journal(gemstone_obs::profile::Journal),
+}
+
+fn load_perf_input(path: &str) -> Result<PerfInput, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if text.trim_start().starts_with('[') {
+        gemstone_obs::profile::parse_bench_json(&text)
+            .map(PerfInput::Bench)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        gemstone_obs::profile::Journal::parse(&text)
+            .map(PerfInput::Journal)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `gemstone perf report <journal.jsonl>` / `gemstone perf diff <before>
+/// <after> [--tolerance PCT]`. `report` renders the aggregated span-tree
+/// profile of one JSONL journal; `diff` compares two journals (span time
+/// and MIPS) or two `BENCH_*.json` records (speedup) and exits non-zero
+/// when any metric regressed by more than the tolerance (default 20%) —
+/// the CI gate over the repo's bench trajectory.
+fn run_perf(args: &Args) -> ExitCode {
+    let tolerance: f64 = match args.get("tolerance").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(20.0),
+        Err(_) => {
+            eprintln!("--tolerance needs a percentage, e.g. `--tolerance 20`");
+            return ExitCode::from(2);
+        }
+    };
+    match args.positional.as_slice() {
+        [mode, path] if mode == "report" => {
+            let journal = match load_perf_input(path) {
+                Ok(PerfInput::Journal(j)) => j,
+                Ok(PerfInput::Bench(_)) => {
+                    eprintln!(
+                        "{path} is a bench-record file; `perf report` takes a JSONL \
+                         journal (from --jsonl or --flight-record)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", gemstone_obs::profile::render_report(&journal));
+            ExitCode::SUCCESS
+        }
+        [mode, before, after] if mode == "diff" => {
+            let (b, a) = match (load_perf_input(before), load_perf_input(after)) {
+                (Ok(b), Ok(a)) => (b, a),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match (b, a) {
+                (PerfInput::Bench(b), PerfInput::Bench(a)) => {
+                    gemstone_obs::profile::diff_bench(&b, &a, tolerance)
+                }
+                (PerfInput::Journal(b), PerfInput::Journal(a)) => {
+                    gemstone_obs::profile::diff_journals(&b, &a, tolerance)
+                }
+                _ => {
+                    eprintln!(
+                        "{before} and {after} are different kinds of record \
+                         (one bench JSON, one journal) — diff like with like"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", report.render());
+            let regressions = report.regressions();
+            if regressions > 0 {
+                eprintln!("{regressions} metric(s) regressed beyond {tolerance:.0}% tolerance");
+                return ExitCode::FAILURE;
+            }
+            println!("no regression beyond {tolerance:.0}% tolerance");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: gemstone perf report <journal.jsonl>\n\
+                 \u{20}      gemstone perf diff <before> <after> [--tolerance PCT]\n\
+                 (diff accepts two JSONL journals or two BENCH_*.json records)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    // A crash mid-sweep should leave the flight-recorder ring on disk —
+    // the last few thousand span/note events before the panic.
+    gemstone_obs::flight::install_panic_hook();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
         return usage();
@@ -830,10 +987,26 @@ fn main() -> ExitCode {
     };
     let allowed: &[&str] = match cmd.as_str() {
         "validate" => &[
-            "scale", "clusters", "save", "fidelity", "segments", "metrics", "trace", "jsonl",
+            "scale",
+            "clusters",
+            "save",
+            "fidelity",
+            "segments",
+            "metrics",
+            "trace",
+            "jsonl",
+            "flight-record",
         ],
         "report" => &[
-            "scale", "clusters", "save", "fidelity", "segments", "metrics", "trace", "jsonl",
+            "scale",
+            "clusters",
+            "save",
+            "fidelity",
+            "segments",
+            "metrics",
+            "trace",
+            "jsonl",
+            "flight-record",
         ],
         "collect" => &[
             "scale",
@@ -848,6 +1021,7 @@ fn main() -> ExitCode {
             "metrics",
             "trace",
             "jsonl",
+            "flight-record",
         ],
         "power" => &["scale", "cluster"],
         "ablate" => &["scale"],
@@ -855,8 +1029,17 @@ fn main() -> ExitCode {
         "improve" => &["scale", "target-mape"],
         "stats" => &["scale", "model", "fidelity"],
         "profile" => &[
-            "scale", "model", "freq", "fidelity", "segments", "metrics", "trace", "jsonl",
+            "scale",
+            "model",
+            "freq",
+            "fidelity",
+            "segments",
+            "metrics",
+            "trace",
+            "jsonl",
+            "flight-record",
         ],
+        "perf" => &["tolerance"],
         _ => return usage(),
     };
     if let Some(flag) = args.unknown_flag(allowed) {
@@ -884,6 +1067,7 @@ fn main() -> ExitCode {
         "improve" => run_improve(&args),
         "stats" => run_stats(&args),
         "profile" => run_profile(&args),
+        "perf" => run_perf(&args),
         _ => usage(),
     }
 }
@@ -1005,5 +1189,39 @@ mod tests {
         assert_eq!(o.trace, None);
         let o = ObsOutputs::from_args(&Args::parse(&strs(&[]), &[]).unwrap());
         assert!(!o.any());
+        // --flight-record alone also turns the obs layer on.
+        let a = Args::parse(&strs(&["--flight-record", "/tmp/f.jsonl"]), &[]).unwrap();
+        let o = ObsOutputs::from_args(&a);
+        assert!(o.any());
+        assert_eq!(o.flight.as_deref(), Some("/tmp/f.jsonl"));
+    }
+
+    #[test]
+    fn perf_input_detection_is_by_shape() {
+        let dir = std::env::temp_dir();
+        let bench = dir.join("gemstone-cli-perf-bench.json");
+        let journal = dir.join("gemstone-cli-perf-journal.jsonl");
+        std::fs::write(
+            &bench,
+            "[\n  {\"bench\": \"b\", \"config\": \"c\", \"wall_s\": 1.0, \"speedup\": 2.0}\n]\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &journal,
+            "{\"type\": \"span\", \"name\": \"engine.run\", \"id\": 1, \"parent\": 0, \
+             \"tid\": 1, \"start_us\": 0, \"dur_us\": 10, \"depth\": 0, \"attrs\": {}}\n",
+        )
+        .unwrap();
+        match load_perf_input(bench.to_str().unwrap()).unwrap() {
+            PerfInput::Bench(recs) => assert_eq!(recs[0].bench, "b"),
+            PerfInput::Journal(_) => panic!("bench JSON misdetected as journal"),
+        }
+        match load_perf_input(journal.to_str().unwrap()).unwrap() {
+            PerfInput::Journal(j) => assert_eq!(j.events.len(), 1),
+            PerfInput::Bench(_) => panic!("journal misdetected as bench JSON"),
+        }
+        assert!(load_perf_input("/no/such/gemstone-journal.jsonl").is_err());
+        std::fs::remove_file(bench).ok();
+        std::fs::remove_file(journal).ok();
     }
 }
