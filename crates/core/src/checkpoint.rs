@@ -66,7 +66,10 @@ pub fn fingerprint(cfg: &ExperimentConfig, workloads: &[WorkloadSpec]) -> String
         cfg.board.timing_jitter,
         cfg.board.board_seed
     );
-    let specs = serde_json::to_string(workloads).unwrap_or_else(|_| format!("{workloads:?}"));
+    // Debug formatting covers every field of the (deep) spec tree and is
+    // deterministic — and unlike a serde round trip it cannot fail, so the
+    // fingerprint is total.
+    let specs = format!("{workloads:?}");
     // The tier is canonicalised so sampling knobs only matter when the
     // sampled tier is actually selected.
     let text = format!(
@@ -118,7 +121,7 @@ impl CollectCheckpoint {
     pub fn load(path: impl AsRef<Path>) -> Result<CollectCheckpoint> {
         let path = path.as_ref();
         let json = std::fs::read_to_string(path)?;
-        let ck: CollectCheckpoint = serde_json::from_str(&json)
+        let ck = crate::jsonio::checkpoint_from_json(&json)
             .map_err(|e| GemStoneError::Parse(format!("{}: {e}", path.display())))?;
         if ck.version != CHECKPOINT_VERSION {
             return Err(GemStoneError::Parse(format!(
@@ -154,16 +157,15 @@ impl CollectCheckpoint {
     }
 
     /// Persists the checkpoint atomically (temp file + rename): a crash
-    /// mid-save leaves the previous snapshot intact, never a truncated one.
+    /// mid-save leaves the previous snapshot intact, never a truncated
+    /// one. Serialisation is the in-repo codec
+    /// ([`crate::jsonio::checkpoint_to_json`]) and cannot fail.
     ///
     /// # Errors
     ///
-    /// [`GemStoneError::Io`] on filesystem failures, [`GemStoneError::Parse`]
-    /// if serialisation fails.
+    /// [`GemStoneError::Io`] on filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let path = path.as_ref();
-        let json = serde_json::to_string(self)
-            .map_err(|e| GemStoneError::Parse(format!("{}: {e}", path.display())))?;
+        let json = crate::jsonio::checkpoint_to_json(self);
         write_atomic(path, json.as_bytes())?;
         checkpoint_counter().add(1);
         Ok(())

@@ -1,0 +1,719 @@
+//! Dependency-free JSON serialisation for the persistence and service
+//! layer.
+//!
+//! The serde derives on [`WorkloadRecord`] and friends describe the wire
+//! shape, but this repository must build and *run* without any external
+//! crate — CI has no registry access, so `serde`/`serde_json` may be
+//! satisfied by typecheck-only stubs whose runtime entry points fail.
+//! Checkpoint persistence and the `gemstone serve` job queue cannot
+//! depend on that, so the documents they exchange are written by hand
+//! here and read back through [`gemstone_obs::json`], the same minimal
+//! parser the observability exporters already use. The emitted bytes
+//! match what `serde_json::to_string` would produce for the same values
+//! (field order is declaration order, map keys are stringified, floats
+//! use shortest round-trip formatting), so files interoperate with
+//! serde-enabled builds.
+//!
+//! Everything here is deterministic: `BTreeMap` iteration gives sorted
+//! keys and float formatting is value-determined, so identical inputs
+//! produce identical bytes — which is what lets the resilience tests (and
+//! the daemon's queue-resume test) compare artefacts with `==`.
+
+use crate::checkpoint::{CollectCheckpoint, CHECKPOINT_VERSION};
+use crate::collate::{Collated, WorkloadRecord};
+use gemstone_obs::json::Value;
+use gemstone_platform::dvfs::Cluster;
+use gemstone_platform::fault::QuarantinedWorkload;
+use gemstone_platform::gem5sim::Gem5Model;
+use gemstone_uarch::pmu::EventCode;
+use gemstone_workloads::spec::{
+    BranchBehavior, BranchSite, InstrMix, MemPattern, PhaseSpec, Suite, WorkloadSpec,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (quotes and escapes
+/// included).
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Rust's `{}` formatting for `f64` is the
+/// shortest decimal that round-trips, so parsing the output recovers the
+/// exact bits; non-finite values (which JSON cannot carry) become `null`
+/// and read back as NaN.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+pub(crate) fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        Some(Value::Null) => Ok(f64::NAN),
+        _ => Err(format!("missing or non-numeric field {key:?}")),
+    }
+}
+
+pub(crate) fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+pub(crate) fn cluster_name(c: Cluster) -> &'static str {
+    match c {
+        Cluster::LittleA7 => "LittleA7",
+        Cluster::BigA15 => "BigA15",
+    }
+}
+
+pub(crate) fn cluster_from(name: &str) -> Result<Cluster, String> {
+    match name {
+        "LittleA7" => Ok(Cluster::LittleA7),
+        "BigA15" => Ok(Cluster::BigA15),
+        other => Err(format!("unknown cluster {other:?}")),
+    }
+}
+
+pub(crate) fn model_name(m: Gem5Model) -> &'static str {
+    match m {
+        Gem5Model::Ex5BigOld => "Ex5BigOld",
+        Gem5Model::Ex5BigFixed => "Ex5BigFixed",
+        Gem5Model::Ex5Little => "Ex5Little",
+    }
+}
+
+pub(crate) fn model_from(name: &str) -> Result<Gem5Model, String> {
+    match name {
+        "Ex5BigOld" => Ok(Gem5Model::Ex5BigOld),
+        "Ex5BigFixed" => Ok(Gem5Model::Ex5BigFixed),
+        "Ex5Little" => Ok(Gem5Model::Ex5Little),
+        other => Err(format!("unknown gem5 model {other:?}")),
+    }
+}
+
+fn push_event_map(out: &mut String, map: &BTreeMap<EventCode, f64>) {
+    out.push('{');
+    for (i, (code, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{code}\":");
+        push_f64(out, *v);
+    }
+    out.push('}');
+}
+
+fn event_map_from(v: &Value, key: &str) -> Result<BTreeMap<EventCode, f64>, String> {
+    let obj = v
+        .get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("missing or non-object field {key:?}"))?;
+    let mut map = BTreeMap::new();
+    for (k, val) in obj {
+        let code: EventCode = k
+            .parse()
+            .map_err(|_| format!("bad event code {k:?} in {key:?}"))?;
+        let num = val
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric count for event {k:?} in {key:?}"))?;
+        map.insert(code, num);
+    }
+    Ok(map)
+}
+
+fn stats_map_from(v: &Value, key: &str) -> Result<BTreeMap<String, f64>, String> {
+    let obj = v
+        .get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("missing or non-object field {key:?}"))?;
+    let mut map = BTreeMap::new();
+    for (k, val) in obj {
+        let num = match val {
+            Value::Number(n) => *n,
+            Value::Null => f64::NAN,
+            _ => return Err(format!("non-numeric stat {k:?} in {key:?}")),
+        };
+        map.insert(k.clone(), num);
+    }
+    Ok(map)
+}
+
+/// Serialises one [`WorkloadRecord`] into `out`.
+pub fn push_record(out: &mut String, r: &WorkloadRecord) {
+    out.push_str("{\"workload\":");
+    push_str_lit(out, &r.workload);
+    let _ = write!(
+        out,
+        ",\"cluster\":\"{}\",\"model\":\"{}\",\"freq_hz\":",
+        cluster_name(r.cluster),
+        model_name(r.model)
+    );
+    push_f64(out, r.freq_hz);
+    let _ = write!(out, ",\"threads\":{},\"hw_time_s\":", r.threads);
+    push_f64(out, r.hw_time_s);
+    out.push_str(",\"gem5_time_s\":");
+    push_f64(out, r.gem5_time_s);
+    out.push_str(",\"time_pe\":");
+    push_f64(out, r.time_pe);
+    out.push_str(",\"hw_pmc\":");
+    push_event_map(out, &r.hw_pmc);
+    out.push_str(",\"gem5_stats\":{");
+    for (i, (k, v)) in r.gem5_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(out, k);
+        out.push(':');
+        push_f64(out, *v);
+    }
+    out.push_str("},\"gem5_pmu\":");
+    push_event_map(out, &r.gem5_pmu);
+    out.push_str(",\"hw_power_w\":");
+    push_f64(out, r.hw_power_w);
+    out.push('}');
+}
+
+/// Reads one [`WorkloadRecord`] back from a parsed [`Value`].
+pub fn record_from_value(v: &Value) -> Result<WorkloadRecord, String> {
+    Ok(WorkloadRecord {
+        workload: str_field(v, "workload")?.to_string(),
+        cluster: cluster_from(str_field(v, "cluster")?)?,
+        model: model_from(str_field(v, "model")?)?,
+        freq_hz: f64_field(v, "freq_hz")?,
+        threads: v
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"threads\"")? as u32,
+        hw_time_s: f64_field(v, "hw_time_s")?,
+        gem5_time_s: f64_field(v, "gem5_time_s")?,
+        time_pe: f64_field(v, "time_pe")?,
+        hw_pmc: event_map_from(v, "hw_pmc")?,
+        gem5_stats: stats_map_from(v, "gem5_stats")?,
+        gem5_pmu: event_map_from(v, "gem5_pmu")?,
+        hw_power_w: f64_field(v, "hw_power_w")?,
+    })
+}
+
+fn push_records(out: &mut String, records: &[WorkloadRecord]) {
+    out.push('[');
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_record(out, r);
+    }
+    out.push(']');
+}
+
+fn records_from_value(v: &Value) -> Result<Vec<WorkloadRecord>, String> {
+    v.as_array()
+        .ok_or("records must be an array")?
+        .iter()
+        .map(record_from_value)
+        .collect()
+}
+
+/// Serialises a [`Collated`] dataset (the lookup index is derived state
+/// and stays out of the document, as with the `#[serde(skip)]` attribute).
+pub fn collated_to_json(c: &Collated) -> String {
+    let mut out = String::from("{\"records\":");
+    push_records(&mut out, &c.records);
+    out.push('}');
+    out
+}
+
+/// Parses a [`Collated`] dataset serialised by [`collated_to_json`].
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn collated_from_json(text: &str) -> Result<Collated, String> {
+    let v = Value::parse(text)?;
+    let records = v
+        .get("records")
+        .ok_or_else(|| "missing field \"records\"".to_string())
+        .and_then(records_from_value)?;
+    Ok(Collated::from_records(records))
+}
+
+fn push_quarantined(out: &mut String, q: &QuarantinedWorkload) {
+    out.push_str("{\"workload\":");
+    push_str_lit(out, &q.workload);
+    out.push_str(",\"site\":");
+    push_str_lit(out, &q.site);
+    let _ = write!(out, ",\"attempts\":{},\"reason\":", q.attempts);
+    push_str_lit(out, &q.reason);
+    out.push('}');
+}
+
+fn quarantined_from_value(v: &Value) -> Result<QuarantinedWorkload, String> {
+    Ok(QuarantinedWorkload {
+        workload: str_field(v, "workload")?.to_string(),
+        site: str_field(v, "site")?.to_string(),
+        attempts: v
+            .get("attempts")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"attempts\"")? as u32,
+        reason: str_field(v, "reason")?.to_string(),
+    })
+}
+
+/// Serialises a [`CollectCheckpoint`] — versioned header first, then the
+/// completed-record map (sorted workload names) and the quarantine list.
+pub fn checkpoint_to_json(ck: &CollectCheckpoint) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"version\":{},\"fingerprint\":", ck.version);
+    push_str_lit(&mut out, &ck.fingerprint);
+    out.push_str(",\"completed\":{");
+    for (i, (name, records)) in ck.completed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(&mut out, name);
+        out.push(':');
+        push_records(&mut out, records);
+    }
+    out.push_str("},\"quarantined\":[");
+    for (i, q) in ck.quarantined.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_quarantined(&mut out, q);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a [`CollectCheckpoint`] serialised by [`checkpoint_to_json`].
+/// Structural validation only — version and fingerprint policy stay with
+/// [`CollectCheckpoint::load`] so Io/Parse classification is in one place.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn checkpoint_from_json(text: &str) -> Result<CollectCheckpoint, String> {
+    let v = Value::parse(text)?;
+    let version = v
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("missing or non-integer field \"version\"")? as u32;
+    let fingerprint = str_field(&v, "fingerprint")?.to_string();
+    let mut completed = BTreeMap::new();
+    for (name, records) in v
+        .get("completed")
+        .and_then(Value::as_object)
+        .ok_or("missing or non-object field \"completed\"")?
+    {
+        completed.insert(name.clone(), records_from_value(records)?);
+    }
+    let quarantined = v
+        .get("quarantined")
+        .and_then(Value::as_array)
+        .ok_or("missing or non-array field \"quarantined\"")?
+        .iter()
+        .map(quarantined_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CollectCheckpoint {
+        version,
+        fingerprint,
+        completed,
+        quarantined,
+    })
+}
+
+fn suite_name(s: Suite) -> &'static str {
+    match s {
+        Suite::MiBench => "MiBench",
+        Suite::ParMiBench => "ParMiBench",
+        Suite::Parsec => "Parsec",
+        Suite::LmBench => "LmBench",
+        Suite::RoyLongbottom => "RoyLongbottom",
+        Suite::Dhrystone => "Dhrystone",
+        Suite::Whetstone => "Whetstone",
+    }
+}
+
+fn suite_from(name: &str) -> Result<Suite, String> {
+    Ok(match name {
+        "MiBench" => Suite::MiBench,
+        "ParMiBench" => Suite::ParMiBench,
+        "Parsec" => Suite::Parsec,
+        "LmBench" => Suite::LmBench,
+        "RoyLongbottom" => Suite::RoyLongbottom,
+        "Dhrystone" => Suite::Dhrystone,
+        "Whetstone" => Suite::Whetstone,
+        other => return Err(format!("unknown suite {other:?}")),
+    })
+}
+
+fn push_mix(out: &mut String, m: &InstrMix) {
+    let fields: [(&str, f64); 14] = [
+        ("int_alu", m.int_alu),
+        ("int_mul", m.int_mul),
+        ("int_div", m.int_div),
+        ("fp_alu", m.fp_alu),
+        ("fp_div", m.fp_div),
+        ("simd", m.simd),
+        ("load", m.load),
+        ("store", m.store),
+        ("branch", m.branch),
+        ("indirect", m.indirect),
+        ("call", m.call),
+        ("exclusive", m.exclusive),
+        ("barrier", m.barrier),
+        ("nop", m.nop),
+    ];
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":");
+        push_f64(out, *v);
+    }
+    out.push('}');
+}
+
+fn mix_from(v: &Value) -> Result<InstrMix, String> {
+    Ok(InstrMix {
+        int_alu: f64_field(v, "int_alu")?,
+        int_mul: f64_field(v, "int_mul")?,
+        int_div: f64_field(v, "int_div")?,
+        fp_alu: f64_field(v, "fp_alu")?,
+        fp_div: f64_field(v, "fp_div")?,
+        simd: f64_field(v, "simd")?,
+        load: f64_field(v, "load")?,
+        store: f64_field(v, "store")?,
+        branch: f64_field(v, "branch")?,
+        indirect: f64_field(v, "indirect")?,
+        call: f64_field(v, "call")?,
+        exclusive: f64_field(v, "exclusive")?,
+        barrier: f64_field(v, "barrier")?,
+        nop: f64_field(v, "nop")?,
+    })
+}
+
+fn push_mem(out: &mut String, m: &MemPattern) {
+    let _ = write!(
+        out,
+        "{{\"ws_bytes\":{},\"stride\":{},\"random_frac\":",
+        m.ws_bytes, m.stride
+    );
+    push_f64(out, m.random_frac);
+    out.push_str(",\"unaligned_frac\":");
+    push_f64(out, m.unaligned_frac);
+    out.push_str(",\"shared_frac\":");
+    push_f64(out, m.shared_frac);
+    let _ = write!(out, ",\"dependent\":{}}}", m.dependent);
+}
+
+fn mem_from(v: &Value) -> Result<MemPattern, String> {
+    let dependent = match v.get("dependent") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing or non-boolean field \"dependent\"".into()),
+    };
+    Ok(MemPattern {
+        ws_bytes: v
+            .get("ws_bytes")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"ws_bytes\"")?,
+        stride: v
+            .get("stride")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"stride\"")?,
+        random_frac: f64_field(v, "random_frac")?,
+        unaligned_frac: f64_field(v, "unaligned_frac")?,
+        shared_frac: f64_field(v, "shared_frac")?,
+        dependent,
+    })
+}
+
+// Branch behaviours use serde's externally-tagged enum layout
+// (`{"Biased":{"taken_prob":0.9}}`), so files interoperate with
+// serde-enabled builds.
+fn push_branch(out: &mut String, b: &BranchSite) {
+    out.push('{');
+    match b.behavior {
+        BranchBehavior::Random { taken_prob } => {
+            out.push_str("\"behavior\":{\"Random\":{\"taken_prob\":");
+            push_f64(out, taken_prob);
+            out.push_str("}}");
+        }
+        BranchBehavior::Biased { taken_prob } => {
+            out.push_str("\"behavior\":{\"Biased\":{\"taken_prob\":");
+            push_f64(out, taken_prob);
+            out.push_str("}}");
+        }
+        BranchBehavior::Pattern { bits, len } => {
+            let _ = write!(
+                out,
+                "\"behavior\":{{\"Pattern\":{{\"bits\":{bits},\"len\":{len}}}}}"
+            );
+        }
+        BranchBehavior::Loop { body } => {
+            let _ = write!(out, "\"behavior\":{{\"Loop\":{{\"body\":{body}}}}}");
+        }
+    }
+    out.push_str(",\"weight\":");
+    push_f64(out, b.weight);
+    out.push('}');
+}
+
+fn branch_from(v: &Value) -> Result<BranchSite, String> {
+    let tagged = v
+        .get("behavior")
+        .and_then(Value::as_object)
+        .ok_or("missing or non-object field \"behavior\"")?;
+    let (tag, body) = tagged
+        .first()
+        .ok_or("empty \"behavior\" object — expected one variant tag")?;
+    let behavior = match tag.as_str() {
+        "Random" => BranchBehavior::Random {
+            taken_prob: f64_field(body, "taken_prob")?,
+        },
+        "Biased" => BranchBehavior::Biased {
+            taken_prob: f64_field(body, "taken_prob")?,
+        },
+        "Pattern" => BranchBehavior::Pattern {
+            bits: body
+                .get("bits")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer field \"bits\"")? as u32,
+            len: body
+                .get("len")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer field \"len\"")? as u8,
+        },
+        "Loop" => BranchBehavior::Loop {
+            body: body
+                .get("body")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer field \"body\"")? as u16,
+        },
+        other => return Err(format!("unknown branch behaviour {other:?}")),
+    };
+    Ok(BranchSite {
+        behavior,
+        weight: f64_field(v, "weight")?,
+    })
+}
+
+fn push_phase(out: &mut String, p: &PhaseSpec) {
+    out.push_str("{\"weight\":");
+    push_f64(out, p.weight);
+    out.push_str(",\"mix\":");
+    push_mix(out, &p.mix);
+    out.push_str(",\"mem\":");
+    push_mem(out, &p.mem);
+    out.push_str(",\"branches\":[");
+    for (i, b) in p.branches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_branch(out, b);
+    }
+    let _ = write!(out, "],\"code_pages\":{}}}", p.code_pages);
+}
+
+fn phase_from(v: &Value) -> Result<PhaseSpec, String> {
+    Ok(PhaseSpec {
+        weight: f64_field(v, "weight")?,
+        mix: mix_from(v.get("mix").ok_or("missing field \"mix\"")?)?,
+        mem: mem_from(v.get("mem").ok_or("missing field \"mem\"")?)?,
+        branches: v
+            .get("branches")
+            .and_then(Value::as_array)
+            .ok_or("missing or non-array field \"branches\"")?
+            .iter()
+            .map(branch_from)
+            .collect::<Result<Vec<_>, _>>()?,
+        code_pages: v
+            .get("code_pages")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"code_pages\"")? as u32,
+    })
+}
+
+/// Serialises one [`WorkloadSpec`] into `out`.
+pub fn push_workload(out: &mut String, w: &WorkloadSpec) {
+    out.push_str("{\"name\":");
+    push_str_lit(out, &w.name);
+    let _ = write!(
+        out,
+        ",\"suite\":\"{}\",\"threads\":{},\"instructions\":{},\"phases\":[",
+        suite_name(w.suite),
+        w.threads,
+        w.instructions
+    );
+    for (i, p) in w.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_phase(out, p);
+    }
+    let _ = write!(out, "],\"seed\":{}}}", w.seed);
+}
+
+/// Reads one [`WorkloadSpec`] back from a parsed [`Value`].
+pub fn workload_from_value(v: &Value) -> Result<WorkloadSpec, String> {
+    Ok(WorkloadSpec {
+        name: str_field(v, "name")?.to_string(),
+        suite: suite_from(str_field(v, "suite")?)?,
+        threads: v
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"threads\"")? as u32,
+        instructions: v
+            .get("instructions")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"instructions\"")?,
+        phases: v
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or("missing or non-array field \"phases\"")?
+            .iter()
+            .map(phase_from)
+            .collect::<Result<Vec<_>, _>>()?,
+        seed: v
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer field \"seed\"")?,
+    })
+}
+
+/// Serialises a workload-specification list (the `save_workloads`
+/// document).
+pub fn workloads_to_json(specs: &[WorkloadSpec]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in specs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_workload(&mut out, w);
+    }
+    out.push(']');
+    out
+}
+
+/// Parses a workload-specification list serialised by
+/// [`workloads_to_json`].
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn workloads_from_json(text: &str) -> Result<Vec<WorkloadSpec>, String> {
+    Value::parse(text)?
+        .as_array()
+        .ok_or("workload list must be an array")?
+        .iter()
+        .map(workload_from_value)
+        .collect()
+}
+
+/// The version constant re-exported next to the codec that writes it, so
+/// header round-trip tests read naturally.
+pub const VERSION: u32 = CHECKPOINT_VERSION;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> WorkloadRecord {
+        let mut hw_pmc = BTreeMap::new();
+        hw_pmc.insert(0x08u16, 300_000.0);
+        hw_pmc.insert(0x10u16, 1234.5);
+        let mut gem5_stats = BTreeMap::new();
+        gem5_stats.insert("sim_seconds".to_string(), 0.125);
+        gem5_stats.insert("system.cpu.numCycles".to_string(), 2.5e8);
+        WorkloadRecord {
+            workload: "mi-\"quoted\"\n".to_string(),
+            cluster: Cluster::BigA15,
+            model: Gem5Model::Ex5BigFixed,
+            freq_hz: 1.6e9,
+            threads: 4,
+            hw_time_s: 0.1230000000000001,
+            gem5_time_s: 0.15,
+            time_pe: -21.951219512195124,
+            hw_pmc,
+            gem5_stats,
+            gem5_pmu: BTreeMap::new(),
+            hw_power_w: f64::NAN,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_exactly() {
+        let r = record();
+        let mut text = String::new();
+        push_record(&mut text, &r);
+        let back = record_from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.cluster, r.cluster);
+        assert_eq!(back.model, r.model);
+        assert_eq!(back.freq_hz.to_bits(), r.freq_hz.to_bits());
+        assert_eq!(back.hw_time_s.to_bits(), r.hw_time_s.to_bits());
+        assert_eq!(back.time_pe.to_bits(), r.time_pe.to_bits());
+        assert_eq!(back.hw_pmc, r.hw_pmc);
+        assert_eq!(back.gem5_stats, r.gem5_stats);
+        assert!(back.hw_power_w.is_nan(), "null reads back as NaN");
+    }
+
+    #[test]
+    fn collated_serialisation_is_deterministic() {
+        let c = Collated::from_records(vec![record(), record()]);
+        let a = collated_to_json(&c);
+        let b = collated_to_json(&collated_from_json(&a).unwrap());
+        // NaN re-serialises as null, so one full round trip is the fixed
+        // point: the second pass must reproduce the first byte for byte.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_header_and_body_round_trip() {
+        let mut ck = CollectCheckpoint::new("v1:deadbeefdeadbeef".to_string());
+        ck.completed.insert("mi-sha".to_string(), vec![record()]);
+        ck.quarantined.push(QuarantinedWorkload {
+            workload: "mi-crc32".to_string(),
+            site: "measure".to_string(),
+            attempts: 3,
+            reason: "thermal throttle \"storm\"".to_string(),
+        });
+        let text = checkpoint_to_json(&ck);
+        let back = checkpoint_from_json(&text).unwrap();
+        assert_eq!(back.version, VERSION);
+        assert_eq!(back.fingerprint, ck.fingerprint);
+        assert_eq!(back.completed.len(), 1);
+        assert_eq!(back.quarantined, ck.quarantined);
+        assert_eq!(checkpoint_to_json(&back), text);
+    }
+
+    #[test]
+    fn rejects_structurally_broken_documents() {
+        assert!(checkpoint_from_json("{").is_err());
+        assert!(checkpoint_from_json("{\"version\":1}").is_err());
+        assert!(collated_from_json("{\"records\":{}}").is_err());
+        let bad_cluster = "{\"records\":[{\"workload\":\"w\",\"cluster\":\"MidA12\"}]}";
+        assert!(collated_from_json(bad_cluster)
+            .unwrap_err()
+            .contains("cluster"));
+    }
+}

@@ -71,19 +71,15 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<
     }
 }
 
-/// Classifies a serde error for `path` as [`GemStoneError::Parse`].
-fn parse_error(path: &Path, e: serde_json::Error) -> GemStoneError {
-    GemStoneError::Parse(format!("{}: {e}", path.display()))
-}
-
-/// Saves a collated dataset as pretty-printed JSON (atomically).
+/// Saves a collated dataset as JSON (atomically), via the in-repo codec
+/// ([`crate::jsonio`]) — deterministic bytes, so identical datasets
+/// produce identical artefacts (the `serve` smoke test `cmp`s them).
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem failures and
-/// [`GemStoneError::Parse`] if the dataset cannot be serialised.
+/// Returns [`GemStoneError::Io`] on filesystem failures.
 pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
-    let json = serde_json::to_string_pretty(collated).map_err(|e| parse_error(path.as_ref(), e))?;
+    let json = crate::jsonio::collated_to_json(collated);
     write_atomic(path, json.as_bytes())?;
     Ok(())
 }
@@ -96,7 +92,8 @@ pub fn save_collated(collated: &Collated, path: impl AsRef<Path>) -> Result<()> 
 /// [`GemStoneError::Parse`] when it exists but holds invalid data.
 pub fn load_collated(path: impl AsRef<Path>) -> Result<Collated> {
     let json = fs::read_to_string(&path)?;
-    serde_json::from_str(&json).map_err(|e| parse_error(path.as_ref(), e))
+    crate::jsonio::collated_from_json(&json)
+        .map_err(|e| GemStoneError::Parse(format!("{}: {e}", path.as_ref().display())))
 }
 
 /// Writes the per-record CSV the paper-style figures are drawn from
@@ -133,13 +130,12 @@ pub fn export_csv(collated: &Collated, path: impl AsRef<Path>) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`GemStoneError::Io`] on filesystem failures and
-/// [`GemStoneError::Parse`] if the list cannot be serialised.
+/// Returns [`GemStoneError::Io`] on filesystem failures.
 pub fn save_workloads(
     specs: &[gemstone_workloads::spec::WorkloadSpec],
     path: impl AsRef<Path>,
 ) -> Result<()> {
-    let json = serde_json::to_string_pretty(specs).map_err(|e| parse_error(path.as_ref(), e))?;
+    let json = crate::jsonio::workloads_to_json(specs);
     write_atomic(path, json.as_bytes())?;
     Ok(())
 }
@@ -154,7 +150,8 @@ pub fn load_workloads(
     path: impl AsRef<Path>,
 ) -> Result<Vec<gemstone_workloads::spec::WorkloadSpec>> {
     let json = fs::read_to_string(&path)?;
-    serde_json::from_str(&json).map_err(|e| parse_error(path.as_ref(), e))
+    crate::jsonio::workloads_from_json(&json)
+        .map_err(|e| GemStoneError::Parse(format!("{}: {e}", path.as_ref().display())))
 }
 
 #[cfg(test)]

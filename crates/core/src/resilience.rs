@@ -445,7 +445,7 @@ mod tests {
     }
 
     fn as_json(c: &Collated) -> String {
-        serde_json::to_string(c).unwrap()
+        crate::jsonio::collated_to_json(c)
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Minimal HTTP/1.1 plumbing for serving observability data (and the
+//! `gemstone serve` job API) over `std::net` — no external crates, since
+//! the build must work without registry access.
+//!
+//! This is deliberately a *subset* of HTTP/1.1: one request per
+//! connection (`Connection: close` on every response), no chunked
+//! transfer encoding, no continuation lines, ASCII header names. That
+//! subset is what `curl`, Prometheus scrapers and the in-repo tests
+//! speak, and keeping the parser small keeps it auditable — a daemon
+//! exposed on a socket should not carry a speculative feature surface.
+//!
+//! Requests larger than the fixed limits ([`MAX_HEAD_BYTES`],
+//! [`MAX_BODY_BYTES`]) are rejected during parsing so a misbehaving
+//! client cannot make the daemon buffer unbounded input.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gemstone_obs::http::{read_request, respond};
+//! use std::net::TcpListener;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0")?;
+//! for stream in listener.incoming() {
+//!     let mut stream = stream?;
+//!     match read_request(&mut stream) {
+//!         Ok(req) if req.path == "/healthz" => {
+//!             respond(&mut stream, 200, "application/json", "{\"ok\":true}")?;
+//!         }
+//!         Ok(_) => respond(&mut stream, 404, "text/plain", "not found")?,
+//!         Err(e) => respond(&mut stream, 400, "text/plain", &e.to_string())?,
+//!     }
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (job specifications are small; anything
+/// larger is a client error, not a bigger buffer).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request: the request line plus the (possibly empty)
+/// body. Headers other than `Content-Length` are parsed and discarded —
+/// nothing in the service API depends on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, e.g. `/jobs/42`. Query strings are kept
+    /// verbatim (the service API does not use them).
+    pub path: String,
+    /// Decoded request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// Bytes are consumed one read at a time until the blank line that ends
+/// the head, then exactly `Content-Length` body bytes follow. The parser
+/// is incremental so it never reads past the request (the connection is
+/// closed after one exchange anyway, but the property keeps tests that
+/// pipeline on one socket honest).
+///
+/// # Errors
+///
+/// [`std::io::ErrorKind::InvalidData`] for malformed requests (bad
+/// request line, non-numeric or oversized `Content-Length`, head larger
+/// than [`MAX_HEAD_BYTES`]); other kinds propagate from the underlying
+/// stream (including `UnexpectedEof` when the peer hangs up mid-request).
+pub fn read_request(stream: &mut impl Read) -> std::io::Result<Request> {
+    // Accumulate the head byte-by-byte until CRLF CRLF. One-byte reads
+    // are fine here: heads are tiny and the OS buffers the socket.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(bad(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad Content-Length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(format!("body of {content_length} bytes is too large")));
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` HTTP/1.1 response.
+///
+/// # Errors
+///
+/// Propagates write failures from the stream.
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\":1}\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "{\"a\":1}\r\n");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let raw = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let raw = b"POST /jobs HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nok";
+        assert_eq!(read_request(&mut &raw[..]).unwrap().body, "ok");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            let err = read_request(&mut &raw[..]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_request_is_unexpected_eof() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHos";
+        let err = read_request(&mut &raw[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        respond(&mut out, 202, "application/json", "{\"id\":\"x\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 10\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"x\"}"));
+    }
+}

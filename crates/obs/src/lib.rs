@@ -55,6 +55,7 @@
 pub mod env;
 pub mod export;
 pub mod flight;
+pub mod http;
 pub mod json;
 pub mod profile;
 pub mod registry;

@@ -420,6 +420,14 @@ impl SimCache {
     /// [`PackedTrace::run_backend`](gemstone_workloads::trace::PackedTrace::run_backend));
     /// direct generation streams every instruction. The two paths are
     /// bit-identical for every tier.
+    ///
+    /// The timed replay is preceded by the *startup prologue*
+    /// (`Backend::warm_prologue`): one front-end-only warming pass over
+    /// the same instruction stream, so the branch predictor, ITLB and
+    /// L1I enter the measured region trained — as they do on real
+    /// hardware, where loader/libc startup and untimed harness warm-up
+    /// iterations run the workload's code paths first — while the data
+    /// working set stays cold and its compulsory misses are measured.
     pub fn execute_tier_with(
         traces: &TraceCache,
         cfg: &CoreConfig,
@@ -429,8 +437,14 @@ impl SimCache {
     ) -> SimOutcome {
         let mut backend = Backend::new(tier, cfg, freq_hz, spec.threads, spec.derived_seed());
         let result = match traces.get(spec) {
-            Some(trace) => trace.run_backend(&mut backend),
-            None => backend.run_stream(StreamGen::new(spec)),
+            Some(trace) => {
+                backend.warm_prologue(trace.iter());
+                trace.run_backend(&mut backend)
+            }
+            None => {
+                backend.warm_prologue(StreamGen::new(spec));
+                backend.run_stream(StreamGen::new(spec))
+            }
         };
         SimOutcome {
             seconds: result.seconds,
@@ -452,8 +466,14 @@ impl SimCache {
     ) -> Vec<SimOutcome> {
         let mut backend = GridBackend::new(tier, cfg, freqs_hz, spec.threads, spec.derived_seed());
         let results = match traces.get(spec) {
-            Some(trace) => trace.run_grid(&mut backend),
-            None => backend.run_stream(StreamGen::new(spec)),
+            Some(trace) => {
+                backend.warm_prologue(trace.iter());
+                trace.run_grid(&mut backend)
+            }
+            None => {
+                backend.warm_prologue(StreamGen::new(spec));
+                backend.run_stream(StreamGen::new(spec))
+            }
         };
         results
             .into_iter()

@@ -49,6 +49,7 @@
 
 pub mod apply;
 pub mod dataset;
+pub mod fitting;
 pub mod model;
 pub mod published;
 pub mod runtime;

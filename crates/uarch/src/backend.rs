@@ -565,6 +565,15 @@ impl SampledEngine {
         }
     }
 
+    /// Startup-prologue warming: advances the inner engine's front-end
+    /// state only (see [`Engine::warm_frontend`]), leaving the sampling
+    /// schedule position untouched — the prologue models pre-ROI
+    /// execution, the window schedule applies to the region of interest.
+    #[inline]
+    pub fn warm_frontend(&mut self, instr: &Instr) {
+        self.detailed.warm_frontend(instr);
+    }
+
     /// Canonical boundary drain: drains the inner engine's span and the
     /// measured-cycles accumulator. Driven at every global multiple of
     /// [`crate::segment::segment_instrs`] by sequential and segmented
@@ -891,6 +900,31 @@ impl Backend {
             Backend::Atomic(_) => {}
             Backend::Approx(b) => b.boundary(),
             Backend::Sampled(b) => b.boundary(),
+        }
+    }
+
+    /// Runs the startup prologue over `stream`: front-end-only functional
+    /// warming (branch predictor, ITLB, L1I — see
+    /// [`Engine::warm_frontend`]) modelling the pre-ROI execution every
+    /// real measurement performs before its timed region. A no-op on the
+    /// atomic tier, whose class-histogram model carries no
+    /// microarchitectural state — the stream is not even decoded.
+    /// Drivers call this once, before [`Backend::run_stream`] or
+    /// [`Backend::run_segmented`]; both timed paths then stay
+    /// bit-identical to each other over the warmed state.
+    pub fn warm_prologue(&mut self, stream: impl Iterator<Item = Instr>) {
+        match self {
+            Backend::Atomic(_) => {}
+            Backend::Approx(engine) => {
+                for instr in stream {
+                    engine.warm_frontend(&instr);
+                }
+            }
+            Backend::Sampled(engine) => {
+                for instr in stream {
+                    engine.warm_frontend(&instr);
+                }
+            }
         }
     }
 

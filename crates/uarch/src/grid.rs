@@ -479,6 +479,42 @@ impl GridEngine {
         }
     }
 
+    /// Front-end-only functional warming across every lane — the grid
+    /// counterpart of [`Engine::warm_frontend`] (the startup prologue).
+    /// The warmed structures are all shared, so one pass serves the whole
+    /// grid; data-side state stays cold, exactly as on an independent
+    /// engine.
+    #[inline]
+    pub fn warm_frontend(&mut self, instr: &Instr) {
+        if let Some(interval) = self.cfg.itlb_flush_interval {
+            self.instr_since_flush += 1;
+            if self.instr_since_flush >= interval {
+                self.instr_since_flush = 0;
+                self.tlbs.flush_instruction_l1();
+            }
+        }
+        let line = instr.fetch_line();
+        let new_line = line != self.last_fetch_line;
+        self.group_fill += 1;
+        if new_line || self.group_fill >= self.cfg.fetch_group_size {
+            self.group_fill = 0;
+        }
+        if new_line {
+            self.last_fetch_line = line;
+            self.tlbs.warm(TlbKind::Instruction, instr.page());
+            if !self.l1i.warm(line, false).hit {
+                self.warm_level2(line, false);
+            }
+        }
+        if instr.class.is_branch() && self.bu.warm(instr) {
+            self.warm_wrong_path(instr);
+        }
+        #[cfg(debug_assertions)]
+        for r in &mut self.refs {
+            r.warm_frontend(instr);
+        }
+    }
+
     fn warm_level2(&mut self, line: u64, is_write: bool) {
         if !self.l2.warm(line, is_write).hit && self.cfg.prefetch.degree > 0 {
             warm_prefetch(&mut self.l2, line, self.cfg.prefetch);
@@ -1020,6 +1056,16 @@ impl SampledGridEngine {
         self.accs.len()
     }
 
+    /// Startup-prologue warming: advances the inner fused grid's
+    /// front-end state only, leaving the sampling schedule position
+    /// untouched (the prologue models pre-ROI execution; the window
+    /// schedule applies to the region of interest). Lane-equivalent to
+    /// `SampledEngine::warm_frontend` on an independent engine.
+    #[inline]
+    pub fn warm_frontend(&mut self, instr: &Instr) {
+        self.detailed.warm_frontend(instr);
+    }
+
     fn close_window(&mut self) {
         if self.window_instr > 0 {
             for acc in &mut self.accs {
@@ -1241,6 +1287,29 @@ impl GridBackend {
             GridBackend::Atomic(b) => b.step(instr),
             GridBackend::Approx(b) => b.step(instr),
             GridBackend::Sampled(b) => b.step(instr),
+        }
+    }
+
+    /// Runs the startup prologue over `stream`: front-end-only functional
+    /// warming of every lane's shared structures (see
+    /// [`Engine::warm_frontend`]). A no-op on the atomic grid, whose
+    /// class-histogram model carries no microarchitectural state — the
+    /// stream is not even decoded. Drivers call this before the timed
+    /// replay; each lane stays bit-identical to an independent engine
+    /// given the same prologue.
+    pub fn warm_prologue(&mut self, stream: impl Iterator<Item = Instr>) {
+        match self {
+            GridBackend::Atomic(_) => {}
+            GridBackend::Approx(b) => {
+                for instr in stream {
+                    b.warm_frontend(&instr);
+                }
+            }
+            GridBackend::Sampled(b) => {
+                for instr in stream {
+                    b.warm_frontend(&instr);
+                }
+            }
         }
     }
 

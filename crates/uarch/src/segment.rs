@@ -347,9 +347,25 @@ impl TokenPool {
         self.capacity
     }
 
+    /// Locks the free-permit count, tolerating poison. A sweep worker
+    /// that panics while holding permits releases them from
+    /// [`Permits::drop`] *during unwind* — and dropping a `MutexGuard`
+    /// while the thread is panicking poisons the mutex even though the
+    /// plain integer behind it is fully updated and valid. Refusing a
+    /// poisoned lock here would wedge every later borrower (and abort
+    /// the process when the refusal itself fires inside another
+    /// unwinding drop), permanently leaking the pool's capacity; the
+    /// state is a bare count with no mid-update invariant, so recovering
+    /// it is sound.
+    fn lock_free(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Permits currently borrowed (for reporting).
     pub fn held(&self) -> usize {
-        self.capacity - *self.free.lock().expect("token pool poisoned")
+        self.capacity - *self.lock_free()
     }
 
     /// Takes up to `want` permits without blocking; returns a guard
@@ -357,7 +373,7 @@ impl TokenPool {
     /// (`want - taken`) counts as waiting demand until the guard drops.
     pub fn take_up_to(&self, want: usize) -> Permits<'_> {
         let t0 = std::time::Instant::now();
-        let mut free = self.free.lock().expect("token pool poisoned");
+        let mut free = self.lock_free();
         self.wait_seconds.observe(t0.elapsed().as_secs_f64());
         let taken = want.min(*free);
         *free -= taken;
@@ -374,7 +390,7 @@ impl TokenPool {
     }
 
     fn release(&self, taken: usize, shortfall: usize) {
-        let mut free = self.free.lock().expect("token pool poisoned");
+        let mut free = self.lock_free();
         *free = (*free + taken).min(self.capacity);
         self.held.set((self.capacity - *free) as f64);
         if shortfall > 0 {
@@ -684,5 +700,27 @@ mod tests {
         drop(b);
         drop(c);
         assert_eq!(pool.take_up_to(usize::MAX).count(), 4);
+    }
+
+    /// A worker that panics while holding permits must still return them:
+    /// `Permits::drop` runs during the unwind, which poisons the pool
+    /// mutex when its guard drops — the pool has to shrug that off
+    /// instead of wedging (or aborting) every later borrower.
+    #[test]
+    fn token_pool_survives_a_panicking_permit_holder() {
+        let pool = std::sync::Arc::new(TokenPool::with_capacity(3));
+        let p = std::sync::Arc::clone(&pool);
+        let worker = std::thread::spawn(move || {
+            let _busy = p.take_up_to(2);
+            panic!("sweep worker dies mid-segment");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+        // The unwind released both permits and poisoned the mutex; the
+        // pool must keep serving at full capacity regardless.
+        assert_eq!(pool.held(), 0);
+        let all = pool.take_up_to(usize::MAX);
+        assert_eq!(all.count(), 3);
+        drop(all);
+        assert_eq!(pool.held(), 0);
     }
 }

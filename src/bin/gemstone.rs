@@ -46,7 +46,7 @@ use gemstone::core::analysis::{ablation, improve, suitability};
 use gemstone::core::pipeline::{GemStone, PipelineOptions};
 use gemstone::core::{collate::Collated, experiment, persist, report::Table};
 use gemstone::platform::simcache::SimCache;
-use gemstone::powmon::{dataset, model::PowerModel, selection};
+use gemstone::powmon::{fitting, selection};
 use gemstone::prelude::*;
 use gemstone::uarch::backend::{Fidelity, SampleParams, TierConfig};
 use gemstone::workloads::spec::WorkloadSpec;
@@ -110,7 +110,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemstone <validate|report|collect|power|ablate|suitability|improve|stats|profile|perf> [flags]\n\
+        "usage: gemstone <validate|report|collect|serve|power|ablate|suitability|improve|stats|profile|perf> [flags]\n\
          \n\
          validate     [--scale S] [--clusters K] [--save FILE]  time-error validation pipeline\n\
          report       [--scale S] [--save FILE]                 full pipeline incl. power models\n\
@@ -118,6 +118,12 @@ fn usage() -> ExitCode {
          \u{20}            [--retries N] [--min-coverage FRAC]       resilient characterisation sweep:\n\
          \u{20}                                                      retry faults, quarantine dead\n\
          \u{20}                                                      workloads, checkpoint progress\n\
+         serve        [--addr HOST:PORT] [--workers N] [--queue-dir DIR]\n\
+         \u{20}            [--queue-limit N] [--min-coverage FRAC]    validation-as-a-service daemon:\n\
+         \u{20}                                                      POST /jobs, GET /jobs/<id>,\n\
+         \u{20}                                                      GET /metrics, GET /healthz;\n\
+         \u{20}                                                      duplicate jobs coalesce, the\n\
+         \u{20}                                                      queue survives restarts\n\
          power        [--scale S] [--cluster a7|a15]            build and print a power model\n\
          ablate       [--scale S]                               per-spec-error ablation study\n\
          suitability  [--scale S] [--max-mape PCT]              use-case suitability check\n\
@@ -434,47 +440,111 @@ fn run_power(args: &Args) -> ExitCode {
         "a7" => Cluster::LittleA7,
         _ => Cluster::BigA15,
     };
-    let board = OdroidXu3::new();
     let specs: Vec<_> = suites::power_suite()
         .iter()
         .map(|w| w.scaled(args.scale()))
         .collect();
-    let ds = dataset::collect(&board, cluster, &specs, cluster.frequencies());
-    let opts = selection::SelectionOptions {
-        restricted_pool: Some(selection::gem5_compatible_pool()),
-        ..selection::SelectionOptions::default()
-    };
-    let sel = match selection::select_events(&ds, &opts) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("event selection failed: {e}");
-            return ExitCode::FAILURE;
+    // The same fallible library entry the `power-model` jobs of
+    // `gemstone serve` run — the CLI is just one more client of it.
+    match fitting::fit_cluster_model(
+        &OdroidXu3::new(),
+        cluster,
+        &specs,
+        &selection::SelectionOptions::gem5_restricted(),
+    ) {
+        Ok(fitted) => {
+            let q = &fitted.quality;
+            println!(
+                "{}: MAPE {:.2}%  SER {:.3} W  adj.R² {:.3}  VIF {:.1}  (n={})\n\n{}",
+                cluster.name(),
+                q.mape,
+                q.ser,
+                q.adj_r_squared,
+                q.mean_vif,
+                q.n,
+                fitted.model.equations()
+            );
+            ExitCode::SUCCESS
         }
-    };
-    let model = match PowerModel::fit(&ds, &sel.terms) {
-        Ok(m) => m,
         Err(e) => {
-            eprintln!("fit failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match model.quality(&ds) {
-        Ok(q) => println!(
-            "{}: MAPE {:.2}%  SER {:.3} W  adj.R² {:.3}  VIF {:.1}  (n={})\n\n{}",
-            cluster.name(),
-            q.mape,
-            q.ser,
-            q.adj_r_squared,
-            q.mean_vif,
-            q.n,
-            model.equations()
-        ),
-        Err(e) => {
-            eprintln!("quality evaluation failed: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("power modelling failed: {e}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
+}
+
+fn run_serve(args: &Args) -> ExitCode {
+    use gemstone::core::service::{serve, Service, ServiceConfig};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8323");
+    let mut cfg = ServiceConfig {
+        queue_dir: args
+            .get("queue-dir")
+            .map(Into::into)
+            .unwrap_or_else(|| std::env::temp_dir().join("gemstone-serve")),
+        ..ServiceConfig::default()
+    };
+    if let Some(w) = args.get("workers") {
+        match w.parse() {
+            Ok(n) => cfg.workers = n,
+            Err(_) => {
+                eprintln!("--workers must be an integer, got {w:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = args.get("queue-limit") {
+        match n.parse() {
+            Ok(n) if n > 0 => cfg.queue_limit = n,
+            _ => {
+                eprintln!("--queue-limit must be a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(m) = args.get("min-coverage") {
+        match m.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => cfg.min_coverage = v,
+            _ => {
+                eprintln!("--min-coverage must be in [0,1], got {m:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The service layer reports through the obs registry (`/metrics`), so
+    // turn the registry on for the daemon's lifetime.
+    gemstone_obs::set_enabled(true);
+    let svc = match Service::open(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open queue {}: {e}", cfg.queue_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke tests (and humans) wait for this line before submitting.
+    println!(
+        "gemstone serve: listening on http://{} ({} workers, queue {})",
+        listener
+            .local_addr()
+            .map_or_else(|_| addr.to_string(), |a| a.to_string()),
+        cfg.workers,
+        cfg.queue_dir.display()
+    );
+    match serve(&svc, &listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_ablate(args: &Args) -> ExitCode {
@@ -1023,6 +1093,13 @@ fn main() -> ExitCode {
             "jsonl",
             "flight-record",
         ],
+        "serve" => &[
+            "addr",
+            "workers",
+            "queue-dir",
+            "queue-limit",
+            "min-coverage",
+        ],
         "power" => &["scale", "cluster"],
         "ablate" => &["scale"],
         "suitability" => &["scale", "max-mape"],
@@ -1061,6 +1138,7 @@ fn main() -> ExitCode {
         "validate" => run_pipeline(&args, false),
         "report" => run_pipeline(&args, true),
         "collect" => run_collect(&args),
+        "serve" => run_serve(&args),
         "power" => run_power(&args),
         "ablate" => run_ablate(&args),
         "suitability" => run_suitability(&args),

@@ -36,6 +36,7 @@
 //! `find_error_sources`.
 
 pub use gemstone_core as core;
+pub use gemstone_obs as obs;
 pub use gemstone_platform as platform;
 pub use gemstone_powmon as powmon;
 pub use gemstone_stats as stats;

@@ -61,7 +61,51 @@ fn opts_with(faults: FaultInjector) -> ResilienceOptions {
 }
 
 fn as_json(c: &Collated) -> String {
-    serde_json::to_string(c).expect("collated serialises")
+    // The in-repo codec (crate::jsonio), not serde_json: the repo must
+    // serialise at runtime even when the serde crates are satisfied by
+    // typecheck-only stubs, and its deterministic bytes are what make the
+    // `==` comparisons below meaningful.
+    gemstone::core::jsonio::collated_to_json(c)
+}
+
+/// The versioned `CollectCheckpoint` header must survive a full
+/// serialise/parse round trip — version and fingerprint are the fields
+/// the load-time compatibility policy reads, so silently dropping either
+/// would let a stale checkpoint contribute records to the wrong
+/// experiment.
+#[test]
+fn checkpoint_versioned_header_round_trips() {
+    use gemstone::core::checkpoint::CHECKPOINT_VERSION;
+    use gemstone::core::jsonio::{checkpoint_from_json, checkpoint_to_json};
+
+    let cfg = tiny_config();
+    let fp = gemstone::core::checkpoint::fingerprint(&cfg, &tiny_workloads());
+    let ck = CollectCheckpoint::new(fp.clone());
+    let text = checkpoint_to_json(&ck);
+    let back = checkpoint_from_json(&text).expect("checkpoint parses");
+    assert_eq!(back.version, CHECKPOINT_VERSION);
+    assert_eq!(back.fingerprint, fp);
+    assert_eq!(
+        checkpoint_to_json(&back),
+        text,
+        "re-serialisation must be byte-identical"
+    );
+
+    // And the full save/load path classifies its errors the same way the
+    // parse tests expect: a version from the future is Parse, not Io.
+    let dir = unique_dir("header");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ck.json");
+    let mut future = CollectCheckpoint::new(fp);
+    future.version = CHECKPOINT_VERSION + 1;
+    std::fs::write(&path, checkpoint_to_json(&future)).unwrap();
+    match CollectCheckpoint::load(&path) {
+        Err(gemstone::core::GemStoneError::Parse(msg)) => {
+            assert!(msg.contains("version"), "mentions the version: {msg}");
+        }
+        other => panic!("future version must be a Parse error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 proptest! {
